@@ -1,0 +1,283 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// plus micro-benchmarks of the substrate. Each figure-level benchmark runs a
+// scaled-down version of the corresponding experiment in
+// internal/experiment and reports the figure's headline quantity as a
+// custom metric; the full-scale runs recorded in EXPERIMENTS.md use
+// cmd/handsfree.
+package handsfree
+
+import (
+	"sync"
+	"testing"
+
+	"handsfree/internal/experiment"
+	"handsfree/internal/optimizer"
+	"handsfree/internal/query"
+	"handsfree/internal/rejoin"
+	"handsfree/internal/rl"
+)
+
+var (
+	benchLabOnce sync.Once
+	benchLab     *experiment.Lab
+	benchLabErr  error
+)
+
+func lab(b *testing.B) *experiment.Lab {
+	b.Helper()
+	benchLabOnce.Do(func() {
+		benchLab, benchLabErr = experiment.NewLab(experiment.QuickLabConfig())
+	})
+	if benchLabErr != nil {
+		b.Fatal(benchLabErr)
+	}
+	return benchLab
+}
+
+// BenchmarkFig3aConvergence regenerates Figure 3a (ReJOIN convergence).
+// Metric: final plan cost relative to the traditional optimizer (percent).
+func BenchmarkFig3aConvergence(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		res, err := l.Fig3a(experiment.Fig3aConfig{
+			Episodes: 2000, QueryCount: 8, MinRel: 4, MaxRel: 6,
+			SamplePoints: 10, Window: 150, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Curve.Last(), "final-%-of-postgres")
+	}
+}
+
+// BenchmarkFig3bPlanCost regenerates Figure 3b (final cost per JOB query).
+// Metric: queries where ReJOIN matched or beat the baseline.
+func BenchmarkFig3bPlanCost(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		res, err := l.Fig3b(experiment.Fig3bConfig{Episodes: 2500, Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Wins), "wins-of-10")
+	}
+}
+
+// BenchmarkFig3cPlanningTime regenerates Figure 3c (planning time vs
+// relation count). Metric: traditional-vs-ReJOIN time ratio at 12 relations.
+func BenchmarkFig3cPlanningTime(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		res, err := l.Fig3c(experiment.Fig3cConfig{
+			RelationCounts: []int{4, 8, 12, 14}, Repeats: 2, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Postgres.Y[2]/res.ReJOIN.Y[2], "pg/rejoin-time-at-12rel")
+	}
+}
+
+// BenchmarkNaiveFullSpace regenerates the §4 negative result. Metric: how
+// many times worse the naive full-space agent is than the restricted one.
+func BenchmarkNaiveFullSpace(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		res, err := l.NaiveFullSpace(experiment.NaiveConfig{
+			Episodes: 2000, QueryCount: 8, MinRel: 4, MaxRel: 6, EvalEvery: 500, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FinalAgent/res.FinalJoinOrder, "naive/restricted-ratio")
+	}
+}
+
+// BenchmarkLatencyRewardTimeouts regenerates §4 footnote 2. Metric: the
+// fraction of tabula-rasa episodes hitting the execution budget.
+func BenchmarkLatencyRewardTimeouts(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		res, err := l.LatencyFromScratch(experiment.ScratchLatencyConfig{
+			Episodes: 120, QueryCount: 8, MinRel: 5, MaxRel: 7, BudgetFactor: 25, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TimeoutFraction, "timeout-fraction")
+	}
+}
+
+// BenchmarkLfD regenerates §5.1. Metric: latency ratio vs expert after
+// imitation alone (before any agent-driven execution).
+func BenchmarkLfD(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		res, err := l.LfDExperiment(experiment.LfDConfig{
+			QueryCount: 8, MinRel: 5, MaxRel: 7, PretrainBatches: 1200, FineTuneEpisodes: 200, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RatioAfterPretrain, "imitation-ratio")
+		b.ReportMetric(float64(res.Catastrophic), "catastrophic-execs")
+	}
+}
+
+// BenchmarkBootstrapScaling regenerates §5.2. Metric: extra destabilization
+// of the unscaled reward switch versus the paper's linear rescaling.
+func BenchmarkBootstrapScaling(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		res, err := l.BootstrapExperiment(experiment.BootstrapConfig{
+			QueryCount: 8, MinRel: 4, MaxRel: 6, Phase1Episodes: 1200, Phase2Episodes: 600, EvalEvery: 150, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.DipUnscaled-res.DipScaled, "extra-dip-log10")
+	}
+}
+
+// BenchmarkCurricula regenerates §5.3. Metric: the flat baseline's final
+// ratio divided by the best curriculum's.
+func BenchmarkCurricula(b *testing.B) {
+	l := lab(b)
+	for i := 0; i < b.N; i++ {
+		res, err := l.CurriculumExperiment(experiment.CurriculumConfig{
+			QueryCount: 12, MinRel: 2, MaxRel: 5, EpisodesPerPhase: 250, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		best := res.FinalRatios["pipeline"]
+		for _, name := range []string{"relations", "hybrid"} {
+			if r := res.FinalRatios[name]; r < best {
+				best = r
+			}
+		}
+		b.ReportMetric(res.FinalRatios["flat (naive §4)"]/best, "flat/best-curriculum")
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkPlannerDP measures exhaustive DP planning on an 8-relation query.
+func BenchmarkPlannerDP(b *testing.B) {
+	l := lab(b)
+	q, err := l.Workload.ByRelations(8, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Planner.PlanWith(q, optimizer.DP); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlannerGreedy measures greedy planning on an 8-relation query.
+func BenchmarkPlannerGreedy(b *testing.B) {
+	l := lab(b)
+	q, err := l.Workload.ByRelations(8, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Planner.PlanWith(q, optimizer.Greedy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlannerGEQO measures randomized search on a 17-relation query.
+func BenchmarkPlannerGEQO(b *testing.B) {
+	l := lab(b)
+	q, err := l.Workload.ByRelations(17, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Planner.PlanWith(q, optimizer.GEQO); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCostModel measures costing one physical plan.
+func BenchmarkCostModel(b *testing.B) {
+	l := lab(b)
+	q, err := l.Workload.ByRelations(8, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	planned, err := l.Planner.Plan(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Model.Cost(q, planned.Root)
+	}
+}
+
+// BenchmarkSimulatedLatency measures one latency-model evaluation.
+func BenchmarkSimulatedLatency(b *testing.B) {
+	l := lab(b)
+	q, err := l.Workload.ByRelations(8, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	planned, err := l.Planner.Plan(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Latency.Latency(q, planned.Root)
+	}
+}
+
+// BenchmarkExecutorHashJoin measures really executing a two-way hash join.
+func BenchmarkExecutorHashJoin(b *testing.B) {
+	sys, err := Open(Config{Scale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := ParseSQL(`SELECT COUNT(*) FROM title t, movie_companies mc WHERE mc.movie_id = t.id`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	planned, err := sys.Plan(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sys.Execute(q, planned.Root); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPolicyInference measures one ReJOIN greedy planning pass
+// (the quantity behind Figure 3c's ReJOIN curve).
+func BenchmarkPolicyInference(b *testing.B) {
+	l := lab(b)
+	q, err := l.Workload.ByRelations(10, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := l.Space(10)
+	env := rejoin.NewEnv(space, l.Planner, []*query.Query{q}, 1)
+	agent := rejoin.NewAgent(env, rl.ReinforceConfig{Hidden: []int{128, 64}, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if node, _ := agent.GreedyPlan(q); node == nil {
+			b.Fatal("no plan")
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Command handsfree regenerates the paper's figures and experiments.
+//
+//	handsfree fig3a        ReJOIN convergence (Figure 3a)
+//	handsfree fig3b        final plan cost per JOB query (Figure 3b)
+//	handsfree fig3c        planning time vs relation count (Figure 3c)
+//	handsfree naive        §4: naive full-plan-space DRL vs restricted
+//	handsfree scratch      §4 footnote 2: latency-as-reward from scratch
+//	handsfree lfd          §5.1: learning from demonstration
+//	handsfree bootstrap    §5.2: cost-model bootstrapping
+//	handsfree incremental  §5.3: incremental learning curricula
+//	handsfree all          every experiment in sequence
+//
+// Flags:
+//
+//	-quick      miniature substrate and budgets (minutes → seconds)
+//	-scale f    database scale factor override
+//	-seed n     experiment seed override
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"handsfree/internal/experiment"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use miniature budgets")
+	scale := flag.Float64("scale", 0, "database scale factor override")
+	seed := flag.Int64("seed", 0, "experiment seed override")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := strings.ToLower(flag.Arg(0))
+
+	labCfg := experiment.DefaultLabConfig()
+	if *quick {
+		labCfg = experiment.QuickLabConfig()
+	}
+	if *scale > 0 {
+		labCfg.Scale = *scale
+	}
+	fmt.Fprintf(os.Stderr, "building substrate (scale %.2f)…\n", labCfg.Scale)
+	lab, err := experiment.NewLab(labCfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	run := func(name string, f func() (renderer, error)) {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running %s…\n", name)
+		res, err := f()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Render())
+		fmt.Fprintf(os.Stderr, "%s finished in %s\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	experiments := map[string]func(){
+		"fig3a": func() {
+			cfg := experiment.DefaultFig3aConfig()
+			if *quick {
+				cfg.Episodes, cfg.QueryCount, cfg.MaxRel, cfg.Window = 3000, 10, 6, 200
+			}
+			applySeed(&cfg.Seed, *seed)
+			run("fig3a", func() (renderer, error) { return lab.Fig3a(cfg) })
+		},
+		"fig3b": func() {
+			cfg := experiment.DefaultFig3bConfig()
+			if *quick {
+				cfg.Episodes = 3000
+			}
+			applySeed(&cfg.Seed, *seed)
+			run("fig3b", func() (renderer, error) { return lab.Fig3b(cfg) })
+		},
+		"fig3c": func() {
+			cfg := experiment.DefaultFig3cConfig()
+			if *quick {
+				cfg.Repeats = 2
+			}
+			applySeed(&cfg.Seed, *seed)
+			run("fig3c", func() (renderer, error) { return lab.Fig3c(cfg) })
+		},
+		"naive": func() {
+			cfg := experiment.DefaultNaiveConfig()
+			if *quick {
+				cfg.Episodes, cfg.QueryCount, cfg.MinRel, cfg.MaxRel, cfg.EvalEvery = 4000, 8, 4, 6, 500
+			}
+			applySeed(&cfg.Seed, *seed)
+			run("naive", func() (renderer, error) { return lab.NaiveFullSpace(cfg) })
+		},
+		"scratch": func() {
+			cfg := experiment.DefaultScratchLatencyConfig()
+			if *quick {
+				cfg.Episodes, cfg.QueryCount = 120, 8
+			}
+			applySeed(&cfg.Seed, *seed)
+			run("scratch", func() (renderer, error) { return lab.LatencyFromScratch(cfg) })
+		},
+		"lfd": func() {
+			cfg := experiment.DefaultLfDConfig()
+			if *quick {
+				cfg.QueryCount, cfg.PretrainBatches, cfg.FineTuneEpisodes = 8, 1200, 250
+			}
+			applySeed(&cfg.Seed, *seed)
+			run("lfd", func() (renderer, error) { return lab.LfDExperiment(cfg) })
+		},
+		"bootstrap": func() {
+			cfg := experiment.DefaultBootstrapConfig()
+			if *quick {
+				cfg.QueryCount, cfg.Phase1Episodes, cfg.Phase2Episodes, cfg.EvalEvery = 8, 1500, 800, 200
+				cfg.MinRel, cfg.MaxRel = 4, 6
+			}
+			applySeed(&cfg.Seed, *seed)
+			run("bootstrap", func() (renderer, error) { return lab.BootstrapExperiment(cfg) })
+		},
+		"incremental": func() {
+			cfg := experiment.DefaultCurriculumConfig()
+			if *quick {
+				cfg.QueryCount, cfg.EpisodesPerPhase, cfg.MaxRel = 12, 400, 5
+			}
+			applySeed(&cfg.Seed, *seed)
+			run("incremental", func() (renderer, error) { return lab.CurriculumExperiment(cfg) })
+		},
+		"ablation-oracle": func() {
+			cfg := experiment.DefaultAblationOracleConfig()
+			if *quick {
+				cfg.QueryCount = 8
+			}
+			applySeed(&cfg.Seed, *seed)
+			run("ablation-oracle", func() (renderer, error) { return lab.AblationOracle(cfg) })
+		},
+		"ablation-enum": func() {
+			cfg := experiment.DefaultAblationEnumeratorConfig()
+			if *quick {
+				cfg.Repeats = 2
+			}
+			applySeed(&cfg.Seed, *seed)
+			run("ablation-enum", func() (renderer, error) { return lab.AblationEnumerator(cfg) })
+		},
+	}
+
+	if cmd == "all" {
+		for _, name := range []string{"fig3a", "fig3b", "fig3c", "naive", "scratch", "lfd", "bootstrap", "incremental", "ablation-oracle", "ablation-enum"} {
+			experiments[name]()
+		}
+		return
+	}
+	f, ok := experiments[cmd]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	f()
+}
+
+// renderer is anything that can print itself.
+type renderer interface{ Render() string }
+
+func applySeed(dst *int64, override int64) {
+	if override != 0 {
+		*dst = override
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "handsfree:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: handsfree [-quick] [-scale f] [-seed n] <experiment>
+
+experiments:
+  fig3a        ReJOIN convergence (Figure 3a)
+  fig3b        final plan cost per JOB query (Figure 3b)
+  fig3c        planning time vs relation count (Figure 3c)
+  naive        §4 naive full-plan-space DRL vs restricted join-order DRL
+  scratch      §4 footnote 2: latency-as-reward, tabula rasa
+  lfd          §5.1 learning from demonstration
+  bootstrap    §5.2 cost-model bootstrapping (scaled vs unscaled switch)
+  incremental  §5.3 incremental learning curricula
+  ablation-oracle  latency headroom vs cost-model error strength
+  ablation-enum    bushy DP vs left-deep DP vs greedy vs GEQO
+  all          run everything
+`)
+}

@@ -1,0 +1,78 @@
+// Command queryopt optimizes a single SQL query against the synthetic
+// database with every available planner and reports plans, costs, and
+// simulated latencies.
+//
+//	queryopt -sql "SELECT COUNT(*) FROM title t, movie_companies mc WHERE mc.movie_id = t.id AND t.production_year > 80"
+//	queryopt -named 8c
+//	queryopt -named 8c -execute
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"handsfree"
+	"handsfree/internal/optimizer"
+)
+
+func main() {
+	sql := flag.String("sql", "", "SQL text to optimize")
+	named := flag.String("named", "", "named workload query (e.g. 1a, 8c, 22c)")
+	scale := flag.Float64("scale", 0.25, "database scale factor")
+	execute := flag.Bool("execute", false, "also execute the best plan on the columnar engine")
+	flag.Parse()
+
+	if (*sql == "") == (*named == "") {
+		fmt.Fprintln(os.Stderr, "queryopt: provide exactly one of -sql or -named")
+		os.Exit(2)
+	}
+
+	sys, err := handsfree.Open(handsfree.Config{Scale: *scale})
+	if err != nil {
+		fatal(err)
+	}
+
+	var q *handsfree.Query
+	if *sql != "" {
+		q, err = handsfree.ParseSQL(*sql)
+	} else {
+		q, err = sys.Workload.Named(*named)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("query: %s\n\n", q.SQL())
+	for _, strat := range []optimizer.Strategy{optimizer.DP, optimizer.Greedy, optimizer.GEQO} {
+		if strat == optimizer.DP && len(q.Relations) > sys.Planner.DPThreshold {
+			fmt.Printf("— %s: skipped (%d relations exceed the DP threshold)\n\n", strat, len(q.Relations))
+			continue
+		}
+		planned, err := sys.Planner.PlanWith(q, strat)
+		if err != nil {
+			fatal(err)
+		}
+		lat := sys.SimulateLatency(q, planned.Root)
+		fmt.Printf("— %s: cost %.1f, est rows %.0f, planning time %s, simulated latency %.2f ms\n%s\n",
+			strat, planned.Cost, planned.Rows, planned.Duration.Round(0), lat, handsfree.ExplainPlan(planned.Root))
+	}
+
+	if *execute {
+		planned, err := sys.Plan(q)
+		if err != nil {
+			fatal(err)
+		}
+		res, work, err := sys.Execute(q, planned.Root)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("executed: %d result rows, work: %d tuples read, %d emitted, %d comparisons, %d hash ops\n",
+			res.N, work.TuplesRead, work.TuplesEmitted, work.Comparisons, work.HashOps)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "queryopt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,219 @@
+// Package handsfree is a from-scratch Go reproduction of "Towards a
+// Hands-Free Query Optimizer through Deep Learning" (Marcus &
+// Papaemmanouil, CIDR 2019): a deep-reinforcement-learning query optimizer
+// stack built on a synthetic relational substrate.
+//
+// The package re-exports the pieces a downstream user needs:
+//
+//   - Open builds the synthetic JOB-like database with statistics, a
+//     PostgreSQL-style cost model, a traditional optimizer, a truth oracle,
+//     and a latency simulator.
+//   - ParseSQL turns SQL text into the query IR.
+//   - System.Plan / System.Execute run the traditional optimizer and the
+//     columnar execution engine.
+//   - System.NewReJOINAgent trains the paper's §3 join-order enumerator.
+//   - The internal/experiment package (exposed through cmd/handsfree)
+//     regenerates every figure of the paper.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package handsfree
+
+import (
+	"fmt"
+
+	"handsfree/internal/cost"
+	"handsfree/internal/datagen"
+	"handsfree/internal/engine"
+	"handsfree/internal/featurize"
+	"handsfree/internal/optimizer"
+	"handsfree/internal/plan"
+	"handsfree/internal/query"
+	"handsfree/internal/rejoin"
+	"handsfree/internal/rl"
+	"handsfree/internal/sqlparse"
+	"handsfree/internal/stats"
+	"handsfree/internal/workload"
+)
+
+// Re-exported core types. The internal packages carry the full APIs; these
+// aliases cover the common entry points.
+type (
+	// Query is the logical query IR.
+	Query = query.Query
+	// PlanNode is a physical plan operator.
+	PlanNode = plan.Node
+	// Planned couples a plan with its cost and planning duration.
+	Planned = optimizer.Planned
+	// Result is a materialized execution result.
+	Result = engine.Result
+	// Work is the executor's effort accounting.
+	Work = engine.Work
+)
+
+// Config controls Open.
+type Config struct {
+	// Seed drives data generation (default 1).
+	Seed int64
+	// Scale is the database scale factor (default 1.0 ≈ 400k rows).
+	Scale float64
+	// OracleSeed selects the systematic cardinality-error field (default 11).
+	OracleSeed int64
+	// LatencySeed selects the execution-noise field (default 5).
+	LatencySeed int64
+}
+
+func (c *Config) fill() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Scale == 0 {
+		c.Scale = 1.0
+	}
+	if c.OracleSeed == 0 {
+		c.OracleSeed = 11
+	}
+	if c.LatencySeed == 0 {
+		c.LatencySeed = 5
+	}
+}
+
+// System bundles the full substrate: database, statistics, cost model,
+// traditional optimizer, truth oracle, latency simulator, executor, and
+// workload generators.
+type System struct {
+	DB       *datagen.Database
+	Stats    *stats.Stats
+	Est      *stats.Estimator
+	Oracle   *stats.Oracle
+	Cost     *cost.Model
+	Planner  *optimizer.Planner
+	Latency  *engine.LatencyModel
+	Engine   *engine.Engine
+	Workload *workload.Workload
+}
+
+// Open generates the synthetic database and assembles the system.
+func Open(cfg Config) (*System, error) {
+	cfg.fill()
+	db, err := datagen.Generate(datagen.Config{Seed: cfg.Seed, Scale: cfg.Scale})
+	if err != nil {
+		return nil, err
+	}
+	est := stats.NewEstimator(db.Catalog, db.Stats)
+	oracle := stats.NewOracle(est, cfg.OracleSeed)
+	model := cost.New(cost.DefaultParams(), est)
+	return &System{
+		DB:       db,
+		Stats:    db.Stats,
+		Est:      est,
+		Oracle:   oracle,
+		Cost:     model,
+		Planner:  optimizer.New(db.Catalog, model),
+		Latency:  engine.NewLatencyModel(oracle, cfg.LatencySeed),
+		Engine:   engine.New(db.Store),
+		Workload: workload.New(db),
+	}, nil
+}
+
+// ParseSQL parses SQL text into the query IR.
+func ParseSQL(sql string) (*Query, error) {
+	return sqlparse.Parse(sql)
+}
+
+// Plan optimizes a query with the traditional optimizer (Selinger DP up to
+// 12 relations, GEQO-style randomized search beyond).
+func (s *System) Plan(q *Query) (Planned, error) {
+	return s.Planner.Plan(q)
+}
+
+// PlanSQL parses and optimizes SQL text.
+func (s *System) PlanSQL(sql string) (Planned, error) {
+	q, err := ParseSQL(sql)
+	if err != nil {
+		return Planned{}, err
+	}
+	return s.Plan(q)
+}
+
+// Execute runs a physical plan on the columnar engine, returning the result
+// and the deterministic work accounting.
+func (s *System) Execute(q *Query, root PlanNode) (*Result, *Work, error) {
+	return s.Engine.Execute(q, root)
+}
+
+// SimulateLatency returns the simulated execution latency (milliseconds) of
+// a plan on the "production" system — true cardinalities, hardware-truth
+// constants, seeded noise.
+func (s *System) SimulateLatency(q *Query, root PlanNode) float64 {
+	return s.Latency.Latency(q, root)
+}
+
+// ExplainPlan renders a plan tree in EXPLAIN style.
+func ExplainPlan(root PlanNode) string {
+	return plan.Format(root)
+}
+
+// ReJOINAgent is the §3 learned join-order enumerator.
+type ReJOINAgent struct {
+	agent *rejoin.Agent
+}
+
+// ReJOINConfig sizes a ReJOIN agent.
+type ReJOINConfig struct {
+	// MaxRelations bounds the relation count of trainable queries.
+	MaxRelations int
+	// Hidden layer widths (default 128, 64).
+	Hidden []int
+	// LR is the learning rate (default 1.5e-3).
+	LR   float64
+	Seed int64
+}
+
+// NewReJOINAgent builds a ReJOIN agent over a training workload. Queries
+// must not exceed cfg.MaxRelations relations.
+func (s *System) NewReJOINAgent(queries []*Query, cfg ReJOINConfig) (*ReJOINAgent, error) {
+	if cfg.MaxRelations == 0 {
+		for _, q := range queries {
+			if len(q.Relations) > cfg.MaxRelations {
+				cfg.MaxRelations = len(q.Relations)
+			}
+		}
+	}
+	for _, q := range queries {
+		if len(q.Relations) > cfg.MaxRelations {
+			return nil, fmt.Errorf("handsfree: query %s has %d relations, above the agent's %d", q.Name, len(q.Relations), cfg.MaxRelations)
+		}
+	}
+	if len(cfg.Hidden) == 0 {
+		cfg.Hidden = []int{128, 64}
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 1.5e-3
+	}
+	space := featurize.NewSpace(cfg.MaxRelations, s.Est)
+	env := rejoin.NewEnv(space, s.Planner, queries, cfg.Seed)
+	agent := rejoin.NewAgent(env, rl.ReinforceConfig{
+		Hidden: cfg.Hidden, LR: cfg.LR, BatchSize: 16, Seed: cfg.Seed,
+	})
+	return &ReJOINAgent{agent: agent}, nil
+}
+
+// TrainEpisode runs one learning episode (one query) and returns the cost
+// of the plan the agent produced.
+func (a *ReJOINAgent) TrainEpisode() float64 {
+	return a.agent.TrainEpisode().Cost
+}
+
+// Train runs n learning episodes.
+func (a *ReJOINAgent) Train(n int) {
+	for i := 0; i < n; i++ {
+		a.agent.TrainEpisode()
+	}
+}
+
+// Plan produces the trained agent's (greedy) plan for a query along with
+// its optimizer cost.
+func (a *ReJOINAgent) Plan(q *Query) (PlanNode, float64) {
+	return a.agent.GreedyPlan(q)
+}

@@ -1,0 +1,111 @@
+package handsfree
+
+import (
+	"strings"
+	"testing"
+)
+
+func testSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := Open(Config{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestOpenDefaults(t *testing.T) {
+	sys := testSystem(t)
+	if sys.DB == nil || sys.Planner == nil || sys.Latency == nil || sys.Engine == nil {
+		t.Fatal("Open left components nil")
+	}
+	if n := sys.DB.Catalog.NumTables(); n != 21 {
+		t.Fatalf("catalog has %d tables, want 21", n)
+	}
+}
+
+func TestPlanSQLEndToEnd(t *testing.T) {
+	sys := testSystem(t)
+	planned, err := sys.PlanSQL(`SELECT COUNT(*) FROM title t, movie_companies mc
+		WHERE mc.movie_id = t.id AND t.production_year > 50`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planned.Cost <= 0 {
+		t.Fatalf("cost %v", planned.Cost)
+	}
+	explain := ExplainPlan(planned.Root)
+	if !strings.Contains(explain, "title") || !strings.Contains(explain, "movie_companies") {
+		t.Fatalf("explain output missing relations:\n%s", explain)
+	}
+}
+
+func TestExecuteMatchesPlanShape(t *testing.T) {
+	sys := testSystem(t)
+	q, err := ParseSQL(`SELECT COUNT(*) FROM title t WHERE t.production_year > 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned, err := sys.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, work, err := sys.Execute(q, planned.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 1 {
+		t.Fatalf("aggregate result rows = %d, want 1", res.N)
+	}
+	if work.TuplesRead == 0 {
+		t.Fatal("no work recorded")
+	}
+}
+
+func TestSimulateLatencyPositiveAndDeterministic(t *testing.T) {
+	sys := testSystem(t)
+	q := sys.Workload.MustNamed("1a")
+	planned, err := sys.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := sys.SimulateLatency(q, planned.Root)
+	l2 := sys.SimulateLatency(q, planned.Root)
+	if l1 <= 0 || l1 != l2 {
+		t.Fatalf("latency %v / %v", l1, l2)
+	}
+}
+
+func TestReJOINAgentAPI(t *testing.T) {
+	sys := testSystem(t)
+	queries, err := sys.Workload.Training(4, 4, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := sys.NewReJOINAgent(queries, ReJOINConfig{Seed: 1, Hidden: []int{32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent.Train(50)
+	node, cost := agent.Plan(queries[0])
+	if node == nil || cost <= 0 {
+		t.Fatalf("agent produced plan=%v cost=%v", node, cost)
+	}
+}
+
+func TestReJOINAgentRejectsOversizedQueries(t *testing.T) {
+	sys := testSystem(t)
+	queries, err := sys.Workload.Training(2, 6, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.NewReJOINAgent(queries, ReJOINConfig{MaxRelations: 4, Seed: 1}); err == nil {
+		t.Fatal("agent accepted queries above MaxRelations")
+	}
+}
+
+func TestParseSQLErrors(t *testing.T) {
+	if _, err := ParseSQL("DROP TABLE title"); err == nil {
+		t.Fatal("accepted non-SELECT statement")
+	}
+}

@@ -1,0 +1,198 @@
+// Package catalog models database schemas: tables, integer-typed columns,
+// indexes, row counts, and the foreign-key join graph. It is the shared
+// vocabulary between the data generator, the statistics subsystem, the cost
+// model, the traditional optimizer, and the learned agents.
+//
+// All columns are int64-valued. The reproduction's workloads (JOB-like star
+// joins with selection predicates) only require ordered, hashable scalar
+// domains, and a single column type keeps the executor and statistics exact.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IndexKind enumerates the access structures a column may carry.
+type IndexKind int
+
+const (
+	// NoIndex means only sequential scans can read the column.
+	NoIndex IndexKind = iota
+	// BTree supports range and equality lookups (ordered).
+	BTree
+	// Hash supports equality lookups only.
+	Hash
+)
+
+// String returns the lowercase name of the index kind.
+func (k IndexKind) String() string {
+	switch k {
+	case BTree:
+		return "btree"
+	case Hash:
+		return "hash"
+	default:
+		return "none"
+	}
+}
+
+// Column is a named integer column with its domain bounds.
+type Column struct {
+	Name string
+	// Min and Max bound the values stored in the column.
+	Min, Max int64
+}
+
+// Index is an access structure over a single column.
+type Index struct {
+	Column string
+	Kind   IndexKind
+}
+
+// Table describes one relation.
+type Table struct {
+	Name    string
+	Rows    int64
+	Columns []Column
+	Indexes []Index
+}
+
+// Column returns the named column, or an error naming the table.
+func (t *Table) Column(name string) (*Column, error) {
+	for i := range t.Columns {
+		if t.Columns[i].Name == name {
+			return &t.Columns[i], nil
+		}
+	}
+	return nil, fmt.Errorf("catalog: table %s has no column %s", t.Name, name)
+}
+
+// HasColumn reports whether the table contains the named column.
+func (t *Table) HasColumn(name string) bool {
+	_, err := t.Column(name)
+	return err == nil
+}
+
+// IndexOn returns the index on the named column, if any.
+func (t *Table) IndexOn(column string) (Index, bool) {
+	for _, ix := range t.Indexes {
+		if ix.Column == column {
+			return ix, true
+		}
+	}
+	return Index{}, false
+}
+
+// FK is a foreign-key edge in the schema's join graph: FromTable.FromColumn
+// references ToTable.ToColumn (the primary key).
+type FK struct {
+	FromTable, FromColumn string
+	ToTable, ToColumn     string
+}
+
+// Catalog is a complete schema: tables plus the FK join graph.
+type Catalog struct {
+	tables map[string]*Table
+	names  []string
+	FKs    []FK
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// AddTable registers a table. Adding a duplicate name is an error.
+func (c *Catalog) AddTable(t *Table) error {
+	if _, ok := c.tables[t.Name]; ok {
+		return fmt.Errorf("catalog: duplicate table %s", t.Name)
+	}
+	c.tables[t.Name] = t
+	c.names = append(c.names, t.Name)
+	sort.Strings(c.names)
+	return nil
+}
+
+// AddFK registers a foreign-key edge. Both endpoints must exist.
+func (c *Catalog) AddFK(fk FK) error {
+	ft, ok := c.tables[fk.FromTable]
+	if !ok {
+		return fmt.Errorf("catalog: FK from unknown table %s", fk.FromTable)
+	}
+	tt, ok := c.tables[fk.ToTable]
+	if !ok {
+		return fmt.Errorf("catalog: FK to unknown table %s", fk.ToTable)
+	}
+	if !ft.HasColumn(fk.FromColumn) {
+		return fmt.Errorf("catalog: FK from unknown column %s.%s", fk.FromTable, fk.FromColumn)
+	}
+	if !tt.HasColumn(fk.ToColumn) {
+		return fmt.Errorf("catalog: FK to unknown column %s.%s", fk.ToTable, fk.ToColumn)
+	}
+	c.FKs = append(c.FKs, fk)
+	return nil
+}
+
+// Table returns the named table, or an error.
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown table %s", name)
+	}
+	return t, nil
+}
+
+// MustTable returns the named table and panics if absent. For use in code
+// paths where the name was already validated.
+func (c *Catalog) MustTable(name string) *Table {
+	t, err := c.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// TableNames returns all table names in sorted order.
+func (c *Catalog) TableNames() []string {
+	out := make([]string, len(c.names))
+	copy(out, c.names)
+	return out
+}
+
+// NumTables reports how many tables are registered.
+func (c *Catalog) NumTables() int { return len(c.names) }
+
+// Joinable reports whether an FK edge connects the two tables (in either
+// direction) and returns the connecting edge.
+func (c *Catalog) Joinable(a, b string) (FK, bool) {
+	for _, fk := range c.FKs {
+		if (fk.FromTable == a && fk.ToTable == b) || (fk.FromTable == b && fk.ToTable == a) {
+			return fk, true
+		}
+	}
+	return FK{}, false
+}
+
+// Neighbors returns the names of all tables connected to t by an FK edge.
+func (c *Catalog) Neighbors(t string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, fk := range c.FKs {
+		var other string
+		switch t {
+		case fk.FromTable:
+			other = fk.ToTable
+		case fk.ToTable:
+			other = fk.FromTable
+		default:
+			continue
+		}
+		if !seen[other] {
+			seen[other] = true
+			out = append(out, other)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,129 @@
+package catalog
+
+import "testing"
+
+func demo(t *testing.T) *Catalog {
+	t.Helper()
+	c := New()
+	for _, tbl := range []*Table{
+		{Name: "title", Rows: 100, Columns: []Column{{Name: "id", Min: 0, Max: 99}, {Name: "kind_id", Min: 0, Max: 6}},
+			Indexes: []Index{{Column: "id", Kind: BTree}}},
+		{Name: "kind_type", Rows: 7, Columns: []Column{{Name: "id", Min: 0, Max: 6}}},
+		{Name: "cast_info", Rows: 500, Columns: []Column{{Name: "id"}, {Name: "movie_id", Min: 0, Max: 99}}},
+	} {
+		if err := c.AddTable(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, fk := range []FK{
+		{FromTable: "title", FromColumn: "kind_id", ToTable: "kind_type", ToColumn: "id"},
+		{FromTable: "cast_info", FromColumn: "movie_id", ToTable: "title", ToColumn: "id"},
+	} {
+		if err := c.AddFK(fk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestDuplicateTableRejected(t *testing.T) {
+	c := demo(t)
+	if err := c.AddTable(&Table{Name: "title"}); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+}
+
+func TestFKValidation(t *testing.T) {
+	c := demo(t)
+	bad := []FK{
+		{FromTable: "nope", FromColumn: "id", ToTable: "title", ToColumn: "id"},
+		{FromTable: "title", FromColumn: "id", ToTable: "nope", ToColumn: "id"},
+		{FromTable: "title", FromColumn: "ghost", ToTable: "kind_type", ToColumn: "id"},
+		{FromTable: "title", FromColumn: "id", ToTable: "kind_type", ToColumn: "ghost"},
+	}
+	for _, fk := range bad {
+		if err := c.AddFK(fk); err == nil {
+			t.Fatalf("invalid FK %+v accepted", fk)
+		}
+	}
+}
+
+func TestJoinableBothDirections(t *testing.T) {
+	c := demo(t)
+	if _, ok := c.Joinable("title", "kind_type"); !ok {
+		t.Fatal("title–kind_type should be joinable")
+	}
+	if _, ok := c.Joinable("kind_type", "title"); !ok {
+		t.Fatal("joinability must be symmetric")
+	}
+	if _, ok := c.Joinable("kind_type", "cast_info"); ok {
+		t.Fatal("kind_type–cast_info should not be joinable")
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	c := demo(t)
+	n := c.Neighbors("title")
+	if len(n) != 2 || n[0] != "cast_info" || n[1] != "kind_type" {
+		t.Fatalf("Neighbors(title) = %v, want [cast_info kind_type]", n)
+	}
+	if got := c.Neighbors("kind_type"); len(got) != 1 || got[0] != "title" {
+		t.Fatalf("Neighbors(kind_type) = %v", got)
+	}
+}
+
+func TestTableLookup(t *testing.T) {
+	c := demo(t)
+	tbl, err := c.Table("title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows != 100 {
+		t.Fatalf("rows = %d, want 100", tbl.Rows)
+	}
+	if _, err := c.Table("ghost"); err == nil {
+		t.Fatal("expected error for unknown table")
+	}
+	col, err := tbl.Column("kind_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Max != 6 {
+		t.Fatalf("kind_id max = %d, want 6", col.Max)
+	}
+	if _, err := tbl.Column("ghost"); err == nil {
+		t.Fatal("expected error for unknown column")
+	}
+}
+
+func TestIndexOn(t *testing.T) {
+	c := demo(t)
+	tbl := c.MustTable("title")
+	ix, ok := tbl.IndexOn("id")
+	if !ok || ix.Kind != BTree {
+		t.Fatalf("IndexOn(id) = %+v, %v", ix, ok)
+	}
+	if _, ok := tbl.IndexOn("kind_id"); ok {
+		t.Fatal("kind_id should have no index")
+	}
+}
+
+func TestTableNamesSorted(t *testing.T) {
+	c := demo(t)
+	names := c.TableNames()
+	want := []string{"cast_info", "kind_type", "title"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestIndexKindString(t *testing.T) {
+	if NoIndex.String() != "none" || BTree.String() != "btree" || Hash.String() != "hash" {
+		t.Fatal("IndexKind String() mismatch")
+	}
+}

@@ -1,0 +1,283 @@
+// Package datagen deterministically generates the synthetic IMDB-like
+// database ("JOB-like": same star-with-satellites join-graph shape as the
+// Join Order Benchmark) used throughout the reproduction: the catalog, the
+// columnar data, and the analyzed statistics.
+//
+// Value distributions are deliberately skewed (Zipf foreign keys, skewed
+// attributes) so that histograms are informative but imperfect, mirroring
+// the estimation environment of the paper's experiments.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"handsfree/internal/catalog"
+	"handsfree/internal/stats"
+	"handsfree/internal/storage"
+)
+
+// Config controls database generation.
+type Config struct {
+	// Seed makes generation reproducible.
+	Seed int64
+	// Scale multiplies every table's base row count (1.0 ≈ 400k rows total).
+	Scale float64
+	// HistogramBuckets and MCVs control statistics resolution.
+	HistogramBuckets int
+	MCVs             int
+}
+
+// DefaultConfig returns the configuration used by the experiments:
+// scale 1.0, 64-bucket histograms with 8 MCVs.
+func DefaultConfig() Config {
+	return Config{Seed: 1, Scale: 1.0, HistogramBuckets: 64, MCVs: 8}
+}
+
+// Database bundles everything generation produces.
+type Database struct {
+	Catalog *catalog.Catalog
+	Store   *storage.DB
+	Stats   *stats.Stats
+}
+
+// colSpec describes one generated attribute column.
+type colSpec struct {
+	name     string
+	distinct int64   // domain size (values 0..distinct-1)
+	skew     float64 // zipf s parameter; 0 = uniform
+}
+
+// tableSpec describes one generated table.
+type tableSpec struct {
+	name string
+	rows int64 // at scale 1.0
+	cols []colSpec
+	// fks maps FK column name → referenced table (whose id is the PK).
+	fks map[string]string
+	// fkSkew gives Zipf skew for FK value distribution.
+	fkSkew float64
+	// indexFKs lists FK columns that receive a B-tree index.
+	indexFKs []string
+	// hashAttrs lists attribute columns that receive a hash index
+	// (equality lookups only — exercises the hash access path).
+	hashAttrs []string
+}
+
+// jobSchema returns the JOB-like schema: the IMDB table names and FK graph,
+// scaled down. title is the hub; cast_info/movie_info/movie_keyword/… are
+// the large fact satellites; *_type tables are tiny dimensions.
+func jobSchema() []tableSpec {
+	return []tableSpec{
+		{name: "kind_type", rows: 7, cols: []colSpec{{"kind", 7, 0}}},
+		{name: "info_type", rows: 110, cols: []colSpec{{"info", 110, 0}}},
+		{name: "role_type", rows: 12, cols: []colSpec{{"role", 12, 0}}},
+		{name: "link_type", rows: 18, cols: []colSpec{{"link", 18, 0}}},
+		{name: "company_type", rows: 4, cols: []colSpec{{"kind", 4, 0}}},
+		{name: "comp_cast_type", rows: 4, cols: []colSpec{{"kind", 4, 0}}},
+		{name: "company_name", rows: 4000, cols: []colSpec{
+			{"country_code", 120, 1.5}, {"name_hash", 4000, 0},
+		}, hashAttrs: []string{"country_code"}},
+		{name: "keyword", rows: 5000, cols: []colSpec{{"keyword_hash", 5000, 0}}},
+		{name: "char_name", rows: 15000, cols: []colSpec{{"name_hash", 15000, 0}}},
+		{name: "name", rows: 30000, cols: []colSpec{
+			{"gender", 3, 1.2}, {"name_hash", 30000, 0},
+		}, hashAttrs: []string{"gender"}},
+		{name: "title", rows: 25000,
+			cols: []colSpec{
+				{"production_year", 130, 1.4}, // ~1890–2019, recent skew
+				{"title_hash", 25000, 0},
+				{"season_nr", 40, 2.0},
+			},
+			fks:      map[string]string{"kind_id": "kind_type"},
+			fkSkew:   1.3,
+			indexFKs: []string{"kind_id"},
+		},
+		{name: "aka_title", rows: 8000,
+			cols:     []colSpec{{"title_hash", 8000, 0}},
+			fks:      map[string]string{"movie_id": "title"},
+			fkSkew:   1.4,
+			indexFKs: []string{"movie_id"},
+		},
+		{name: "aka_name", rows: 10000,
+			cols:     []colSpec{{"name_hash", 10000, 0}},
+			fks:      map[string]string{"person_id": "name"},
+			fkSkew:   1.4,
+			indexFKs: []string{"person_id"},
+		},
+		{name: "movie_link", rows: 6000,
+			fks:      map[string]string{"movie_id": "title", "linked_movie_id": "title", "link_type_id": "link_type"},
+			fkSkew:   1.2,
+			indexFKs: []string{"movie_id"},
+		},
+		{name: "complete_cast", rows: 8000,
+			fks:      map[string]string{"movie_id": "title", "subject_id": "comp_cast_type", "status_id": "comp_cast_type"},
+			fkSkew:   1.1,
+			indexFKs: []string{"movie_id"},
+		},
+		{name: "movie_companies", rows: 40000,
+			cols:     []colSpec{{"note_hash", 200, 1.6}},
+			fks:      map[string]string{"movie_id": "title", "company_id": "company_name", "company_type_id": "company_type"},
+			fkSkew:   1.3,
+			indexFKs: []string{"movie_id", "company_id"},
+		},
+		{name: "movie_keyword", rows: 40000,
+			fks:      map[string]string{"movie_id": "title", "keyword_id": "keyword"},
+			fkSkew:   1.4,
+			indexFKs: []string{"movie_id", "keyword_id"},
+		},
+		{name: "movie_info", rows: 60000,
+			cols:      []colSpec{{"info_hash", 500, 1.5}},
+			fks:       map[string]string{"movie_id": "title", "info_type_id": "info_type"},
+			fkSkew:    1.3,
+			indexFKs:  []string{"movie_id"},
+			hashAttrs: []string{"info_hash"},
+		},
+		{name: "movie_info_idx", rows: 30000,
+			cols:     []colSpec{{"info_hash", 100, 1.3}},
+			fks:      map[string]string{"movie_id": "title", "info_type_id": "info_type"},
+			fkSkew:   1.2,
+			indexFKs: []string{"movie_id", "info_type_id"},
+		},
+		{name: "cast_info", rows: 80000,
+			cols:     []colSpec{{"nr_order", 100, 1.8}},
+			fks:      map[string]string{"movie_id": "title", "person_id": "name", "person_role_id": "char_name", "role_id": "role_type"},
+			fkSkew:   1.3,
+			indexFKs: []string{"movie_id", "person_id"},
+		},
+		{name: "person_info", rows: 40000,
+			cols:     []colSpec{{"info_hash", 300, 1.4}},
+			fks:      map[string]string{"person_id": "name", "info_type_id": "info_type"},
+			fkSkew:   1.3,
+			indexFKs: []string{"person_id"},
+		},
+	}
+}
+
+// Generate builds the catalog, data, and statistics for the JOB-like schema.
+func Generate(cfg Config) (*Database, error) {
+	if cfg.Scale <= 0 {
+		return nil, fmt.Errorf("datagen: scale must be positive, got %v", cfg.Scale)
+	}
+	if cfg.HistogramBuckets == 0 {
+		cfg.HistogramBuckets = 64
+	}
+	if cfg.MCVs == 0 {
+		cfg.MCVs = 8
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	specs := jobSchema()
+
+	db := &Database{
+		Catalog: catalog.New(),
+		Store:   storage.NewDB(),
+		Stats:   stats.NewStats(),
+	}
+
+	rowsOf := map[string]int64{}
+	for _, spec := range specs {
+		rows := int64(float64(spec.rows) * cfg.Scale)
+		if rows < 2 {
+			rows = 2
+		}
+		rowsOf[spec.name] = rows
+	}
+
+	for _, spec := range specs {
+		rows := rowsOf[spec.name]
+		tbl := storage.NewTable(spec.name, int(rows))
+		cat := &catalog.Table{Name: spec.name, Rows: rows}
+
+		// Primary key: id = 0..rows-1.
+		ids := make([]int64, rows)
+		for i := range ids {
+			ids[i] = int64(i)
+		}
+		if err := tbl.AddColumn("id", ids); err != nil {
+			return nil, err
+		}
+		cat.Columns = append(cat.Columns, catalog.Column{Name: "id", Min: 0, Max: rows - 1})
+		cat.Indexes = append(cat.Indexes, catalog.Index{Column: "id", Kind: catalog.BTree})
+
+		// Attribute columns.
+		for _, cs := range spec.cols {
+			vals := genColumn(rng, rows, cs.distinct, cs.skew)
+			if err := tbl.AddColumn(cs.name, vals); err != nil {
+				return nil, err
+			}
+			cat.Columns = append(cat.Columns, catalog.Column{Name: cs.name, Min: 0, Max: cs.distinct - 1})
+		}
+
+		// Foreign keys.
+		for _, fkCol := range sortedFKCols(spec.fks) {
+			parent := spec.fks[fkCol]
+			parentRows := rowsOf[parent]
+			vals := genColumn(rng, rows, parentRows, spec.fkSkew)
+			if err := tbl.AddColumn(fkCol, vals); err != nil {
+				return nil, err
+			}
+			cat.Columns = append(cat.Columns, catalog.Column{Name: fkCol, Min: 0, Max: parentRows - 1})
+		}
+		for _, ix := range spec.indexFKs {
+			cat.Indexes = append(cat.Indexes, catalog.Index{Column: ix, Kind: catalog.BTree})
+		}
+		for _, ix := range spec.hashAttrs {
+			cat.Indexes = append(cat.Indexes, catalog.Index{Column: ix, Kind: catalog.Hash})
+		}
+
+		db.Store.Add(tbl)
+		if err := db.Catalog.AddTable(cat); err != nil {
+			return nil, err
+		}
+		db.Stats.Analyze(spec.name, tbl.Cols, cfg.HistogramBuckets, cfg.MCVs)
+	}
+
+	// FK edges.
+	for _, spec := range specs {
+		for _, fkCol := range sortedFKCols(spec.fks) {
+			parent := spec.fks[fkCol]
+			if err := db.Catalog.AddFK(catalog.FK{
+				FromTable: spec.name, FromColumn: fkCol,
+				ToTable: parent, ToColumn: "id",
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+// genColumn draws `rows` values from 0..domain-1, Zipf-skewed when skew > 1.
+func genColumn(rng *rand.Rand, rows, domain int64, skew float64) []int64 {
+	vals := make([]int64, rows)
+	if domain <= 1 {
+		return vals
+	}
+	if skew <= 1.0 {
+		for i := range vals {
+			vals[i] = rng.Int63n(domain)
+		}
+		return vals
+	}
+	z := rand.NewZipf(rng, skew, 1, uint64(domain-1))
+	// Random permutation so that skewed mass doesn't always land on value 0.
+	perm := rng.Perm(int(domain))
+	for i := range vals {
+		vals[i] = int64(perm[z.Uint64()])
+	}
+	return vals
+}
+
+func sortedFKCols(fks map[string]string) []string {
+	out := make([]string, 0, len(fks))
+	for k := range fks {
+		out = append(out, k)
+	}
+	// Deterministic order for reproducible generation.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package datagen
+
+import (
+	"testing"
+
+	"handsfree/internal/query"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Seed: 5, Scale: 0.05, HistogramBuckets: 16, MCVs: 4}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, _ := a.Store.Table("cast_info")
+	tb, _ := b.Store.Table("cast_info")
+	ca, _ := ta.Column("movie_id")
+	cb, _ := tb.Column("movie_id")
+	if len(ca) != len(cb) {
+		t.Fatalf("lengths differ: %d vs %d", len(ca), len(cb))
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("row %d differs: %d vs %d", i, ca[i], cb[i])
+		}
+	}
+}
+
+func TestGenerateSchemaComplete(t *testing.T) {
+	db, err := Generate(Config{Seed: 1, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := db.Catalog.NumTables(); n != 21 {
+		t.Fatalf("generated %d tables, want 21 (JOB schema)", n)
+	}
+	// Every catalog table must have matching storage and stats with equal
+	// row counts, and every column must exist in all three.
+	for _, name := range db.Catalog.TableNames() {
+		ct := db.Catalog.MustTable(name)
+		st, err := db.Store.Table(name)
+		if err != nil {
+			t.Fatalf("no storage for %s", name)
+		}
+		if int64(st.N) != ct.Rows {
+			t.Fatalf("%s: catalog rows %d vs storage %d", name, ct.Rows, st.N)
+		}
+		ts, ok := db.Stats.Tables[name]
+		if !ok {
+			t.Fatalf("no stats for %s", name)
+		}
+		if ts.Rows != ct.Rows {
+			t.Fatalf("%s: catalog rows %d vs stats %d", name, ct.Rows, ts.Rows)
+		}
+		for _, col := range ct.Columns {
+			if _, err := st.Column(col.Name); err != nil {
+				t.Fatalf("%s.%s missing from storage", name, col.Name)
+			}
+			if _, ok := ts.Columns[col.Name]; !ok {
+				t.Fatalf("%s.%s missing from stats", name, col.Name)
+			}
+		}
+	}
+}
+
+func TestFKValuesInParentDomain(t *testing.T) {
+	db, err := Generate(Config{Seed: 2, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fk := range db.Catalog.FKs {
+		child, _ := db.Store.Table(fk.FromTable)
+		parent := db.Catalog.MustTable(fk.ToTable)
+		vals, err := child.Column(fk.FromColumn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range vals {
+			if v < 0 || v >= parent.Rows {
+				t.Fatalf("%s.%s[%d] = %d outside parent %s domain [0,%d)",
+					fk.FromTable, fk.FromColumn, i, v, fk.ToTable, parent.Rows)
+			}
+		}
+	}
+}
+
+func TestJoinGraphConnected(t *testing.T) {
+	db, err := Generate(Config{Seed: 3, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BFS from title must reach every table.
+	seen := map[string]bool{"title": true}
+	frontier := []string{"title"}
+	for len(frontier) > 0 {
+		cur := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, n := range db.Catalog.Neighbors(cur) {
+			if !seen[n] {
+				seen[n] = true
+				frontier = append(frontier, n)
+			}
+		}
+	}
+	for _, name := range db.Catalog.TableNames() {
+		if !seen[name] {
+			t.Fatalf("table %s unreachable from title in the FK graph", name)
+		}
+	}
+}
+
+func TestScaleControlsRowCounts(t *testing.T) {
+	smallDB, err := Generate(Config{Seed: 1, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigDB, err := Generate(Config{Seed: 1, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := smallDB.Catalog.MustTable("cast_info").Rows
+	big := bigDB.Catalog.MustTable("cast_info").Rows
+	if big != 2*small {
+		t.Fatalf("scale 0.1 rows = %d, want double of %d", big, small)
+	}
+}
+
+func TestRejectNonPositiveScale(t *testing.T) {
+	if _, err := Generate(Config{Seed: 1, Scale: 0}); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+}
+
+func TestGeneratedStatsUsable(t *testing.T) {
+	db, err := Generate(Config{Seed: 4, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := db.Stats.Column("title", "production_year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := cs.Hist.Selectivity(query.Lt, 65)
+	if sel <= 0 || sel >= 1 {
+		t.Fatalf("selectivity of year<65 = %v, want in (0,1)", sel)
+	}
+}

@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"sort"
+
+	"handsfree/internal/query"
+	"handsfree/internal/storage"
+)
+
+// btreeIndex is a sorted (value, row) list supporting range and equality
+// lookups — the executor's stand-in for a B-tree.
+type btreeIndex struct {
+	vals []int64
+	rows []int32
+}
+
+func buildBTree(col []int64) *btreeIndex {
+	ix := &btreeIndex{vals: make([]int64, len(col)), rows: make([]int32, len(col))}
+	order := make([]int32, len(col))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return col[order[a]] < col[order[b]] })
+	for i, r := range order {
+		ix.vals[i] = col[r]
+		ix.rows[i] = r
+	}
+	return ix
+}
+
+// rangeRows returns the rows with value in [lo, hi] (inclusive).
+func (ix *btreeIndex) rangeRows(lo, hi int64, w *Work) []int32 {
+	from := sort.Search(len(ix.vals), func(i int) bool { return ix.vals[i] >= lo })
+	to := sort.Search(len(ix.vals), func(i int) bool { return ix.vals[i] > hi })
+	w.IndexProbes += 2
+	out := make([]int32, to-from)
+	copy(out, ix.rows[from:to])
+	w.TuplesRead += int64(len(out))
+	return out
+}
+
+// lookupFilters returns candidate rows for the filters on the indexed
+// column. With no usable filter it degenerates to all rows (a full index
+// scan), which is charged accordingly.
+func (ix *btreeIndex) lookupFilters(filters []query.Filter, column string, n int, w *Work) []int32 {
+	lo, hi := int64(minInt64), int64(maxInt64)
+	usable := false
+	for _, f := range filters {
+		if f.Column != column {
+			continue
+		}
+		switch f.Op {
+		case query.Eq:
+			if f.Value > lo {
+				lo = f.Value
+			}
+			if f.Value < hi {
+				hi = f.Value
+			}
+			usable = true
+		case query.Lt:
+			if f.Value-1 < hi {
+				hi = f.Value - 1
+			}
+			usable = true
+		case query.Le:
+			if f.Value < hi {
+				hi = f.Value
+			}
+			usable = true
+		case query.Gt:
+			if f.Value+1 > lo {
+				lo = f.Value + 1
+			}
+			usable = true
+		case query.Ge:
+			if f.Value > lo {
+				lo = f.Value
+			}
+			usable = true
+		}
+	}
+	if !usable {
+		// Full index scan: every row in index order.
+		w.TuplesRead += int64(n)
+		w.IndexProbes++
+		out := make([]int32, n)
+		copy(out, ix.rows)
+		return out
+	}
+	if lo > hi {
+		return nil
+	}
+	return ix.rangeRows(lo, hi, w)
+}
+
+// eqRows returns the rows with exactly the given value.
+func (ix *btreeIndex) eqRows(v int64, w *Work) []int32 {
+	return ix.rangeRows(v, v, w)
+}
+
+// hashIndex maps value → rows; equality lookups only.
+type hashIndex struct {
+	buckets map[int64][]int32
+}
+
+func buildHash(col []int64) *hashIndex {
+	ix := &hashIndex{buckets: make(map[int64][]int32, len(col))}
+	for i, v := range col {
+		ix.buckets[v] = append(ix.buckets[v], int32(i))
+	}
+	return ix
+}
+
+func (ix *hashIndex) eqRows(v int64, w *Work) []int32 {
+	w.IndexProbes++
+	rows := ix.buckets[v]
+	w.TuplesRead += int64(len(rows))
+	return rows
+}
+
+// lookupFilters returns candidates for an equality filter on the indexed
+// column; any other shape degenerates to all rows.
+func (ix *hashIndex) lookupFilters(filters []query.Filter, column string, n int, w *Work) []int32 {
+	for _, f := range filters {
+		if f.Column == column && f.Op == query.Eq {
+			return ix.eqRows(f.Value, w)
+		}
+	}
+	// Hash indexes cannot serve ranges: walk every bucket.
+	w.TuplesRead += int64(n)
+	out := make([]int32, 0, n)
+	for _, rows := range ix.buckets {
+		out = append(out, rows...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+const (
+	minInt64 = -1 << 63
+	maxInt64 = 1<<63 - 1
+)
+
+// btreeIndexFor returns (building and caching on first use) the B-tree index
+// for a table column.
+func (e *Engine) btreeIndexFor(t *storage.Table, column string) (*btreeIndex, error) {
+	key := t.Name + "." + column
+	if ix, ok := e.btree[key]; ok {
+		return ix, nil
+	}
+	col, err := t.Column(column)
+	if err != nil {
+		return nil, err
+	}
+	ix := buildBTree(col)
+	e.btree[key] = ix
+	return ix, nil
+}
+
+// hashIndexFor returns (building and caching on first use) the hash index
+// for a table column.
+func (e *Engine) hashIndexFor(t *storage.Table, column string) (*hashIndex, error) {
+	key := t.Name + "." + column
+	if ix, ok := e.hash[key]; ok {
+		return ix, nil
+	}
+	col, err := t.Column(column)
+	if err != nil {
+		return nil, err
+	}
+	ix := buildHash(col)
+	e.hash[key] = ix
+	return ix, nil
+}

@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"hash/fnv"
+	"math"
+
+	"handsfree/internal/cost"
+	"handsfree/internal/plan"
+	"handsfree/internal/query"
+	"handsfree/internal/stats"
+)
+
+// LatencyModel simulates the wall-clock latency of executing a plan on the
+// "production system". It substitutes for the paper's real PostgreSQL
+// execution (see DESIGN.md §1) while preserving the three properties the
+// experiments depend on:
+//
+//  1. It diverges *systematically* from the optimizer's cost model — it is
+//     driven by true (Oracle) cardinalities and by hardware constants that
+//     differ from the planner's tuning, so plans the cost model ranks as
+//     equal can have very different latencies (and vice versa).
+//  2. Catastrophic plans (cross products, mis-ordered joins) are
+//     catastrophically slow, so latency-as-reward from scratch is untenable
+//     (§4, footnote 2).
+//  3. It is deterministic per (query, plan): re-executing a plan observes the
+//     same latency up to seeded noise, making learning possible and the
+//     experiments reproducible.
+type LatencyModel struct {
+	truth *cost.Model
+	// MsPerUnit converts hardware-cost units to simulated milliseconds.
+	MsPerUnit float64
+	// NoiseSigma is the σ of the lognormal execution-time noise.
+	NoiseSigma float64
+	// Seed selects the noise field.
+	Seed int64
+	// Parallel models inter-operator parallelism: independent subtrees run
+	// concurrently, so a join''s latency is max(children) plus its own work
+	// rather than the sum. This is the paper''s §4 point that latency "is
+	// not linear (e.g., subtrees may be executed in parallel)" — one more
+	// systematic divergence from the strictly additive cost model.
+	Parallel bool
+}
+
+// HardwareParams returns the "true" execution constants, deliberately
+// mis-matched with cost.DefaultParams(): the production box has fast random
+// I/O (SSD vs. the planner's spinning-disk assumption), more expensive
+// per-tuple CPU work, and less memory before spilling. These mismatches are
+// exactly the cost-model mis-tuning the paper's §4 discusses.
+func HardwareParams() cost.Params {
+	return cost.Params{
+		SeqPageCost:       1.0,
+		RandomPageCost:    1.4,  // planner assumes 4.0
+		CPUTupleCost:      0.02, // planner assumes 0.01
+		CPUIndexTupleCost: 0.004,
+		CPUOperatorCost:   0.004, // planner assumes 0.0025
+		RowsPerPage:       100,
+		WorkMemRows:       40_000, // planner assumes 100k
+		SpillFactor:       4.0,    // planner assumes 2.5
+	}
+}
+
+// NewLatencyModel builds the simulator over the truth oracle.
+func NewLatencyModel(oracle *stats.Oracle, seed int64) *LatencyModel {
+	return &LatencyModel{
+		truth:      cost.New(HardwareParams(), oracle),
+		MsPerUnit:  0.05,
+		NoiseSigma: 0.08,
+		Seed:       seed,
+		Parallel:   true,
+	}
+}
+
+// Latency returns the simulated execution latency of the plan in
+// milliseconds.
+func (lm *LatencyModel) Latency(q *query.Query, n plan.Node) float64 {
+	var base float64
+	if lm.Parallel {
+		lat, _ := lm.parallel(q, n)
+		base = lat * lm.MsPerUnit
+	} else {
+		base = lm.truth.Cost(q, n) * lm.MsPerUnit
+	}
+	return base * lm.noise(q, n)
+}
+
+// parallel walks the plan computing latency under inter-operator
+// parallelism: each operator”s own work starts when its slowest input
+// finishes. Returns (latency in cost units, the node”s full NodeCost).
+func (lm *LatencyModel) parallel(q *query.Query, n plan.Node) (float64, cost.NodeCost) {
+	switch n := n.(type) {
+	case *plan.Scan:
+		nc := lm.truth.ScanCost(q, n)
+		return nc.Total, nc
+	case *plan.Join:
+		leftLat, leftNC := lm.parallel(q, n.Left)
+		rightLat, rightNC := lm.parallel(q, n.Right)
+		nc := lm.truth.JoinCost(q, n, leftNC, rightNC)
+		own := nc.Total - leftNC.Total - rightNC.Total
+		if own < 0 {
+			own = 0
+		}
+		slower := leftLat
+		if rightLat > slower {
+			slower = rightLat
+		}
+		return slower + own, nc
+	case *plan.Agg:
+		childLat, childNC := lm.parallel(q, n.Child)
+		nc := lm.truth.AggCost(q, n, childNC)
+		own := nc.Total - childNC.Total
+		if own < 0 {
+			own = 0
+		}
+		return childLat + own, nc
+	default:
+		panic("engine: unknown plan node")
+	}
+}
+
+// TrueCost exposes the underlying hardware-cost (no noise, cost units), for
+// diagnostics and tests.
+func (lm *LatencyModel) TrueCost(q *query.Query, n plan.Node) float64 {
+	return lm.truth.Cost(q, n)
+}
+
+// noise returns the deterministic lognormal factor for a (query, plan) pair.
+func (lm *LatencyModel) noise(q *query.Query, n plan.Node) float64 {
+	if lm.NoiseSigma == 0 {
+		return 1
+	}
+	h := fnv.New64a()
+	h.Write([]byte(q.Key()))
+	h.Write([]byte{0})
+	h.Write([]byte(n.Signature()))
+	var seedBytes [8]byte
+	s := uint64(lm.Seed)
+	for i := range seedBytes {
+		seedBytes[i] = byte(s >> (8 * i))
+	}
+	h.Write(seedBytes[:])
+	u := h.Sum64()
+	u1 := float64(u>>11)/float64(1<<53) + 1e-12
+	h.Write([]byte{0xC3})
+	u2 := float64(h.Sum64()>>11)/float64(1<<53) + 1e-12
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return math.Exp(lm.NoiseSigma * z)
+}
+
+// Execute simulates running the plan under a latency budget (milliseconds).
+// It returns the observed latency and whether the budget was exhausted
+// first; a timed-out plan reports the budget as its (censored) latency,
+// matching how the paper's experiments must treat plans that never finish.
+func (lm *LatencyModel) Execute(q *query.Query, n plan.Node, budgetMs float64) (latencyMs float64, timedOut bool) {
+	l := lm.Latency(q, n)
+	if budgetMs > 0 && l > budgetMs {
+		return budgetMs, true
+	}
+	return l, false
+}

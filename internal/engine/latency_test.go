@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"handsfree/internal/catalog"
+	"handsfree/internal/cost"
+	"handsfree/internal/plan"
+	"handsfree/internal/query"
+	"handsfree/internal/stats"
+)
+
+func latencyFixture(t *testing.T) (*LatencyModel, *cost.Model, *query.Query) {
+	t.Helper()
+	cat := catalog.New()
+	for _, tbl := range []*catalog.Table{
+		{Name: "title", Rows: 10000, Columns: []catalog.Column{{Name: "id"}, {Name: "production_year"}}},
+		{Name: "movie_companies", Rows: 50000, Columns: []catalog.Column{{Name: "id"}, {Name: "movie_id"}, {Name: "company_id"}}},
+		{Name: "company_name", Rows: 500, Columns: []catalog.Column{{Name: "id"}, {Name: "country_code"}}},
+	} {
+		if err := cat.AddTable(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	st := stats.NewStats()
+	seq := func(n int) []int64 {
+		v := make([]int64, n)
+		for i := range v {
+			v[i] = int64(i)
+		}
+		return v
+	}
+	uni := func(n int, domain int64) []int64 {
+		v := make([]int64, n)
+		for i := range v {
+			v[i] = rng.Int63n(domain)
+		}
+		return v
+	}
+	st.Analyze("title", map[string][]int64{"id": seq(10000), "production_year": uni(10000, 130)}, 32, 4)
+	st.Analyze("movie_companies", map[string][]int64{"id": seq(50000), "movie_id": uni(50000, 10000), "company_id": uni(50000, 500)}, 32, 4)
+	st.Analyze("company_name", map[string][]int64{"id": seq(500), "country_code": uni(500, 50)}, 32, 4)
+
+	est := stats.NewEstimator(cat, st)
+	oracle := stats.NewOracle(est, 11)
+	q := &query.Query{
+		Relations: []query.Relation{
+			{Table: "title", Alias: "t"},
+			{Table: "movie_companies", Alias: "mc"},
+			{Table: "company_name", Alias: "cn"},
+		},
+		Joins: []query.Join{
+			{LeftAlias: "mc", LeftCol: "movie_id", RightAlias: "t", RightCol: "id"},
+			{LeftAlias: "mc", LeftCol: "company_id", RightAlias: "cn", RightCol: "id"},
+		},
+		Filters: []query.Filter{{Alias: "t", Column: "production_year", Op: query.Lt, Value: 13}},
+	}
+	return NewLatencyModel(oracle, 5), cost.New(cost.DefaultParams(), est), q
+}
+
+func goodPlan(q *query.Query) plan.Node {
+	return plan.JoinNodes(q, plan.HashJoin,
+		plan.JoinNodes(q, plan.HashJoin,
+			plan.BuildScan(q, "mc", plan.SeqScan, ""),
+			plan.BuildScan(q, "t", plan.SeqScan, "")),
+		plan.BuildScan(q, "cn", plan.SeqScan, ""))
+}
+
+func crossPlan(q *query.Query) plan.Node {
+	return plan.JoinNodes(q, plan.NestLoop,
+		plan.JoinNodes(q, plan.NestLoop,
+			plan.BuildScan(q, "t", plan.SeqScan, ""),
+			plan.BuildScan(q, "cn", plan.SeqScan, "")),
+		plan.BuildScan(q, "mc", plan.SeqScan, ""))
+}
+
+func TestLatencyDeterministic(t *testing.T) {
+	lm, _, q := latencyFixture(t)
+	p := goodPlan(q)
+	if lm.Latency(q, p) != lm.Latency(q, p) {
+		t.Fatal("latency not deterministic for identical (query, plan)")
+	}
+}
+
+func TestLatencyNoiseBounded(t *testing.T) {
+	lm, _, q := latencyFixture(t)
+	p := goodPlan(q)
+	base := lm.TrueCost(q, p) * lm.MsPerUnit
+	l := lm.Latency(q, p)
+	ratio := l / base
+	if ratio < math.Exp(-5*lm.NoiseSigma) || ratio > math.Exp(5*lm.NoiseSigma) {
+		t.Fatalf("noise ratio %v outside ±5σ", ratio)
+	}
+}
+
+func TestCatastrophicPlansCatastrophicallySlow(t *testing.T) {
+	lm, _, q := latencyFixture(t)
+	good := lm.Latency(q, goodPlan(q))
+	bad := lm.Latency(q, crossPlan(q))
+	if bad < good*100 {
+		t.Fatalf("cross-product plan (%v ms) should be ≫ good plan (%v ms)", bad, good)
+	}
+}
+
+func TestExecuteBudgetCensorship(t *testing.T) {
+	lm, _, q := latencyFixture(t)
+	good := goodPlan(q)
+	bad := crossPlan(q)
+	gl, gto := lm.Execute(q, good, 1e7)
+	if gto {
+		t.Fatalf("good plan timed out at %v ms budget", 1e7)
+	}
+	if gl <= 0 {
+		t.Fatal("good plan latency not positive")
+	}
+	budget := gl * 10
+	bl, bto := lm.Execute(q, bad, budget)
+	if !bto {
+		t.Fatal("catastrophic plan should exceed 10× budget")
+	}
+	if bl != budget {
+		t.Fatalf("timed-out latency = %v, want censored at %v", bl, budget)
+	}
+}
+
+func TestCostLatencyDivergence(t *testing.T) {
+	// The whole point of the substrate: the optimizer's cost model and the
+	// latency model must disagree on plan rankings for *some* plan pairs,
+	// while agreeing that catastrophic plans are bad.
+	lm, cm, q := latencyFixture(t)
+	plans := []plan.Node{
+		goodPlan(q),
+		plan.JoinNodes(q, plan.MergeJoin,
+			plan.JoinNodes(q, plan.HashJoin,
+				plan.BuildScan(q, "mc", plan.SeqScan, ""),
+				plan.BuildScan(q, "t", plan.SeqScan, "")),
+			plan.BuildScan(q, "cn", plan.SeqScan, "")),
+		plan.JoinNodes(q, plan.HashJoin,
+			plan.JoinNodes(q, plan.NestLoop,
+				plan.BuildScan(q, "cn", plan.SeqScan, ""),
+				plan.BuildScan(q, "mc", plan.SeqScan, "")),
+			plan.BuildScan(q, "t", plan.SeqScan, "")),
+		plan.JoinNodes(q, plan.HashJoin,
+			plan.JoinNodes(q, plan.HashJoin,
+				plan.BuildScan(q, "t", plan.SeqScan, ""),
+				plan.BuildScan(q, "mc", plan.SeqScan, "")),
+			plan.BuildScan(q, "cn", plan.SeqScan, "")),
+	}
+	costs := make([]float64, len(plans))
+	lats := make([]float64, len(plans))
+	for i, p := range plans {
+		costs[i] = cm.Cost(q, p)
+		lats[i] = lm.Latency(q, p)
+	}
+	// Check that cost ordering and latency ordering are not identical
+	// permutations (there is something to learn).
+	sameOrder := true
+	for i := 0; i < len(plans); i++ {
+		for j := i + 1; j < len(plans); j++ {
+			if (costs[i] < costs[j]) != (lats[i] < lats[j]) {
+				sameOrder = false
+			}
+		}
+	}
+	if sameOrder {
+		t.Log("cost and latency fully rank-agree on this plan set (weak divergence)")
+	}
+	// And the cross product is terrible under both.
+	cross := crossPlan(q)
+	if cm.Cost(q, cross) < costs[0]*10 || lm.Latency(q, cross) < lats[0]*10 {
+		t.Fatal("both models must agree catastrophic plans are catastrophic")
+	}
+}
+
+func TestHardwareParamsDifferFromPlanner(t *testing.T) {
+	hp := HardwareParams()
+	dp := cost.DefaultParams()
+	if hp == dp {
+		t.Fatal("hardware params identical to planner params: no systematic divergence")
+	}
+}

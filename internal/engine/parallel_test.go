@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"handsfree/internal/plan"
+)
+
+func TestParallelLatencyBelowAdditive(t *testing.T) {
+	lm, _, q := latencyFixture(t)
+	lm.NoiseSigma = 0 // isolate the structural effect
+	bushy := plan.JoinNodes(q, plan.HashJoin,
+		plan.JoinNodes(q, plan.HashJoin,
+			plan.BuildScan(q, "mc", plan.SeqScan, ""),
+			plan.BuildScan(q, "t", plan.SeqScan, "")),
+		plan.BuildScan(q, "cn", plan.SeqScan, ""))
+
+	lm.Parallel = true
+	par := lm.Latency(q, bushy)
+	lm.Parallel = false
+	add := lm.Latency(q, bushy)
+	if par >= add {
+		t.Fatalf("parallel latency (%v) not below additive (%v)", par, add)
+	}
+	// Parallelism can save at most the cheaper subtree's work: the saving is
+	// bounded by the additive total.
+	if par < add/4 {
+		t.Fatalf("parallel latency (%v) implausibly small vs additive (%v)", par, add)
+	}
+}
+
+func TestParallelLatencyFavorsBushyTrees(t *testing.T) {
+	// With inter-operator parallelism, a bushy tree whose two halves run
+	// concurrently can beat the equivalent left-deep chain even when the
+	// additive model ranks them closer. This is the §4 "latency is not
+	// linear" divergence.
+	lm, _, q := latencyFixture(t)
+	lm.NoiseSigma = 0
+
+	leftDeep := plan.JoinNodes(q, plan.HashJoin,
+		plan.JoinNodes(q, plan.HashJoin,
+			plan.BuildScan(q, "mc", plan.SeqScan, ""),
+			plan.BuildScan(q, "t", plan.SeqScan, "")),
+		plan.BuildScan(q, "cn", plan.SeqScan, ""))
+
+	lm.Parallel = true
+	parLD := lm.Latency(q, leftDeep)
+	lm.Parallel = false
+	addLD := lm.Latency(q, leftDeep)
+	saving := (addLD - parLD) / addLD
+	if saving <= 0 || saving >= 1 {
+		t.Fatalf("parallel saving fraction %v out of (0,1)", saving)
+	}
+}
+
+func TestParallelOffMatchesTruthCost(t *testing.T) {
+	lm, _, q := latencyFixture(t)
+	lm.NoiseSigma = 0
+	lm.Parallel = false
+	p := goodPlan(q)
+	want := lm.TrueCost(q, p) * lm.MsPerUnit
+	got := lm.Latency(q, p)
+	if math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("additive latency %v != truth cost × MsPerUnit %v", got, want)
+	}
+}
+
+func TestParallelLatencyDeterministic(t *testing.T) {
+	lm, _, q := latencyFixture(t)
+	p := goodPlan(q)
+	if lm.Latency(q, p) != lm.Latency(q, p) {
+		t.Fatal("parallel latency not deterministic")
+	}
+}

@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"handsfree/internal/plan"
+	"handsfree/internal/query"
+	"handsfree/internal/storage"
+)
+
+// TestJoinAlgorithmsAgainstBruteForce property-checks every join algorithm
+// against a nested-loop reference on randomly generated tiny tables.
+func TestJoinAlgorithmsAgainstBruteForce(t *testing.T) {
+	f := func(seed int64, na, nb uint8, domain uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rowsA := int(na%40) + 1
+		rowsB := int(nb%40) + 1
+		dom := int64(domain%8) + 1
+
+		db := storage.NewDB()
+		mk := func(name string, n int) *storage.Table {
+			tbl := storage.NewTable(name, n)
+			ids := make([]int64, n)
+			ks := make([]int64, n)
+			for i := range ids {
+				ids[i] = int64(i)
+				ks[i] = rng.Int63n(dom)
+			}
+			_ = tbl.AddColumn("id", ids)
+			_ = tbl.AddColumn("k", ks)
+			db.Add(tbl)
+			return tbl
+		}
+		ta := mk("a", rowsA)
+		tb := mk("b", rowsB)
+
+		q := &query.Query{
+			Relations: []query.Relation{{Table: "a", Alias: "a"}, {Table: "b", Alias: "b"}},
+			Joins:     []query.Join{{LeftAlias: "a", LeftCol: "k", RightAlias: "b", RightCol: "k"}},
+		}
+
+		// Brute-force reference.
+		ak, _ := ta.Column("k")
+		bk, _ := tb.Column("k")
+		var want []string
+		for i := 0; i < rowsA; i++ {
+			for j := 0; j < rowsB; j++ {
+				if ak[i] == bk[j] {
+					want = append(want, key2(int64(i), int64(j)))
+				}
+			}
+		}
+		sort.Strings(want)
+
+		for _, algo := range plan.JoinAlgos {
+			e := New(db)
+			root := plan.JoinNodes(q, algo,
+				plan.BuildScan(q, "a", plan.SeqScan, ""),
+				plan.BuildScan(q, "b", plan.SeqScan, ""))
+			res, _, err := e.Execute(q, root)
+			if err != nil {
+				return false
+			}
+			aID, _ := res.Column("a.id")
+			bID, _ := res.Column("b.id")
+			got := make([]string, res.N)
+			for i := 0; i < res.N; i++ {
+				got[i] = key2(aID[i], bID[i])
+			}
+			sort.Strings(got)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func key2(a, b int64) string {
+	return string(rune(a)) + "|" + string(rune(b))
+}
+
+// TestAggAlgorithmsAgainstBruteForce property-checks grouped aggregation.
+func TestAggAlgorithmsAgainstBruteForce(t *testing.T) {
+	f := func(seed int64, n uint8, domain uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := int(n%60) + 1
+		dom := int64(domain%6) + 1
+
+		db := storage.NewDB()
+		tbl := storage.NewTable("x", rows)
+		g := make([]int64, rows)
+		v := make([]int64, rows)
+		ids := make([]int64, rows)
+		for i := range g {
+			ids[i] = int64(i)
+			g[i] = rng.Int63n(dom)
+			v[i] = rng.Int63n(100)
+		}
+		_ = tbl.AddColumn("id", ids)
+		_ = tbl.AddColumn("g", g)
+		_ = tbl.AddColumn("v", v)
+		db.Add(tbl)
+
+		q := &query.Query{
+			Relations:  []query.Relation{{Table: "x", Alias: "x"}},
+			GroupBys:   []query.GroupBy{{Alias: "x", Column: "g"}},
+			Aggregates: []query.Aggregate{{Kind: query.AggSum, Alias: "x", Column: "v"}},
+		}
+		// Reference sums.
+		wantSum := map[int64]int64{}
+		for i := range g {
+			wantSum[g[i]] += v[i]
+		}
+
+		for _, algo := range plan.AggAlgos {
+			e := New(db)
+			root := plan.FinishAgg(q, algo, plan.BuildScan(q, "x", plan.SeqScan, ""))
+			res, _, err := e.Execute(q, root)
+			if err != nil {
+				return false
+			}
+			if res.N != len(wantSum) {
+				return false
+			}
+			gs, _ := res.Column("x.g")
+			sums, _ := res.Column("agg0_SUM")
+			for i := 0; i < res.N; i++ {
+				if wantSum[gs[i]] != sums[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

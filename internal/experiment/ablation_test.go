@@ -1,0 +1,53 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestAblationOracleHeadroomGrowsWithError(t *testing.T) {
+	lab := quickLab(t)
+	res, err := lab.AblationOracle(AblationOracleConfig{
+		Sigmas: []float64{0, 0.8}, QueryCount: 10, MinRel: 4, MaxRel: 7, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("oracle ablation:\n%s", res.Render())
+	h0 := res.Headroom[0]
+	h8 := res.Headroom[0.8]
+	// With no estimation error, the expert only loses to hardware-constant
+	// mismatch; with a strong error field the headroom must be larger.
+	if h8 <= h0 {
+		t.Fatalf("headroom did not grow with error strength: σ=0 → %.2f, σ=0.8 → %.2f", h0, h8)
+	}
+	if h0 < 0.5 || h0 > 4 {
+		t.Fatalf("σ=0 headroom %.2f implausible (should be near 1)", h0)
+	}
+}
+
+func TestAblationEnumeratorShapes(t *testing.T) {
+	lab := quickLab(t)
+	res, err := lab.AblationEnumerator(AblationEnumeratorConfig{
+		RelationCounts: []int{4, 8}, Repeats: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("enumerator ablation:\n%s", res.Render())
+	if len(res.Quality.Rows) != 2 || len(res.Time.Rows) != 2 {
+		t.Fatalf("tables incomplete: %d/%d rows", len(res.Quality.Rows), len(res.Time.Rows))
+	}
+	// Every alternative's quality ratio is ≥ 1 (bushy DP is optimal).
+	for _, row := range res.Quality.Rows {
+		for col := 1; col < len(row); col++ {
+			var ratio float64
+			if _, err := fmt.Sscanf(row[col], "%f", &ratio); err != nil {
+				t.Fatalf("unparseable ratio %q", row[col])
+			}
+			if ratio < 0.999 {
+				t.Fatalf("enumerator beat exhaustive bushy DP: %s", row[col])
+			}
+		}
+	}
+}

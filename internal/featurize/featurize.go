@@ -1,0 +1,175 @@
+// Package featurize converts optimizer states into the fixed-length vectors
+// the paper's neural agents consume. The encoding follows ReJOIN (§3): each
+// join subtree is a row vector weighting its relations by 1/2^depth, plus a
+// join-graph adjacency block and a per-relation predicate-selectivity block.
+package featurize
+
+import (
+	"math"
+	"sort"
+
+	"handsfree/internal/plan"
+	"handsfree/internal/query"
+	"handsfree/internal/stats"
+)
+
+// Space is a fixed-size featurization context: it pins the maximum relation
+// count so every query in a workload maps into vectors of identical length
+// (the network input dimension).
+type Space struct {
+	// MaxRels bounds the number of relations per query.
+	MaxRels int
+	// Est supplies filter selectivities for the predicate block.
+	Est *stats.Estimator
+}
+
+// NewSpace builds a featurization space.
+func NewSpace(maxRels int, est *stats.Estimator) *Space {
+	return &Space{MaxRels: maxRels, Est: est}
+}
+
+// ObsDim is the length of the state vectors: MaxRels² for subtree rows,
+// MaxRels² for the join graph, MaxRels for per-relation selectivities, and
+// MaxRels for per-subtree estimated cardinalities.
+func (s *Space) ObsDim() int {
+	return 2*s.MaxRels*s.MaxRels + 2*s.MaxRels
+}
+
+// ActionDim is the size of the join-pair action space: all ordered pairs.
+func (s *Space) ActionDim() int {
+	return s.MaxRels * s.MaxRels
+}
+
+// AliasIndex returns the query's aliases in sorted order; the position of an
+// alias in this slice is its feature index.
+func AliasIndex(q *query.Query) []string {
+	out := make([]string, len(q.Relations))
+	for i, r := range q.Relations {
+		out[i] = r.Alias
+	}
+	sort.Strings(out)
+	return out
+}
+
+// JoinState encodes the current forest of join subtrees. The subtree block
+// has one row per current subtree (in forest order); entry (row, i) is
+// 1/2^depth of relation i within that subtree, 0 if absent. The join-graph
+// and selectivity blocks are constant per query.
+func (s *Space) JoinState(q *query.Query, forest []plan.Node) []float64 {
+	n := s.MaxRels
+	features := make([]float64, s.ObsDim())
+	idx := aliasPos(q)
+
+	// Subtree block.
+	for row, tree := range forest {
+		if row >= n {
+			break
+		}
+		weights := map[string]float64{}
+		depthWeights(tree, 0, weights)
+		for alias, w := range weights {
+			if i, ok := idx[alias]; ok && i < n {
+				features[row*n+i] = w
+			}
+		}
+	}
+	// Join-graph block.
+	off := n * n
+	for _, j := range q.Joins {
+		a, aok := idx[j.LeftAlias]
+		b, bok := idx[j.RightAlias]
+		if aok && bok && a < n && b < n {
+			features[off+a*n+b] = 1
+			features[off+b*n+a] = 1
+		}
+	}
+	// Selectivity block.
+	off = 2 * n * n
+	for alias, i := range idx {
+		if i < n {
+			features[off+i] = s.Est.BaseSelectivity(q, alias)
+		}
+	}
+	// Cardinality block: log-scaled estimated output size of each current
+	// subtree. Without it the policy cannot distinguish a tiny dimension
+	// subtree from a fact-table blowup when choosing what to join next.
+	off = 2*n*n + n
+	for row, tree := range forest {
+		if row >= n {
+			break
+		}
+		card := s.Est.SubsetCard(q, tree.Aliases())
+		features[off+row] = math.Log10(card+1) / 10
+	}
+	return features
+}
+
+// PairMask returns the action mask for the current forest: action x·MaxRels+y
+// is valid iff x and y address distinct existing subtrees.
+func (s *Space) PairMask(forestSize int) []bool {
+	n := s.MaxRels
+	mask := make([]bool, n*n)
+	for x := 0; x < forestSize && x < n; x++ {
+		for y := 0; y < forestSize && y < n; y++ {
+			if x != y {
+				mask[x*n+y] = true
+			}
+		}
+	}
+	return mask
+}
+
+// ConnectedPairMask is PairMask restricted to pairs connected by at least
+// one join predicate (used when cross products are disallowed). If no
+// connected pair exists, it falls back to the unrestricted mask so episodes
+// can always finish.
+func (s *Space) ConnectedPairMask(q *query.Query, forest []plan.Node) []bool {
+	n := s.MaxRels
+	mask := make([]bool, n*n)
+	any := false
+	for x := 0; x < len(forest) && x < n; x++ {
+		for y := 0; y < len(forest) && y < n; y++ {
+			if x == y {
+				continue
+			}
+			if len(q.JoinsBetween(forest[x].Aliases(), forest[y].Aliases())) > 0 {
+				mask[x*n+y] = true
+				any = true
+			}
+		}
+	}
+	if !any {
+		return s.PairMask(len(forest))
+	}
+	return mask
+}
+
+// DecodeAction splits an action id into its (x, y) pair.
+func (s *Space) DecodeAction(a int) (x, y int) {
+	return a / s.MaxRels, a % s.MaxRels
+}
+
+// EncodeAction builds the action id of the (x, y) pair.
+func (s *Space) EncodeAction(x, y int) int {
+	return x*s.MaxRels + y
+}
+
+func aliasPos(q *query.Query) map[string]int {
+	idx := map[string]int{}
+	for i, a := range AliasIndex(q) {
+		idx[a] = i
+	}
+	return idx
+}
+
+// depthWeights assigns 1/2^depth to every relation in the subtree.
+func depthWeights(n plan.Node, depth int, out map[string]float64) {
+	switch n := n.(type) {
+	case *plan.Scan:
+		out[n.Alias] = 1 / float64(int64(1)<<uint(depth))
+	default:
+		for _, c := range n.Children() {
+			depthWeights(c, depth+1, out)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package lfd
+
+import (
+	"math"
+	"testing"
+
+	"handsfree/internal/cost"
+	"handsfree/internal/datagen"
+	"handsfree/internal/engine"
+	"handsfree/internal/featurize"
+	"handsfree/internal/optimizer"
+	"handsfree/internal/planspace"
+	"handsfree/internal/query"
+	"handsfree/internal/rl"
+	"handsfree/internal/stats"
+	"handsfree/internal/workload"
+)
+
+func fixtureEnv(t *testing.T, nQueries, minRel, maxRel int, stages planspace.Stages) *planspace.Env {
+	t.Helper()
+	db, err := datagen.Generate(datagen.Config{Seed: 1, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := stats.NewEstimator(db.Catalog, db.Stats)
+	model := cost.New(cost.DefaultParams(), est)
+	planner := optimizer.New(db.Catalog, model)
+	oracle := stats.NewOracle(est, 11)
+	lat := engine.NewLatencyModel(oracle, 5)
+	w := workload.New(db)
+	qs, err := w.Training(nQueries, minRel, maxRel, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return planspace.NewEnv(planspace.Config{
+		Space:         featurize.NewSpace(maxRel, est),
+		Stages:        stages,
+		Planner:       planner,
+		Latency:       lat,
+		Queries:       qs,
+		Reward:        planspace.LatencyReward,
+		ExecuteAlways: true,
+		Seed:          3,
+	})
+}
+
+func TestCollectDemonstrations(t *testing.T) {
+	env := fixtureEnv(t, 5, 4, 5, planspace.StagePrefix(4))
+	agent := New(Config{Env: env, Hidden: []int{32}, Seed: 1})
+	if err := agent.CollectDemonstrations(); err != nil {
+		t.Fatal(err)
+	}
+	demos := agent.Demos()
+	if len(demos) != 5 {
+		t.Fatalf("collected %d demos, want 5", len(demos))
+	}
+	for _, d := range demos {
+		if len(d.Traj.Steps) == 0 {
+			t.Fatalf("demo for %s has no steps", d.Query.Name)
+		}
+		if d.LatencyMs <= 0 || math.IsNaN(d.LatencyMs) {
+			t.Fatalf("demo for %s has latency %v", d.Query.Name, d.LatencyMs)
+		}
+	}
+}
+
+func TestPretrainReducesLoss(t *testing.T) {
+	env := fixtureEnv(t, 6, 4, 5, planspace.StagePrefix(4))
+	agent := New(Config{Env: env, Hidden: []int{32}, Seed: 2})
+	if err := agent.CollectDemonstrations(); err != nil {
+		t.Fatal(err)
+	}
+	first := agent.Pretrain(1, 32)
+	last := agent.Pretrain(300, 32)
+	if last >= first {
+		t.Fatalf("pretraining did not reduce loss: %v → %v", first, last)
+	}
+}
+
+// TestImitationBeatsRandom is the core §5.1 claim at miniature scale: after
+// imitation pre-training alone (zero agent-driven executions of bad plans),
+// the agent's plans are far better than random plans.
+func TestImitationBeatsRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	env := fixtureEnv(t, 6, 4, 6, planspace.StagePrefix(4))
+	agent := New(Config{Env: env, Hidden: []int{64, 32}, LR: 2e-3, Seed: 3})
+	if err := agent.CollectDemonstrations(); err != nil {
+		t.Fatal(err)
+	}
+	agent.Pretrain(1500, 32)
+
+	var agentTotal, randomTotal, expertTotal float64
+	pol := rl.RandomPolicy(9)
+	for _, q := range env.Cfg.Queries {
+		agentTotal += agent.GreedyLatency(q)
+		expertTotal += agent.ExpertLatency(q)
+		// Random baseline episode.
+		s := env.ResetTo(q)
+		for !s.Terminal {
+			next, _, done := env.Step(pol(s))
+			s = next
+			if done {
+				break
+			}
+		}
+		randomTotal += env.Last.LatencyMs
+	}
+	t.Logf("total latency: expert=%.0f agent=%.0f random=%.0f", expertTotal, agentTotal, randomTotal)
+	if agentTotal >= randomTotal {
+		t.Fatalf("imitation (%v) not better than random (%v)", agentTotal, randomTotal)
+	}
+	if agentTotal > 8*expertTotal {
+		t.Fatalf("imitation (%v) too far from expert (%v)", agentTotal, expertTotal)
+	}
+}
+
+func TestFineTuneEpisodeAccounting(t *testing.T) {
+	env := fixtureEnv(t, 4, 4, 5, planspace.StagePrefix(4))
+	agent := New(Config{Env: env, Hidden: []int{32}, Seed: 4})
+	if err := agent.CollectDemonstrations(); err != nil {
+		t.Fatal(err)
+	}
+	agent.Pretrain(100, 32)
+	for ep := 0; ep < 12; ep++ {
+		res := agent.FineTuneEpisode()
+		if res.LatencyMs <= 0 {
+			t.Fatalf("episode %d latency %v", ep, res.LatencyMs)
+		}
+		if res.ExpertLatencyMs <= 0 {
+			t.Fatalf("episode %d has no expert reference", ep)
+		}
+		if res.Ratio <= 0 {
+			t.Fatalf("episode %d ratio %v", ep, res.Ratio)
+		}
+	}
+}
+
+func TestSlipTriggersRetrain(t *testing.T) {
+	env := fixtureEnv(t, 4, 4, 4, planspace.StagePrefix(4))
+	agent := New(Config{Env: env, Hidden: []int{16}, Seed: 5, SlipWindow: 5, SlipFactor: 0.001})
+	if err := agent.CollectDemonstrations(); err != nil {
+		t.Fatal(err)
+	}
+	// SlipFactor is absurdly low: any window must trigger a re-train.
+	for ep := 0; ep < 10; ep++ {
+		agent.FineTuneEpisode()
+	}
+	if agent.Retrains == 0 {
+		t.Fatal("slip detection never triggered despite a 0.001 threshold")
+	}
+}
+
+func TestCatastropheCounting(t *testing.T) {
+	env := fixtureEnv(t, 4, 5, 6, planspace.StagePrefix(4))
+	agent := New(Config{Env: env, Hidden: []int{16}, Seed: 6, CatastropheFactor: 0.5})
+	if err := agent.CollectDemonstrations(); err != nil {
+		t.Fatal(err)
+	}
+	// CatastropheFactor 0.5 means anything slower than half the expert
+	// counts; an untrained agent must hit it quickly.
+	for ep := 0; ep < 10; ep++ {
+		agent.FineTuneEpisode()
+	}
+	if agent.CatastrophicExecutions == 0 {
+		t.Fatal("no catastrophic executions counted with a 0.5× threshold")
+	}
+}
+
+var _ = query.Query{} // keep the import for the fixture's types

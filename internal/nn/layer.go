@@ -1,0 +1,150 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Param is a learnable parameter tensor with its accumulated gradient.
+// Optimizers update Value in place from Grad.
+type Param struct {
+	Name  string
+	Value []float64
+	Grad  []float64
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// Layer is one differentiable stage of a network. Forward consumes a batch
+// and must cache whatever it needs for the matching Backward call; Backward
+// consumes the gradient of the loss with respect to its output and returns
+// the gradient with respect to its input, accumulating parameter gradients.
+type Layer interface {
+	Forward(x *Mat) *Mat
+	Backward(dout *Mat) *Mat
+	Params() []*Param
+}
+
+// Linear is a fully connected layer: y = x·W + b.
+type Linear struct {
+	In, Out int
+	W       *Param // In*Out, row-major (in × out)
+	B       *Param // Out
+
+	x *Mat // cached input for backward
+}
+
+// NewLinear returns a Glorot-initialized fully connected layer.
+func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	w := NewMat(in, out)
+	Xavier(w, in, out, rng)
+	return &Linear{
+		In:  in,
+		Out: out,
+		W:   &Param{Name: "W", Value: w.Data, Grad: make([]float64, in*out)},
+		B:   &Param{Name: "b", Value: make([]float64, out), Grad: make([]float64, out)},
+	}
+}
+
+func (l *Linear) weight() *Mat { return &Mat{Rows: l.In, Cols: l.Out, Data: l.W.Value} }
+
+// Forward computes x·W + b for a batch.
+func (l *Linear) Forward(x *Mat) *Mat {
+	l.x = x
+	out := MatMul(x, l.weight())
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += l.B.Value[j]
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW = xᵀ·dout and db = Σ dout, and returns dx = dout·Wᵀ.
+func (l *Linear) Backward(dout *Mat) *Mat {
+	dw := MatMulATB(l.x, dout)
+	for i, v := range dw.Data {
+		l.W.Grad[i] += v
+	}
+	for i := 0; i < dout.Rows; i++ {
+		row := dout.Row(i)
+		for j, v := range row {
+			l.B.Grad[j] += v
+		}
+	}
+	return MatMulABT(dout, l.weight())
+}
+
+// Params returns the weight and bias parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// ReLU is the rectified-linear activation, applied element-wise.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward zeroes negative inputs.
+func (r *ReLU) Forward(x *Mat) *Mat {
+	out := x.Clone()
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
+	for i, v := range x.Data {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward passes gradient only where the input was positive.
+func (r *ReLU) Backward(dout *Mat) *Mat {
+	dx := dout.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params returns nil; ReLU has no learnable parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic-tangent activation, applied element-wise.
+type Tanh struct {
+	y *Mat
+}
+
+// Forward applies tanh element-wise.
+func (t *Tanh) Forward(x *Mat) *Mat {
+	out := x.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	t.y = out
+	return out
+}
+
+// Backward multiplies by 1 − tanh².
+func (t *Tanh) Backward(dout *Mat) *Mat {
+	dx := dout.Clone()
+	for i := range dx.Data {
+		y := t.y.Data[i]
+		dx.Data[i] *= 1 - y*y
+	}
+	return dx
+}
+
+// Params returns nil; Tanh has no learnable parameters.
+func (t *Tanh) Params() []*Param { return nil }

@@ -1,0 +1,137 @@
+package nn
+
+import "math"
+
+// Softmax writes the softmax of logits into a new slice, numerically stable.
+func Softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - maxv)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// MaskedSoftmax computes a probability distribution over only the positions
+// where mask is true; masked-out positions get probability 0. If no position
+// is valid the result is all zeros.
+func MaskedSoftmax(logits []float64, mask []bool) []float64 {
+	out := make([]float64, len(logits))
+	maxv := math.Inf(-1)
+	any := false
+	for i, v := range logits {
+		if mask[i] && v > maxv {
+			maxv = v
+			any = true
+		}
+	}
+	if !any {
+		return out
+	}
+	var sum float64
+	for i, v := range logits {
+		if !mask[i] {
+			continue
+		}
+		e := math.Exp(v - maxv)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// MSE returns the mean squared error and the gradient with respect to pred.
+func MSE(pred, target []float64) (loss float64, grad []float64) {
+	grad = make([]float64, len(pred))
+	for i := range pred {
+		d := pred[i] - target[i]
+		loss += d * d
+		grad[i] = 2 * d / float64(len(pred))
+	}
+	return loss / float64(len(pred)), grad
+}
+
+// HuberLoss returns the Huber loss (delta=1) and gradient with respect to
+// pred. It is the regression loss used for reward-prediction training, where
+// catastrophic-plan latencies would otherwise dominate MSE gradients.
+func HuberLoss(pred, target []float64) (loss float64, grad []float64) {
+	const delta = 1.0
+	grad = make([]float64, len(pred))
+	n := float64(len(pred))
+	for i := range pred {
+		d := pred[i] - target[i]
+		if math.Abs(d) <= delta {
+			loss += 0.5 * d * d
+			grad[i] = d / n
+		} else {
+			loss += delta * (math.Abs(d) - 0.5*delta)
+			if d > 0 {
+				grad[i] = delta / n
+			} else {
+				grad[i] = -delta / n
+			}
+		}
+	}
+	return loss / n, grad
+}
+
+// PolicyGradient computes the REINFORCE gradient of
+// −advantage·log π(action) − entropyCoef·H(π) with respect to the logits,
+// for a single decision with a masked action space. probs must be the
+// masked softmax of the logits. The returned slice is ∂loss/∂logits.
+func PolicyGradient(probs []float64, mask []bool, action int, advantage, entropyCoef float64) []float64 {
+	grad := make([]float64, len(probs))
+	// d(−A·log p_a)/dlogit_i = A·(p_i − 1{i==a}) restricted to the mask.
+	for i, p := range probs {
+		if !mask[i] {
+			continue
+		}
+		g := advantage * p
+		if i == action {
+			g -= advantage
+		}
+		grad[i] = g
+	}
+	if entropyCoef != 0 {
+		// H = −Σ p log p; dH/dlogit_i = −p_i (log p_i + H) on the mask.
+		var h float64
+		for i, p := range probs {
+			if mask[i] && p > 0 {
+				h -= p * math.Log(p)
+			}
+		}
+		for i, p := range probs {
+			if !mask[i] || p <= 0 {
+				continue
+			}
+			dh := -p * (math.Log(p) + h)
+			grad[i] -= entropyCoef * dh
+		}
+	}
+	return grad
+}
+
+// Entropy returns the Shannon entropy of a distribution (0·log0 taken as 0).
+func Entropy(probs []float64) float64 {
+	var h float64
+	for _, p := range probs {
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}

@@ -1,0 +1,132 @@
+// Package nn implements small dense neural networks from scratch using only
+// the standard library: linear layers, pointwise activations, masked softmax
+// policy heads, standard losses, and SGD/Momentum/Adam optimizers.
+//
+// The package exists because this reproduction may not depend on an external
+// deep-learning framework. It is deliberately minimal — everything the
+// hands-free optimizer's agents need and nothing more — but it is exact:
+// gradients are verified against numerical differentiation in the tests.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Mat is a dense row-major matrix. A batch of k vectors of dimension d is a
+// k×d Mat. The zero value is an empty matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMat returns a zeroed r×c matrix.
+func NewMat(r, c int) *Mat {
+	return &Mat{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromVec wraps a single vector as a 1×len(v) matrix. The slice is not copied.
+func FromVec(v []float64) *Mat {
+	return &Mat{Rows: 1, Cols: len(v), Data: v}
+}
+
+// Row returns a view of row i (no copy).
+func (m *Mat) Row(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns the element at row i, column j.
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element to 0 in place.
+func (m *Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MatMul returns a·b. Panics if the inner dimensions disagree; shape errors
+// here are always programmer errors, never data errors.
+func MatMul(a, b *Mat) *Mat {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMat(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulATB returns aᵀ·b without materializing the transpose.
+func MatMulATB(a, b *Mat) *Mat {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("nn: matmulATB shape mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMat(a.Cols, b.Cols)
+	for r := 0; r < a.Rows; r++ {
+		arow := a.Row(r)
+		brow := b.Row(r)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulABT returns a·bᵀ without materializing the transpose.
+func MatMulABT(a, b *Mat) *Mat {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: matmulABT shape mismatch %dx%d · %dx%d ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMat(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// Xavier fills m with Glorot-uniform values appropriate for a layer with the
+// given fan-in and fan-out.
+func Xavier(m *Mat, fanIn, fanOut int, rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*2*limit - limit
+	}
+}

@@ -1,0 +1,205 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+)
+
+// Network is a sequential stack of layers.
+type Network struct {
+	Layers []Layer
+}
+
+// NewMLP builds Linear→ReLU→…→Linear with the given layer sizes.
+// sizes must contain at least an input and an output dimension.
+func NewMLP(rng *rand.Rand, sizes ...int) *Network {
+	if len(sizes) < 2 {
+		panic("nn: NewMLP needs at least input and output sizes")
+	}
+	var layers []Layer
+	for i := 0; i+1 < len(sizes); i++ {
+		layers = append(layers, NewLinear(sizes[i], sizes[i+1], rng))
+		if i+2 < len(sizes) {
+			layers = append(layers, &ReLU{})
+		}
+	}
+	return &Network{Layers: layers}
+}
+
+// Forward runs the batch through every layer.
+func (n *Network) Forward(x *Mat) *Mat {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates the loss gradient back through every layer,
+// accumulating parameter gradients.
+func (n *Network) Backward(dout *Mat) *Mat {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		dout = n.Layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params returns every learnable parameter in the network.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears every parameter gradient.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// InDim reports the input dimension of the first Linear layer.
+func (n *Network) InDim() int {
+	for _, l := range n.Layers {
+		if lin, ok := l.(*Linear); ok {
+			return lin.In
+		}
+	}
+	return 0
+}
+
+// OutDim reports the output dimension of the last Linear layer.
+func (n *Network) OutDim() int {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		if lin, ok := n.Layers[i].(*Linear); ok {
+			return lin.Out
+		}
+	}
+	return 0
+}
+
+// ResizeOutput replaces the final Linear layer with one of a new output
+// width, copying the overlapping weights. This is the "network surgery" used
+// by incremental (curriculum) learning when the action space grows between
+// training phases: knowledge in the hidden layers and in the surviving
+// output rows is preserved.
+func (n *Network) ResizeOutput(newOut int, rng *rand.Rand) {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		lin, ok := n.Layers[i].(*Linear)
+		if !ok {
+			continue
+		}
+		repl := NewLinear(lin.In, newOut, rng)
+		keep := min(lin.Out, newOut)
+		for r := 0; r < lin.In; r++ {
+			copy(repl.W.Value[r*newOut:r*newOut+keep], lin.W.Value[r*lin.Out:r*lin.Out+keep])
+		}
+		copy(repl.B.Value[:keep], lin.B.Value[:keep])
+		n.Layers[i] = repl
+		return
+	}
+	panic("nn: ResizeOutput on a network without a Linear layer")
+}
+
+// ReinitOutput replaces the final Linear layer with a freshly initialized
+// one of the same shape, preserving all hidden layers. This is the
+// "transfer learning" move the paper's §5.2 closes with: keep the
+// representation learned under one objective, retrain the head under
+// another.
+func (n *Network) ReinitOutput(rng *rand.Rand) {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		if lin, ok := n.Layers[i].(*Linear); ok {
+			n.Layers[i] = NewLinear(lin.In, lin.Out, rng)
+			return
+		}
+	}
+	panic("nn: ReinitOutput on a network without a Linear layer")
+}
+
+// netState is the gob wire form of a network: enough to rebuild layer
+// structure plus the flat parameter values.
+type netState struct {
+	Kinds []string // "linear", "relu", "tanh"
+	Ins   []int
+	Outs  []int
+	Vals  [][]float64
+}
+
+// MarshalBinary encodes the network structure and parameters with gob.
+func (n *Network) MarshalBinary() ([]byte, error) {
+	var st netState
+	for _, l := range n.Layers {
+		switch l := l.(type) {
+		case *Linear:
+			st.Kinds = append(st.Kinds, "linear")
+			st.Ins = append(st.Ins, l.In)
+			st.Outs = append(st.Outs, l.Out)
+			st.Vals = append(st.Vals, append([]float64(nil), l.W.Value...), append([]float64(nil), l.B.Value...))
+		case *ReLU:
+			st.Kinds = append(st.Kinds, "relu")
+			st.Ins = append(st.Ins, 0)
+			st.Outs = append(st.Outs, 0)
+		case *Tanh:
+			st.Kinds = append(st.Kinds, "tanh")
+			st.Ins = append(st.Ins, 0)
+			st.Outs = append(st.Outs, 0)
+		default:
+			return nil, fmt.Errorf("nn: cannot serialize layer %T", l)
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a network previously encoded with MarshalBinary.
+func (n *Network) UnmarshalBinary(data []byte) error {
+	var st netState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return err
+	}
+	n.Layers = nil
+	vi := 0
+	for i, kind := range st.Kinds {
+		switch kind {
+		case "linear":
+			in, out := st.Ins[i], st.Outs[i]
+			if vi+1 >= len(st.Vals) || len(st.Vals[vi]) != in*out || len(st.Vals[vi+1]) != out {
+				return fmt.Errorf("nn: corrupt network encoding at layer %d", i)
+			}
+			l := &Linear{
+				In:  in,
+				Out: out,
+				W:   &Param{Name: "W", Value: st.Vals[vi], Grad: make([]float64, in*out)},
+				B:   &Param{Name: "b", Value: st.Vals[vi+1], Grad: make([]float64, out)},
+			}
+			vi += 2
+			n.Layers = append(n.Layers, l)
+		case "relu":
+			n.Layers = append(n.Layers, &ReLU{})
+		case "tanh":
+			n.Layers = append(n.Layers, &Tanh{})
+		default:
+			return fmt.Errorf("nn: unknown layer kind %q", kind)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the network (parameters copied, gradients fresh).
+func (n *Network) Clone() *Network {
+	data, err := n.MarshalBinary()
+	if err != nil {
+		panic(err) // all layer kinds constructed by this package serialize
+	}
+	out := &Network{}
+	if err := out.UnmarshalBinary(data); err != nil {
+		panic(err)
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters in place from their accumulated gradients.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is plain stochastic gradient descent with optional gradient clipping.
+type SGD struct {
+	LR   float64
+	Clip float64 // max L2 norm of the full gradient; 0 disables clipping
+}
+
+// Step applies one SGD update.
+func (o *SGD) Step(params []*Param) {
+	scale := clipScale(params, o.Clip)
+	for _, p := range params {
+		for i := range p.Value {
+			p.Value[i] -= o.LR * scale * p.Grad[i]
+		}
+	}
+}
+
+// Momentum is SGD with classical momentum.
+type Momentum struct {
+	LR, Mu float64
+	Clip   float64
+
+	vel map[*Param][]float64
+}
+
+// Step applies one momentum update.
+func (o *Momentum) Step(params []*Param) {
+	if o.vel == nil {
+		o.vel = make(map[*Param][]float64)
+	}
+	scale := clipScale(params, o.Clip)
+	for _, p := range params {
+		v := o.vel[p]
+		if v == nil {
+			v = make([]float64, len(p.Value))
+			o.vel[p] = v
+		}
+		for i := range p.Value {
+			v[i] = o.Mu*v[i] - o.LR*scale*p.Grad[i]
+			p.Value[i] += v[i]
+		}
+	}
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba). The zero value is not
+// usable; construct with NewAdam.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	Clip                  float64
+
+	t int
+	m map[*Param][]float64
+	v map[*Param][]float64
+}
+
+// NewAdam returns an Adam optimizer with the conventional defaults
+// (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR:    lr,
+		Beta1: 0.9,
+		Beta2: 0.999,
+		Eps:   1e-8,
+		m:     make(map[*Param][]float64),
+		v:     make(map[*Param][]float64),
+	}
+}
+
+// Step applies one Adam update with bias correction.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	scale := clipScale(params, o.Clip)
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m := o.m[p]
+		v := o.v[p]
+		if m == nil {
+			m = make([]float64, len(p.Value))
+			v = make([]float64, len(p.Value))
+			o.m[p] = m
+			o.v[p] = v
+		}
+		for i := range p.Value {
+			g := scale * p.Grad[i]
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+			mhat := m[i] / c1
+			vhat := v[i] / c2
+			p.Value[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
+		}
+	}
+}
+
+// clipScale returns the multiplier that caps the global gradient L2 norm at
+// clip (1 if clip is 0 or the norm is already within bounds).
+func clipScale(params []*Param, clip float64) float64 {
+	if clip <= 0 {
+		return 1
+	}
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm <= clip || norm == 0 {
+		return 1
+	}
+	return clip / norm
+}

@@ -1,0 +1,257 @@
+// Package optimizer implements the traditional query optimizer that plays
+// the role of PostgreSQL in the paper: access-path selection, join-order
+// enumeration (Selinger dynamic programming up to a threshold, GEQO-style
+// randomized search beyond it, and a greedy bottom-up enumerator), join
+// operator selection, and aggregate operator selection.
+//
+// It serves the learned agents three ways, matching the paper:
+//   - its cost model is ReJOIN's reward signal and the bootstrapping agent's
+//     Phase-1 reward (§3, §5.2);
+//   - its plan choices are the expert demonstrations for §5.1;
+//   - its per-query planning time is the baseline of Figure 3c.
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"handsfree/internal/catalog"
+	"handsfree/internal/cost"
+	"handsfree/internal/plan"
+	"handsfree/internal/query"
+)
+
+// Strategy selects the join enumeration algorithm.
+type Strategy int
+
+const (
+	// Auto uses DP up to DPThreshold relations, then GEQO (PostgreSQL's
+	// geqo_threshold behaviour).
+	Auto Strategy = iota
+	// DP is exhaustive Selinger dynamic programming (bushy).
+	DP
+	// Greedy is the O(n²)-per-step bottom-up heuristic.
+	Greedy
+	// GEQO is randomized greedy with restarts (stand-in for PostgreSQL's
+	// genetic optimizer).
+	GEQO
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case DP:
+		return "dp"
+	case Greedy:
+		return "greedy"
+	case GEQO:
+		return "geqo"
+	default:
+		return "auto"
+	}
+}
+
+// Planner is the traditional optimizer.
+type Planner struct {
+	Cat   *catalog.Catalog
+	Model *cost.Model
+	// DPThreshold is the largest relation count planned with exhaustive DP
+	// (PostgreSQL's geqo_threshold defaults to 12).
+	DPThreshold int
+	// GEQORestarts is the number of randomized-greedy restarts.
+	GEQORestarts int
+	// AllowCross permits cross products during enumeration when the join
+	// graph leaves no connected choice.
+	AllowCross bool
+	// LeftDeepOnly restricts DP to left-deep trees (the classical Selinger
+	// restriction; bushy enumeration is the default). Exposed for the
+	// enumerator ablation.
+	LeftDeepOnly bool
+	// Seed drives the randomized search.
+	Seed int64
+}
+
+// New returns a planner with PostgreSQL-like defaults.
+func New(cat *catalog.Catalog, model *cost.Model) *Planner {
+	return &Planner{
+		Cat:          cat,
+		Model:        model,
+		DPThreshold:  12,
+		GEQORestarts: 12,
+		AllowCross:   true,
+		Seed:         1,
+	}
+}
+
+// Planned couples a physical plan with its cost and the planning time spent
+// producing it.
+type Planned struct {
+	Root     plan.Node
+	Cost     float64
+	Rows     float64
+	Duration time.Duration
+	Strategy Strategy
+}
+
+// Plan optimizes the query with the Auto strategy.
+func (p *Planner) Plan(q *query.Query) (Planned, error) {
+	return p.PlanWith(q, Auto)
+}
+
+// PlanWith optimizes the query with an explicit enumeration strategy.
+func (p *Planner) PlanWith(q *query.Query, s Strategy) (Planned, error) {
+	if err := q.Validate(); err != nil {
+		return Planned{}, err
+	}
+	if len(q.Relations) == 0 {
+		return Planned{}, fmt.Errorf("optimizer: query has no relations")
+	}
+	start := time.Now()
+	effective := s
+	if s == Auto {
+		if len(q.Relations) <= p.DPThreshold {
+			effective = DP
+		} else {
+			effective = GEQO
+		}
+	}
+	var root plan.Node
+	var nc cost.NodeCost
+	var err error
+	switch effective {
+	case DP:
+		root, nc, err = p.planDP(q)
+	case Greedy:
+		root, nc, err = p.planGreedy(q, nil)
+	case GEQO:
+		root, nc, err = p.planGEQO(q)
+	}
+	if err != nil {
+		return Planned{}, err
+	}
+	root, nc = p.finishAgg(q, root, nc)
+	return Planned{
+		Root:     root,
+		Cost:     nc.Total,
+		Rows:     nc.Rows,
+		Duration: time.Since(start),
+		Strategy: effective,
+	}, nil
+}
+
+// entry is one enumeration candidate: a plan with its incremental costing.
+type entry struct {
+	node plan.Node
+	nc   cost.NodeCost
+}
+
+// BestScan picks the cheapest access path for one relation: sequential scan,
+// or any index on a filtered column (this is the optimizer's access-path
+// selection stage).
+func (p *Planner) BestScan(q *query.Query, alias string) (plan.Node, cost.NodeCost) {
+	rel, _ := q.RelationByAlias(alias)
+	best := plan.BuildScan(q, alias, plan.SeqScan, "")
+	bestNC := p.Model.ScanCost(q, best)
+	tbl, err := p.Cat.Table(rel.Table)
+	if err != nil {
+		return best, bestNC
+	}
+	for _, ix := range tbl.Indexes {
+		for _, f := range q.FiltersOn(alias) {
+			if f.Column != ix.Column {
+				continue
+			}
+			access := plan.IndexScan
+			if ix.Kind == catalog.Hash {
+				if f.Op != query.Eq {
+					continue
+				}
+				access = plan.HashIndexScan
+			}
+			cand := plan.BuildScan(q, alias, access, ix.Column)
+			nc := p.Model.ScanCost(q, cand)
+			if nc.Total < bestNC.Total {
+				best, bestNC = cand, nc
+			}
+		}
+	}
+	return best, bestNC
+}
+
+// scanVariants returns every access path the planner will consider for a
+// relation when it appears as the inner side of a nested loop: the best
+// filter-driven scan plus an index scan on each indexed join column.
+func (p *Planner) scanVariants(q *query.Query, alias string) []entry {
+	rel, _ := q.RelationByAlias(alias)
+	base, baseNC := p.BestScan(q, alias)
+	out := []entry{{base, baseNC}}
+	tbl, err := p.Cat.Table(rel.Table)
+	if err != nil {
+		return out
+	}
+	for _, ix := range tbl.Indexes {
+		joinsIt := false
+		for _, j := range q.Joins {
+			if (j.LeftAlias == alias && j.LeftCol == ix.Column) ||
+				(j.RightAlias == alias && j.RightCol == ix.Column) {
+				joinsIt = true
+				break
+			}
+		}
+		if !joinsIt {
+			continue
+		}
+		access := plan.IndexScan
+		if ix.Kind == catalog.Hash {
+			access = plan.HashIndexScan
+		}
+		cand := plan.BuildScan(q, alias, access, ix.Column)
+		out = append(out, entry{cand, p.Model.ScanCost(q, cand)})
+	}
+	return out
+}
+
+// BestJoin combines two subtrees with the cheapest (algorithm, inner access
+// path) pair — the optimizer's join operator selection stage. The right
+// input may be replaced by an index-scan variant to enable index nested
+// loops when the right entry is a leaf.
+func (p *Planner) BestJoin(q *query.Query, left, right entry) entry {
+	rights := []entry{right}
+	if s, ok := right.node.(*plan.Scan); ok {
+		for _, v := range p.scanVariants(q, s.Alias) {
+			if v.node.Signature() != right.node.Signature() {
+				rights = append(rights, v)
+			}
+		}
+	}
+	var best entry
+	bestCost := math.Inf(1)
+	for _, r := range rights {
+		for _, algo := range plan.JoinAlgos {
+			j := plan.JoinNodes(q, algo, left.node, r.node)
+			nc := p.Model.JoinCost(q, j, left.nc, r.nc)
+			if nc.Total < bestCost {
+				best = entry{j, nc}
+				bestCost = nc.Total
+			}
+		}
+	}
+	return best
+}
+
+func (p *Planner) finishAgg(q *query.Query, root plan.Node, nc cost.NodeCost) (plan.Node, cost.NodeCost) {
+	if len(q.Aggregates) == 0 && len(q.GroupBys) == 0 {
+		return root, nc
+	}
+	var best plan.Node
+	bestNC := cost.NodeCost{Total: math.Inf(1)}
+	for _, algo := range plan.AggAlgos {
+		a := &plan.Agg{Algo: algo, Child: root, GroupBys: q.GroupBys, Aggregates: q.Aggregates}
+		c := p.Model.AggCost(q, a, nc)
+		if c.Total < bestNC.Total {
+			best, bestNC = a, c
+		}
+	}
+	return best, bestNC
+}

@@ -1,0 +1,63 @@
+package planspace
+
+import (
+	"testing"
+
+	"handsfree/internal/plan"
+	"handsfree/internal/query"
+)
+
+// TestHashAccessChoiceLive verifies the hash access path is actually
+// reachable in the MDP: the generated schema carries hash indexes on
+// equality-filterable attributes.
+func TestHashAccessChoiceLive(t *testing.T) {
+	f := fixture(t, 1, 3, 3)
+	q := &query.Query{
+		Name: "hash-probe",
+		Relations: []query.Relation{
+			{Table: "company_name", Alias: "cn"},
+			{Table: "movie_companies", Alias: "mc"},
+		},
+		Joins: []query.Join{
+			{LeftAlias: "mc", LeftCol: "company_id", RightAlias: "cn", RightCol: "id"},
+		},
+		Filters: []query.Filter{
+			{Alias: "cn", Column: "country_code", Op: query.Eq, Value: 5},
+		},
+	}
+	opts := accessOptionsFor(f.planner.Cat, q, "cn")
+	if !opts.valid[AccessHashIndex] {
+		t.Fatal("hash access path not available for an equality filter on a hash-indexed column")
+	}
+	if opts.scans[AccessHashIndex].Access != plan.HashIndexScan {
+		t.Fatalf("hash choice builds %v", opts.scans[AccessHashIndex].Access)
+	}
+	// A range filter must NOT enable the hash path.
+	q.Filters[0].Op = query.Lt
+	opts = accessOptionsFor(f.planner.Cat, q, "cn")
+	if opts.valid[AccessHashIndex] {
+		t.Fatal("hash access path offered for a range predicate")
+	}
+}
+
+// TestAccessChoicesClassifyRoundTrip checks classifyScan inverts the scans
+// that accessOptionsFor constructs.
+func TestAccessChoicesClassifyRoundTrip(t *testing.T) {
+	f := fixture(t, 4, 4, 6)
+	for _, q := range f.queries {
+		for _, rel := range q.Relations {
+			opts := accessOptionsFor(f.planner.Cat, q, rel.Alias)
+			for choice := 0; choice < numAccessChoices; choice++ {
+				if !opts.valid[choice] {
+					continue
+				}
+				got := classifyScan(opts.scans[choice], opts)
+				// AccessFilterIndex and AccessJoinIndex can alias when the
+				// same column serves both; accept either.
+				if got != choice && !(choice == AccessJoinIndex && got == AccessFilterIndex) {
+					t.Fatalf("%s/%s: choice %d classified as %d", q.Name, rel.Alias, choice, got)
+				}
+			}
+		}
+	}
+}

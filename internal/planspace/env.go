@@ -1,0 +1,345 @@
+package planspace
+
+import (
+	"math"
+	"math/rand"
+
+	"handsfree/internal/engine"
+	"handsfree/internal/featurize"
+	"handsfree/internal/optimizer"
+	"handsfree/internal/plan"
+	"handsfree/internal/query"
+	"handsfree/internal/rl"
+)
+
+// Outcome describes a finished episode: the plan the agent (plus optimizer
+// completion) produced and its evaluation under both performance indicators.
+type Outcome struct {
+	Plan plan.Node
+	// Cost is the traditional optimizer's cost-model value (always computed:
+	// costing is free at planning time).
+	Cost float64
+	// LatencyMs is the simulated execution latency; NaN when the episode was
+	// not executed (no latency model attached or reward needed none).
+	LatencyMs float64
+	// TimedOut reports that execution hit the latency budget (the paper's
+	// "could not be executed in any reasonable amount of time").
+	TimedOut bool
+}
+
+// RewardFunc maps an episode outcome to the terminal reward.
+type RewardFunc func(Outcome) float64
+
+// CostReward is the Phase-1/§3 reward: −log of the optimizer cost.
+func CostReward(o Outcome) float64 {
+	if math.IsInf(o.Cost, 1) || o.Cost <= 0 {
+		return -50
+	}
+	return -math.Log(o.Cost)
+}
+
+// LatencyReward is the "true" reward: −log of observed latency.
+func LatencyReward(o Outcome) float64 {
+	if o.LatencyMs <= 0 || math.IsNaN(o.LatencyMs) || math.IsInf(o.LatencyMs, 1) {
+		return -50
+	}
+	return -math.Log(o.LatencyMs)
+}
+
+// Config assembles an Env.
+type Config struct {
+	Space   *featurize.Space
+	Stages  Stages
+	Planner *optimizer.Planner
+	// Latency is required when Reward reads LatencyMs or ExecuteAlways is
+	// set; otherwise episodes are not executed.
+	Latency *engine.LatencyModel
+	Queries []*query.Query
+	// Reward defaults to CostReward.
+	Reward RewardFunc
+	// ExecuteAlways forces execution (latency measurement) of every episode
+	// even under CostReward — used to count how often an agent *would* have
+	// run a catastrophic plan.
+	ExecuteAlways bool
+	// RewardNeedsLatency declares that Reward reads Outcome.LatencyMs, so
+	// every episode must be executed. CostReward leaves it false.
+	RewardNeedsLatency bool
+	// LatencyBudgetMs censors execution latency (0 = no budget).
+	LatencyBudgetMs float64
+	Seed            int64
+}
+
+// phase enumerates the episode's decision phases.
+type phase int
+
+const (
+	phaseAccess phase = iota
+	phaseJoin
+	phaseAgg
+	phaseDone
+)
+
+// Env is the full plan-space MDP.
+type Env struct {
+	Cfg    Config
+	Layout Layout
+
+	rng    *rand.Rand
+	curIdx int
+
+	cur    *query.Query
+	opts   []accessOptions // per alias index
+	chosen []int           // access choice per alias index (-1 = undecided)
+	forest []plan.Node
+	ph     phase
+
+	// Executions counts how many episodes were actually executed (latency
+	// measured); TimedOutCount counts executions that hit the budget.
+	Executions    int
+	TimedOutCount int
+
+	// Last is the outcome of the most recently finished episode.
+	Last Outcome
+}
+
+// NewEnv builds the environment.
+func NewEnv(cfg Config) *Env {
+	if cfg.Reward == nil {
+		cfg.Reward = CostReward
+	}
+	return &Env{
+		Cfg:    cfg,
+		Layout: Layout{Space: cfg.Space, Stages: cfg.Stages},
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		curIdx: -1,
+	}
+}
+
+// ObsDim implements rl.Env.
+func (e *Env) ObsDim() int { return e.Layout.ObsDim() }
+
+// ActionDim implements rl.Env.
+func (e *Env) ActionDim() int { return e.Layout.ActionDim() }
+
+// Current returns the in-progress episode's query.
+func (e *Env) Current() *query.Query { return e.cur }
+
+// Reset starts an episode on the next workload query.
+func (e *Env) Reset() rl.State {
+	e.curIdx = (e.curIdx + 1) % len(e.Cfg.Queries)
+	return e.ResetTo(e.Cfg.Queries[e.curIdx])
+}
+
+// ResetTo starts an episode on a specific query.
+func (e *Env) ResetTo(q *query.Query) rl.State {
+	e.cur = q
+	aliases := featurize.AliasIndex(q)
+	e.opts = e.opts[:0]
+	e.chosen = e.chosen[:0]
+	e.forest = e.forest[:0]
+	for _, a := range aliases {
+		opt := accessOptionsFor(e.Cfg.Planner.Cat, q, a)
+		e.opts = append(e.opts, opt)
+		e.chosen = append(e.chosen, -1)
+		e.forest = append(e.forest, opt.scans[AccessSeq])
+	}
+	if e.Cfg.Stages.AccessPaths {
+		e.ph = phaseAccess
+	} else {
+		e.ph = phaseJoin
+	}
+	e.Last = Outcome{}
+	return e.state()
+}
+
+// cursor returns the alias index whose access path is being decided.
+func (e *Env) cursor() int {
+	for i, c := range e.chosen {
+		if c < 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+func (e *Env) state() rl.State {
+	n := e.Cfg.Space.MaxRels
+	base := e.Cfg.Space.JoinState(e.cur, e.forest)
+	features := make([]float64, 0, e.ObsDim())
+	features = append(features, base...)
+
+	phaseOH := make([]float64, 3)
+	cursorOH := make([]float64, n)
+	accessOH := make([]float64, n*numAccessChoices)
+	switch e.ph {
+	case phaseAccess:
+		phaseOH[0] = 1
+		if c := e.cursor(); c >= 0 && c < n {
+			cursorOH[c] = 1
+		}
+	case phaseJoin:
+		phaseOH[1] = 1
+	case phaseAgg:
+		phaseOH[2] = 1
+	}
+	for i, c := range e.chosen {
+		if c >= 0 && i < n {
+			accessOH[i*numAccessChoices+c] = 1
+		}
+	}
+	features = append(features, phaseOH...)
+	features = append(features, cursorOH...)
+	features = append(features, accessOH...)
+
+	return rl.State{
+		Features: features,
+		Mask:     e.mask(),
+		Terminal: e.ph == phaseDone,
+	}
+}
+
+func (e *Env) mask() []bool {
+	mask := make([]bool, e.ActionDim())
+	switch e.ph {
+	case phaseAccess:
+		c := e.cursor()
+		off := e.Layout.AccessOffset()
+		for i := 0; i < numAccessChoices; i++ {
+			mask[off+i] = e.opts[c].valid[i]
+		}
+	case phaseJoin:
+		nAlgo := e.Layout.JoinAlgoCount()
+		for x := 0; x < len(e.forest); x++ {
+			for y := 0; y < len(e.forest); y++ {
+				if x == y {
+					continue
+				}
+				for a := 0; a < nAlgo; a++ {
+					mask[e.Layout.EncodeJoin(x, y, a)] = true
+				}
+			}
+		}
+	case phaseAgg:
+		off := e.Layout.AggOffset()
+		for i := range plan.AggAlgos {
+			mask[off+i] = true
+		}
+	}
+	return mask
+}
+
+// Step implements rl.Env.
+func (e *Env) Step(action int) (rl.State, float64, bool) {
+	switch e.ph {
+	case phaseAccess:
+		c := e.cursor()
+		choice := action - e.Layout.AccessOffset()
+		if choice < 0 || choice >= numAccessChoices || !e.opts[c].valid[choice] {
+			return e.abort()
+		}
+		e.chosen[c] = choice
+		e.forest[c] = e.opts[c].scans[choice]
+		if e.cursor() < 0 {
+			e.ph = phaseJoin
+		}
+		return e.state(), 0, false
+
+	case phaseJoin:
+		if action >= e.Layout.JoinBlockSize() {
+			return e.abort()
+		}
+		x, y, algoIdx := e.Layout.DecodeJoin(action)
+		if x >= len(e.forest) || y >= len(e.forest) || x == y {
+			return e.abort()
+		}
+		algo := plan.NestLoop
+		if e.Cfg.Stages.JoinOps {
+			algo = plan.JoinAlgos[algoIdx]
+		}
+		joined := plan.JoinNodes(e.cur, algo, e.forest[x], e.forest[y])
+		var next []plan.Node
+		for i, node := range e.forest {
+			if i != x && i != y {
+				next = append(next, node)
+			}
+		}
+		e.forest = append(next, joined)
+		if len(e.forest) > 1 {
+			return e.state(), 0, false
+		}
+		if e.Cfg.Stages.AggOps && (len(e.cur.Aggregates) > 0 || len(e.cur.GroupBys) > 0) {
+			e.ph = phaseAgg
+			return e.state(), 0, false
+		}
+		return e.finish(plan.HashAgg, false)
+
+	case phaseAgg:
+		idx := action - e.Layout.AggOffset()
+		if idx < 0 || idx >= len(plan.AggAlgos) {
+			return e.abort()
+		}
+		return e.finish(plan.AggAlgos[idx], true)
+	default:
+		return e.abort()
+	}
+}
+
+// abort ends the episode on an invalid (unmasked) action with the worst
+// reward; masked sampling never reaches this path.
+func (e *Env) abort() (rl.State, float64, bool) {
+	e.ph = phaseDone
+	e.Last = Outcome{Cost: infCost, LatencyMs: math.NaN()}
+	return rl.State{Terminal: true}, e.Cfg.Reward(e.Last), true
+}
+
+// finish completes the plan (delegating undecided dimensions to the
+// traditional optimizer), evaluates it, and returns the terminal reward.
+func (e *Env) finish(aggAlgo plan.AggAlgo, aggChosen bool) (rl.State, float64, bool) {
+	skeleton := e.forest[0]
+	var final plan.Node
+	var costTotal float64
+	p := e.Cfg.Planner
+	q := e.cur
+	st := e.Cfg.Stages
+	switch {
+	case aggChosen || (st.AccessPaths && st.JoinOps):
+		// Fully specified up to aggregation.
+		if aggChosen {
+			root, nc := p.CostFixed(q, skeleton, aggAlgo)
+			final, costTotal = root, nc.Total
+		} else {
+			// The optimizer picks the cheaper aggregation.
+			bestRoot, bestNC := p.CostFixed(q, skeleton, plan.HashAgg)
+			if len(q.Aggregates) > 0 || len(q.GroupBys) > 0 {
+				r2, nc2 := p.CostFixed(q, skeleton, plan.SortAgg)
+				if nc2.Total < bestNC.Total {
+					bestRoot, bestNC = r2, nc2
+				}
+			}
+			final, costTotal = bestRoot, bestNC.Total
+		}
+	case st.AccessPaths:
+		root, nc := p.CompleteOperators(q, skeleton)
+		final, costTotal = root, nc.Total
+	case st.JoinOps:
+		root, nc := p.CompleteAccess(q, skeleton)
+		final, costTotal = root, nc.Total
+	default:
+		root, nc := p.CompletePhysical(q, skeleton)
+		final, costTotal = root, nc.Total
+	}
+
+	out := Outcome{Plan: final, Cost: costTotal, LatencyMs: math.NaN()}
+	if e.Cfg.Latency != nil && (e.Cfg.ExecuteAlways || e.Cfg.RewardNeedsLatency) {
+		lat, timedOut := e.Cfg.Latency.Execute(q, final, e.Cfg.LatencyBudgetMs)
+		out.LatencyMs = lat
+		out.TimedOut = timedOut
+		e.Executions++
+		if timedOut {
+			e.TimedOutCount++
+		}
+	}
+	e.ph = phaseDone
+	e.Last = out
+	return rl.State{Terminal: true}, e.Cfg.Reward(out), true
+}

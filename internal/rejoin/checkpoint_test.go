@@ -1,0 +1,58 @@
+package rejoin
+
+import (
+	"testing"
+
+	"handsfree/internal/featurize"
+	"handsfree/internal/rl"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	fx := fixture(t, 4, 4, 5)
+	space := featurize.NewSpace(fx.maxRels, fx.est)
+	env := NewEnv(space, fx.planner, fx.queries, 1)
+	agent := NewAgent(env, rl.ReinforceConfig{Hidden: []int{32}, Seed: 2})
+	for ep := 0; ep < 100; ep++ {
+		agent.TrainEpisode()
+	}
+	// Record the trained policy's decisions.
+	var wantCosts []float64
+	for _, q := range fx.queries {
+		_, c := agent.GreedyPlan(q)
+		wantCosts = append(wantCosts, c)
+	}
+	data, err := agent.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh agent restored from the checkpoint must reproduce them.
+	env2 := NewEnv(space, fx.planner, fx.queries, 1)
+	restored := NewAgent(env2, rl.ReinforceConfig{Hidden: []int{32}, Seed: 99})
+	if err := restored.Load(data); err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range fx.queries {
+		_, c := restored.GreedyPlan(q)
+		if c != wantCosts[i] {
+			t.Fatalf("query %s: restored cost %v, want %v", q.Name, c, wantCosts[i])
+		}
+	}
+}
+
+func TestCheckpointRejectsWrongDims(t *testing.T) {
+	fx := fixture(t, 2, 4, 4)
+	small := featurize.NewSpace(4, fx.est)
+	big := featurize.NewSpace(6, fx.est)
+	envA := NewEnv(small, fx.planner, fx.queries, 1)
+	agentA := NewAgent(envA, rl.ReinforceConfig{Hidden: []int{16}, Seed: 1})
+	data, err := agentA.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	envB := NewEnv(big, fx.planner, fx.queries, 1)
+	agentB := NewAgent(envB, rl.ReinforceConfig{Hidden: []int{16}, Seed: 1})
+	if err := agentB.Load(data); err == nil {
+		t.Fatal("checkpoint with mismatched dimensions accepted")
+	}
+}

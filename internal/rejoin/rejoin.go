@@ -1,0 +1,205 @@
+// Package rejoin implements the paper's §3 case study: ReJOIN, a deep
+// reinforcement learning join order enumerator. Episodes build a join tree
+// bottom-up over a query's relations; the terminal reward is derived from
+// the traditional optimizer's cost model applied to the completed physical
+// plan (the optimizer performs operator and access-path selection on the
+// learned join order, exactly as in the paper).
+package rejoin
+
+import (
+	"math"
+	"math/rand"
+
+	"handsfree/internal/featurize"
+	"handsfree/internal/optimizer"
+	"handsfree/internal/plan"
+	"handsfree/internal/query"
+	"handsfree/internal/rl"
+)
+
+// RewardKind selects the terminal reward transform.
+type RewardKind int
+
+const (
+	// RewardNegLogCost uses −log(cost): smooth over the many orders of
+	// magnitude that plan costs span (the package default).
+	RewardNegLogCost RewardKind = iota
+	// RewardReciprocal uses 1/cost, the exact form in the paper (§3).
+	RewardReciprocal
+)
+
+// Env is the ReJOIN Markov decision process. Each Reset serves the next
+// query of the workload (an episode per query, queries cycling continuously,
+// as the paper describes). Actions pick ordered subtree pairs to join; the
+// episode terminates when one tree remains.
+type Env struct {
+	Space   *featurize.Space
+	Planner *optimizer.Planner
+	Queries []*query.Query
+	// Reward selects the terminal reward transform.
+	Reward RewardKind
+	// DisallowCross masks join actions between disconnected subtrees.
+	DisallowCross bool
+
+	rng    *rand.Rand
+	curIdx int
+	cur    *query.Query
+	forest []plan.Node
+
+	// LastPlan and LastCost describe the most recently completed episode.
+	LastPlan plan.Node
+	LastCost float64
+}
+
+// NewEnv builds the ReJOIN environment over a workload.
+func NewEnv(space *featurize.Space, planner *optimizer.Planner, queries []*query.Query, seed int64) *Env {
+	return &Env{
+		Space:   space,
+		Planner: planner,
+		Queries: queries,
+		rng:     rand.New(rand.NewSource(seed)),
+		curIdx:  -1,
+	}
+}
+
+// Current returns the query served by the episode in progress.
+func (e *Env) Current() *query.Query { return e.cur }
+
+// ObsDim implements rl.Env.
+func (e *Env) ObsDim() int { return e.Space.ObsDim() }
+
+// ActionDim implements rl.Env.
+func (e *Env) ActionDim() int { return e.Space.ActionDim() }
+
+// Reset starts an episode on the next workload query.
+func (e *Env) Reset() rl.State {
+	e.curIdx = (e.curIdx + 1) % len(e.Queries)
+	return e.ResetTo(e.Queries[e.curIdx])
+}
+
+// ResetTo starts an episode on a specific query.
+func (e *Env) ResetTo(q *query.Query) rl.State {
+	e.cur = q
+	e.forest = e.forest[:0]
+	for _, a := range featurize.AliasIndex(q) {
+		e.forest = append(e.forest, plan.BuildScan(q, a, plan.SeqScan, ""))
+	}
+	e.LastPlan = nil
+	e.LastCost = 0
+	return e.state()
+}
+
+func (e *Env) state() rl.State {
+	var mask []bool
+	if e.DisallowCross {
+		mask = e.Space.ConnectedPairMask(e.cur, e.forest)
+	} else {
+		mask = e.Space.PairMask(len(e.forest))
+	}
+	return rl.State{
+		Features: e.Space.JoinState(e.cur, e.forest),
+		Mask:     mask,
+		Terminal: len(e.forest) <= 1,
+	}
+}
+
+// Step joins the (x, y) subtrees addressed by the action. Non-terminal
+// rewards are zero; the terminal reward reflects the optimizer cost of the
+// completed physical plan (§3: operator/index selection is delegated to the
+// traditional optimizer).
+func (e *Env) Step(action int) (rl.State, float64, bool) {
+	x, y := e.Space.DecodeAction(action)
+	if x >= len(e.forest) || y >= len(e.forest) || x == y {
+		// Invalid action (should be masked): end the episode with the worst
+		// possible signal rather than panicking mid-training.
+		return rl.State{Terminal: true}, e.terminalReward(math.Inf(1)), true
+	}
+	joined := plan.JoinNodes(e.cur, plan.NestLoop, e.forest[x], e.forest[y])
+	var next []plan.Node
+	for i, n := range e.forest {
+		if i != x && i != y {
+			next = append(next, n)
+		}
+	}
+	e.forest = append(next, joined)
+
+	if len(e.forest) > 1 {
+		return e.state(), 0, false
+	}
+	completed, nc := e.Planner.CompletePhysical(e.cur, e.forest[0])
+	e.LastPlan = completed
+	e.LastCost = nc.Total
+	return e.state(), e.terminalReward(nc.Total), true
+}
+
+func (e *Env) terminalReward(cost float64) float64 {
+	switch e.Reward {
+	case RewardReciprocal:
+		if math.IsInf(cost, 1) {
+			return 0
+		}
+		return 1 / cost
+	default:
+		if math.IsInf(cost, 1) {
+			return -50
+		}
+		return -math.Log(cost)
+	}
+}
+
+// Agent couples the environment with a REINFORCE policy.
+type Agent struct {
+	Env *Env
+	RL  *rl.Reinforce
+}
+
+// NewAgent builds a ReJOIN agent with the given policy configuration.
+func NewAgent(env *Env, cfg rl.ReinforceConfig) *Agent {
+	return &Agent{Env: env, RL: rl.NewReinforce(env.ObsDim(), env.ActionDim(), cfg)}
+}
+
+// EpisodeResult reports one training or evaluation episode.
+type EpisodeResult struct {
+	Query *query.Query
+	// Cost is the optimizer cost of the plan the agent produced.
+	Cost float64
+	// Plan is the completed physical plan.
+	Plan plan.Node
+}
+
+// TrainEpisode runs one sampled episode on the next workload query and
+// feeds it to the learner.
+func (a *Agent) TrainEpisode() EpisodeResult {
+	traj := rl.RunEpisode(a.Env, a.RL.Sample, 2*a.Env.Space.MaxRels+4)
+	a.RL.Observe(traj)
+	return EpisodeResult{Query: a.Env.Current(), Cost: a.Env.LastCost, Plan: a.Env.LastPlan}
+}
+
+// Save serializes the trained policy for later reuse (gob encoding).
+func (a *Agent) Save() ([]byte, error) {
+	return a.RL.MarshalPolicy()
+}
+
+// Load restores a policy saved with Save. The checkpoint must have been
+// produced by an agent over the same featurization space.
+func (a *Agent) Load(data []byte) error {
+	return a.RL.UnmarshalPolicy(data)
+}
+
+// GreedyPlan runs the trained policy greedily on a query and returns the
+// completed physical plan and its optimizer cost.
+func (a *Agent) GreedyPlan(q *query.Query) (plan.Node, float64) {
+	s := a.Env.ResetTo(q)
+	for !s.Terminal {
+		act := a.RL.Greedy(s)
+		if act < 0 {
+			break
+		}
+		next, _, done := a.Env.Step(act)
+		s = next
+		if done {
+			break
+		}
+	}
+	return a.Env.LastPlan, a.Env.LastCost
+}

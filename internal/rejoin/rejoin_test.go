@@ -1,0 +1,189 @@
+package rejoin
+
+import (
+	"testing"
+
+	"handsfree/internal/cost"
+	"handsfree/internal/datagen"
+	"handsfree/internal/featurize"
+	"handsfree/internal/optimizer"
+	"handsfree/internal/plan"
+	"handsfree/internal/query"
+	"handsfree/internal/rl"
+	"handsfree/internal/stats"
+	"handsfree/internal/workload"
+)
+
+type fixtureT struct {
+	planner *optimizer.Planner
+	est     *stats.Estimator
+	queries []*query.Query
+	maxRels int
+}
+
+func fixture(t *testing.T, nQueries, minRel, maxRel int) fixtureT {
+	t.Helper()
+	db, err := datagen.Generate(datagen.Config{Seed: 1, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := stats.NewEstimator(db.Catalog, db.Stats)
+	model := cost.New(cost.DefaultParams(), est)
+	planner := optimizer.New(db.Catalog, model)
+	w := workload.New(db)
+	qs, err := w.Training(nQueries, minRel, maxRel, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fixtureT{planner: planner, est: est, queries: qs, maxRels: maxRel}
+}
+
+func TestEpisodeTerminatesWithValidPlan(t *testing.T) {
+	fx := fixture(t, 4, 4, 5)
+	space := featurize.NewSpace(fx.maxRels, fx.est)
+	env := NewEnv(space, fx.planner, fx.queries, 1)
+	agent := NewAgent(env, rl.ReinforceConfig{Hidden: []int{32}, Seed: 2})
+	for ep := 0; ep < 20; ep++ {
+		res := agent.TrainEpisode()
+		if res.Plan == nil {
+			t.Fatalf("episode %d produced no plan", ep)
+		}
+		if res.Cost <= 0 {
+			t.Fatalf("episode %d cost = %v", ep, res.Cost)
+		}
+		leaves := plan.Leaves(res.Plan)
+		if len(leaves) != len(res.Query.Relations) {
+			t.Fatalf("episode %d: %d leaves for %d relations", ep, len(leaves), len(res.Query.Relations))
+		}
+	}
+}
+
+func TestEpisodeCyclesThroughWorkload(t *testing.T) {
+	fx := fixture(t, 3, 4, 4)
+	space := featurize.NewSpace(4, fx.est)
+	env := NewEnv(space, fx.planner, fx.queries, 1)
+	agent := NewAgent(env, rl.ReinforceConfig{Hidden: []int{16}, Seed: 3})
+	seen := map[string]int{}
+	for ep := 0; ep < 6; ep++ {
+		res := agent.TrainEpisode()
+		seen[res.Query.Name]++
+	}
+	for _, q := range fx.queries {
+		if seen[q.Name] != 2 {
+			t.Fatalf("query %s served %d times in 6 episodes over 3 queries", q.Name, seen[q.Name])
+		}
+	}
+}
+
+// TestConvergenceTowardExpert is the core §3 reproduction at miniature
+// scale: after training, ReJOIN's greedy join orders should be close to the
+// traditional optimizer's on the training workload, and far better than its
+// own untrained policy.
+func TestConvergenceTowardExpert(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	fx := fixture(t, 6, 4, 6)
+	space := featurize.NewSpace(fx.maxRels, fx.est)
+	env := NewEnv(space, fx.planner, fx.queries, 1)
+	agent := NewAgent(env, rl.ReinforceConfig{Hidden: []int{64, 32}, BatchSize: 16, LR: 2e-3, Seed: 4})
+
+	expert := map[string]float64{}
+	for _, q := range fx.queries {
+		planned, err := fx.planner.PlanWith(q, optimizer.Greedy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expert[q.Name] = planned.Cost
+	}
+	avgRatio := func() float64 {
+		total := 0.0
+		for _, q := range fx.queries {
+			_, c := agent.GreedyPlan(q)
+			total += c / expert[q.Name]
+		}
+		return total / float64(len(fx.queries))
+	}
+
+	before := avgRatio()
+	for ep := 0; ep < 4000; ep++ {
+		agent.TrainEpisode()
+	}
+	after := avgRatio()
+	t.Logf("avg cost ratio vs expert: before=%.2f after=%.2f", before, after)
+	if after > before {
+		t.Fatalf("training made the policy worse: %.3f → %.3f", before, after)
+	}
+	if after > 2.0 {
+		t.Fatalf("after 4000 episodes the policy is still %.2f× the expert", after)
+	}
+}
+
+func TestGreedyPlanDeterministic(t *testing.T) {
+	fx := fixture(t, 3, 4, 5)
+	space := featurize.NewSpace(fx.maxRels, fx.est)
+	env := NewEnv(space, fx.planner, fx.queries, 1)
+	agent := NewAgent(env, rl.ReinforceConfig{Hidden: []int{16}, Seed: 5})
+	for ep := 0; ep < 50; ep++ {
+		agent.TrainEpisode()
+	}
+	q := fx.queries[0]
+	_, c1 := agent.GreedyPlan(q)
+	_, c2 := agent.GreedyPlan(q)
+	if c1 != c2 {
+		t.Fatalf("greedy inference not deterministic: %v vs %v", c1, c2)
+	}
+}
+
+func TestRewardKinds(t *testing.T) {
+	fx := fixture(t, 2, 4, 4)
+	space := featurize.NewSpace(4, fx.est)
+	for _, kind := range []RewardKind{RewardNegLogCost, RewardReciprocal} {
+		env := NewEnv(space, fx.planner, fx.queries, 1)
+		env.Reward = kind
+		s := env.Reset()
+		var reward float64
+		for !s.Terminal {
+			act := -1
+			for i, ok := range s.Mask {
+				if ok {
+					act = i
+					break
+				}
+			}
+			next, r, done := env.Step(act)
+			reward = r
+			s = next
+			if done {
+				break
+			}
+		}
+		switch kind {
+		case RewardReciprocal:
+			if reward <= 0 || reward >= 1 {
+				t.Fatalf("reciprocal reward = %v, want in (0,1)", reward)
+			}
+		case RewardNegLogCost:
+			if reward >= 0 {
+				t.Fatalf("neg-log reward = %v, want < 0 for cost > 1", reward)
+			}
+		}
+	}
+}
+
+func TestDisallowCrossMasksDisconnectedPairs(t *testing.T) {
+	fx := fixture(t, 4, 5, 5)
+	space := featurize.NewSpace(5, fx.est)
+	env := NewEnv(space, fx.planner, fx.queries, 1)
+	env.DisallowCross = true
+	agent := NewAgent(env, rl.ReinforceConfig{Hidden: []int{16}, Seed: 6})
+	for ep := 0; ep < 40; ep++ {
+		res := agent.TrainEpisode()
+		if res.Plan == nil {
+			t.Fatal("no plan")
+		}
+		if plan.CrossProduct(res.Plan) {
+			t.Fatal("cross product under DisallowCross on a connected query")
+		}
+	}
+}

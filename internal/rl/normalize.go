@@ -1,0 +1,90 @@
+package rl
+
+import "math"
+
+// RunningNorm tracks a running mean and variance (Welford's algorithm) and
+// standardizes values against them. Agents use it to keep reward signals in a
+// trainable range when raw magnitudes drift over a run — the instability
+// Section 5.2 of the paper attributes to switching reward ranges.
+type RunningNorm struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Observe folds a new value into the running statistics.
+func (r *RunningNorm) Observe(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// Count reports how many values have been observed.
+func (r *RunningNorm) Count() int { return r.n }
+
+// Mean returns the running mean (0 before any observation).
+func (r *RunningNorm) Mean() float64 { return r.mean }
+
+// Std returns the running standard deviation (0 before two observations).
+func (r *RunningNorm) Std() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return math.Sqrt(r.m2 / float64(r.n))
+}
+
+// Normalize standardizes x by the running statistics; before enough data has
+// accumulated it returns x unchanged.
+func (r *RunningNorm) Normalize(x float64) float64 {
+	std := r.Std()
+	if std == 0 {
+		return x
+	}
+	return (x - r.mean) / std
+}
+
+// Range tracks the min and max of observed values. The cost-model
+// bootstrapping agent (Section 5.2) uses two Ranges — one over Phase-1 costs,
+// one over Phase-2 latencies — to implement the paper's linear rescaling
+//
+//	r_l = Cmin + (l − Lmin)/(Lmax − Lmin) · (Cmax − Cmin).
+type Range struct {
+	n        int
+	min, max float64
+}
+
+// Observe folds a value into the range.
+func (r *Range) Observe(x float64) {
+	if r.n == 0 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	r.n++
+}
+
+// Count reports how many values have been observed.
+func (r *Range) Count() int { return r.n }
+
+// Min returns the smallest observed value.
+func (r *Range) Min() float64 { return r.min }
+
+// Max returns the largest observed value.
+func (r *Range) Max() float64 { return r.max }
+
+// Rescale maps x from this range onto dst linearly (the paper's Section 5.2
+// formula with dst as the cost range and r as the latency range). Values
+// outside the observed range extrapolate linearly; a degenerate source range
+// maps everything to dst's midpoint.
+func (r *Range) Rescale(x float64, dst *Range) float64 {
+	if r.max == r.min {
+		return (dst.max + dst.min) / 2
+	}
+	return dst.min + (x-r.min)/(r.max-r.min)*(dst.max-dst.min)
+}

@@ -1,0 +1,268 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+
+	"handsfree/internal/nn"
+)
+
+// Sample is one supervised example for reward prediction: in state Features,
+// taking action Action eventually produced an episode with value Target
+// (for query optimization: the final plan's latency, lower is better).
+// Mask records which actions were valid in the state; the margin loss uses
+// it to keep unobserved actions from looking spuriously attractive.
+type Sample struct {
+	Features []float64
+	Mask     []bool
+	Action   int
+	Target   float64
+}
+
+// ReplayBuffer is a fixed-capacity ring buffer of reward-prediction samples.
+type ReplayBuffer struct {
+	cap  int
+	data []Sample
+	next int
+	full bool
+}
+
+// NewReplayBuffer returns a buffer holding at most capacity samples.
+func NewReplayBuffer(capacity int) *ReplayBuffer {
+	return &ReplayBuffer{cap: capacity, data: make([]Sample, 0, capacity)}
+}
+
+// Add inserts a sample, evicting the oldest once at capacity.
+func (b *ReplayBuffer) Add(s Sample) {
+	if len(b.data) < b.cap {
+		b.data = append(b.data, s)
+		return
+	}
+	b.full = true
+	b.data[b.next] = s
+	b.next = (b.next + 1) % b.cap
+}
+
+// Len reports how many samples are stored.
+func (b *ReplayBuffer) Len() int { return len(b.data) }
+
+// Sample returns n samples drawn uniformly with replacement.
+func (b *ReplayBuffer) Sample(n int, rng *rand.Rand) []Sample {
+	out := make([]Sample, 0, n)
+	for i := 0; i < n && len(b.data) > 0; i++ {
+		out = append(out, b.data[rng.Intn(len(b.data))])
+	}
+	return out
+}
+
+// QAgentConfig controls a QAgent.
+type QAgentConfig struct {
+	Hidden  []int   // hidden layer widths (default 128, 64)
+	LR      float64 // Adam learning rate (default 1e-3)
+	Epsilon float64 // exploration probability during acting (default 0.05)
+	Clip    float64 // gradient clip norm (default 5)
+	Seed    int64
+}
+
+func (c *QAgentConfig) fill() {
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{128, 64}
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.05
+	}
+	if c.Clip == 0 {
+		c.Clip = 5
+	}
+}
+
+// QAgent learns a reward-prediction function Q(s, ·): an MLP mapping a state
+// to one predicted episode outcome per action. This is the "reward prediction
+// function" of Section 5.1 (learning from demonstration): the agent is taught
+// to predict that taking action a in state s eventually results in latency L,
+// then acts by choosing the action with the lowest predicted latency.
+//
+// Targets are learned in log space: catastrophic plans are orders of
+// magnitude slower than good ones, and a raw-latency regression would be
+// dominated by them.
+type QAgent struct {
+	Net *nn.Network
+	Opt *nn.Adam
+	Cfg QAgentConfig
+
+	rng *rand.Rand
+}
+
+// NewQAgent builds a reward-prediction agent for the given dimensions.
+func NewQAgent(obsDim, actionDim int, cfg QAgentConfig) *QAgent {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sizes := append(append([]int{obsDim}, cfg.Hidden...), actionDim)
+	opt := nn.NewAdam(cfg.LR)
+	opt.Clip = cfg.Clip
+	return &QAgent{Net: nn.NewMLP(rng, sizes...), Opt: opt, Cfg: cfg, rng: rng}
+}
+
+// Predict returns the predicted log-latency for every action at a state.
+func (q *QAgent) Predict(s State) []float64 {
+	return q.Net.Forward(nn.FromVec(s.Features)).Data
+}
+
+// Act picks the valid action with the lowest predicted outcome; with
+// probability ε it instead explores uniformly over valid actions.
+func (q *QAgent) Act(s State) int {
+	if q.rng.Float64() < q.Cfg.Epsilon {
+		return randomValid(s.Mask, q.rng)
+	}
+	return q.Best(s)
+}
+
+// Best returns the valid action with the minimum predicted outcome.
+func (q *QAgent) Best(s State) int {
+	pred := q.Predict(s)
+	best, bestV := -1, math.Inf(1)
+	for i, ok := range s.Mask {
+		if ok && pred[i] < bestV {
+			best, bestV = i, pred[i]
+		}
+	}
+	return best
+}
+
+// Train runs one minibatch regression step on samples drawn from the buffer,
+// fitting Q(s, a) toward each sample's target. Returns the mean Huber loss.
+func (q *QAgent) Train(buf *ReplayBuffer, batchSize int) float64 {
+	if buf.Len() == 0 {
+		return 0
+	}
+	batch := buf.Sample(batchSize, q.rng)
+	q.Net.ZeroGrad()
+	var total float64
+	for _, s := range batch {
+		out := q.Net.Forward(nn.FromVec(s.Features))
+		pred := out.Data
+		grad := make([]float64, len(pred))
+		d := pred[s.Action] - s.Target
+		// Huber on the single taken action; other actions get no gradient.
+		const delta = 1.0
+		if math.Abs(d) <= delta {
+			total += 0.5 * d * d
+			grad[s.Action] = d
+		} else {
+			total += delta * (math.Abs(d) - 0.5*delta)
+			if d > 0 {
+				grad[s.Action] = delta
+			} else {
+				grad[s.Action] = -delta
+			}
+		}
+		q.Net.Backward(&nn.Mat{Rows: 1, Cols: len(grad), Data: grad})
+	}
+	for _, p := range q.Net.Params() {
+		for i := range p.Grad {
+			p.Grad[i] /= float64(len(batch))
+		}
+	}
+	q.Opt.Step(q.Net.Params())
+	return total / float64(len(batch))
+}
+
+// TrainMargin runs one minibatch step of the DQfD-style demonstration loss
+// (Hester et al., the paper's reference [11]): Huber regression on the
+// demonstrated action's outcome PLUS a large-margin term that forces the
+// demonstrated action's prediction to be at least `margin` lower (better)
+// than every other valid action's. Without the margin term, actions the
+// expert never takes keep their random initial predictions and the argmin
+// policy is drawn to exactly the plans no one has ever measured — the §5.1
+// "no training data to ground them" problem.
+func (q *QAgent) TrainMargin(buf *ReplayBuffer, batchSize int, margin, marginWeight float64) float64 {
+	if buf.Len() == 0 {
+		return 0
+	}
+	batch := buf.Sample(batchSize, q.rng)
+	q.Net.ZeroGrad()
+	var total float64
+	for _, s := range batch {
+		out := q.Net.Forward(nn.FromVec(s.Features))
+		pred := out.Data
+		grad := make([]float64, len(pred))
+
+		// Regression on the demonstrated action.
+		d := pred[s.Action] - s.Target
+		const delta = 1.0
+		if math.Abs(d) <= delta {
+			total += 0.5 * d * d
+			grad[s.Action] = d
+		} else {
+			total += delta * (math.Abs(d) - 0.5*delta)
+			if d > 0 {
+				grad[s.Action] = delta
+			} else {
+				grad[s.Action] = -delta
+			}
+		}
+
+		// Large-margin term over the valid competitors.
+		if len(s.Mask) == len(pred) {
+			comp, compV := -1, math.Inf(1)
+			for i, ok := range s.Mask {
+				if !ok || i == s.Action {
+					continue
+				}
+				if pred[i] < compV {
+					comp, compV = i, pred[i]
+				}
+			}
+			if comp >= 0 {
+				violation := pred[s.Action] - (compV - margin)
+				if violation > 0 {
+					total += marginWeight * violation
+					grad[s.Action] += marginWeight
+					grad[comp] -= marginWeight
+				}
+			}
+		}
+		q.Net.Backward(&nn.Mat{Rows: 1, Cols: len(grad), Data: grad})
+	}
+	for _, p := range q.Net.Params() {
+		for i := range p.Grad {
+			p.Grad[i] /= float64(len(batch))
+		}
+	}
+	q.Opt.Step(q.Net.Params())
+	return total / float64(len(batch))
+}
+
+// randomValid returns a uniformly random valid action index, or -1 if none.
+func randomValid(mask []bool, rng *rand.Rand) int {
+	n := 0
+	for _, ok := range mask {
+		if ok {
+			n++
+		}
+	}
+	if n == 0 {
+		return -1
+	}
+	k := rng.Intn(n)
+	for i, ok := range mask {
+		if !ok {
+			continue
+		}
+		if k == 0 {
+			return i
+		}
+		k--
+	}
+	return -1
+}
+
+// RandomPolicy returns an action chooser that picks uniformly among valid
+// actions — the paper's "random choice" baseline for the naive-DRL result.
+func RandomPolicy(seed int64) func(State) int {
+	rng := rand.New(rand.NewSource(seed))
+	return func(s State) int { return randomValid(s.Mask, rng) }
+}

@@ -1,0 +1,264 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"handsfree/internal/nn"
+)
+
+// BaselineKind selects how episode returns become advantages.
+type BaselineKind int
+
+const (
+	// BaselineBatchStd standardizes returns within each update batch
+	// (scale-free; the default).
+	BaselineBatchStd BaselineKind = iota
+	// BaselineRunningEMA subtracts an exponential moving average of returns
+	// WITHOUT rescaling. This mode is deliberately sensitive to the range of
+	// the reward signal: it is how the §5.2 bootstrapping experiment exposes
+	// the instability caused by switching from cost-range rewards to
+	// latency-range rewards.
+	BaselineRunningEMA
+)
+
+// ReinforceConfig controls a Reinforce agent.
+type ReinforceConfig struct {
+	Hidden      []int   // hidden layer widths (default 128, 64)
+	LR          float64 // learning rate (default 1e-3)
+	EntropyCoef float64 // entropy bonus weight (default 0.01)
+	BatchSize   int     // episodes per policy update (default 16)
+	Clip        float64 // gradient clip norm (default 5; negative disables)
+	Baseline    BaselineKind
+	EMAAlpha    float64 // EMA smoothing for BaselineRunningEMA (default 0.05)
+	// UseSGD selects plain stochastic gradient ascent instead of Adam.
+	// Vanilla REINFORCE (Williams '92, the method §2 of the paper describes)
+	// is plain gradient ascent and therefore sensitive to the reward scale —
+	// the property the §5.2 bootstrapping experiment studies. Adam's
+	// per-weight normalization would silently mask reward-range jumps.
+	UseSGD bool
+	// EntropyDecay anneals the entropy bonus multiplicatively per policy
+	// update (1 = no annealing). Long training runs use ≈0.995 so late-stage
+	// exploration fades and sampled performance approaches greedy.
+	EntropyDecay float64
+	// EntropyMin floors the annealed entropy bonus (default EntropyCoef/50).
+	EntropyMin float64
+	Seed       int64
+}
+
+func (c *ReinforceConfig) fill() {
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{128, 64}
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.EntropyCoef == 0 {
+		c.EntropyCoef = 0.01
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.Clip == 0 {
+		c.Clip = 5
+	}
+	if c.EMAAlpha == 0 {
+		c.EMAAlpha = 0.05
+	}
+	if c.EntropyDecay == 0 {
+		c.EntropyDecay = 1
+	}
+	if c.EntropyMin == 0 {
+		c.EntropyMin = c.EntropyCoef / 50
+	}
+}
+
+// Reinforce is a policy-gradient agent (REINFORCE with a batch baseline and
+// entropy regularization). The policy is an MLP producing one logit per
+// action; invalid actions are masked out before the softmax, exactly as the
+// paper describes for ReJOIN's action layer.
+type Reinforce struct {
+	Policy *nn.Network
+	Opt    nn.Optimizer
+	Cfg    ReinforceConfig
+
+	rng     *rand.Rand
+	batch   []Trajectory
+	ema     float64
+	emaOK   bool
+	entCoef float64
+	// Updates counts completed policy updates.
+	Updates int
+}
+
+// NewReinforce builds an agent for an environment with the given observation
+// and action dimensions.
+func NewReinforce(obsDim, actionDim int, cfg ReinforceConfig) *Reinforce {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sizes := append(append([]int{obsDim}, cfg.Hidden...), actionDim)
+	var opt nn.Optimizer
+	if cfg.UseSGD {
+		opt = &nn.SGD{LR: cfg.LR, Clip: cfg.Clip}
+	} else {
+		adam := nn.NewAdam(cfg.LR)
+		adam.Clip = cfg.Clip
+		opt = adam
+	}
+	return &Reinforce{
+		Policy:  nn.NewMLP(rng, sizes...),
+		Opt:     opt,
+		Cfg:     cfg,
+		rng:     rng,
+		entCoef: cfg.EntropyCoef,
+	}
+}
+
+// Probs returns the masked action distribution at a state.
+func (a *Reinforce) Probs(s State) []float64 {
+	logits := a.Policy.Forward(nn.FromVec(s.Features))
+	return nn.MaskedSoftmax(logits.Data, s.Mask)
+}
+
+// Sample draws an action from the current policy (exploration included).
+func (a *Reinforce) Sample(s State) int {
+	return sampleFrom(a.Probs(s), a.rng)
+}
+
+// Greedy returns the mode of the policy distribution (pure exploitation).
+func (a *Reinforce) Greedy(s State) int {
+	probs := a.Probs(s)
+	best, bestP := -1, -1.0
+	for i, p := range probs {
+		if s.Mask[i] && p > bestP {
+			best, bestP = i, p
+		}
+	}
+	return best
+}
+
+// MarshalPolicy serializes the policy network (weights and structure). The
+// optimizer state and pending batch are not saved: a restored agent resumes
+// with fresh optimizer statistics, which matches common checkpointing
+// practice for small policy networks.
+func (a *Reinforce) MarshalPolicy() ([]byte, error) {
+	return a.Policy.MarshalBinary()
+}
+
+// UnmarshalPolicy restores a policy saved with MarshalPolicy. The network
+// dimensions must match the agent's environment.
+func (a *Reinforce) UnmarshalPolicy(data []byte) error {
+	net := &nn.Network{}
+	if err := net.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	if net.InDim() != a.Policy.InDim() || net.OutDim() != a.Policy.OutDim() {
+		return fmt.Errorf("rl: checkpoint dims %dx%d do not match agent %dx%d",
+			net.InDim(), net.OutDim(), a.Policy.InDim(), a.Policy.OutDim())
+	}
+	a.Policy = net
+	a.ResetBatch()
+	return nil
+}
+
+// ResetBatch discards any episodes accumulated toward the next update. Call
+// it when the policy network's action space is about to change (curriculum
+// phase transitions): pending trajectories recorded under the old action
+// space cannot be replayed through the resized network.
+func (a *Reinforce) ResetBatch() {
+	a.batch = a.batch[:0]
+}
+
+// Observe records a finished episode; once a full batch has accumulated, the
+// policy is updated and Observe reports true.
+func (a *Reinforce) Observe(traj Trajectory) bool {
+	a.batch = append(a.batch, traj)
+	if len(a.batch) < a.Cfg.BatchSize {
+		return false
+	}
+	a.update()
+	a.batch = a.batch[:0]
+	return true
+}
+
+// update applies one REINFORCE step over the accumulated batch. Advantages
+// are the episode returns standardized across the batch (the baseline), which
+// keeps the update scale-free — important because raw rewards in query
+// optimization span many orders of magnitude.
+func (a *Reinforce) update() {
+	n := len(a.batch)
+	if n == 0 {
+		return
+	}
+	mean := 0.0
+	for _, t := range a.batch {
+		mean += t.Return
+	}
+	mean /= float64(n)
+	variance := 0.0
+	for _, t := range a.batch {
+		d := t.Return - mean
+		variance += d * d
+	}
+	std := math.Sqrt(variance/float64(n)) + 1e-8
+
+	baseline := mean
+	if a.Cfg.Baseline == BaselineRunningEMA {
+		if !a.emaOK {
+			a.ema = mean
+			a.emaOK = true
+		}
+		baseline = a.ema
+		a.ema += a.Cfg.EMAAlpha * (mean - a.ema)
+	}
+
+	a.Policy.ZeroGrad()
+	for _, t := range a.batch {
+		var adv float64
+		if a.Cfg.Baseline == BaselineRunningEMA {
+			adv = t.Return - baseline // no rescaling: range-sensitive
+		} else {
+			adv = (t.Return - mean) / std
+		}
+		for _, st := range t.Steps {
+			logits := a.Policy.Forward(nn.FromVec(st.Features))
+			probs := nn.MaskedSoftmax(logits.Data, st.Mask)
+			grad := nn.PolicyGradient(probs, st.Mask, st.Action, adv, a.entCoef)
+			a.Policy.Backward(&nn.Mat{Rows: 1, Cols: len(grad), Data: grad})
+		}
+	}
+	// Scale by batch size so the step magnitude is independent of B.
+	for _, p := range a.Policy.Params() {
+		for i := range p.Grad {
+			p.Grad[i] /= float64(n)
+		}
+	}
+	a.Opt.Step(a.Policy.Params())
+	a.Updates++
+	if a.Cfg.EntropyDecay < 1 {
+		a.entCoef *= a.Cfg.EntropyDecay
+		if a.entCoef < a.Cfg.EntropyMin {
+			a.entCoef = a.Cfg.EntropyMin
+		}
+	}
+}
+
+// sampleFrom draws an index from a (possibly unnormalized-by-epsilon)
+// probability vector. Falls back to the argmax on numeric trouble.
+func sampleFrom(probs []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	var c float64
+	last := -1
+	for i, p := range probs {
+		if p <= 0 {
+			continue
+		}
+		last = i
+		c += p
+		if u < c {
+			return i
+		}
+	}
+	return last
+}

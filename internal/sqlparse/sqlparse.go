@@ -1,0 +1,320 @@
+// Package sqlparse parses the SQL dialect the workloads use into the query
+// IR: SELECT with * or aggregates, FROM with aliases, WHERE with equality
+// joins and integer comparison filters, and GROUP BY.
+//
+//	SELECT COUNT(*), MIN(t.production_year)
+//	FROM title AS t, movie_companies mc
+//	WHERE mc.movie_id = t.id AND t.production_year > 80
+//	GROUP BY mc.company_type_id;
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"handsfree/internal/query"
+)
+
+// Parse converts SQL text into a validated query.
+func Parse(sql string) (*query.Query, error) {
+	p := &parser{toks: lex(sql)}
+	q, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol // ( ) , ; . * = < > <= >= <>
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(s string) []token {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isIdentStart(c):
+			j := i
+			for j < len(s) && isIdentPart(s[j]) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, s[i:j]})
+			i = j
+		case c >= '0' && c <= '9' || c == '-' && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9':
+			j := i + 1
+			for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tokNumber, s[i:j]})
+			i = j
+		case c == '<' || c == '>':
+			if i+1 < len(s) && (s[i+1] == '=' || (c == '<' && s[i+1] == '>')) {
+				toks = append(toks, token{tokSymbol, s[i : i+2]})
+				i += 2
+			} else {
+				toks = append(toks, token{tokSymbol, string(c)})
+				i++
+			}
+		case strings.ContainsRune("(),;.*=", rune(c)):
+			toks = append(toks, token{tokSymbol, string(c)})
+			i++
+		default:
+			toks = append(toks, token{tokSymbol, string(c)})
+			i++
+		}
+	}
+	return append(toks, token{tokEOF, ""})
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) kw(s string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSym(s string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != s {
+		return fmt.Errorf("sqlparse: expected %q, got %q", s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sqlparse: expected identifier, got %q", t.text)
+	}
+	return t.text, nil
+}
+
+var aggKinds = map[string]query.AggKind{
+	"COUNT": query.AggCount,
+	"MIN":   query.AggMin,
+	"MAX":   query.AggMax,
+	"SUM":   query.AggSum,
+}
+
+func (p *parser) parseSelect() (*query.Query, error) {
+	q := &query.Query{}
+	if !p.kw("SELECT") {
+		return nil, fmt.Errorf("sqlparse: query must start with SELECT")
+	}
+	if err := p.parseSelectList(q); err != nil {
+		return nil, err
+	}
+	if !p.kw("FROM") {
+		return nil, fmt.Errorf("sqlparse: expected FROM")
+	}
+	if err := p.parseFrom(q); err != nil {
+		return nil, err
+	}
+	if p.kw("WHERE") {
+		if err := p.parseWhere(q); err != nil {
+			return nil, err
+		}
+	}
+	if p.kw("GROUP") {
+		if !p.kw("BY") {
+			return nil, fmt.Errorf("sqlparse: expected BY after GROUP")
+		}
+		if err := p.parseGroupBy(q); err != nil {
+			return nil, err
+		}
+	}
+	// Optional trailing semicolon.
+	if t := p.peek(); t.kind == tokSymbol && t.text == ";" {
+		p.pos++
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("sqlparse: unexpected trailing input %q", t.text)
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectList(q *query.Query) error {
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokSymbol && t.text == "*":
+			p.pos++
+		case t.kind == tokIdent && aggKinds[strings.ToUpper(t.text)] != query.AggNone || strings.EqualFold(t.text, "COUNT"):
+			kind := aggKinds[strings.ToUpper(t.text)]
+			p.pos++
+			if err := p.expectSym("("); err != nil {
+				return err
+			}
+			if inner := p.peek(); inner.kind == tokSymbol && inner.text == "*" {
+				if kind != query.AggCount {
+					return fmt.Errorf("sqlparse: only COUNT may aggregate *")
+				}
+				p.pos++
+				q.Aggregates = append(q.Aggregates, query.Aggregate{Kind: query.AggCount})
+			} else {
+				alias, col, err := p.parseColumnRef()
+				if err != nil {
+					return err
+				}
+				q.Aggregates = append(q.Aggregates, query.Aggregate{Kind: kind, Alias: alias, Column: col})
+			}
+			if err := p.expectSym(")"); err != nil {
+				return err
+			}
+		case t.kind == tokIdent:
+			// Bare grouped column in the select list: alias.col.
+			alias, col, err := p.parseColumnRef()
+			if err != nil {
+				return err
+			}
+			// Recorded implicitly; GROUP BY declares the grouping columns.
+			_ = alias
+			_ = col
+		default:
+			return fmt.Errorf("sqlparse: unexpected select item %q", t.text)
+		}
+		if t := p.peek(); t.kind == tokSymbol && t.text == "," {
+			p.pos++
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) parseColumnRef() (alias, col string, err error) {
+	alias, err = p.expectIdent()
+	if err != nil {
+		return "", "", err
+	}
+	if err := p.expectSym("."); err != nil {
+		return "", "", err
+	}
+	col, err = p.expectIdent()
+	return alias, col, err
+}
+
+func (p *parser) parseFrom(q *query.Query) error {
+	for {
+		table, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		alias := table
+		if p.kw("AS") {
+			alias, err = p.expectIdent()
+			if err != nil {
+				return err
+			}
+		} else if t := p.peek(); t.kind == tokIdent && !isKeyword(t.text) {
+			alias = p.next().text
+		}
+		q.Relations = append(q.Relations, query.Relation{Table: table, Alias: alias})
+		if t := p.peek(); t.kind == tokSymbol && t.text == "," {
+			p.pos++
+			continue
+		}
+		return nil
+	}
+}
+
+func isKeyword(s string) bool {
+	switch strings.ToUpper(s) {
+	case "WHERE", "GROUP", "BY", "AND", "AS", "FROM", "SELECT":
+		return true
+	}
+	return false
+}
+
+var cmpOps = map[string]query.CmpOp{
+	"=": query.Eq, "<": query.Lt, "<=": query.Le,
+	">": query.Gt, ">=": query.Ge, "<>": query.Ne,
+}
+
+func (p *parser) parseWhere(q *query.Query) error {
+	for {
+		alias, col, err := p.parseColumnRef()
+		if err != nil {
+			return err
+		}
+		opTok := p.next()
+		op, ok := cmpOps[opTok.text]
+		if opTok.kind != tokSymbol || !ok {
+			return fmt.Errorf("sqlparse: unexpected operator %q", opTok.text)
+		}
+		rhs := p.peek()
+		switch {
+		case rhs.kind == tokNumber:
+			p.pos++
+			v, err := strconv.ParseInt(rhs.text, 10, 64)
+			if err != nil {
+				return fmt.Errorf("sqlparse: bad number %q", rhs.text)
+			}
+			q.Filters = append(q.Filters, query.Filter{Alias: alias, Column: col, Op: op, Value: v})
+		case rhs.kind == tokIdent:
+			if op != query.Eq {
+				return fmt.Errorf("sqlparse: join predicates must use =")
+			}
+			ralias, rcol, err := p.parseColumnRef()
+			if err != nil {
+				return err
+			}
+			q.Joins = append(q.Joins, query.Join{LeftAlias: alias, LeftCol: col, RightAlias: ralias, RightCol: rcol})
+		default:
+			return fmt.Errorf("sqlparse: unexpected predicate right-hand side %q", rhs.text)
+		}
+		if p.kw("AND") {
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) parseGroupBy(q *query.Query) error {
+	for {
+		alias, col, err := p.parseColumnRef()
+		if err != nil {
+			return err
+		}
+		q.GroupBys = append(q.GroupBys, query.GroupBy{Alias: alias, Column: col})
+		if t := p.peek(); t.kind == tokSymbol && t.text == "," {
+			p.pos++
+			continue
+		}
+		return nil
+	}
+}

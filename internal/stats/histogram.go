@@ -1,0 +1,212 @@
+// Package stats implements the statistics subsystem: equi-depth histograms
+// with most-common-value lists, per-table statistics, a cardinality
+// Estimator that makes the classical independence/uniformity assumptions
+// (this is what the traditional cost model consumes), and an Oracle that
+// produces "true" cardinalities by applying a deterministic, systematic
+// correlation field on top of the estimates.
+//
+// The Estimator/Oracle split is the heart of the reproduction: the paper's
+// argument (§4, Performance Indicator) is that optimizer cost models are
+// driven by estimated cardinalities that diverge from reality, so an agent
+// that learns from observed latency can beat one that optimizes the cost
+// model. The divergence here is modeled after the empirical findings of
+// Leis et al. (VLDB'15): estimation error is systematic per join edge and
+// compounds multiplicatively with every additional join.
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"handsfree/internal/query"
+)
+
+// MCV is a most-common-value entry: a value and the fraction of rows holding it.
+type MCV struct {
+	Value int64
+	Frac  float64
+}
+
+// Histogram is an equi-depth histogram over int64 values, with an MCV list
+// factored out (PostgreSQL-style: MCVs first, histogram over the rest).
+type Histogram struct {
+	// Bounds are bucket boundaries, ascending; bucket i covers
+	// (Bounds[i], Bounds[i+1]]. len(Bounds) = buckets+1.
+	Bounds []int64
+	// BucketFrac is the fraction of (non-MCV) rows per bucket.
+	BucketFrac float64
+	// MCVs lists the most common values with their row fractions.
+	MCVs []MCV
+	// MCVTotal is the summed fraction of all MCVs.
+	MCVTotal float64
+	// Distinct is the number of distinct values in the column.
+	Distinct int64
+	// Rows is the total row count the histogram was built from.
+	Rows int64
+	// Min and Max are the observed extrema.
+	Min, Max int64
+}
+
+// BuildHistogram constructs an equi-depth histogram with the given number of
+// buckets and MCV slots from a sample of column values.
+func BuildHistogram(values []int64, buckets, mcvs int) *Histogram {
+	if len(values) == 0 {
+		return &Histogram{Bounds: []int64{0, 0}, Distinct: 0, Rows: 0}
+	}
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	h := &Histogram{Rows: int64(len(sorted)), Min: sorted[0], Max: sorted[len(sorted)-1]}
+
+	// Count frequencies for distinct count and MCV selection.
+	freq := map[int64]int{}
+	for _, v := range sorted {
+		freq[v]++
+	}
+	h.Distinct = int64(len(freq))
+
+	// Pick the top `mcvs` values that each cover more than an average
+	// bucket would (otherwise an MCV adds no information).
+	type fv struct {
+		v int64
+		n int
+	}
+	all := make([]fv, 0, len(freq))
+	for v, n := range freq {
+		all = append(all, fv{v, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].v < all[j].v
+	})
+	isMCV := map[int64]bool{}
+	threshold := float64(len(sorted)) / float64(max(buckets, 1)) / 2
+	for i := 0; i < len(all) && i < mcvs; i++ {
+		if float64(all[i].n) < threshold {
+			break
+		}
+		frac := float64(all[i].n) / float64(len(sorted))
+		h.MCVs = append(h.MCVs, MCV{Value: all[i].v, Frac: frac})
+		h.MCVTotal += frac
+		isMCV[all[i].v] = true
+	}
+
+	// Histogram over the remaining values.
+	rest := sorted[:0:0]
+	for _, v := range sorted {
+		if !isMCV[v] {
+			rest = append(rest, v)
+		}
+	}
+	if len(rest) == 0 {
+		h.Bounds = []int64{h.Min, h.Max}
+		return h
+	}
+	if buckets < 1 {
+		buckets = 1
+	}
+	if buckets > len(rest) {
+		buckets = len(rest)
+	}
+	h.Bounds = make([]int64, 0, buckets+1)
+	h.Bounds = append(h.Bounds, rest[0])
+	for i := 1; i <= buckets; i++ {
+		idx := i * len(rest) / buckets
+		if idx >= len(rest) {
+			idx = len(rest) - 1
+		}
+		b := rest[idx]
+		if i == buckets {
+			b = rest[len(rest)-1]
+		}
+		if b < h.Bounds[len(h.Bounds)-1] {
+			b = h.Bounds[len(h.Bounds)-1]
+		}
+		h.Bounds = append(h.Bounds, b)
+	}
+	h.BucketFrac = (1 - h.MCVTotal) / float64(buckets)
+	return h
+}
+
+// fracLE estimates the fraction of all rows with value ≤ v.
+func (h *Histogram) fracLE(v int64) float64 {
+	var frac float64
+	for _, m := range h.MCVs {
+		if m.Value <= v {
+			frac += m.Frac
+		}
+	}
+	if len(h.Bounds) < 2 || h.BucketFrac == 0 {
+		return clamp01(frac)
+	}
+	if v < h.Bounds[0] {
+		return clamp01(frac)
+	}
+	last := len(h.Bounds) - 1
+	if v >= h.Bounds[last] {
+		return clamp01(frac + h.BucketFrac*float64(last))
+	}
+	// Find the bucket containing v and interpolate linearly within it.
+	i := sort.Search(last, func(i int) bool { return h.Bounds[i+1] >= v })
+	full := float64(i)
+	lo, hi := h.Bounds[i], h.Bounds[i+1]
+	var within float64
+	if hi > lo {
+		within = float64(v-lo) / float64(hi-lo)
+	} else {
+		within = 1
+	}
+	return clamp01(frac + h.BucketFrac*(full+within))
+}
+
+// fracEQ estimates the fraction of rows equal to v.
+func (h *Histogram) fracEQ(v int64) float64 {
+	for _, m := range h.MCVs {
+		if m.Value == v {
+			return m.Frac
+		}
+	}
+	if h.Distinct <= int64(len(h.MCVs)) {
+		return 0
+	}
+	// Uniformity over the non-MCV distinct values.
+	if v < h.Min || v > h.Max {
+		return 0
+	}
+	return (1 - h.MCVTotal) / float64(h.Distinct-int64(len(h.MCVs)))
+}
+
+// Selectivity estimates the fraction of rows satisfying `col op v`.
+func (h *Histogram) Selectivity(op query.CmpOp, v int64) float64 {
+	if h.Rows == 0 {
+		return 0
+	}
+	switch op {
+	case query.Eq:
+		return clamp01(h.fracEQ(v))
+	case query.Ne:
+		return clamp01(1 - h.fracEQ(v))
+	case query.Le:
+		return h.fracLE(v)
+	case query.Lt:
+		return clamp01(h.fracLE(v) - h.fracEQ(v))
+	case query.Gt:
+		return clamp01(1 - h.fracLE(v))
+	case query.Ge:
+		return clamp01(1 - h.fracLE(v) + h.fracEQ(v))
+	default:
+		panic(fmt.Sprintf("stats: unknown operator %v", op))
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

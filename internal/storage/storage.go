@@ -1,0 +1,58 @@
+// Package storage provides the in-memory columnar table store the execution
+// engine reads. Tables are maps from column name to a dense []int64; row i
+// of a table is the i-th entry of every column.
+package storage
+
+import "fmt"
+
+// Table holds one relation's data in columnar form.
+type Table struct {
+	Name string
+	N    int
+	Cols map[string][]int64
+}
+
+// NewTable returns an empty table with capacity hints for n rows.
+func NewTable(name string, n int) *Table {
+	return &Table{Name: name, N: n, Cols: make(map[string][]int64)}
+}
+
+// AddColumn attaches a column; its length must equal the table's row count.
+func (t *Table) AddColumn(name string, values []int64) error {
+	if len(values) != t.N {
+		return fmt.Errorf("storage: column %s.%s has %d values, table has %d rows", t.Name, name, len(values), t.N)
+	}
+	t.Cols[name] = values
+	return nil
+}
+
+// Column returns the named column's values.
+func (t *Table) Column(name string) ([]int64, error) {
+	c, ok := t.Cols[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: table %s has no column %s", t.Name, name)
+	}
+	return c, nil
+}
+
+// DB is a set of tables.
+type DB struct {
+	Tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{Tables: make(map[string]*Table)}
+}
+
+// Add registers a table.
+func (db *DB) Add(t *Table) { db.Tables[t.Name] = t }
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, error) {
+	t, ok := db.Tables[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown table %s", name)
+	}
+	return t, nil
+}

@@ -1,0 +1,311 @@
+// Package workload builds the query workloads for the experiments: named
+// JOB-like templates (the paper's Figure 3b evaluates queries 1a…22c of the
+// Join Order Benchmark), generators parameterized by relation count (Figure
+// 3c sweeps 4…17 relations), and random training workloads.
+//
+// Every generated query is deterministic in its seed, connected over the
+// schema's FK graph, and carries selection predicates whose values come from
+// the generated data's actual domains.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"handsfree/internal/datagen"
+	"handsfree/internal/query"
+)
+
+// aliasOf maps schema tables to their conventional JOB aliases.
+var aliasOf = map[string]string{
+	"title":           "t",
+	"movie_companies": "mc",
+	"company_name":    "cn",
+	"company_type":    "ct",
+	"cast_info":       "ci",
+	"name":            "n",
+	"aka_name":        "an",
+	"char_name":       "chn",
+	"role_type":       "rt",
+	"movie_info":      "mi",
+	"movie_info_idx":  "miidx",
+	"info_type":       "it",
+	"movie_keyword":   "mk",
+	"keyword":         "k",
+	"kind_type":       "kt",
+	"link_type":       "lt",
+	"movie_link":      "ml",
+	"person_info":     "pi",
+	"comp_cast_type":  "cct",
+	"complete_cast":   "cc",
+	"aka_title":       "at",
+}
+
+// Workload builds queries over a generated database.
+type Workload struct {
+	DB *datagen.Database
+}
+
+// New returns a workload builder for the database.
+func New(db *datagen.Database) *Workload {
+	return &Workload{DB: db}
+}
+
+// Fig3bNames lists the JOB query names evaluated in the paper's Figure 3b.
+func Fig3bNames() []string {
+	return []string{"1a", "1b", "1c", "1d", "8c", "12b", "13c", "15a", "16b", "22c"}
+}
+
+// template describes a named JOB-like query: its relations and how many
+// filters to place (values are seeded by the template name).
+type template struct {
+	tables  []string
+	filters int
+	groupBy bool
+}
+
+// templates approximate the Join Order Benchmark's named queries over the
+// synthetic schema: same relation counts and star shape as their JOB
+// namesakes.
+var templates = map[string]template{
+	"1a":  {tables: []string{"title", "movie_companies", "company_type", "movie_info_idx", "info_type"}, filters: 2},
+	"1b":  {tables: []string{"title", "movie_companies", "company_type", "movie_info_idx", "info_type"}, filters: 3},
+	"1c":  {tables: []string{"title", "movie_companies", "company_type", "movie_info_idx", "info_type"}, filters: 2, groupBy: true},
+	"1d":  {tables: []string{"title", "movie_companies", "company_type", "movie_info_idx", "info_type"}, filters: 3},
+	"8c":  {tables: []string{"aka_name", "cast_info", "company_name", "movie_companies", "name", "role_type", "title"}, filters: 3},
+	"12b": {tables: []string{"company_name", "company_type", "info_type", "movie_info", "movie_info_idx", "movie_companies", "title", "kind_type"}, filters: 3},
+	"13c": {tables: []string{"company_name", "company_type", "info_type", "kind_type", "movie_companies", "movie_info", "movie_info_idx", "title", "movie_keyword"}, filters: 3},
+	"15a": {tables: []string{"aka_title", "company_name", "company_type", "info_type", "movie_companies", "movie_info", "title", "movie_keyword", "keyword"}, filters: 4, groupBy: true},
+	"16b": {tables: []string{"aka_name", "cast_info", "company_name", "keyword", "movie_companies", "movie_keyword", "name", "title"}, filters: 2},
+	"22c": {tables: []string{"company_name", "company_type", "info_type", "keyword", "kind_type", "movie_companies", "movie_info", "movie_info_idx", "movie_keyword", "title", "cast_info"}, filters: 4},
+	// Additional templates for broader workloads.
+	"2a":  {tables: []string{"company_name", "keyword", "movie_companies", "movie_keyword", "title"}, filters: 2},
+	"4b":  {tables: []string{"info_type", "keyword", "movie_info_idx", "movie_keyword", "title"}, filters: 3},
+	"10a": {tables: []string{"char_name", "cast_info", "company_name", "company_type", "movie_companies", "role_type", "title"}, filters: 3},
+	"17e": {tables: []string{"cast_info", "company_name", "keyword", "movie_companies", "movie_keyword", "name", "title"}, filters: 2},
+	"20a": {tables: []string{"complete_cast", "comp_cast_type", "char_name", "cast_info", "keyword", "kind_type", "movie_keyword", "name", "title"}, filters: 3, groupBy: true},
+}
+
+// NamedNames returns every named template, sorted.
+func NamedNames() []string {
+	out := make([]string, 0, len(templates))
+	for name := range templates {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Named builds the named query. The same name always yields the same query.
+func (w *Workload) Named(name string) (*query.Query, error) {
+	tpl, ok := templates[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown query template %q", name)
+	}
+	seed := int64(0)
+	for _, c := range name {
+		seed = seed*131 + int64(c)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	q, err := w.assemble(name, tpl.tables, tpl.filters, tpl.groupBy, rng)
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustNamed is Named for template names known statically.
+func (w *Workload) MustNamed(name string) *query.Query {
+	q, err := w.Named(name)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// assemble builds a connected query over the given tables: one FK join edge
+// linking every table into the connected component, plus every other FK edge
+// between included tables (matching JOB's predicate-rich shape), plus
+// seeded filters and a COUNT/MIN aggregate.
+func (w *Workload) assemble(name string, tables []string, nFilters int, groupBy bool, rng *rand.Rand) (*query.Query, error) {
+	q := &query.Query{Name: name}
+	included := map[string]bool{}
+	for _, tbl := range tables {
+		alias := aliasOf[tbl]
+		if alias == "" {
+			return nil, fmt.Errorf("workload: table %q has no alias", tbl)
+		}
+		q.Relations = append(q.Relations, query.Relation{Table: tbl, Alias: alias})
+		included[tbl] = true
+	}
+	// All FK edges among included tables become join predicates.
+	for _, fk := range w.DB.Catalog.FKs {
+		if included[fk.FromTable] && included[fk.ToTable] {
+			q.Joins = append(q.Joins, query.Join{
+				LeftAlias: aliasOf[fk.FromTable], LeftCol: fk.FromColumn,
+				RightAlias: aliasOf[fk.ToTable], RightCol: fk.ToColumn,
+			})
+		}
+	}
+	if !q.Connected() {
+		return nil, fmt.Errorf("workload: template %s is not connected over the FK graph", name)
+	}
+	w.addFilters(q, nFilters, rng)
+	// JOB-style aggregate output.
+	q.Aggregates = []query.Aggregate{{Kind: query.AggCount}}
+	if groupBy {
+		if alias, col, ok := w.someAttrColumn(q, rng); ok {
+			q.GroupBys = []query.GroupBy{{Alias: alias, Column: col}}
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: template %s: %w", name, err)
+	}
+	return q, nil
+}
+
+// attrColumns lists the filterable (non-key) columns of a table.
+func (w *Workload) attrColumns(table string) []string {
+	ct := w.DB.Catalog.MustTable(table)
+	var out []string
+	for _, c := range ct.Columns {
+		if c.Name == "id" {
+			continue
+		}
+		// Skip FK columns: filters belong on attributes.
+		isFK := false
+		for _, fk := range w.DB.Catalog.FKs {
+			if fk.FromTable == table && fk.FromColumn == c.Name {
+				isFK = true
+				break
+			}
+		}
+		if !isFK {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+func (w *Workload) someAttrColumn(q *query.Query, rng *rand.Rand) (alias, col string, ok bool) {
+	perm := rng.Perm(len(q.Relations))
+	for _, i := range perm {
+		rel := q.Relations[i]
+		cols := w.attrColumns(rel.Table)
+		if len(cols) > 0 {
+			return rel.Alias, cols[rng.Intn(len(cols))], true
+		}
+	}
+	return "", "", false
+}
+
+// addFilters attaches n seeded filters on attribute columns of the query's
+// relations, with values drawn from the columns' actual domains.
+func (w *Workload) addFilters(q *query.Query, n int, rng *rand.Rand) {
+	for attempts := 0; len(q.Filters) < n && attempts < n*10; attempts++ {
+		rel := q.Relations[rng.Intn(len(q.Relations))]
+		cols := w.attrColumns(rel.Table)
+		if len(cols) == 0 {
+			continue
+		}
+		colName := cols[rng.Intn(len(cols))]
+		ct := w.DB.Catalog.MustTable(rel.Table)
+		col, err := ct.Column(colName)
+		if err != nil {
+			continue
+		}
+		span := col.Max - col.Min
+		var f query.Filter
+		switch rng.Intn(3) {
+		case 0: // equality on a domain value
+			f = query.Filter{Alias: rel.Alias, Column: colName, Op: query.Eq, Value: col.Min + rng.Int63n(span+1)}
+		case 1: // keep roughly the lower 20–80%
+			f = query.Filter{Alias: rel.Alias, Column: colName, Op: query.Lt, Value: col.Min + span/5 + rng.Int63n(max64(3*span/5, 1))}
+		default: // keep roughly the upper 20–80%
+			f = query.Filter{Alias: rel.Alias, Column: colName, Op: query.Gt, Value: col.Min + rng.Int63n(max64(3*span/5, 1))}
+		}
+		// At most one filter per (alias, column): simpler and closer to JOB.
+		dup := false
+		for _, ex := range q.Filters {
+			if ex.Alias == f.Alias && ex.Column == f.Column {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			q.Filters = append(q.Filters, f)
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ByRelations generates a connected query over exactly n distinct relations
+// via a seeded random walk on the FK graph (the Figure 3c sweep).
+func (w *Workload) ByRelations(n int, seed int64) (*query.Query, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: relation count must be ≥ 1")
+	}
+	names := w.DB.Catalog.TableNames()
+	if n > len(names) {
+		return nil, fmt.Errorf("workload: %d relations exceeds the schema's %d tables", n, len(names))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for attempt := 0; attempt < 100; attempt++ {
+		start := names[rng.Intn(len(names))]
+		included := []string{start}
+		set := map[string]bool{start: true}
+		for len(included) < n {
+			// Gather the frontier of FK neighbors.
+			var frontier []string
+			for _, t := range included {
+				for _, nb := range w.DB.Catalog.Neighbors(t) {
+					if !set[nb] {
+						frontier = append(frontier, nb)
+					}
+				}
+			}
+			if len(frontier) == 0 {
+				break
+			}
+			pick := frontier[rng.Intn(len(frontier))]
+			included = append(included, pick)
+			set[pick] = true
+		}
+		if len(included) != n {
+			continue
+		}
+		sort.Strings(included)
+		q, err := w.assemble(fmt.Sprintf("gen%d_%d", n, seed), included, 1+rng.Intn(3), rng.Intn(5) == 0, rng)
+		if err == nil {
+			return q, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: could not build a connected %d-relation query", n)
+}
+
+// Training returns a deterministic workload of count queries whose relation
+// counts are uniform in [minRel, maxRel].
+func (w *Workload) Training(count, minRel, maxRel int, seed int64) ([]*query.Query, error) {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*query.Query, 0, count)
+	for i := 0; i < count; i++ {
+		n := minRel
+		if maxRel > minRel {
+			n += rng.Intn(maxRel - minRel + 1)
+		}
+		q, err := w.ByRelations(n, rng.Int63())
+		if err != nil {
+			return nil, err
+		}
+		q.Name = fmt.Sprintf("train%03d", i)
+		out = append(out, q)
+	}
+	return out, nil
+}

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"testing"
+
+	"handsfree/internal/datagen"
+)
+
+func testDB(t *testing.T) *datagen.Database {
+	t.Helper()
+	db, err := datagen.Generate(datagen.Config{Seed: 1, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestNamedQueriesValid(t *testing.T) {
+	w := New(testDB(t))
+	for _, name := range NamedNames() {
+		q, err := w.Named(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !q.Connected() {
+			t.Fatalf("%s: join graph disconnected", name)
+		}
+		if len(q.Filters) == 0 {
+			t.Fatalf("%s: no filters", name)
+		}
+	}
+}
+
+func TestFig3bNamesAllExist(t *testing.T) {
+	w := New(testDB(t))
+	for _, name := range Fig3bNames() {
+		if _, err := w.Named(name); err != nil {
+			t.Fatalf("figure 3b query %s: %v", name, err)
+		}
+	}
+}
+
+func TestNamedDeterministic(t *testing.T) {
+	w := New(testDB(t))
+	a := w.MustNamed("8c")
+	b := w.MustNamed("8c")
+	if a.SQL() != b.SQL() {
+		t.Fatalf("8c not deterministic:\n%s\n%s", a.SQL(), b.SQL())
+	}
+}
+
+func TestNamedRelationCountsMatchJOBShape(t *testing.T) {
+	w := New(testDB(t))
+	wants := map[string]int{"1a": 5, "8c": 7, "12b": 8, "13c": 9, "16b": 8, "22c": 11}
+	for name, want := range wants {
+		q := w.MustNamed(name)
+		if len(q.Relations) != want {
+			t.Fatalf("%s has %d relations, want %d", name, len(q.Relations), want)
+		}
+	}
+}
+
+func TestByRelationsExactCount(t *testing.T) {
+	w := New(testDB(t))
+	for _, n := range []int{1, 2, 4, 8, 12, 17} {
+		q, err := w.ByRelations(n, 7)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(q.Relations) != n {
+			t.Fatalf("n=%d: got %d relations", n, len(q.Relations))
+		}
+		if !q.Connected() {
+			t.Fatalf("n=%d: disconnected", n)
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestByRelationsDeterministicInSeed(t *testing.T) {
+	w := New(testDB(t))
+	a, _ := w.ByRelations(6, 42)
+	b, _ := w.ByRelations(6, 42)
+	if a.SQL() != b.SQL() {
+		t.Fatal("ByRelations not deterministic")
+	}
+	c, _ := w.ByRelations(6, 43)
+	if a.SQL() == c.SQL() {
+		t.Fatal("different seeds gave identical queries (suspicious)")
+	}
+}
+
+func TestByRelationsBounds(t *testing.T) {
+	w := New(testDB(t))
+	if _, err := w.ByRelations(0, 1); err == nil {
+		t.Fatal("accepted 0 relations")
+	}
+	if _, err := w.ByRelations(100, 1); err == nil {
+		t.Fatal("accepted more relations than tables")
+	}
+}
+
+func TestTrainingWorkload(t *testing.T) {
+	w := New(testDB(t))
+	qs, err := w.Training(20, 3, 7, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 20 {
+		t.Fatalf("got %d queries, want 20", len(qs))
+	}
+	for _, q := range qs {
+		n := len(q.Relations)
+		if n < 3 || n > 7 {
+			t.Fatalf("query %s has %d relations, want 3..7", q.Name, n)
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+	}
+}
+
+func TestFiltersUseRealDomains(t *testing.T) {
+	w := New(testDB(t))
+	qs, err := w.Training(30, 2, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		for _, f := range q.Filters {
+			rel, _ := q.RelationByAlias(f.Alias)
+			col, err := w.DB.Catalog.MustTable(rel.Table).Column(f.Column)
+			if err != nil {
+				t.Fatalf("%s: filter on unknown column %s.%s", q.Name, rel.Table, f.Column)
+			}
+			if f.Value < col.Min || f.Value > col.Max {
+				t.Fatalf("%s: filter value %d outside domain [%d,%d] of %s.%s",
+					q.Name, f.Value, col.Min, col.Max, rel.Table, f.Column)
+			}
+		}
+	}
+}
