@@ -7,10 +7,13 @@
 package handsfree
 
 import (
+	"math"
+	"math/rand"
 	"sync"
 	"testing"
 
 	"handsfree/internal/experiment"
+	"handsfree/internal/nn"
 	"handsfree/internal/optimizer"
 	"handsfree/internal/query"
 	"handsfree/internal/rejoin"
@@ -260,6 +263,138 @@ func BenchmarkExecutorHashJoin(b *testing.B) {
 		if _, _, err := sys.Execute(q, planned.Root); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- batched training-path benchmarks ---
+
+// benchQAgent builds a training setup shaped like the production agents:
+// a 256-dim observation, 64 actions, 128→64 hidden layers, and a replay
+// buffer of 4096 samples.
+func benchQAgent(seed int64) (*rl.QAgent, *rl.ReplayBuffer) {
+	const obsDim, actions = 256, 64
+	agent := rl.NewQAgent(obsDim, actions, rl.QAgentConfig{Hidden: []int{128, 64}, Seed: seed})
+	buf := rl.NewReplayBuffer(4096)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 4096; i++ {
+		f := make([]float64, obsDim)
+		for j := range f {
+			f[j] = rng.NormFloat64()
+		}
+		buf.Add(rl.Sample{Features: f, Action: rng.Intn(actions), Target: rng.NormFloat64()})
+	}
+	return agent, buf
+}
+
+// BenchmarkBatchedTrain measures QAgent.Train's batched path: one 64-sample
+// minibatch per iteration through a single parallel forward/backward pass.
+func BenchmarkBatchedTrain(b *testing.B) {
+	agent, buf := benchQAgent(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.Train(buf, 64)
+	}
+}
+
+// BenchmarkPerSampleTrain replicates the pre-batching training loop — one
+// 1×d forward/backward per sample — over the same 64-sample minibatch, for
+// comparison against BenchmarkBatchedTrain.
+func BenchmarkPerSampleTrain(b *testing.B) {
+	agent, buf := benchQAgent(1)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := buf.Sample(64, rng)
+		agent.Net.ZeroGrad()
+		for _, s := range batch {
+			pred := agent.Net.Forward(nn.FromVec(s.Features)).Data
+			grad := make([]float64, len(pred))
+			d := pred[s.Action] - s.Target
+			const delta = 1.0
+			if math.Abs(d) <= delta {
+				grad[s.Action] = d
+			} else if d > 0 {
+				grad[s.Action] = delta
+			} else {
+				grad[s.Action] = -delta
+			}
+			agent.Net.Backward(&nn.Mat{Rows: 1, Cols: len(grad), Data: grad})
+		}
+		for _, p := range agent.Net.Params() {
+			for j := range p.Grad {
+				p.Grad[j] /= float64(len(batch))
+			}
+		}
+		agent.Opt.Step(agent.Net.Params())
+	}
+}
+
+// BenchmarkMatMulParallel measures the goroutine-parallel kernel on the
+// batched-training matmul shape (64×256 · 256×128).
+func BenchmarkMatMulParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := nn.NewMat(64, 256)
+	w := nn.NewMat(256, 128)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.MatMul(x, w)
+	}
+}
+
+// BenchmarkMatMulSerial measures the same multiply with the parallel path
+// disabled (SetWorkers(1)).
+func BenchmarkMatMulSerial(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := nn.NewMat(64, 256)
+	w := nn.NewMat(256, 128)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64()
+	}
+	prev := nn.Workers()
+	nn.SetWorkers(1)
+	defer nn.SetWorkers(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.MatMul(x, w)
+	}
+}
+
+// BenchmarkParallelEpisodeCollection measures ReJOIN training throughput
+// with 4 collection workers, against BenchmarkSequentialEpisodeCollection.
+func BenchmarkParallelEpisodeCollection(b *testing.B) {
+	benchCollect(b, 4)
+}
+
+// BenchmarkSequentialEpisodeCollection is the single-worker baseline.
+func BenchmarkSequentialEpisodeCollection(b *testing.B) {
+	benchCollect(b, 1)
+}
+
+func benchCollect(b *testing.B, workers int) {
+	l := lab(b)
+	queries := make([]*query.Query, 0, 4)
+	for i := int64(0); i < 4; i++ {
+		q, err := l.Workload.ByRelations(8, 3+i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	space := l.Space(8)
+	env := rejoin.NewEnv(space, l.Planner, queries, 1)
+	agent := rejoin.NewAgent(env, rl.ReinforceConfig{Hidden: []int{128, 64}, BatchSize: 16, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.TrainEpisodes(16, workers)
 	}
 }
 

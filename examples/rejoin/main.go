@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"runtime"
 
 	"handsfree"
 	"handsfree/internal/optimizer"
@@ -49,11 +50,12 @@ func main() {
 		return math.Exp(logSum / float64(len(queries)))
 	}
 
-	fmt.Println("training ReJOIN (reward = optimizer cost model)…")
+	workers := runtime.NumCPU()
+	fmt.Printf("training ReJOIN (reward = optimizer cost model, %d collection workers)…\n", workers)
 	fmt.Printf("%8s  %s\n", "episode", "avg cost vs greedy optimizer")
 	for step := 0; step <= 10; step++ {
 		if step > 0 {
-			agent.Train(400)
+			agent.TrainParallel(400, workers)
 		}
 		fmt.Printf("%8d  %6.2f×\n", step*400, avgRatio())
 	}

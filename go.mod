@@ -1,0 +1,3 @@
+module handsfree
+
+go 1.24

@@ -205,11 +205,17 @@ func (a *ReJOINAgent) TrainEpisode() float64 {
 	return a.agent.TrainEpisode().Cost
 }
 
-// Train runs n learning episodes.
+// Train runs n learning episodes sequentially.
 func (a *ReJOINAgent) Train(n int) {
-	for i := 0; i < n; i++ {
-		a.agent.TrainEpisode()
-	}
+	a.agent.TrainEpisodes(n, 1)
+}
+
+// TrainParallel runs n learning episodes collected by `workers` concurrent
+// environment replicas stepping frozen policy snapshots. Trajectories merge
+// deterministically, so training remains reproducible for a fixed seed and
+// worker count; use runtime.NumCPU() workers to saturate the machine.
+func (a *ReJOINAgent) TrainParallel(n, workers int) {
+	a.agent.TrainEpisodes(n, workers)
 }
 
 // Plan produces the trained agent's (greedy) plan for a query along with

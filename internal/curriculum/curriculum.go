@@ -122,7 +122,12 @@ type Config struct {
 	// Agent configures the policy learner (rebuilt per phase with weights
 	// transferred).
 	Agent rl.ReinforceConfig
-	Seed  int64
+	// Workers > 1 collects training episodes with that many parallel
+	// environment replicas per phase (frozen policy snapshots, one
+	// policy-batch per collection round, deterministic merge). Workers ≤ 1
+	// trains strictly sequentially.
+	Workers int
+	Seed    int64
 }
 
 // Trainer runs a schedule.
@@ -200,11 +205,32 @@ func (t *Trainer) RunPhase(p Phase, episodeBase int, onEpisode func(ep int, out 
 	t.stages = p.Stages
 	t.env = env
 
-	for ep := 0; ep < p.Episodes; ep++ {
-		traj := rl.RunEpisode(env, t.agent.Sample, 4*t.Cfg.Space.MaxRels+8)
-		t.agent.Observe(traj)
-		if onEpisode != nil {
-			onEpisode(episodeBase+ep, env.Last)
+	if t.Cfg.Workers > 1 {
+		// Parallel collection: one policy-batch of episodes per round from
+		// frozen policy snapshots, merged deterministically, so the learner
+		// updates exactly as often as in sequential training.
+		collector := planspace.NewCollector(env, t.Cfg.Workers)
+		round := t.agent.Cfg.BatchSize
+		if round < 1 {
+			round = 1
+		}
+		for ep := 0; ep < p.Episodes; {
+			n := min(round, p.Episodes-ep)
+			for i, rec := range collector.Collect(t.agent, n) {
+				t.agent.Observe(rec.Traj)
+				if onEpisode != nil {
+					onEpisode(episodeBase+ep+i, rec.Out)
+				}
+			}
+			ep += n
+		}
+	} else {
+		for ep := 0; ep < p.Episodes; ep++ {
+			traj := rl.RunEpisode(env, t.agent.Sample, 4*t.Cfg.Space.MaxRels+8)
+			t.agent.Observe(traj)
+			if onEpisode != nil {
+				onEpisode(episodeBase+ep, env.Last)
+			}
 		}
 	}
 

@@ -182,3 +182,41 @@ func TestHybridRunsEndToEnd(t *testing.T) {
 		t.Fatalf("hybrid produced %d phases", len(results))
 	}
 }
+
+// TestTrainerParallelWorkers runs a schedule with parallel episode
+// collection and checks episode accounting, outcome validity, and
+// run-to-run determinism of the phase results.
+func TestTrainerParallelWorkers(t *testing.T) {
+	run := func() []PhaseResult {
+		cfg := fixtureCfg(t, 6, 2, 5)
+		cfg.Workers = 3
+		tr := NewTrainer(cfg)
+		episodes := 0
+		results, err := tr.Run(PipelineSchedule(24), func(ep int, out planspace.Outcome) {
+			if ep != episodes {
+				t.Fatalf("episode index %d, want %d", ep, episodes)
+			}
+			episodes++
+			if out.Cost <= 0 {
+				t.Fatalf("episode %d outcome cost %v", ep, out.Cost)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if episodes != 96 {
+			t.Fatalf("ran %d episodes, want 96", episodes)
+		}
+		return results
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].FinalRatio != b[i].FinalRatio {
+			t.Fatalf("phase %d: ratio %v vs %v across identical parallel runs",
+				i, a[i].FinalRatio, b[i].FinalRatio)
+		}
+		if a[i].FinalRatio <= 0 {
+			t.Fatalf("phase %s ratio %v", a[i].Phase.Name, a[i].FinalRatio)
+		}
+	}
+}

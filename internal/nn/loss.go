@@ -54,6 +54,72 @@ func MaskedSoftmax(logits []float64, mask []bool) []float64 {
 	return out
 }
 
+// SoftmaxRows applies Softmax independently to every row of a batch of
+// logits, writing into a new matrix of the same shape.
+func SoftmaxRows(logits *Mat) *Mat {
+	out := NewMat(logits.Rows, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		copy(out.Row(i), Softmax(logits.Row(i)))
+	}
+	return out
+}
+
+// MaskedSoftmaxRows applies MaskedSoftmax to every row of a batch of logits
+// under the corresponding per-row mask. len(masks) must equal logits.Rows.
+func MaskedSoftmaxRows(logits *Mat, masks [][]bool) *Mat {
+	if len(masks) != logits.Rows {
+		panic("nn: MaskedSoftmaxRows mask count does not match batch size")
+	}
+	out := NewMat(logits.Rows, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		copy(out.Row(i), MaskedSoftmax(logits.Row(i), masks[i]))
+	}
+	return out
+}
+
+// MSEBatch returns the mean squared error over a whole k×d batch (each row
+// one sample) and the gradient matrix with respect to pred. Equivalent to
+// averaging per-row MSE over the batch.
+func MSEBatch(pred, target *Mat) (loss float64, grad *Mat) {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		panic("nn: MSEBatch shape mismatch")
+	}
+	grad = NewMat(pred.Rows, pred.Cols)
+	n := float64(len(pred.Data))
+	for i, p := range pred.Data {
+		d := p - target.Data[i]
+		loss += d * d
+		grad.Data[i] = 2 * d / n
+	}
+	return loss / n, grad
+}
+
+// HuberBatch returns the Huber loss (delta=1) over a whole k×d batch and the
+// gradient matrix with respect to pred — the batched form of HuberLoss.
+func HuberBatch(pred, target *Mat) (loss float64, grad *Mat) {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		panic("nn: HuberBatch shape mismatch")
+	}
+	const delta = 1.0
+	grad = NewMat(pred.Rows, pred.Cols)
+	n := float64(len(pred.Data))
+	for i, p := range pred.Data {
+		d := p - target.Data[i]
+		if math.Abs(d) <= delta {
+			loss += 0.5 * d * d
+			grad.Data[i] = d / n
+		} else {
+			loss += delta * (math.Abs(d) - 0.5*delta)
+			if d > 0 {
+				grad.Data[i] = delta / n
+			} else {
+				grad.Data[i] = -delta / n
+			}
+		}
+	}
+	return loss / n, grad
+}
+
 // MSE returns the mean squared error and the gradient with respect to pred.
 func MSE(pred, target []float64) (loss float64, grad []float64) {
 	grad = make([]float64, len(pred))

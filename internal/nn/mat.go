@@ -6,6 +6,22 @@
 // deep-learning framework. It is deliberately minimal — everything the
 // hands-free optimizer's agents need and nothing more — but it is exact:
 // gradients are verified against numerical differentiation in the tests.
+//
+// # Batching and parallelism
+//
+// The package is batch-first: a batch of k states is a k×d Mat, and
+// Network.Forward/Backward process whole batches with per-layer cached
+// activations, batched bias addition, and batched gradient accumulation.
+// Row-wise helpers (SoftmaxRows, MaskedSoftmaxRows, MSEBatch, HuberBatch)
+// extend the single-vector losses to batches.
+//
+// The three matrix kernels (MatMul, MatMulATB, MatMulABT) transparently
+// split their independent output-row blocks across a shared goroutine worker
+// pool once the multiply-accumulate count crosses parallelThreshold and the
+// parallel dimension has at least minParallelRows rows. Because each output
+// row is accumulated in exactly the order the serial kernel uses, the
+// parallel kernels are bitwise identical to the serial ones — verified in
+// the tests. SetWorkers(1) disables the parallel path entirely.
 package nn
 
 import (
@@ -57,13 +73,23 @@ func (m *Mat) Zero() {
 }
 
 // MatMul returns a·b. Panics if the inner dimensions disagree; shape errors
-// here are always programmer errors, never data errors.
+// here are always programmer errors, never data errors. Large products are
+// computed tile-parallel on the package worker pool with results bitwise
+// identical to the serial kernel.
 func MatMul(a, b *Mat) *Mat {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("nn: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := NewMat(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		matMulRows(a, b, out, lo, hi)
+	})
+	return out
+}
+
+// matMulRows computes output rows [lo, hi) of a·b.
+func matMulRows(a, b, out *Mat, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		for k, av := range arow {
@@ -76,7 +102,6 @@ func MatMul(a, b *Mat) *Mat {
 			}
 		}
 	}
-	return out
 }
 
 // MatMulATB returns aᵀ·b without materializing the transpose.
@@ -85,10 +110,21 @@ func MatMulATB(a, b *Mat) *Mat {
 		panic(fmt.Sprintf("nn: matmulATB shape mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := NewMat(a.Cols, b.Cols)
+	parallelRows(a.Cols, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		matMulATBRows(a, b, out, lo, hi)
+	})
+	return out
+}
+
+// matMulATBRows computes output rows [lo, hi) of aᵀ·b. The reduction over
+// a's rows stays outermost so each output element accumulates in the same
+// order as the serial kernel.
+func matMulATBRows(a, b, out *Mat, lo, hi int) {
 	for r := 0; r < a.Rows; r++ {
 		arow := a.Row(r)
 		brow := b.Row(r)
-		for i, av := range arow {
+		for i := lo; i < hi; i++ {
+			av := arow[i]
 			if av == 0 {
 				continue
 			}
@@ -98,7 +134,6 @@ func MatMulATB(a, b *Mat) *Mat {
 			}
 		}
 	}
-	return out
 }
 
 // MatMulABT returns a·bᵀ without materializing the transpose.
@@ -107,7 +142,15 @@ func MatMulABT(a, b *Mat) *Mat {
 		panic(fmt.Sprintf("nn: matmulABT shape mismatch %dx%d · %dx%d ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := NewMat(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Rows, func(lo, hi int) {
+		matMulABTRows(a, b, out, lo, hi)
+	})
+	return out
+}
+
+// matMulABTRows computes output rows [lo, hi) of a·bᵀ.
+func matMulABTRows(a, b, out *Mat, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		for j := 0; j < b.Rows; j++ {
@@ -119,7 +162,6 @@ func MatMulABT(a, b *Mat) *Mat {
 			orow[j] = s
 		}
 	}
-	return out
 }
 
 // Xavier fills m with Glorot-uniform values appropriate for a layer with the

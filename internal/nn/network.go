@@ -191,15 +191,28 @@ func (n *Network) UnmarshalBinary(data []byte) error {
 	return nil
 }
 
-// Clone returns a deep copy of the network (parameters copied, gradients fresh).
+// Clone returns a deep copy of the network (parameters copied, gradients
+// fresh). It copies structurally rather than through the gob round-trip:
+// policy snapshots are cloned once per parallel collection round, so this is
+// a warm path.
 func (n *Network) Clone() *Network {
-	data, err := n.MarshalBinary()
-	if err != nil {
-		panic(err) // all layer kinds constructed by this package serialize
-	}
-	out := &Network{}
-	if err := out.UnmarshalBinary(data); err != nil {
-		panic(err)
+	out := &Network{Layers: make([]Layer, 0, len(n.Layers))}
+	for _, l := range n.Layers {
+		switch l := l.(type) {
+		case *Linear:
+			out.Layers = append(out.Layers, &Linear{
+				In:  l.In,
+				Out: l.Out,
+				W:   &Param{Name: "W", Value: append([]float64(nil), l.W.Value...), Grad: make([]float64, len(l.W.Grad))},
+				B:   &Param{Name: "b", Value: append([]float64(nil), l.B.Value...), Grad: make([]float64, len(l.B.Grad))},
+			})
+		case *ReLU:
+			out.Layers = append(out.Layers, &ReLU{})
+		case *Tanh:
+			out.Layers = append(out.Layers, &Tanh{})
+		default:
+			panic(fmt.Sprintf("nn: cannot clone layer %T", l))
+		}
 	}
 	return out
 }

@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelThreshold is the minimum multiply-accumulate count at which a
+// matrix kernel is split across the worker pool. Below it, goroutine
+// hand-off costs more than the arithmetic it saves.
+const parallelThreshold = 1 << 16
+
+// minParallelRows is the minimum parallel-dimension size worth splitting:
+// single-vector (1×d) passes always stay on the calling goroutine.
+const minParallelRows = 4
+
+// workerCount is the configured kernel parallelism (see SetWorkers).
+var workerCount atomic.Int64
+
+func init() {
+	workerCount.Store(int64(runtime.GOMAXPROCS(0)))
+}
+
+// SetWorkers sets how many goroutines the matrix kernels may use. n ≤ 1
+// forces every kernel onto the serial path (useful for benchmarking the
+// serial baseline and for debugging); the default is GOMAXPROCS.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	workerCount.Store(int64(n))
+}
+
+// Workers reports the configured kernel parallelism.
+func Workers() int { return int(workerCount.Load()) }
+
+// pool is the shared kernel worker pool, started lazily on the first
+// parallel kernel call. Workers live for the life of the process; the pool
+// is sized to GOMAXPROCS at first use.
+var pool struct {
+	once  sync.Once
+	tasks chan func()
+}
+
+func ensurePool() {
+	pool.once.Do(func() {
+		pool.tasks = make(chan func())
+		for i := 0; i < runtime.GOMAXPROCS(0); i++ {
+			go func() {
+				for f := range pool.tasks {
+					f()
+				}
+			}()
+		}
+	})
+}
+
+// parallelRows runs f over row blocks covering [0, rows). When the work is
+// large enough it fans the blocks out to the worker pool and waits; blocks
+// the pool cannot accept immediately run on the calling goroutine, so the
+// split never deadlocks even when many collectors saturate the pool
+// concurrently. Each block is a contiguous row range and every row is
+// processed exactly once, so any f whose rows are independent (or whose
+// per-row accumulation order is internal to f) produces results identical
+// to a single f(0, rows) call.
+func parallelRows(rows, flops int, f func(lo, hi int)) {
+	workers := Workers()
+	if workers <= 1 || rows < minParallelRows || flops < parallelThreshold {
+		f(0, rows)
+		return
+	}
+	if workers > rows {
+		workers = rows
+	}
+	ensurePool()
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		if hi == rows {
+			// Run the final block on the calling goroutine so the caller
+			// contributes instead of idling on the WaitGroup.
+			f(lo, hi)
+			break
+		}
+		wg.Add(1)
+		task := func(lo, hi int) func() {
+			return func() {
+				defer wg.Done()
+				f(lo, hi)
+			}
+		}(lo, hi)
+		select {
+		case pool.tasks <- task:
+		default:
+			task()
+		}
+	}
+	wg.Wait()
+}

@@ -1,0 +1,61 @@
+package planspace
+
+import (
+	"testing"
+
+	"handsfree/internal/rl"
+)
+
+// TestCollectorDeterministic collects the same parallel round twice against
+// identically seeded agents and requires identical outcomes and order.
+func TestCollectorDeterministic(t *testing.T) {
+	f := fixture(t, 4, 3, 4)
+	run := func() []EpisodeRecord {
+		env := f.env(StagePrefix(2), CostReward, false)
+		agent := rl.NewReinforce(env.ObsDim(), env.ActionDim(), rl.ReinforceConfig{Hidden: []int{16}, Seed: 5})
+		return NewCollector(env, 3).Collect(agent, 12)
+	}
+	a, b := run(), run()
+	if len(a) != 12 || len(b) != 12 {
+		t.Fatalf("collected %d and %d episodes, want 12", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Out.Cost != b[i].Out.Cost || a[i].Query.Name != b[i].Query.Name {
+			t.Fatalf("episode %d differs across identical collection runs: (%v,%s) vs (%v,%s)",
+				i, a[i].Out.Cost, a[i].Query.Name, b[i].Out.Cost, b[i].Query.Name)
+		}
+		if a[i].Out.Plan == nil {
+			t.Fatalf("episode %d has no plan", i)
+		}
+		if len(a[i].Traj.Steps) == 0 {
+			t.Fatalf("episode %d has an empty trajectory", i)
+		}
+	}
+}
+
+// TestCollectorFoldsExecutionCounters runs a latency-executing collection
+// and checks the replicas' execution counts fold back into the base env.
+func TestCollectorFoldsExecutionCounters(t *testing.T) {
+	f := fixture(t, 3, 3, 3)
+	env := f.env(StagePrefix(1), LatencyReward, true)
+	agent := rl.NewReinforce(env.ObsDim(), env.ActionDim(), rl.ReinforceConfig{Hidden: []int{16}, Seed: 6})
+	NewCollector(env, 2).Collect(agent, 8)
+	if env.Executions != 8 {
+		t.Fatalf("base env folded %d executions, want 8", env.Executions)
+	}
+}
+
+// TestReplicaIndependentEpisodes checks a replica owns its own episode state.
+func TestReplicaIndependentEpisodes(t *testing.T) {
+	f := fixture(t, 3, 3, 4)
+	base := f.env(StagePrefix(1), CostReward, false)
+	rep := base.Replica(1, 2)
+	s1 := base.Reset()
+	s2 := rep.Reset()
+	if base.Current() == rep.Current() {
+		t.Fatal("staggered replicas started on the same query")
+	}
+	if len(s1.Features) != len(s2.Features) {
+		t.Fatal("replica observation dimension differs from base")
+	}
+}

@@ -1,0 +1,60 @@
+package rejoin
+
+import (
+	"handsfree/internal/rl"
+)
+
+// TrainEpisodes runs `episodes` training episodes and returns their results
+// in order. With workers ≤ 1 it is a plain sequential loop over
+// TrainEpisode. With workers > 1 it collects episodes in parallel: each
+// worker drives its own environment replica with a frozen snapshot of the
+// current policy, one policy-batch of episodes per round, and the round's
+// trajectories are merged deterministically (seeded per-worker RNGs, merge
+// order a pure function of worker/episode indices) before being fed to the
+// learner. The policy therefore updates exactly as often as in sequential
+// training — once per accumulated batch — while episode collection, the
+// dominant cost (n−1 network passes plus a full optimizer completion per
+// episode), saturates the available cores.
+func (a *Agent) TrainEpisodes(episodes, workers int) []EpisodeResult {
+	results := make([]EpisodeResult, 0, episodes)
+	if workers <= 1 {
+		for i := 0; i < episodes; i++ {
+			results = append(results, a.TrainEpisode())
+		}
+		return results
+	}
+
+	envs := make([]rl.Env, workers)
+	replicas := make([]*Env, workers)
+	for w := 0; w < workers; w++ {
+		replicas[w] = a.Env.Replica(w, workers)
+		envs[w] = replicas[w]
+	}
+	maxSteps := 2*a.Env.Space.MaxRels + 4
+	round := a.RL.Cfg.BatchSize
+	if round < 1 {
+		round = 1
+	}
+	for done := 0; done < episodes; {
+		n := min(round, episodes-done)
+		per := rl.SplitEpisodes(n, workers)
+		policies := make([]func(rl.State) int, workers)
+		perResults := make([][]EpisodeResult, workers)
+		for w := 0; w < workers; w++ {
+			a.snapSeed++
+			policies[w] = a.RL.PolicySnapshot(a.snapSeed)
+			perResults[w] = make([]EpisodeResult, per[w])
+		}
+		trajs := rl.CollectParallel(envs, policies, per, maxSteps, func(w, ep int, _ rl.Trajectory) {
+			perResults[w][ep] = EpisodeResult{
+				Query: replicas[w].Current(),
+				Cost:  replicas[w].LastCost,
+				Plan:  replicas[w].LastPlan,
+			}
+		})
+		a.RL.ObserveAll(rl.Interleave(trajs))
+		results = append(results, rl.Interleave(perResults)...)
+		done += n
+	}
+	return results
+}

@@ -1,0 +1,74 @@
+package rejoin
+
+import (
+	"testing"
+
+	"handsfree/internal/featurize"
+	"handsfree/internal/rl"
+)
+
+// collectRun trains a fresh agent with the given worker count and returns
+// the per-episode costs in result order.
+func collectRun(t *testing.T, fx fixtureT, episodes, workers int) []float64 {
+	t.Helper()
+	space := featurize.NewSpace(fx.maxRels, fx.est)
+	env := NewEnv(space, fx.planner, fx.queries, 1)
+	agent := NewAgent(env, rl.ReinforceConfig{Hidden: []int{32}, BatchSize: 8, Seed: 2})
+	results := agent.TrainEpisodes(episodes, workers)
+	if len(results) != episodes {
+		t.Fatalf("TrainEpisodes returned %d results, want %d", len(results), episodes)
+	}
+	costs := make([]float64, len(results))
+	for i, r := range results {
+		if r.Plan == nil || r.Query == nil || r.Cost <= 0 {
+			t.Fatalf("episode %d incomplete: plan=%v cost=%v", i, r.Plan, r.Cost)
+		}
+		costs[i] = r.Cost
+	}
+	return costs
+}
+
+// TestParallelCollectionDeterministic runs the same parallel training twice:
+// worker envs and policy snapshots are seeded, and the merge order is a pure
+// function of worker/episode indices, so the two runs must be identical.
+func TestParallelCollectionDeterministic(t *testing.T) {
+	fx := fixture(t, 4, 4, 5)
+	a := collectRun(t, fx, 32, 4)
+	b := collectRun(t, fx, 32, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("episode %d: cost %v vs %v across identical parallel runs", i, a[i], b[i])
+		}
+	}
+}
+
+// TestParallelCollectionCoversWorkload checks that staggered worker cursors
+// serve every workload query during a parallel round.
+func TestParallelCollectionCoversWorkload(t *testing.T) {
+	fx := fixture(t, 4, 4, 4)
+	space := featurize.NewSpace(fx.maxRels, fx.est)
+	env := NewEnv(space, fx.planner, fx.queries, 1)
+	agent := NewAgent(env, rl.ReinforceConfig{Hidden: []int{16}, BatchSize: 8, Seed: 3})
+	seen := map[string]int{}
+	for _, r := range agent.TrainEpisodes(16, 4) {
+		seen[r.Query.Name]++
+	}
+	for _, q := range fx.queries {
+		if seen[q.Name] == 0 {
+			t.Fatalf("query %s never served during parallel collection", q.Name)
+		}
+	}
+}
+
+// TestParallelCollectionTrainsPolicy verifies that the learner actually
+// updates from parallel-collected trajectories.
+func TestParallelCollectionTrainsPolicy(t *testing.T) {
+	fx := fixture(t, 4, 4, 4)
+	space := featurize.NewSpace(fx.maxRels, fx.est)
+	env := NewEnv(space, fx.planner, fx.queries, 1)
+	agent := NewAgent(env, rl.ReinforceConfig{Hidden: []int{16}, BatchSize: 8, Seed: 4})
+	agent.TrainEpisodes(40, 4)
+	if agent.RL.Updates == 0 {
+		t.Fatal("no policy updates after 40 parallel episodes with batch size 8")
+	}
+}

@@ -42,6 +42,7 @@ type Env struct {
 	DisallowCross bool
 
 	rng    *rand.Rand
+	seed   int64
 	curIdx int
 	cur    *query.Query
 	forest []plan.Node
@@ -58,8 +59,24 @@ func NewEnv(space *featurize.Space, planner *optimizer.Planner, queries []*query
 		Planner: planner,
 		Queries: queries,
 		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
 		curIdx:  -1,
 	}
+}
+
+// Replica returns an independent copy of the environment for parallel
+// episode collection: its own RNG stream (derived from the worker index)
+// and an episode cursor staggered so that `workers` replicas sweep the
+// workload with minimal overlap. The planner, featurization space, and
+// query set are shared — they are read-only during planning.
+func (e *Env) Replica(worker, workers int) *Env {
+	r := NewEnv(e.Space, e.Planner, e.Queries, e.seed+1000*int64(worker+1))
+	r.Reward = e.Reward
+	r.DisallowCross = e.DisallowCross
+	if workers > 0 {
+		r.curIdx = (worker*len(e.Queries))/workers - 1
+	}
+	return r
 }
 
 // Current returns the query served by the episode in progress.
@@ -151,11 +168,16 @@ func (e *Env) terminalReward(cost float64) float64 {
 type Agent struct {
 	Env *Env
 	RL  *rl.Reinforce
+
+	// snapSeed persists the policy-snapshot seed counter across
+	// TrainEpisodes calls so successive parallel rounds never replay an
+	// earlier round's action-sampling RNG streams.
+	snapSeed int64
 }
 
 // NewAgent builds a ReJOIN agent with the given policy configuration.
 func NewAgent(env *Env, cfg rl.ReinforceConfig) *Agent {
-	return &Agent{Env: env, RL: rl.NewReinforce(env.ObsDim(), env.ActionDim(), cfg)}
+	return &Agent{Env: env, RL: rl.NewReinforce(env.ObsDim(), env.ActionDim(), cfg), snapSeed: cfg.Seed}
 }
 
 // EpisodeResult reports one training or evaluation episode.

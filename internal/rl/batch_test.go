@@ -1,0 +1,446 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"handsfree/internal/nn"
+)
+
+// fillBuffer adds n random reward-prediction samples over obsDim/actions.
+func fillBuffer(buf *ReplayBuffer, n, obsDim, actions int, rng *rand.Rand) {
+	for i := 0; i < n; i++ {
+		f := make([]float64, obsDim)
+		for j := range f {
+			f[j] = rng.NormFloat64()
+		}
+		mask := make([]bool, actions)
+		valid := 0
+		for j := range mask {
+			mask[j] = rng.Intn(3) > 0
+			if mask[j] {
+				valid++
+			}
+		}
+		a := rng.Intn(actions)
+		mask[a] = true
+		buf.Add(Sample{Features: f, Mask: mask, Action: a, Target: rng.NormFloat64() * 2})
+	}
+}
+
+// trainPerSampleReference replicates the pre-batching QAgent.Train loop:
+// one 1×d forward/backward per sample. It must consume the agent's RNG
+// exactly like Train does so both paths see the same minibatch.
+func trainPerSampleReference(q *QAgent, buf *ReplayBuffer, batchSize int) float64 {
+	batch := buf.Sample(batchSize, q.rng)
+	q.Net.ZeroGrad()
+	var total float64
+	for _, s := range batch {
+		pred := q.Net.Forward(nn.FromVec(s.Features)).Data
+		grad := make([]float64, len(pred))
+		d := pred[s.Action] - s.Target
+		const delta = 1.0
+		if math.Abs(d) <= delta {
+			total += 0.5 * d * d
+			grad[s.Action] = d
+		} else {
+			total += delta * (math.Abs(d) - 0.5*delta)
+			if d > 0 {
+				grad[s.Action] = delta
+			} else {
+				grad[s.Action] = -delta
+			}
+		}
+		q.Net.Backward(&nn.Mat{Rows: 1, Cols: len(grad), Data: grad})
+	}
+	for _, p := range q.Net.Params() {
+		for i := range p.Grad {
+			p.Grad[i] /= float64(len(batch))
+		}
+	}
+	q.Opt.Step(q.Net.Params())
+	return total / float64(len(batch))
+}
+
+// trainMarginPerSampleReference replicates the pre-batching TrainMargin loop.
+func trainMarginPerSampleReference(q *QAgent, buf *ReplayBuffer, batchSize int, margin, marginWeight float64) float64 {
+	batch := buf.Sample(batchSize, q.rng)
+	q.Net.ZeroGrad()
+	var total float64
+	for _, s := range batch {
+		pred := q.Net.Forward(nn.FromVec(s.Features)).Data
+		grad := make([]float64, len(pred))
+		d := pred[s.Action] - s.Target
+		const delta = 1.0
+		if math.Abs(d) <= delta {
+			total += 0.5 * d * d
+			grad[s.Action] = d
+		} else {
+			total += delta * (math.Abs(d) - 0.5*delta)
+			if d > 0 {
+				grad[s.Action] = delta
+			} else {
+				grad[s.Action] = -delta
+			}
+		}
+		if len(s.Mask) == len(pred) {
+			comp, compV := -1, math.Inf(1)
+			for i, ok := range s.Mask {
+				if !ok || i == s.Action {
+					continue
+				}
+				if pred[i] < compV {
+					comp, compV = i, pred[i]
+				}
+			}
+			if comp >= 0 {
+				violation := pred[s.Action] - (compV - margin)
+				if violation > 0 {
+					total += marginWeight * violation
+					grad[s.Action] += marginWeight
+					grad[comp] -= marginWeight
+				}
+			}
+		}
+		q.Net.Backward(&nn.Mat{Rows: 1, Cols: len(grad), Data: grad})
+	}
+	for _, p := range q.Net.Params() {
+		for i := range p.Grad {
+			p.Grad[i] /= float64(len(batch))
+		}
+	}
+	q.Opt.Step(q.Net.Params())
+	return total / float64(len(batch))
+}
+
+func maxParamDiff(a, b []*nn.Param) float64 {
+	var worst float64
+	for i := range a {
+		for j := range a[i].Value {
+			if d := math.Abs(a[i].Value[j] - b[i].Value[j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+// TestBatchedTrainMatchesPerSample trains two identically seeded agents on
+// the same buffer — one with the batched Train, one with the per-sample
+// reference — and requires their parameters to agree within 1e-9 after
+// several minibatches (the paths are accumulation-order identical, so the
+// difference should in fact be zero).
+func TestBatchedTrainMatchesPerSample(t *testing.T) {
+	const obsDim, actions = 24, 10
+	cases := []struct {
+		name string
+		step func(q *QAgent, buf *ReplayBuffer) float64
+		ref  func(q *QAgent, buf *ReplayBuffer) float64
+	}{
+		{
+			name: "huber",
+			step: func(q *QAgent, buf *ReplayBuffer) float64 { return q.Train(buf, 32) },
+			ref:  func(q *QAgent, buf *ReplayBuffer) float64 { return trainPerSampleReference(q, buf, 32) },
+		},
+		{
+			name: "margin",
+			step: func(q *QAgent, buf *ReplayBuffer) float64 { return q.TrainMargin(buf, 32, 0.3, 1.0) },
+			ref: func(q *QAgent, buf *ReplayBuffer) float64 {
+				return trainMarginPerSampleReference(q, buf, 32, 0.3, 1.0)
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := NewReplayBuffer(4096)
+			fillBuffer(buf, 512, obsDim, actions, rand.New(rand.NewSource(1)))
+			batched := NewQAgent(obsDim, actions, QAgentConfig{Hidden: []int{32, 16}, Seed: 9})
+			reference := NewQAgent(obsDim, actions, QAgentConfig{Hidden: []int{32, 16}, Seed: 9})
+			for step := 0; step < 20; step++ {
+				lb := tc.step(batched, buf)
+				lr := tc.ref(reference, buf)
+				if math.Abs(lb-lr) > 1e-9 {
+					t.Fatalf("step %d: batched loss %v vs per-sample loss %v", step, lb, lr)
+				}
+			}
+			if d := maxParamDiff(batched.Net.Params(), reference.Net.Params()); d > 1e-9 {
+				t.Fatalf("parameters diverged by %v after 20 steps, want ≤ 1e-9", d)
+			}
+		})
+	}
+}
+
+// TestPredictBatchMatchesPredict checks row-for-row agreement between the
+// batched and single-state inference paths.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	const obsDim, actions = 17, 6
+	agent := NewQAgent(obsDim, actions, QAgentConfig{Hidden: []int{20}, Seed: 2})
+	rng := rand.New(rand.NewSource(3))
+	states := make([]State, 13)
+	for i := range states {
+		f := make([]float64, obsDim)
+		for j := range f {
+			f[j] = rng.NormFloat64()
+		}
+		states[i] = State{Features: f}
+	}
+	batch := agent.PredictBatch(states)
+	for i, s := range states {
+		single := agent.Predict(s)
+		for j := range single {
+			if math.Abs(batch.At(i, j)-single[j]) > 1e-9 {
+				t.Fatalf("state %d action %d: batch %v vs single %v", i, j, batch.At(i, j), single[j])
+			}
+		}
+	}
+}
+
+// TestProbsBatchMatchesProbs checks the batched policy distribution path.
+func TestProbsBatchMatchesProbs(t *testing.T) {
+	const obsDim, actions = 11, 5
+	agent := NewReinforce(obsDim, actions, ReinforceConfig{Hidden: []int{16}, Seed: 4})
+	rng := rand.New(rand.NewSource(5))
+	states := make([]State, 9)
+	for i := range states {
+		f := make([]float64, obsDim)
+		for j := range f {
+			f[j] = rng.NormFloat64()
+		}
+		mask := make([]bool, actions)
+		for j := range mask {
+			mask[j] = rng.Intn(2) == 0
+		}
+		mask[rng.Intn(actions)] = true
+		states[i] = State{Features: f, Mask: mask}
+	}
+	batch := agent.ProbsBatch(states)
+	for i, s := range states {
+		single := agent.Probs(s)
+		for j := range single {
+			if math.Abs(batch.At(i, j)-single[j]) > 1e-9 {
+				t.Fatalf("state %d action %d: batch %v vs single %v", i, j, batch.At(i, j), single[j])
+			}
+		}
+	}
+}
+
+// reinforceUpdateReference replicates the pre-batching REINFORCE update:
+// one 1×d forward/backward per recorded step.
+func reinforceUpdateReference(a *Reinforce) {
+	n := len(a.batch)
+	if n == 0 {
+		return
+	}
+	mean := 0.0
+	for _, t := range a.batch {
+		mean += t.Return
+	}
+	mean /= float64(n)
+	variance := 0.0
+	for _, t := range a.batch {
+		d := t.Return - mean
+		variance += d * d
+	}
+	std := math.Sqrt(variance/float64(n)) + 1e-8
+
+	baseline := mean
+	if a.Cfg.Baseline == BaselineRunningEMA {
+		if !a.emaOK {
+			a.ema = mean
+			a.emaOK = true
+		}
+		baseline = a.ema
+		a.ema += a.Cfg.EMAAlpha * (mean - a.ema)
+	}
+
+	a.Policy.ZeroGrad()
+	for _, t := range a.batch {
+		var adv float64
+		if a.Cfg.Baseline == BaselineRunningEMA {
+			adv = t.Return - baseline
+		} else {
+			adv = (t.Return - mean) / std
+		}
+		for _, st := range t.Steps {
+			logits := a.Policy.Forward(nn.FromVec(st.Features))
+			probs := nn.MaskedSoftmax(logits.Data, st.Mask)
+			grad := nn.PolicyGradient(probs, st.Mask, st.Action, adv, a.entCoef)
+			a.Policy.Backward(&nn.Mat{Rows: 1, Cols: len(grad), Data: grad})
+		}
+	}
+	for _, p := range a.Policy.Params() {
+		for i := range p.Grad {
+			p.Grad[i] /= float64(n)
+		}
+	}
+	a.Opt.Step(a.Policy.Params())
+	a.Updates++
+}
+
+// TestBatchedReinforceUpdateMatchesPerSample feeds identical trajectory
+// batches to two identically seeded agents — one updating through the
+// batched path, one through the per-sample reference — and requires the
+// resulting policies to agree within 1e-9.
+func TestBatchedReinforceUpdateMatchesPerSample(t *testing.T) {
+	env := &chainEnv{}
+	cfg := ReinforceConfig{Hidden: []int{16, 8}, BatchSize: 8, Seed: 6}
+	batched := NewReinforce(env.ObsDim(), env.ActionDim(), cfg)
+	reference := NewReinforce(env.ObsDim(), env.ActionDim(), cfg)
+
+	for round := 0; round < 6; round++ {
+		// Trajectories are collected once (with the batched agent's sampler)
+		// and fed identically to both learners; update() itself draws no
+		// randomness, so the reference needs no RNG alignment.
+		var trajs []Trajectory
+		for i := 0; i < cfg.BatchSize; i++ {
+			trajs = append(trajs, RunEpisode(env, batched.Sample, 10))
+		}
+		for _, traj := range trajs {
+			batched.Observe(traj)
+		}
+		reference.batch = append(reference.batch[:0], trajs...)
+		reinforceUpdateReference(reference)
+		reference.batch = reference.batch[:0]
+
+		if d := maxParamDiff(batched.Policy.Params(), reference.Policy.Params()); d > 1e-9 {
+			t.Fatalf("round %d: policies diverged by %v, want ≤ 1e-9", round, d)
+		}
+	}
+}
+
+// TestBestFallsBackToFirstValid is the regression test for Best returning -1
+// when every prediction is +Inf/NaN: it must return the first valid action
+// instead. An all-false mask still reports -1 (no action exists).
+func TestBestFallsBackToFirstValid(t *testing.T) {
+	agent := NewQAgent(4, 4, QAgentConfig{Hidden: []int{8}, Seed: 7})
+	// Poison the network so every prediction is NaN.
+	for _, p := range agent.Net.Params() {
+		for i := range p.Value {
+			p.Value[i] = math.NaN()
+		}
+	}
+	s := State{Features: []float64{1, 0, 0, 0}, Mask: []bool{false, true, true, false}}
+	if got := agent.Best(s); got != 1 {
+		t.Fatalf("Best with all-NaN predictions = %d, want first valid action 1", got)
+	}
+	// +Inf predictions: same fallback.
+	for _, p := range agent.Net.Params() {
+		for i := range p.Value {
+			p.Value[i] = 0
+		}
+	}
+	out := agent.Net.Params()[len(agent.Net.Params())-1]
+	for i := range out.Value {
+		out.Value[i] = math.Inf(1)
+	}
+	if got := agent.Best(s); got != 1 {
+		t.Fatalf("Best with all-Inf predictions = %d, want first valid action 1", got)
+	}
+	if got := agent.Best(State{Features: []float64{1, 0, 0, 0}, Mask: []bool{false, false, false, false}}); got != -1 {
+		t.Fatalf("Best with all-false mask = %d, want -1", got)
+	}
+	// Act must also return a usable action under a poisoned network.
+	if got := agent.Act(s); got != 1 && got != 2 {
+		t.Fatalf("Act with poisoned network = %d, want a valid action", got)
+	}
+}
+
+// TestSampleIntoReusesBacking verifies SampleInto fills a caller-owned slice
+// without fresh allocation and draws the same sequence as Sample.
+func TestSampleIntoReusesBacking(t *testing.T) {
+	buf := NewReplayBuffer(64)
+	fillBuffer(buf, 64, 3, 2, rand.New(rand.NewSource(8)))
+	a := buf.Sample(16, rand.New(rand.NewSource(9)))
+	scratch := make([]Sample, 0, 16)
+	b := buf.SampleInto(scratch, 16, rand.New(rand.NewSource(9)))
+	if &b[0] != &scratch[:1][0] {
+		t.Fatal("SampleInto did not reuse the caller's backing array")
+	}
+	for i := range a {
+		if a[i].Target != b[i].Target {
+			t.Fatalf("sample %d: Sample and SampleInto drew different elements", i)
+		}
+	}
+}
+
+// TestCollectParallelDeterministic runs the same parallel collection twice
+// and requires identical merged trajectories, regardless of scheduling.
+func TestCollectParallelDeterministic(t *testing.T) {
+	collect := func() []Trajectory {
+		workers := 4
+		envs := make([]Env, workers)
+		policies := make([]func(State) int, workers)
+		for w := 0; w < workers; w++ {
+			envs[w] = &banditEnv{rng: rand.New(rand.NewSource(int64(100 + w))), arms: 5}
+			policies[w] = RandomPolicy(int64(200 + w))
+		}
+		per := SplitEpisodes(18, workers)
+		return Interleave(CollectParallel(envs, policies, per, 10, nil))
+	}
+	a, b := collect(), collect()
+	if len(a) != 18 || len(b) != 18 {
+		t.Fatalf("collected %d and %d episodes, want 18", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Return != b[i].Return || len(a[i].Steps) != len(b[i].Steps) {
+			t.Fatalf("episode %d differs between identical collection runs", i)
+		}
+		for j := range a[i].Steps {
+			if a[i].Steps[j].Action != b[i].Steps[j].Action {
+				t.Fatalf("episode %d step %d action differs between runs", i, j)
+			}
+		}
+	}
+}
+
+// TestPolicySnapshotIndependent verifies a snapshot keeps sampling from the
+// frozen weights while the live policy trains on.
+func TestPolicySnapshotIndependent(t *testing.T) {
+	env := &banditEnv{rng: rand.New(rand.NewSource(10)), arms: 3}
+	agent := NewReinforce(env.ObsDim(), env.ActionDim(), ReinforceConfig{Hidden: []int{8}, BatchSize: 4, Seed: 11})
+	snap := agent.PolicySnapshot(12)
+	before := agent.Policy.Clone()
+	for i := 0; i < 40; i++ {
+		agent.Observe(RunEpisode(env, agent.Sample, 5))
+	}
+	if d := maxParamDiff(before.Params(), agent.Policy.Params()); d == 0 {
+		t.Fatal("live policy did not train")
+	}
+	// The snapshot must still run (frozen weights) and return valid actions.
+	s := env.Reset()
+	for i := 0; i < 20; i++ {
+		if a := snap(s); a < 0 || !s.Mask[a] {
+			t.Fatalf("snapshot returned invalid action %d", a)
+		}
+	}
+}
+
+// TestSplitEpisodes covers the even and ragged split cases.
+func TestSplitEpisodes(t *testing.T) {
+	cases := []struct {
+		total, workers int
+		want           []int
+	}{
+		{16, 4, []int{4, 4, 4, 4}},
+		{17, 4, []int{5, 4, 4, 4}},
+		{3, 4, []int{1, 1, 1, 0}},
+		{5, 1, []int{5}},
+	}
+	for _, c := range cases {
+		got := SplitEpisodes(c.total, c.workers)
+		if len(got) != len(c.want) {
+			t.Fatalf("SplitEpisodes(%d,%d) len %d, want %d", c.total, c.workers, len(got), len(c.want))
+		}
+		sum := 0
+		for i := range got {
+			sum += got[i]
+			if got[i] != c.want[i] {
+				t.Fatalf("SplitEpisodes(%d,%d) = %v, want %v", c.total, c.workers, got, c.want)
+			}
+		}
+		if sum != c.total {
+			t.Fatalf("SplitEpisodes(%d,%d) sums to %d", c.total, c.workers, sum)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package rl
+
+import "sync"
+
+// This file implements parallel episode collection: N worker environments
+// stepping frozen policy snapshots concurrently, with the collected
+// trajectories merged deterministically. Determinism comes from structure,
+// not luck: every worker owns its environment and its policy snapshot
+// (seeded per worker), workers never share mutable state, and the merge
+// order is a pure function of worker/episode indices — so a collection run
+// produces identical output regardless of goroutine scheduling.
+
+// CollectParallel drives each (env, policy) pair on its own goroutine:
+// worker w runs perWorker[w] episodes of envs[w] under policies[w], each
+// episode bounded by maxSteps. The optional after hook runs on the worker
+// goroutine immediately after each episode finishes and before the next
+// Reset — the place to capture per-episode environment state (last plan,
+// cost, outcome); it must touch only worker-local state.
+//
+// The per-worker trajectory slices are returned; Interleave merges them into
+// a single deterministic order.
+func CollectParallel(envs []Env, policies []func(State) int, perWorker []int, maxSteps int, after func(worker, episode int, traj Trajectory)) [][]Trajectory {
+	if len(envs) != len(policies) || len(envs) != len(perWorker) {
+		panic("rl: CollectParallel envs, policies and perWorker must have equal length")
+	}
+	out := make([][]Trajectory, len(envs))
+	var wg sync.WaitGroup
+	for w := range envs {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			trajs := make([]Trajectory, 0, perWorker[w])
+			for ep := 0; ep < perWorker[w]; ep++ {
+				traj := RunEpisode(envs[w], policies[w], maxSteps)
+				if after != nil {
+					after(w, ep, traj)
+				}
+				trajs = append(trajs, traj)
+			}
+			out[w] = trajs
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+// Interleave merges per-worker slices round-robin: element e of worker 0,
+// element e of worker 1, …, then e+1. Ragged inputs are fine — exhausted
+// workers are skipped. The result order depends only on the input structure,
+// which makes merged parallel collections reproducible.
+func Interleave[T any](perWorker [][]T) []T {
+	total := 0
+	longest := 0
+	for _, s := range perWorker {
+		total += len(s)
+		if len(s) > longest {
+			longest = len(s)
+		}
+	}
+	out := make([]T, 0, total)
+	for e := 0; e < longest; e++ {
+		for _, s := range perWorker {
+			if e < len(s) {
+				out = append(out, s[e])
+			}
+		}
+	}
+	return out
+}
+
+// SplitEpisodes divides total episodes across workers as evenly as possible
+// (earlier workers take the remainder).
+func SplitEpisodes(total, workers int) []int {
+	if workers < 1 {
+		workers = 1
+	}
+	per := make([]int, workers)
+	base := total / workers
+	rem := total % workers
+	for w := range per {
+		per[w] = base
+		if w < rem {
+			per[w]++
+		}
+	}
+	return per
+}

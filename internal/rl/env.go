@@ -8,6 +8,22 @@
 // state and a set of valid actions, picks one, and receives a reward; query
 // optimization episodes end at a terminal state (a complete plan) where the
 // only nonzero reward arrives.
+//
+// # Batched training and parallel collection
+//
+// The hot paths are batch-first. QAgent.Train/TrainMargin assemble each
+// minibatch into one k×d matrix and run a single batched forward/backward
+// with a masked per-row gradient; Reinforce stacks every step of an update
+// batch the same way. Both are numerically identical to their per-sample
+// equivalents (asserted by the parity tests) while doing one network pass
+// per minibatch instead of one per sample, on top of nn's goroutine-parallel
+// matrix kernels. QAgent.PredictBatch and Reinforce.ProbsBatch expose
+// batched inference.
+//
+// Episode collection parallelizes with CollectParallel: worker environments
+// step frozen Reinforce.PolicySnapshot copies concurrently, and Interleave
+// merges the per-worker trajectories into a deterministic order (seeded
+// per-worker RNGs; the merge is a pure function of worker/episode indices).
 package rl
 
 // State is one observation from an environment: a feature vector plus the

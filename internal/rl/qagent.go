@@ -48,11 +48,17 @@ func (b *ReplayBuffer) Len() int { return len(b.data) }
 
 // Sample returns n samples drawn uniformly with replacement.
 func (b *ReplayBuffer) Sample(n int, rng *rand.Rand) []Sample {
-	out := make([]Sample, 0, n)
+	return b.SampleInto(make([]Sample, 0, n), n, rng)
+}
+
+// SampleInto draws n samples uniformly with replacement, appending them to
+// dst (typically dst[:0] of a reused scratch slice) so steady-state training
+// fills minibatches without materializing per-sample copies.
+func (b *ReplayBuffer) SampleInto(dst []Sample, n int, rng *rand.Rand) []Sample {
 	for i := 0; i < n && len(b.data) > 0; i++ {
-		out = append(out, b.data[rng.Intn(len(b.data))])
+		dst = append(dst, b.data[rng.Intn(len(b.data))])
 	}
-	return out
+	return dst
 }
 
 // QAgentConfig controls a QAgent.
@@ -93,7 +99,8 @@ type QAgent struct {
 	Opt *nn.Adam
 	Cfg QAgentConfig
 
-	rng *rand.Rand
+	rng     *rand.Rand
+	scratch []Sample // reused minibatch backing for Train/TrainMargin
 }
 
 // NewQAgent builds a reward-prediction agent for the given dimensions.
@@ -111,6 +118,21 @@ func (q *QAgent) Predict(s State) []float64 {
 	return q.Net.Forward(nn.FromVec(s.Features)).Data
 }
 
+// PredictBatch evaluates the network once for a whole batch of states,
+// returning a len(states)×ActionDim matrix whose row i is Predict(states[i]).
+// One batched forward replaces len(states) 1×d passes; the per-row numbers
+// are identical to the per-state path.
+func (q *QAgent) PredictBatch(states []State) *nn.Mat {
+	x := nn.NewMat(len(states), q.Net.InDim())
+	for i, s := range states {
+		if len(s.Features) != x.Cols {
+			panic("rl: PredictBatch state dimension does not match network input")
+		}
+		copy(x.Row(i), s.Features)
+	}
+	return q.Net.Forward(x)
+}
+
 // Act picks the valid action with the lowest predicted outcome; with
 // probability ε it instead explores uniformly over valid actions.
 func (q *QAgent) Act(s State) int {
@@ -120,47 +142,79 @@ func (q *QAgent) Act(s State) int {
 	return q.Best(s)
 }
 
-// Best returns the valid action with the minimum predicted outcome.
+// Best returns the valid action with the minimum predicted outcome. If every
+// valid prediction is +Inf or NaN (a freshly broken or diverged network),
+// it falls back to the first valid action rather than reporting no action,
+// so callers always receive a usable choice while any valid action exists.
+// Only an all-false mask returns -1.
 func (q *QAgent) Best(s State) int {
 	pred := q.Predict(s)
 	best, bestV := -1, math.Inf(1)
+	firstValid := -1
 	for i, ok := range s.Mask {
-		if ok && pred[i] < bestV {
+		if !ok {
+			continue
+		}
+		if firstValid < 0 {
+			firstValid = i
+		}
+		if pred[i] < bestV {
 			best, bestV = i, pred[i]
 		}
+	}
+	if best < 0 {
+		return firstValid
 	}
 	return best
 }
 
+// assembleBatch copies the sampled features into one batchSize×obsDim
+// matrix so the whole minibatch runs through a single forward pass.
+func (q *QAgent) assembleBatch(batch []Sample) *nn.Mat {
+	x := nn.NewMat(len(batch), q.Net.InDim())
+	for i, s := range batch {
+		if len(s.Features) != x.Cols {
+			panic("rl: sample dimension does not match network input")
+		}
+		copy(x.Row(i), s.Features)
+	}
+	return x
+}
+
 // Train runs one minibatch regression step on samples drawn from the buffer,
-// fitting Q(s, a) toward each sample's target. Returns the mean Huber loss.
+// fitting Q(s, a) toward each sample's target. The whole minibatch is one
+// batched forward/backward pass with a masked per-row gradient (only the
+// taken action of each row receives gradient); the accumulated parameter
+// gradients are identical to running the samples one at a time. Returns the
+// mean Huber loss.
 func (q *QAgent) Train(buf *ReplayBuffer, batchSize int) float64 {
 	if buf.Len() == 0 {
 		return 0
 	}
-	batch := buf.Sample(batchSize, q.rng)
-	q.Net.ZeroGrad()
+	q.scratch = buf.SampleInto(q.scratch[:0], batchSize, q.rng)
+	batch := q.scratch
+	out := q.Net.Forward(q.assembleBatch(batch))
+	grad := nn.NewMat(out.Rows, out.Cols)
 	var total float64
-	for _, s := range batch {
-		out := q.Net.Forward(nn.FromVec(s.Features))
-		pred := out.Data
-		grad := make([]float64, len(pred))
+	for i, s := range batch {
+		pred := out.Row(i)
 		d := pred[s.Action] - s.Target
 		// Huber on the single taken action; other actions get no gradient.
 		const delta = 1.0
 		if math.Abs(d) <= delta {
 			total += 0.5 * d * d
-			grad[s.Action] = d
+			grad.Set(i, s.Action, d)
 		} else {
 			total += delta * (math.Abs(d) - 0.5*delta)
 			if d > 0 {
-				grad[s.Action] = delta
+				grad.Set(i, s.Action, delta)
 			} else {
-				grad[s.Action] = -delta
+				grad.Set(i, s.Action, -delta)
 			}
 		}
-		q.Net.Backward(&nn.Mat{Rows: 1, Cols: len(grad), Data: grad})
 	}
+	q.Net.ZeroGrad()
+	q.Net.Backward(grad)
 	for _, p := range q.Net.Params() {
 		for i := range p.Grad {
 			p.Grad[i] /= float64(len(batch))
@@ -177,56 +231,59 @@ func (q *QAgent) Train(buf *ReplayBuffer, batchSize int) float64 {
 // than every other valid action's. Without the margin term, actions the
 // expert never takes keep their random initial predictions and the argmin
 // policy is drawn to exactly the plans no one has ever measured — the §5.1
-// "no training data to ground them" problem.
+// "no training data to ground them" problem. Like Train, the minibatch runs
+// as one batched forward/backward pass.
 func (q *QAgent) TrainMargin(buf *ReplayBuffer, batchSize int, margin, marginWeight float64) float64 {
 	if buf.Len() == 0 {
 		return 0
 	}
-	batch := buf.Sample(batchSize, q.rng)
-	q.Net.ZeroGrad()
+	q.scratch = buf.SampleInto(q.scratch[:0], batchSize, q.rng)
+	batch := q.scratch
+	out := q.Net.Forward(q.assembleBatch(batch))
+	grad := nn.NewMat(out.Rows, out.Cols)
 	var total float64
-	for _, s := range batch {
-		out := q.Net.Forward(nn.FromVec(s.Features))
-		pred := out.Data
-		grad := make([]float64, len(pred))
+	for i, s := range batch {
+		pred := out.Row(i)
+		grow := grad.Row(i)
 
 		// Regression on the demonstrated action.
 		d := pred[s.Action] - s.Target
 		const delta = 1.0
 		if math.Abs(d) <= delta {
 			total += 0.5 * d * d
-			grad[s.Action] = d
+			grow[s.Action] = d
 		} else {
 			total += delta * (math.Abs(d) - 0.5*delta)
 			if d > 0 {
-				grad[s.Action] = delta
+				grow[s.Action] = delta
 			} else {
-				grad[s.Action] = -delta
+				grow[s.Action] = -delta
 			}
 		}
 
 		// Large-margin term over the valid competitors.
 		if len(s.Mask) == len(pred) {
 			comp, compV := -1, math.Inf(1)
-			for i, ok := range s.Mask {
-				if !ok || i == s.Action {
+			for j, ok := range s.Mask {
+				if !ok || j == s.Action {
 					continue
 				}
-				if pred[i] < compV {
-					comp, compV = i, pred[i]
+				if pred[j] < compV {
+					comp, compV = j, pred[j]
 				}
 			}
 			if comp >= 0 {
 				violation := pred[s.Action] - (compV - margin)
 				if violation > 0 {
 					total += marginWeight * violation
-					grad[s.Action] += marginWeight
-					grad[comp] -= marginWeight
+					grow[s.Action] += marginWeight
+					grow[comp] -= marginWeight
 				}
 			}
 		}
-		q.Net.Backward(&nn.Mat{Rows: 1, Cols: len(grad), Data: grad})
 	}
+	q.Net.ZeroGrad()
+	q.Net.Backward(grad)
 	for _, p := range q.Net.Params() {
 		for i := range p.Grad {
 			p.Grad[i] /= float64(len(batch))

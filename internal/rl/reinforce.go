@@ -121,6 +121,34 @@ func (a *Reinforce) Probs(s State) []float64 {
 	return nn.MaskedSoftmax(logits.Data, s.Mask)
 }
 
+// ProbsBatch returns the masked action distribution for a whole batch of
+// states in one network pass: row i is Probs(states[i]).
+func (a *Reinforce) ProbsBatch(states []State) *nn.Mat {
+	x := nn.NewMat(len(states), a.Policy.InDim())
+	masks := make([][]bool, len(states))
+	for i, s := range states {
+		if len(s.Features) != x.Cols {
+			panic("rl: ProbsBatch state dimension does not match policy input")
+		}
+		copy(x.Row(i), s.Features)
+		masks[i] = s.Mask
+	}
+	return nn.MaskedSoftmaxRows(a.Policy.Forward(x), masks)
+}
+
+// PolicySnapshot returns an action sampler over a frozen copy of the current
+// policy, with its own RNG stream. Snapshots are independent of the live
+// agent and of each other, so any number of them may run concurrently (one
+// per collection worker) while the original keeps training.
+func (a *Reinforce) PolicySnapshot(seed int64) func(State) int {
+	net := a.Policy.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	return func(s State) int {
+		logits := net.Forward(nn.FromVec(s.Features))
+		return sampleFrom(nn.MaskedSoftmax(logits.Data, s.Mask), rng)
+	}
+}
+
 // Sample draws an action from the current policy (exploration included).
 func (a *Reinforce) Sample(s State) int {
 	return sampleFrom(a.Probs(s), a.rng)
@@ -182,10 +210,31 @@ func (a *Reinforce) Observe(traj Trajectory) bool {
 	return true
 }
 
+// ObserveAll feeds a slice of finished episodes (e.g. a merged parallel
+// collection round) to the learner in order and reports how many policy
+// updates were triggered.
+func (a *Reinforce) ObserveAll(trajs []Trajectory) int {
+	updates := 0
+	for _, t := range trajs {
+		if a.Observe(t) {
+			updates++
+		}
+	}
+	return updates
+}
+
 // update applies one REINFORCE step over the accumulated batch. Advantages
 // are the episode returns standardized across the batch (the baseline), which
 // keeps the update scale-free — important because raw rewards in query
 // optimization span many orders of magnitude.
+//
+// Every step of every trajectory is stacked into one T×obsDim matrix: a
+// single batched forward produces all logits, the masked per-row policy
+// gradients are assembled into one T×actionDim matrix, and a single batched
+// backward accumulates the parameter gradients. Because forward rows are
+// independent and the batched backward accumulates rows in the same order
+// the per-step loop did, the update is numerically identical to the
+// per-sample path — just one network pass instead of T.
 func (a *Reinforce) update() {
 	n := len(a.batch)
 	if n == 0 {
@@ -213,7 +262,15 @@ func (a *Reinforce) update() {
 		a.ema += a.Cfg.EMAAlpha * (mean - a.ema)
 	}
 
-	a.Policy.ZeroGrad()
+	steps := 0
+	for _, t := range a.batch {
+		steps += len(t.Steps)
+	}
+	x := nn.NewMat(steps, a.Policy.InDim())
+	masks := make([][]bool, steps)
+	actions := make([]int, steps)
+	advs := make([]float64, steps)
+	r := 0
 	for _, t := range a.batch {
 		var adv float64
 		if a.Cfg.Baseline == BaselineRunningEMA {
@@ -222,12 +279,22 @@ func (a *Reinforce) update() {
 			adv = (t.Return - mean) / std
 		}
 		for _, st := range t.Steps {
-			logits := a.Policy.Forward(nn.FromVec(st.Features))
-			probs := nn.MaskedSoftmax(logits.Data, st.Mask)
-			grad := nn.PolicyGradient(probs, st.Mask, st.Action, adv, a.entCoef)
-			a.Policy.Backward(&nn.Mat{Rows: 1, Cols: len(grad), Data: grad})
+			copy(x.Row(r), st.Features)
+			masks[r] = st.Mask
+			actions[r] = st.Action
+			advs[r] = adv
+			r++
 		}
 	}
+
+	logits := a.Policy.Forward(x)
+	probs := nn.MaskedSoftmaxRows(logits, masks)
+	grad := nn.NewMat(steps, logits.Cols)
+	for i := 0; i < steps; i++ {
+		copy(grad.Row(i), nn.PolicyGradient(probs.Row(i), masks[i], actions[i], advs[i], a.entCoef))
+	}
+	a.Policy.ZeroGrad()
+	a.Policy.Backward(grad)
 	// Scale by batch size so the step magnitude is independent of B.
 	for _, p := range a.Policy.Params() {
 		for i := range p.Grad {
