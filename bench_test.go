@@ -2,8 +2,7 @@
 // plus micro-benchmarks of the substrate. Each figure-level benchmark runs a
 // scaled-down version of the corresponding experiment in
 // internal/experiment and reports the figure's headline quantity as a
-// custom metric; the full-scale runs recorded in EXPERIMENTS.md use
-// cmd/handsfree.
+// custom metric; full-scale runs use cmd/handsfree.
 package handsfree
 
 import (
@@ -15,6 +14,7 @@ import (
 	"handsfree/internal/experiment"
 	"handsfree/internal/nn"
 	"handsfree/internal/optimizer"
+	"handsfree/internal/plancache"
 	"handsfree/internal/query"
 	"handsfree/internal/rejoin"
 	"handsfree/internal/rl"
@@ -395,6 +395,139 @@ func benchCollect(b *testing.B, workers int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		agent.TrainEpisodes(16, workers)
+	}
+}
+
+// --- plan cache benchmarks ---
+
+// benchWorkload builds the fixed 4-query, 8-relation workload shared by the
+// cache benchmarks.
+func benchWorkload(b *testing.B, l *experiment.Lab) []*query.Query {
+	b.Helper()
+	queries := make([]*query.Query, 0, 4)
+	for i := int64(0); i < 4; i++ {
+		q, err := l.Workload.ByRelations(8, 3+i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	return queries
+}
+
+// benchCacheCollect measures repeated-workload episode collection under a
+// frozen policy — the serving/evaluation regime the paper's latency-centric
+// loop converges to, where every sweep replays the same workload queries.
+// Each iteration collects one greedy episode per workload query. With the
+// cache, the second and later sweeps are whole-plan fingerprint hits that
+// skip both the policy rollout and the optimizer completion.
+func benchCacheCollect(b *testing.B, withCache bool) {
+	l := lab(b)
+	queries := benchWorkload(b, l)
+	env := rejoin.NewEnv(l.Space(8), l.Planner, queries, 1)
+	var cache *plancache.Cache
+	if withCache {
+		cache = plancache.New(plancache.Config{Capacity: 1 << 16, Shards: 16})
+		env.UseCache(cache)
+	}
+	agent := rejoin.NewAgent(env, rl.ReinforceConfig{Hidden: []int{128, 64}, BatchSize: 16, Seed: 1})
+	for _, q := range queries { // warm-up sweep (run for the cold baseline too, for parity)
+		agent.GreedyPlan(q)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			if root, _ := agent.GreedyPlan(q); root == nil {
+				b.Fatal("no plan")
+			}
+		}
+	}
+	if withCache {
+		b.StopTimer()
+		b.ReportMetric(cache.Stats().HitRate(), "hit-rate")
+	}
+}
+
+// BenchmarkCachedCollect is repeated-workload episode collection with a
+// warm plan cache; compare against BenchmarkColdCollect for the cache's
+// effect on revisited queries.
+func BenchmarkCachedCollect(b *testing.B) {
+	benchCacheCollect(b, true)
+}
+
+// BenchmarkColdCollect is the identical collection loop without a cache:
+// every repetition of every workload query pays the full rollout and
+// optimizer completion.
+func BenchmarkColdCollect(b *testing.B) {
+	benchCacheCollect(b, false)
+}
+
+// benchCacheTrainingCollect measures the stochastic training hot path — 4
+// workers, policy snapshots refreshed and updated every round — with or
+// without the cache. Sampled join orders rarely repeat wholesale, so only
+// subtree entries (leaves, small joins) hit; the win is real but modest
+// compared to the frozen-policy sweep above.
+func benchCacheTrainingCollect(b *testing.B, withCache bool) {
+	l := lab(b)
+	queries := benchWorkload(b, l)
+	env := rejoin.NewEnv(l.Space(8), l.Planner, queries, 1)
+	var cache *plancache.Cache
+	if withCache {
+		cache = plancache.New(plancache.Config{Capacity: 1 << 16, Shards: 16})
+		env.UseCache(cache)
+	}
+	agent := rejoin.NewAgent(env, rl.ReinforceConfig{Hidden: []int{128, 64}, BatchSize: 16, Seed: 1})
+	agent.TrainEpisodes(16, 4) // warm-up sweep (also for the cold baseline)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.TrainEpisodes(16, 4)
+	}
+	if withCache {
+		b.StopTimer()
+		b.ReportMetric(cache.Stats().HitRate(), "hit-rate")
+	}
+}
+
+// BenchmarkCachedTrainingCollect is stochastic parallel training collection
+// with the plan cache attached.
+func BenchmarkCachedTrainingCollect(b *testing.B) {
+	benchCacheTrainingCollect(b, true)
+}
+
+// BenchmarkColdTrainingCollect is the uncached stochastic baseline.
+func BenchmarkColdTrainingCollect(b *testing.B) {
+	benchCacheTrainingCollect(b, false)
+}
+
+// BenchmarkCompletePhysicalWarm measures a fully warm completion — the
+// per-episode cost of a repeated (query, join order) pair once cached.
+func BenchmarkCompletePhysicalWarm(b *testing.B) {
+	benchCompletePhysical(b, true)
+}
+
+// BenchmarkCompletePhysicalCold is the same completion recomputed from
+// scratch every time (the seed system's behaviour).
+func BenchmarkCompletePhysicalCold(b *testing.B) {
+	benchCompletePhysical(b, false)
+}
+
+func benchCompletePhysical(b *testing.B, withCache bool) {
+	l := lab(b)
+	q, err := l.Workload.ByRelations(8, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	skeleton := optimizer.RandomOrder(q, rand.New(rand.NewSource(7)))
+	planner := l.Planner
+	if withCache {
+		planner = planner.WithCache(plancache.New(plancache.Config{Capacity: 4096}))
+		planner.CompletePhysical(q, skeleton) // warm
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if root, _ := planner.CompletePhysical(q, skeleton); root == nil {
+			b.Fatal("no plan")
+		}
 	}
 }
 

@@ -15,8 +15,8 @@
 //   - The internal/experiment package (exposed through cmd/handsfree)
 //     regenerates every figure of the paper.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record.
+// See README.md for an overview and ARCHITECTURE.md for the layer stack
+// and the data flow of the batched + cached training loop.
 package handsfree
 
 import (
@@ -28,6 +28,7 @@ import (
 	"handsfree/internal/featurize"
 	"handsfree/internal/optimizer"
 	"handsfree/internal/plan"
+	"handsfree/internal/plancache"
 	"handsfree/internal/query"
 	"handsfree/internal/rejoin"
 	"handsfree/internal/rl"
@@ -49,7 +50,28 @@ type (
 	Result = engine.Result
 	// Work is the executor's effort accounting.
 	Work = engine.Work
+	// PlanCache is the plan cache service: a sharded fingerprint → plan
+	// memoization layer shared by the optimizer and the learned agents.
+	PlanCache = plancache.Cache
+	// PlanCacheStats is a snapshot of the plan cache's hit/miss/eviction
+	// counters.
+	PlanCacheStats = plancache.Stats
 )
+
+// CacheConfig controls the optional plan cache service.
+type CacheConfig struct {
+	// Enabled turns on fingerprint → plan memoization: the optimizer's
+	// full plans and the per-episode skeleton completions are cached
+	// across episodes, so repeated workload queries are cheap on every
+	// visit after the first.
+	Enabled bool
+	// Capacity bounds the cached entry count (default 4096; LRU eviction).
+	Capacity int
+	// Shards is the lock-sharding factor; parallel collection workers
+	// rarely contend when it exceeds the worker count (default 16,
+	// rounded up to a power of two).
+	Shards int
+}
 
 // Config controls Open.
 type Config struct {
@@ -61,6 +83,8 @@ type Config struct {
 	OracleSeed int64
 	// LatencySeed selects the execution-noise field (default 5).
 	LatencySeed int64
+	// Cache configures the plan cache service (disabled by default).
+	Cache CacheConfig
 }
 
 func (c *Config) fill() {
@@ -91,6 +115,9 @@ type System struct {
 	Latency  *engine.LatencyModel
 	Engine   *engine.Engine
 	Workload *workload.Workload
+	// PlanCache is the plan cache service attached to Planner (nil unless
+	// Config.Cache.Enabled).
+	PlanCache *PlanCache
 }
 
 // Open generates the synthetic database and assembles the system.
@@ -103,17 +130,33 @@ func Open(cfg Config) (*System, error) {
 	est := stats.NewEstimator(db.Catalog, db.Stats)
 	oracle := stats.NewOracle(est, cfg.OracleSeed)
 	model := cost.New(cost.DefaultParams(), est)
+	planner := optimizer.New(db.Catalog, model)
+	var cache *PlanCache
+	if cfg.Cache.Enabled {
+		cache = plancache.New(plancache.Config{
+			Capacity: cfg.Cache.Capacity,
+			Shards:   cfg.Cache.Shards,
+		})
+		planner = planner.WithCache(cache)
+	}
 	return &System{
-		DB:       db,
-		Stats:    db.Stats,
-		Est:      est,
-		Oracle:   oracle,
-		Cost:     model,
-		Planner:  optimizer.New(db.Catalog, model),
-		Latency:  engine.NewLatencyModel(oracle, cfg.LatencySeed),
-		Engine:   engine.New(db.Store),
-		Workload: workload.New(db),
+		DB:        db,
+		Stats:     db.Stats,
+		Est:       est,
+		Oracle:    oracle,
+		Cost:      model,
+		Planner:   planner,
+		Latency:   engine.NewLatencyModel(oracle, cfg.LatencySeed),
+		Engine:    engine.New(db.Store),
+		Workload:  workload.New(db),
+		PlanCache: cache,
 	}, nil
+}
+
+// CacheStats snapshots the plan cache counters (zeros when the cache is
+// disabled).
+func (s *System) CacheStats() PlanCacheStats {
+	return s.PlanCache.Stats()
 }
 
 // ParseSQL parses SQL text into the query IR.

@@ -14,6 +14,7 @@ import (
 	"handsfree/internal/engine"
 	"handsfree/internal/featurize"
 	"handsfree/internal/optimizer"
+	"handsfree/internal/plancache"
 	"handsfree/internal/planspace"
 	"handsfree/internal/query"
 	"handsfree/internal/rl"
@@ -127,7 +128,13 @@ type Config struct {
 	// policy-batch per collection round, deterministic merge). Workers ≤ 1
 	// trains strictly sequentially.
 	Workers int
-	Seed    int64
+	// Cache, when non-nil, memoizes optimizer completions and expert plans
+	// across episodes and phases (the plan cache service). Completion
+	// entries are pure and survive phase transitions; policy-dependent
+	// entries are invalidated whenever the policy is transferred to a new
+	// action space or fresh collection snapshots are taken.
+	Cache *plancache.Cache
+	Seed  int64
 }
 
 // Trainer runs a schedule.
@@ -140,8 +147,13 @@ type Trainer struct {
 	rng    *rand.Rand
 }
 
-// NewTrainer builds a trainer.
+// NewTrainer builds a trainer. With a cache configured, the trainer's
+// planner consults it too, so the per-query expert plans recomputed by
+// every EvalRatio call are served from cache after the first evaluation.
 func NewTrainer(cfg Config) *Trainer {
+	if cfg.Cache != nil {
+		cfg.Planner = cfg.Planner.WithCache(cfg.Cache)
+	}
 	return &Trainer{Cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 }
 
@@ -178,6 +190,7 @@ func (t *Trainer) envFor(p Phase, queries []*query.Query) *planspace.Env {
 		Latency: t.Cfg.Latency,
 		Queries: queries,
 		Reward:  planspace.CostReward,
+		Cache:   t.Cfg.Cache,
 		Seed:    t.Cfg.Seed,
 	})
 }
@@ -201,6 +214,9 @@ func (t *Trainer) RunPhase(p Phase, episodeBase int, onEpisode func(ep int, out 
 		// recorded under the old action space must be dropped.
 		t.agent.ResetBatch()
 		t.agent.Policy = planspace.TransferPolicy(t.agent.Policy, t.Cfg.Space, t.stages, p.Stages, t.rng)
+		// The transferred policy is a new policy: invalidate any plans
+		// memoized under the old one.
+		t.Cfg.Cache.BumpEpoch()
 	}
 	t.stages = p.Stages
 	t.env = env

@@ -522,7 +522,8 @@ func (l *Lab) CurriculumExperiment(cfg CurriculumConfig) (*CurriculumResult, err
 			Agent: rl.ReinforceConfig{
 				Hidden: []int{128, 64}, LR: 1.5e-3, BatchSize: 16, Seed: cfg.Seed,
 			},
-			Seed: cfg.Seed,
+			Cache: l.Cache,
+			Seed:  cfg.Seed,
 		})
 		if _, err := tr.Run(sc.s, nil); err != nil {
 			return nil, err

@@ -1,6 +1,9 @@
 // Package nn implements small dense neural networks from scratch using only
 // the standard library: linear layers, pointwise activations, masked softmax
-// policy heads, standard losses, and SGD/Momentum/Adam optimizers.
+// policy heads, standard losses, and SGD/Momentum/Adam optimizers. It backs
+// every learned component of the paper (Marcus & Papaemmanouil, CIDR 2019):
+// ReJOIN's policy network (§3), the full plan-space agents (§4), and the
+// reward-prediction network of learning from demonstration (§5.1).
 //
 // The package exists because this reproduction may not depend on an external
 // deep-learning framework. It is deliberately minimal — everything the

@@ -5,73 +5,139 @@ import (
 
 	"handsfree/internal/cost"
 	"handsfree/internal/plan"
+	"handsfree/internal/plancache"
 	"handsfree/internal/query"
 )
+
+// completionFP returns the query fingerprint used to key completion cache
+// entries; it is only meaningful (and only computed) when a cache is
+// attached.
+func (p *Planner) completionFP(q *query.Query) uint64 {
+	if p.Cache == nil {
+		return 0
+	}
+	return p.Cache.FingerprintOf(q)
+}
+
+// skeletonHashes computes every subtree's structural hash in one walk
+// (nil when no cache is attached); the completion recursion then looks
+// hashes up by node identity instead of rehashing each subtree at each
+// level, keeping hashing O(tree) per completion.
+func (p *Planner) skeletonHashes(skeleton plan.Node) map[plan.Node]uint64 {
+	if p.Cache == nil {
+		return nil
+	}
+	hs := make(map[plan.Node]uint64, 16)
+	plancache.HashSubtrees(skeleton, hs)
+	return hs
+}
+
+// cachedSubtree memoizes one completion computation under (query
+// fingerprint, skeleton-subtree hash, mode). Each completion is a pure
+// function of that key — the planner's catalog and cost model are fixed —
+// so a cache hit returns exactly the plan and cost the computation would
+// have produced. Memoizing per subtree rather than only per root means a
+// repeated workload query reuses its leaves and small join subtrees even
+// when the sampled join orders differ between episodes.
+func (p *Planner) cachedSubtree(fp, skeletonHash uint64, mode plancache.Mode, compute func() entry) entry {
+	if p.Cache == nil {
+		return compute()
+	}
+	k := plancache.Key{Query: fp, Skeleton: skeletonHash, Mode: mode}
+	if e, ok := p.Cache.Get(k); ok {
+		return entry{e.Plan, e.Cost}
+	}
+	e := compute()
+	p.Cache.Put(k, plancache.Entry{Plan: e.node, Cost: e.nc})
+	return e
+}
 
 // CompleteOperators keeps the skeleton's join order AND leaf access paths
 // but lets the optimizer choose every join algorithm (and the aggregation
 // algorithm). Used when a learned agent has decided order + access paths and
 // delegates operator selection (pipeline stage 2 of §5.3).
 func (p *Planner) CompleteOperators(q *query.Query, skeleton plan.Node) (plan.Node, cost.NodeCost) {
-	e := p.completeOps(q, skeleton)
+	e := p.completeOps(q, p.completionFP(q), p.skeletonHashes(skeleton), skeleton)
 	return p.finishAgg(q, e.node, e.nc)
 }
 
-func (p *Planner) completeOps(q *query.Query, n plan.Node) entry {
-	switch n := n.(type) {
-	case *plan.Scan:
-		return entry{n, p.Model.ScanCost(q, n)}
-	case *plan.Join:
-		left := p.completeOps(q, n.Left)
-		right := p.completeOps(q, n.Right)
-		// Choose only the algorithm; inputs are fixed.
-		var best entry
-		bestCost := math.Inf(1)
-		for _, algo := range plan.JoinAlgos {
-			j := plan.JoinNodes(q, algo, left.node, right.node)
-			nc := p.Model.JoinCost(q, j, left.nc, right.nc)
-			if nc.Total < bestCost {
-				best = entry{j, nc}
-				bestCost = nc.Total
+func (p *Planner) completeOps(q *query.Query, fp uint64, hs map[plan.Node]uint64, n plan.Node) entry {
+	return p.cachedSubtree(fp, hs[n], plancache.ModeCompleteOperators, func() entry {
+		switch n := n.(type) {
+		case *plan.Scan:
+			return entry{n, p.Model.ScanCost(q, n)}
+		case *plan.Join:
+			left := p.completeOps(q, fp, hs, n.Left)
+			right := p.completeOps(q, fp, hs, n.Right)
+			// Choose only the algorithm; inputs are fixed.
+			var best entry
+			bestCost := math.Inf(1)
+			for _, algo := range plan.JoinAlgos {
+				j := plan.JoinNodes(q, algo, left.node, right.node)
+				nc := p.Model.JoinCost(q, j, left.nc, right.nc)
+				if nc.Total < bestCost {
+					best = entry{j, nc}
+					bestCost = nc.Total
+				}
 			}
+			return best
+		case *plan.Agg:
+			return p.completeOps(q, fp, hs, n.Child)
+		default:
+			panic("optimizer: unknown node")
 		}
-		return best
-	case *plan.Agg:
-		return p.completeOps(q, n.Child)
-	default:
-		panic("optimizer: unknown node")
-	}
+	})
 }
 
 // CompleteAccess keeps the skeleton's join order AND join algorithms but
 // lets the optimizer choose every leaf's access path. Used when a learned
 // agent decides order + operators but delegates index selection.
 func (p *Planner) CompleteAccess(q *query.Query, skeleton plan.Node) (plan.Node, cost.NodeCost) {
-	e := p.completeAccess(q, skeleton)
+	e := p.completeAccess(q, p.completionFP(q), p.skeletonHashes(skeleton), skeleton)
 	return p.finishAgg(q, e.node, e.nc)
 }
 
-func (p *Planner) completeAccess(q *query.Query, n plan.Node) entry {
-	switch n := n.(type) {
-	case *plan.Scan:
-		node, nc := p.BestScan(q, n.Alias)
-		return entry{node, nc}
-	case *plan.Join:
-		left := p.completeAccess(q, n.Left)
-		right := p.completeAccess(q, n.Right)
-		j := plan.JoinNodes(q, n.Algo, left.node, right.node)
-		return entry{j, p.Model.JoinCost(q, j, left.nc, right.nc)}
-	case *plan.Agg:
-		return p.completeAccess(q, n.Child)
-	default:
-		panic("optimizer: unknown node")
-	}
+func (p *Planner) completeAccess(q *query.Query, fp uint64, hs map[plan.Node]uint64, n plan.Node) entry {
+	return p.cachedSubtree(fp, hs[n], plancache.ModeCompleteAccess, func() entry {
+		switch n := n.(type) {
+		case *plan.Scan:
+			node, nc := p.BestScan(q, n.Alias)
+			return entry{node, nc}
+		case *plan.Join:
+			left := p.completeAccess(q, fp, hs, n.Left)
+			right := p.completeAccess(q, fp, hs, n.Right)
+			j := plan.JoinNodes(q, n.Algo, left.node, right.node)
+			return entry{j, p.Model.JoinCost(q, j, left.nc, right.nc)}
+		case *plan.Agg:
+			return p.completeAccess(q, fp, hs, n.Child)
+		default:
+			panic("optimizer: unknown node")
+		}
+	})
 }
 
 // CostFixed prices a fully specified plan (all dimensions decided by the
 // caller), adding the query's aggregation with the given algorithm if the
 // plan lacks it.
 func (p *Planner) CostFixed(q *query.Query, root plan.Node, agg plan.AggAlgo) (plan.Node, cost.NodeCost) {
+	if p.Cache != nil {
+		k := plancache.Key{
+			Query:    p.Cache.FingerprintOf(q),
+			Skeleton: plancache.HashPlan(root),
+			Mode:     plancache.ModeCostFixed,
+			Aux:      uint8(agg),
+		}
+		if e, ok := p.Cache.Get(k); ok {
+			return e.Plan, e.Cost
+		}
+		node, nc := p.costFixed(q, root, agg)
+		p.Cache.Put(k, plancache.Entry{Plan: node, Cost: nc})
+		return node, nc
+	}
+	return p.costFixed(q, root, agg)
+}
+
+func (p *Planner) costFixed(q *query.Query, root plan.Node, agg plan.AggAlgo) (plan.Node, cost.NodeCost) {
 	if _, ok := root.(*plan.Agg); !ok {
 		root = plan.FinishAgg(q, agg, root)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"handsfree/internal/cost"
 	"handsfree/internal/plan"
+	"handsfree/internal/plancache"
 	"handsfree/internal/query"
 )
 
@@ -212,26 +213,30 @@ func (p *Planner) planGEQO(q *query.Query) (plan.Node, cost.NodeCost, error) {
 // access paths, join algorithms, aggregation algorithm — while preserving
 // the skeleton's join order exactly. This implements the paper's §3 loop:
 // "the final join ordering is sent to the optimizer to perform operator
-// selection, index selection, etc."
+// selection, index selection, etc." With a cache attached, the completion
+// is memoized per subtree, so the episode-collection hot path skips
+// recomputation for every part of the skeleton it has seen before.
 func (p *Planner) CompletePhysical(q *query.Query, skeleton plan.Node) (plan.Node, cost.NodeCost) {
-	e := p.completeEntry(q, skeleton)
+	e := p.completeEntry(q, p.completionFP(q), p.skeletonHashes(skeleton), skeleton)
 	return p.finishAgg(q, e.node, e.nc)
 }
 
-func (p *Planner) completeEntry(q *query.Query, n plan.Node) entry {
-	switch n := n.(type) {
-	case *plan.Scan:
-		node, nc := p.BestScan(q, n.Alias)
-		return entry{node, nc}
-	case *plan.Join:
-		left := p.completeEntry(q, n.Left)
-		right := p.completeEntry(q, n.Right)
-		return p.BestJoin(q, left, right)
-	case *plan.Agg:
-		return p.completeEntry(q, n.Child)
-	default:
-		panic("optimizer: unknown node")
-	}
+func (p *Planner) completeEntry(q *query.Query, fp uint64, hs map[plan.Node]uint64, n plan.Node) entry {
+	return p.cachedSubtree(fp, hs[n], plancache.ModeCompletePhysical, func() entry {
+		switch n := n.(type) {
+		case *plan.Scan:
+			node, nc := p.BestScan(q, n.Alias)
+			return entry{node, nc}
+		case *plan.Join:
+			left := p.completeEntry(q, fp, hs, n.Left)
+			right := p.completeEntry(q, fp, hs, n.Right)
+			return p.BestJoin(q, left, right)
+		case *plan.Agg:
+			return p.completeEntry(q, fp, hs, n.Child)
+		default:
+			panic("optimizer: unknown node")
+		}
+	})
 }
 
 // RandomOrder builds a uniformly random join-order skeleton (the paper's

@@ -9,6 +9,14 @@
 //     Phase-1 reward (§3, §5.2);
 //   - its plan choices are the expert demonstrations for §5.1;
 //   - its per-query planning time is the baseline of Figure 3c.
+//
+// Every planning entry point — full enumeration (PlanWith) and the skeleton
+// completions the learned agents call once per episode (CompletePhysical,
+// CompleteOperators, CompleteAccess, CostFixed) — optionally consults a
+// plancache.Cache before computing. Completion is memoized at subtree
+// granularity, so even when sampled join orders differ between episodes the
+// shared leaves and small join subtrees of a repeated workload query are
+// served from cache.
 package optimizer
 
 import (
@@ -19,6 +27,7 @@ import (
 	"handsfree/internal/catalog"
 	"handsfree/internal/cost"
 	"handsfree/internal/plan"
+	"handsfree/internal/plancache"
 	"handsfree/internal/query"
 )
 
@@ -70,6 +79,40 @@ type Planner struct {
 	LeftDeepOnly bool
 	// Seed drives the randomized search.
 	Seed int64
+	// Cache, when non-nil, memoizes planning and skeleton completion across
+	// calls (the plan cache service). All planners sharing one cache must
+	// plan over the same catalog and cost model; the enumeration knobs that
+	// the ablations vary (LeftDeepOnly, AllowCross) are folded into the
+	// cache key, so WithCache copies with different settings stay distinct.
+	Cache *plancache.Cache
+}
+
+// WithCache returns a planner identical to p that consults cache. The
+// receiver is returned unchanged when it already uses that cache (or cache
+// is nil); otherwise a shallow copy is made so shared planners are not
+// mutated behind other callers' backs.
+func (p *Planner) WithCache(cache *plancache.Cache) *Planner {
+	if cache == nil || p.Cache == cache {
+		return p
+	}
+	cp := *p
+	cp.Cache = cache
+	return &cp
+}
+
+// planAux encodes the enumeration knobs that change full-planning results
+// into the cache key's Aux byte: the strategy in the low bits, the ablation
+// flags in the top two (leaving room for future strategies without key
+// aliasing).
+func (p *Planner) planAux(s Strategy) uint8 {
+	aux := uint8(s)
+	if p.LeftDeepOnly {
+		aux |= 1 << 6
+	}
+	if p.AllowCross {
+		aux |= 1 << 7
+	}
+	return aux
 }
 
 // New returns a planner with PostgreSQL-like defaults.
@@ -116,6 +159,23 @@ func (p *Planner) PlanWith(q *query.Query, s Strategy) (Planned, error) {
 			effective = GEQO
 		}
 	}
+	var key plancache.Key
+	if p.Cache != nil {
+		key = plancache.Key{
+			Query: p.Cache.FingerprintOf(q),
+			Mode:  plancache.ModePlan,
+			Aux:   p.planAux(effective),
+		}
+		if e, ok := p.Cache.Get(key); ok {
+			return Planned{
+				Root:     e.Plan,
+				Cost:     e.Cost.Total,
+				Rows:     e.Cost.Rows,
+				Duration: time.Since(start),
+				Strategy: effective,
+			}, nil
+		}
+	}
 	var root plan.Node
 	var nc cost.NodeCost
 	var err error
@@ -131,6 +191,9 @@ func (p *Planner) PlanWith(q *query.Query, s Strategy) (Planned, error) {
 		return Planned{}, err
 	}
 	root, nc = p.finishAgg(q, root, nc)
+	if p.Cache != nil {
+		p.Cache.Put(key, plancache.Entry{Plan: root, Cost: nc})
+	}
 	return Planned{
 		Root:     root,
 		Cost:     nc.Total,

@@ -1,0 +1,237 @@
+package plancache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"handsfree/internal/plan"
+	"handsfree/internal/query"
+)
+
+// randomQuery builds a random connected query over n relations: a random
+// spanning tree of equality joins plus extra join edges, random filters,
+// and occasionally grouped aggregation.
+func randomQuery(rng *rand.Rand, n int) *query.Query {
+	q := &query.Query{Name: fmt.Sprintf("rand-%d", rng.Int63())}
+	for i := 0; i < n; i++ {
+		q.Relations = append(q.Relations, query.Relation{
+			Table: fmt.Sprintf("t%d", rng.Intn(4)),
+			Alias: fmt.Sprintf("a%d", i),
+		})
+	}
+	// Spanning tree keeps the join graph connected.
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		q.Joins = append(q.Joins, query.Join{
+			LeftAlias: q.Relations[i].Alias, LeftCol: fmt.Sprintf("c%d", rng.Intn(3)),
+			RightAlias: q.Relations[j].Alias, RightCol: fmt.Sprintf("c%d", rng.Intn(3)),
+		})
+	}
+	for extra := rng.Intn(3); extra > 0 && n >= 2; extra-- {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		q.Joins = append(q.Joins, query.Join{
+			LeftAlias: q.Relations[i].Alias, LeftCol: "x",
+			RightAlias: q.Relations[j].Alias, RightCol: "y",
+		})
+	}
+	for f := rng.Intn(4); f > 0; f-- {
+		q.Filters = append(q.Filters, query.Filter{
+			Alias:  q.Relations[rng.Intn(n)].Alias,
+			Column: fmt.Sprintf("c%d", rng.Intn(3)),
+			Op:     query.CmpOp(rng.Intn(6)),
+			Value:  rng.Int63n(1000),
+		})
+	}
+	if rng.Intn(3) == 0 {
+		q.GroupBys = append(q.GroupBys, query.GroupBy{Alias: q.Relations[0].Alias, Column: "c0"})
+		q.Aggregates = append(q.Aggregates, query.Aggregate{Kind: query.AggCount})
+	}
+	return q
+}
+
+// permuted returns a deep copy of q with every component list shuffled and
+// each join predicate's sides swapped with probability ½ — a different
+// surface form of the same logical query.
+func permuted(rng *rand.Rand, q *query.Query) *query.Query {
+	p := &query.Query{Name: q.Name}
+	p.Relations = append(p.Relations, q.Relations...)
+	p.Filters = append(p.Filters, q.Filters...)
+	p.GroupBys = append(p.GroupBys, q.GroupBys...)
+	p.Aggregates = append(p.Aggregates, q.Aggregates...)
+	for _, j := range q.Joins {
+		if rng.Intn(2) == 0 {
+			j.LeftAlias, j.LeftCol, j.RightAlias, j.RightCol = j.RightAlias, j.RightCol, j.LeftAlias, j.LeftCol
+		}
+		p.Joins = append(p.Joins, j)
+	}
+	rng.Shuffle(len(p.Relations), func(i, j int) { p.Relations[i], p.Relations[j] = p.Relations[j], p.Relations[i] })
+	rng.Shuffle(len(p.Joins), func(i, j int) { p.Joins[i], p.Joins[j] = p.Joins[j], p.Joins[i] })
+	rng.Shuffle(len(p.Filters), func(i, j int) { p.Filters[i], p.Filters[j] = p.Filters[j], p.Filters[i] })
+	rng.Shuffle(len(p.GroupBys), func(i, j int) { p.GroupBys[i], p.GroupBys[j] = p.GroupBys[j], p.GroupBys[i] })
+	rng.Shuffle(len(p.Aggregates), func(i, j int) { p.Aggregates[i], p.Aggregates[j] = p.Aggregates[j], p.Aggregates[i] })
+	return p
+}
+
+// TestFingerprintPermutationInvariant: any reordering of the relation,
+// join, filter, group-by, or aggregate lists — and any side swap of a join
+// predicate — must hash identically.
+func TestFingerprintPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		q := randomQuery(rng, 2+rng.Intn(7))
+		want := Fingerprint(q)
+		for v := 0; v < 4; v++ {
+			p := permuted(rng, q)
+			if got := Fingerprint(p); got != want {
+				t.Fatalf("trial %d variant %d: fingerprint %x != %x\noriginal:  %s\npermuted:  %s",
+					trial, v, got, want, Canonical(q), Canonical(p))
+			}
+		}
+	}
+}
+
+// TestFingerprintDistinguishesQueries: mutating any logical component must
+// change the fingerprint (collisions only by 64-bit chance, so none are
+// expected over a few hundred trials).
+func TestFingerprintDistinguishesQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		q := randomQuery(rng, 3+rng.Intn(5))
+		base := Fingerprint(q)
+
+		mutations := []func(*query.Query){
+			func(m *query.Query) { // change a filter constant (or add one)
+				if len(m.Filters) > 0 {
+					m.Filters[rng.Intn(len(m.Filters))].Value += 1
+				} else {
+					m.Filters = append(m.Filters, query.Filter{Alias: m.Relations[0].Alias, Column: "c0", Op: query.Eq, Value: 1})
+				}
+			},
+			func(m *query.Query) { // retarget a join column
+				m.Joins[rng.Intn(len(m.Joins))].LeftCol = "zz"
+			},
+			func(m *query.Query) { // rename a relation's table
+				m.Relations[rng.Intn(len(m.Relations))].Table = "other"
+			},
+			func(m *query.Query) { // add a join edge
+				m.Joins = append(m.Joins, query.Join{
+					LeftAlias: m.Relations[0].Alias, LeftCol: "new",
+					RightAlias: m.Relations[len(m.Relations)-1].Alias, RightCol: "new",
+				})
+			},
+		}
+		for mi, mutate := range mutations {
+			c := permuted(rng, q) // fresh copy with its own backing arrays
+			c.Joins = append([]query.Join(nil), c.Joins...)
+			c.Filters = append([]query.Filter(nil), c.Filters...)
+			c.Relations = append([]query.Relation(nil), c.Relations...)
+			mutate(c)
+			if Fingerprint(c) == base {
+				t.Fatalf("trial %d mutation %d left fingerprint unchanged\nquery: %s\nmutant: %s",
+					trial, mi, Canonical(q), Canonical(c))
+			}
+		}
+
+		// Two independently generated queries should not collide either.
+		other := randomQuery(rng, 3+rng.Intn(5))
+		if Canonical(other) != Canonical(q) && Fingerprint(other) == base {
+			t.Fatalf("trial %d: distinct queries collide:\n%s\n%s", trial, Canonical(q), Canonical(other))
+		}
+	}
+}
+
+// TestFingerprintNameIndependent: the fingerprint reflects logical content
+// only, not the display name.
+func TestFingerprintNameIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	q := randomQuery(rng, 4)
+	named := permuted(rng, q)
+	named.Name = "renamed"
+	if Fingerprint(named) != Fingerprint(q) {
+		t.Fatal("renaming a query changed its fingerprint")
+	}
+}
+
+func BenchmarkFingerprint(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	q := randomQuery(rng, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Fingerprint(q)
+	}
+}
+
+// TestHashSubtreesMatchesHashPlan: the single-walk per-subtree hashes must
+// equal hashing each subtree independently.
+func TestHashSubtreesMatchesHashPlan(t *testing.T) {
+	scanA := &plan.Scan{Alias: "a", Table: "t1", Filters: []query.Filter{{Alias: "a", Column: "c0", Op: query.Lt, Value: 9}}}
+	scanB := &plan.Scan{Alias: "b", Table: "t2", Access: plan.IndexScan, IndexColumn: "id"}
+	scanC := &plan.Scan{Alias: "c", Table: "t3"}
+	joinAB := &plan.Join{Algo: plan.HashJoin, Left: scanA, Right: scanB,
+		Preds: []query.Join{{LeftAlias: "a", LeftCol: "id", RightAlias: "b", RightCol: "id"}}}
+	root := plan.Node(&plan.Agg{Algo: plan.SortAgg, Child: &plan.Join{Algo: plan.NestLoop, Left: joinAB, Right: scanC}})
+
+	hs := map[plan.Node]uint64{}
+	if got, want := HashSubtrees(root, hs), HashPlan(root); got != want {
+		t.Fatalf("root hash %x != HashPlan %x", got, want)
+	}
+	plan.Walk(root, func(n plan.Node) {
+		if hs[n] != HashPlan(n) {
+			t.Fatalf("subtree hash mismatch at %s: %x != %x", n.Signature(), hs[n], HashPlan(n))
+		}
+	})
+	// Sibling subtrees must not collide.
+	if hs[scanA] == hs[scanB] || hs[joinAB] == hs[scanC] {
+		t.Fatal("distinct subtrees hash equal")
+	}
+
+	// Aggregation contents participate: same algo and child, different
+	// group-by column or aggregate kind must hash differently.
+	aggA := &plan.Agg{Algo: plan.HashAgg, Child: scanC, GroupBys: []query.GroupBy{{Alias: "c", Column: "x"}}}
+	aggB := &plan.Agg{Algo: plan.HashAgg, Child: scanC, GroupBys: []query.GroupBy{{Alias: "c", Column: "y"}}}
+	aggCnt := &plan.Agg{Algo: plan.HashAgg, Child: scanC, Aggregates: []query.Aggregate{{Kind: query.AggCount}}}
+	aggSum := &plan.Agg{Algo: plan.HashAgg, Child: scanC, Aggregates: []query.Aggregate{{Kind: query.AggSum, Alias: "c", Column: "x"}}}
+	if HashPlan(aggA) == HashPlan(aggB) {
+		t.Fatal("group-by column does not participate in the plan hash")
+	}
+	if HashPlan(aggCnt) == HashPlan(aggSum) {
+		t.Fatal("aggregate kind does not participate in the plan hash")
+	}
+}
+
+// TestFingerprintMemoBounded: the pointer memo resets at capacity instead
+// of pinning every query ever fingerprinted, and Flush clears it.
+func TestFingerprintMemoBounded(t *testing.T) {
+	var memo fingerprintMemo
+	rng := rand.New(rand.NewSource(21))
+	q := randomQuery(rng, 3)
+	want := Fingerprint(q)
+	if memo.of(q) != want {
+		t.Fatal("memo returned a wrong fingerprint")
+	}
+	for i := 0; i < memoCap+10; i++ {
+		memo.of(randomQuery(rng, 2))
+	}
+	memo.mu.RLock()
+	n := len(memo.m)
+	memo.mu.RUnlock()
+	if n > memoCap {
+		t.Fatalf("memo holds %d entries, cap %d", n, memoCap)
+	}
+	if memo.of(q) != want {
+		t.Fatal("memo returned a wrong fingerprint after reset")
+	}
+	c := New(Config{Capacity: 8, Shards: 2})
+	c.FingerprintOf(q)
+	c.Flush()
+	c.fp.mu.RLock()
+	empty := len(c.fp.m) == 0
+	c.fp.mu.RUnlock()
+	if !empty {
+		t.Fatal("Flush left the fingerprint memo populated")
+	}
+}

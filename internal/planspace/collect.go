@@ -70,6 +70,12 @@ func (c *Collector) Collect(agent *rl.Reinforce, episodes int) []EpisodeRecord {
 	per := rl.SplitEpisodes(episodes, workers)
 	policies := make([]func(rl.State) int, workers)
 	records := make([][]EpisodeRecord, workers)
+	// Fresh policy snapshots mean any plan cached under the previous policy
+	// is stale: advance the shared cache's policy epoch so ModeGreedyPolicy
+	// entries from older snapshots can never be served. Pure optimizer
+	// completions are unaffected — they are what makes repeated workload
+	// queries cheap.
+	c.base.Cfg.Planner.Cache.BumpEpoch()
 	for w := 0; w < workers; w++ {
 		c.snapSeed++
 		policies[w] = agent.PolicySnapshot(c.snapSeed)

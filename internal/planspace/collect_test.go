@@ -3,6 +3,7 @@ package planspace
 import (
 	"testing"
 
+	"handsfree/internal/plancache"
 	"handsfree/internal/rl"
 )
 
@@ -57,5 +58,54 @@ func TestReplicaIndependentEpisodes(t *testing.T) {
 	}
 	if len(s1.Features) != len(s2.Features) {
 		t.Fatal("replica observation dimension differs from base")
+	}
+}
+
+// TestCollectorCacheTransparent: parallel collection over the full
+// plan-space MDP must return identical episodes with and without the plan
+// cache (completion memoization is pure), and repeated workload sweeps
+// must be served from cache.
+func TestCollectorCacheTransparent(t *testing.T) {
+	f := fixture(t, 4, 3, 4)
+	run := func(cache *plancache.Cache) []EpisodeRecord {
+		env := NewEnv(Config{
+			Space:   f.space,
+			Stages:  StagePrefix(2),
+			Planner: f.planner,
+			Latency: f.lat,
+			Queries: f.queries,
+			Reward:  CostReward,
+			Cache:   cache,
+			Seed:    3,
+		})
+		agent := rl.NewReinforce(env.ObsDim(), env.ActionDim(), rl.ReinforceConfig{Hidden: []int{16}, Seed: 5})
+		collector := NewCollector(env, 3)
+		var out []EpisodeRecord
+		for round := 0; round < 3; round++ {
+			out = append(out, collector.Collect(agent, 12)...)
+		}
+		return out
+	}
+	plain := run(nil)
+	cache := plancache.New(plancache.Config{Capacity: 4096, Shards: 8})
+	cached := run(cache)
+	if len(plain) != len(cached) {
+		t.Fatalf("episode counts differ: %d vs %d", len(plain), len(cached))
+	}
+	for i := range plain {
+		if plain[i].Out.Cost != cached[i].Out.Cost || plain[i].Query.Name != cached[i].Query.Name {
+			t.Fatalf("episode %d differs with cache enabled: (%v,%s) vs (%v,%s)",
+				i, plain[i].Out.Cost, plain[i].Query.Name, cached[i].Out.Cost, cached[i].Query.Name)
+		}
+		if plain[i].Out.Plan.Signature() != cached[i].Out.Plan.Signature() {
+			t.Fatalf("episode %d plan differs with cache enabled", i)
+		}
+	}
+	st := cache.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("cache never hit across repeated workload sweeps: %+v", st)
+	}
+	if st.EpochBumps == 0 {
+		t.Fatal("collector never advanced the policy epoch")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"handsfree/internal/featurize"
 	"handsfree/internal/optimizer"
 	"handsfree/internal/plan"
+	"handsfree/internal/plancache"
 	"handsfree/internal/query"
 	"handsfree/internal/rl"
 )
@@ -66,7 +67,12 @@ type Config struct {
 	RewardNeedsLatency bool
 	// LatencyBudgetMs censors execution latency (0 = no budget).
 	LatencyBudgetMs float64
-	Seed            int64
+	// Cache, when non-nil, memoizes the optimizer completions that end
+	// every episode (the plan cache service). NewEnv attaches it to the
+	// planner, and Replica copies inherit the attachment, so all parallel
+	// collection workers share one sharded cache.
+	Cache *plancache.Cache
+	Seed  int64
 }
 
 // phase enumerates the episode's decision phases.
@@ -106,6 +112,11 @@ type Env struct {
 func NewEnv(cfg Config) *Env {
 	if cfg.Reward == nil {
 		cfg.Reward = CostReward
+	}
+	if cfg.Cache != nil {
+		// WithCache is idempotent, so replicas built from an already
+		// attached config keep sharing the same planner copy and cache.
+		cfg.Planner = cfg.Planner.WithCache(cfg.Cache)
 	}
 	return &Env{
 		Cfg:    cfg,

@@ -40,6 +40,10 @@ func (a *Agent) TrainEpisodes(episodes, workers int) []EpisodeResult {
 		per := rl.SplitEpisodes(n, workers)
 		policies := make([]func(rl.State) int, workers)
 		perResults := make([][]EpisodeResult, workers)
+		// Each round takes fresh policy snapshots: advance the shared plan
+		// cache's policy epoch so greedy plans memoized under the previous
+		// policy are invalidated (pure completion entries are unaffected).
+		a.Env.Planner.Cache.BumpEpoch()
 		for w := 0; w < workers; w++ {
 			a.snapSeed++
 			policies[w] = a.RL.PolicySnapshot(a.snapSeed)

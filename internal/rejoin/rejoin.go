@@ -4,15 +4,24 @@
 // the traditional optimizer's cost model applied to the completed physical
 // plan (the optimizer performs operator and access-path selection on the
 // learned join order, exactly as in the paper).
+//
+// Episode collection — the training hot path — can attach a plancache.Cache
+// (Env.UseCache): the per-episode optimizer completion is then memoized
+// across episodes, and GreedyPlan memoizes whole learned plans keyed by the
+// policy version so repeated evaluations of an unchanged policy skip both
+// the network passes and the completion.
 package rejoin
 
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
 
+	"handsfree/internal/cost"
 	"handsfree/internal/featurize"
 	"handsfree/internal/optimizer"
 	"handsfree/internal/plan"
+	"handsfree/internal/plancache"
 	"handsfree/internal/query"
 	"handsfree/internal/rl"
 )
@@ -64,11 +73,21 @@ func NewEnv(space *featurize.Space, planner *optimizer.Planner, queries []*query
 	}
 }
 
+// UseCache attaches a plan cache to the environment's planner (a shallow
+// planner copy; other users of the original planner are unaffected).
+// Replicas built afterwards inherit the attachment, so parallel collection
+// workers share one sharded cache. Returns e for chaining.
+func (e *Env) UseCache(c *plancache.Cache) *Env {
+	e.Planner = e.Planner.WithCache(c)
+	return e
+}
+
 // Replica returns an independent copy of the environment for parallel
 // episode collection: its own RNG stream (derived from the worker index)
 // and an episode cursor staggered so that `workers` replicas sweep the
-// workload with minimal overlap. The planner, featurization space, and
-// query set are shared — they are read-only during planning.
+// workload with minimal overlap. The planner (with any attached plan
+// cache), featurization space, and query set are shared — the first two
+// are read-only during planning and the cache is concurrency-safe.
 func (e *Env) Replica(worker, workers int) *Env {
 	r := NewEnv(e.Space, e.Planner, e.Queries, e.seed+1000*int64(worker+1))
 	r.Reward = e.Reward
@@ -164,6 +183,11 @@ func (e *Env) terminalReward(cost float64) float64 {
 	}
 }
 
+// agentNonce hands every Agent (and every Load-restored policy) a distinct
+// identity for plan-cache keys, so agents sharing one cache can never serve
+// each other's memoized greedy plans.
+var agentNonce atomic.Uint64
+
 // Agent couples the environment with a REINFORCE policy.
 type Agent struct {
 	Env *Env
@@ -173,11 +197,19 @@ type Agent struct {
 	// TrainEpisodes calls so successive parallel rounds never replay an
 	// earlier round's action-sampling RNG streams.
 	snapSeed int64
+	// cacheID is this agent's identity in greedy-plan cache keys; redrawn
+	// by Load because a restored policy is a different policy.
+	cacheID uint64
 }
 
 // NewAgent builds a ReJOIN agent with the given policy configuration.
 func NewAgent(env *Env, cfg rl.ReinforceConfig) *Agent {
-	return &Agent{Env: env, RL: rl.NewReinforce(env.ObsDim(), env.ActionDim(), cfg), snapSeed: cfg.Seed}
+	return &Agent{
+		Env:      env,
+		RL:       rl.NewReinforce(env.ObsDim(), env.ActionDim(), cfg),
+		snapSeed: cfg.Seed,
+		cacheID:  agentNonce.Add(1),
+	}
 }
 
 // EpisodeResult reports one training or evaluation episode.
@@ -203,14 +235,53 @@ func (a *Agent) Save() ([]byte, error) {
 }
 
 // Load restores a policy saved with Save. The checkpoint must have been
-// produced by an agent over the same featurization space.
+// produced by an agent over the same featurization space. The agent's
+// plan-cache identity is redrawn: greedy plans memoized for the previous
+// weights must not be served for the restored ones.
 func (a *Agent) Load(data []byte) error {
-	return a.RL.UnmarshalPolicy(data)
+	if err := a.RL.UnmarshalPolicy(data); err != nil {
+		return err
+	}
+	a.cacheID = agentNonce.Add(1)
+	return nil
+}
+
+// greedyKey keys a whole learned plan for q under the current policy
+// version of this specific agent. The Skeleton slot (unused for whole-query
+// entries) carries the agent's cache identity, so agents sharing a cache
+// keep disjoint entries; the epoch folds together the shared cache epoch
+// (bumped whenever fresh policy snapshots are taken; low 32 bits) and the
+// agent's own update counter (high 32 bits) in disjoint bit ranges, so a
+// plan cached before any kind of policy change can never be returned. The
+// update counter and cache identity alone would be precise for this agent;
+// folding the shared epoch in as well is deliberate conservatism — the
+// issue's snapshot-refresh invalidation contract — at worst costing a
+// recompute when another agent's collection round bumps the epoch.
+func (a *Agent) greedyKey(c *plancache.Cache, q *query.Query) plancache.Key {
+	return plancache.Key{
+		Query:    c.FingerprintOf(q),
+		Skeleton: a.cacheID,
+		Mode:     plancache.ModeGreedyPolicy,
+		Epoch:    uint64(a.RL.Updates)<<32 | c.Epoch()&0xffffffff,
+	}
 }
 
 // GreedyPlan runs the trained policy greedily on a query and returns the
-// completed physical plan and its optimizer cost.
+// completed physical plan and its optimizer cost. With a cache attached
+// (Env.UseCache), the whole plan is memoized per policy version: repeated
+// greedy evaluations of an unchanged policy — the repeated-workload serving
+// pattern — skip both the network passes and the optimizer completion.
 func (a *Agent) GreedyPlan(q *query.Query) (plan.Node, float64) {
+	cache := a.Env.Planner.Cache
+	if cache != nil {
+		if e, ok := cache.Get(a.greedyKey(cache, q)); ok {
+			// Mirror the uncached path's observable state: the episode "ran"
+			// on q and ended with this plan.
+			a.Env.cur = q
+			a.Env.LastPlan, a.Env.LastCost = e.Plan, e.Cost.Total
+			return e.Plan, e.Cost.Total
+		}
+	}
 	s := a.Env.ResetTo(q)
 	for !s.Terminal {
 		act := a.RL.Greedy(s)
@@ -222,6 +293,12 @@ func (a *Agent) GreedyPlan(q *query.Query) (plan.Node, float64) {
 		if done {
 			break
 		}
+	}
+	if cache != nil && a.Env.LastPlan != nil {
+		cache.Put(a.greedyKey(cache, q), plancache.Entry{
+			Plan: a.Env.LastPlan,
+			Cost: cost.NodeCost{Total: a.Env.LastCost},
+		})
 	}
 	return a.Env.LastPlan, a.Env.LastCost
 }

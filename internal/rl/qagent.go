@@ -3,6 +3,7 @@ package rl
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"handsfree/internal/nn"
 )
@@ -101,6 +102,14 @@ type QAgent struct {
 
 	rng     *rand.Rand
 	scratch []Sample // reused minibatch backing for Train/TrainMargin
+
+	// bestFallbacks counts Best() calls where every valid prediction was
+	// NaN or +Inf and the first valid action was returned instead of the
+	// argmin. A nonzero count flags a broken or diverged network — the
+	// kind of silent anomaly that would otherwise only surface as bad
+	// plans (or poisoned cache entries) downstream. Atomic because frozen
+	// agents may serve concurrent collection workers.
+	bestFallbacks atomic.Int64
 }
 
 // NewQAgent builds a reward-prediction agent for the given dimensions.
@@ -146,7 +155,8 @@ func (q *QAgent) Act(s State) int {
 // valid prediction is +Inf or NaN (a freshly broken or diverged network),
 // it falls back to the first valid action rather than reporting no action,
 // so callers always receive a usable choice while any valid action exists.
-// Only an all-false mask returns -1.
+// Each such fallback is counted (see BestFallbacks) so training anomalies
+// are observable instead of silent. Only an all-false mask returns -1.
 func (q *QAgent) Best(s State) int {
 	pred := q.Predict(s)
 	best, bestV := -1, math.Inf(1)
@@ -163,10 +173,19 @@ func (q *QAgent) Best(s State) int {
 		}
 	}
 	if best < 0 {
+		if firstValid >= 0 {
+			q.bestFallbacks.Add(1)
+		}
 		return firstValid
 	}
 	return best
 }
+
+// BestFallbacks reports how many times Best has fallen back to the first
+// valid action because every valid prediction was NaN or +Inf. A healthy
+// agent keeps this at zero; monitor it alongside the plan cache stats when
+// diagnosing training anomalies.
+func (q *QAgent) BestFallbacks() int64 { return q.bestFallbacks.Load() }
 
 // assembleBatch copies the sampled features into one batchSize×obsDim
 // matrix so the whole minibatch runs through a single forward pass.

@@ -279,3 +279,38 @@ func TestStateNumValid(t *testing.T) {
 		t.Fatalf("NumValid = %d, want 2", s.NumValid())
 	}
 }
+
+// TestQAgentBestFallbackCounted: when every valid prediction is NaN, Best
+// must return the first valid action AND count the anomaly, so diverged
+// networks are observable rather than silently tolerated.
+func TestQAgentBestFallbackCounted(t *testing.T) {
+	agent := NewQAgent(2, 3, QAgentConfig{Hidden: []int{8}, Seed: 1})
+	// Poison the network: NaN weights make every prediction NaN.
+	for _, p := range agent.Net.Params() {
+		for i := range p.Value {
+			p.Value[i] = math.NaN()
+		}
+	}
+	s := State{Features: []float64{1, 0}, Mask: []bool{false, true, true}}
+	if got := agent.Best(s); got != 1 {
+		t.Fatalf("Best = %d under all-NaN predictions, want first valid action 1", got)
+	}
+	if n := agent.BestFallbacks(); n != 1 {
+		t.Fatalf("BestFallbacks = %d after one NaN fallback, want 1", n)
+	}
+	// A healthy call must not bump the counter.
+	healthy := NewQAgent(2, 3, QAgentConfig{Hidden: []int{8}, Seed: 1})
+	if a := healthy.Best(s); a < 0 || !s.Mask[a] {
+		t.Fatalf("healthy Best returned %d", a)
+	}
+	if n := healthy.BestFallbacks(); n != 0 {
+		t.Fatalf("BestFallbacks = %d on a healthy agent, want 0", n)
+	}
+	// An all-false mask still reports no action and counts nothing.
+	if a := agent.Best(State{Features: []float64{1, 0}, Mask: []bool{false, false, false}}); a != -1 {
+		t.Fatalf("Best = %d with an all-false mask, want -1", a)
+	}
+	if n := agent.BestFallbacks(); n != 1 {
+		t.Fatalf("BestFallbacks = %d after all-false mask, want still 1", n)
+	}
+}
