@@ -6,6 +6,7 @@
 package handsfree
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
@@ -396,6 +397,55 @@ func benchCollect(b *testing.B, workers int) {
 	for i := 0; i < b.N; i++ {
 		agent.TrainEpisodes(16, workers)
 	}
+}
+
+// BenchmarkSyncCollect measures round-synchronous ReJOIN training (frozen
+// snapshots, barrier join per policy batch) at 1/4/8 collection workers on
+// the bench workload; one iteration = 48 episodes. Compare per-actor-count
+// against BenchmarkAsyncCollect: the async split removes the round barrier,
+// so it pulls ahead as actors multiply and episode durations spread.
+func BenchmarkSyncCollect(b *testing.B) {
+	for _, actors := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("actors=%d", actors), func(b *testing.B) {
+			benchActorCollect(b, actors, false)
+		})
+	}
+}
+
+// BenchmarkAsyncCollect measures asynchronous actor-learner ReJOIN training
+// (lock-free parameter-server snapshots, staleness bound 4, no barrier) at
+// 1/4/8 actors; one iteration = 48 episodes.
+func BenchmarkAsyncCollect(b *testing.B) {
+	for _, actors := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("actors=%d", actors), func(b *testing.B) {
+			benchActorCollect(b, actors, true)
+		})
+	}
+}
+
+func benchActorCollect(b *testing.B, actors int, async bool) {
+	l := lab(b)
+	queries := make([]*query.Query, 0, 4)
+	for i := int64(0); i < 4; i++ {
+		q, err := l.Workload.ByRelations(8, 3+i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	env := rejoin.NewEnv(l.Space(8), l.Planner, queries, 1)
+	agent := rejoin.NewAgent(env, rl.ReinforceConfig{Hidden: []int{128, 64}, BatchSize: 16, Seed: 1})
+	const episodes = 48
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if async {
+			agent.TrainAsync(episodes, rl.AsyncConfig{Actors: actors, Staleness: 4})
+		} else {
+			agent.TrainEpisodes(episodes, actors)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(episodes*b.N)/b.Elapsed().Seconds(), "episodes/sec")
 }
 
 // --- plan cache benchmarks ---

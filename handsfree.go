@@ -56,6 +56,13 @@ type (
 	// PlanCacheStats is a snapshot of the plan cache's hit/miss/eviction
 	// counters.
 	PlanCacheStats = plancache.Stats
+	// AsyncConfig controls asynchronous actor-learner training: actor
+	// count, the staleness bound K on parameter-server snapshots, queue
+	// depth, and whether over-stale trajectories are dropped.
+	AsyncConfig = rl.AsyncConfig
+	// AsyncStats summarizes an asynchronous training run (updates,
+	// publishes, max observed staleness, dropped trajectories).
+	AsyncStats = rl.AsyncStats
 )
 
 // CacheConfig controls the optional plan cache service.
@@ -259,6 +266,17 @@ func (a *ReJOINAgent) Train(n int) {
 // worker count; use runtime.NumCPU() workers to saturate the machine.
 func (a *ReJOINAgent) TrainParallel(n, workers int) {
 	a.agent.TrainEpisodes(n, workers)
+}
+
+// TrainAsync runs n learning episodes with the asynchronous actor-learner
+// split: cfg.Actors environment replicas collect continuously against
+// lock-free parameter-server snapshots (staleness bounded by cfg.Staleness
+// versions) while the learner updates and republishes without a round
+// barrier. Highest throughput, but episode order — and therefore the exact
+// trained weights — is scheduling-dependent; use TrainParallel when bitwise
+// reproducibility matters.
+func (a *ReJOINAgent) TrainAsync(n int, cfg AsyncConfig) {
+	a.agent.TrainAsync(n, cfg)
 }
 
 // Plan produces the trained agent's (greedy) plan for a query along with

@@ -109,3 +109,20 @@ func TestParseSQLErrors(t *testing.T) {
 		t.Fatal("accepted non-SELECT statement")
 	}
 }
+
+func TestReJOINAgentTrainAsync(t *testing.T) {
+	sys := testSystem(t)
+	queries, err := sys.Workload.Training(4, 4, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := sys.NewReJOINAgent(queries, ReJOINConfig{Seed: 1, Hidden: []int{32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent.TrainAsync(50, AsyncConfig{Actors: 4, Staleness: 2})
+	node, cost := agent.Plan(queries[0])
+	if node == nil || cost <= 0 {
+		t.Fatalf("async-trained agent produced plan=%v cost=%v", node, cost)
+	}
+}

@@ -128,6 +128,17 @@ type Config struct {
 	// policy-batch per collection round, deterministic merge). Workers ≤ 1
 	// trains strictly sequentially.
 	Workers int
+	// Async switches parallel collection (Workers > 1) from the
+	// round-synchronous barrier to the asynchronous actor-learner split:
+	// actors collect continuously against lock-free parameter-server
+	// snapshots while the learner updates and republishes. Higher
+	// throughput, but episode order becomes scheduling-dependent; leave it
+	// off when bitwise reproducibility matters.
+	Async bool
+	// Staleness bounds how many snapshot versions an async actor's policy
+	// may lag the learner (0 = the rl.AsyncConfig default of 4). Ignored
+	// unless Async.
+	Staleness int
 	// Cache, when non-nil, memoizes optimizer completions and expert plans
 	// across episodes and phases (the plan cache service). Completion
 	// entries are pure and survive phase transitions; policy-dependent
@@ -221,7 +232,20 @@ func (t *Trainer) RunPhase(p Phase, episodeBase int, onEpisode func(ep int, out 
 	t.stages = p.Stages
 	t.env = env
 
-	if t.Cfg.Workers > 1 {
+	if t.Cfg.Workers > 1 && t.Cfg.Async {
+		// Async actor-learner split: no round barrier; the learner updates
+		// and republishes while actors keep collecting against bounded-
+		// staleness snapshots.
+		planspace.TrainAsync(env, t.agent, p.Episodes, rl.AsyncConfig{
+			Actors:    t.Cfg.Workers,
+			Staleness: t.Cfg.Staleness,
+			Seed:      t.Cfg.Seed,
+		}, func(i int, rec planspace.EpisodeRecord) {
+			if onEpisode != nil {
+				onEpisode(episodeBase+i, rec.Out)
+			}
+		})
+	} else if t.Cfg.Workers > 1 {
 		// Parallel collection: one policy-batch of episodes per round from
 		// frozen policy snapshots, merged deterministically, so the learner
 		// updates exactly as often as in sequential training.

@@ -24,8 +24,12 @@ func (p *Param) ZeroGrad() {
 // and must cache whatever it needs for the matching Backward call; Backward
 // consumes the gradient of the loss with respect to its output and returns
 // the gradient with respect to its input, accumulating parameter gradients.
+// Infer must compute exactly what Forward computes while writing no layer
+// state, so concurrent Infer calls on a shared layer are safe as long as
+// the parameters are not mutated.
 type Layer interface {
 	Forward(x *Mat) *Mat
+	Infer(x *Mat) *Mat
 	Backward(dout *Mat) *Mat
 	Params() []*Param
 }
@@ -56,6 +60,11 @@ func (l *Linear) weight() *Mat { return &Mat{Rows: l.In, Cols: l.Out, Data: l.W.
 // Forward computes x·W + b for a batch.
 func (l *Linear) Forward(x *Mat) *Mat {
 	l.x = x
+	return l.Infer(x)
+}
+
+// Infer computes x·W + b without caching the input for backward.
+func (l *Linear) Infer(x *Mat) *Mat {
 	out := MatMul(x, l.weight())
 	for i := 0; i < out.Rows; i++ {
 		row := out.Row(i)
@@ -107,6 +116,18 @@ func (r *ReLU) Forward(x *Mat) *Mat {
 	return out
 }
 
+// Infer zeroes everything not strictly positive — including NaN, exactly as
+// Forward does — without touching the backward mask.
+func (r *ReLU) Infer(x *Mat) *Mat {
+	out := x.Clone()
+	for i, v := range x.Data {
+		if !(v > 0) {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
 // Backward passes gradient only where the input was positive.
 func (r *ReLU) Backward(dout *Mat) *Mat {
 	dx := dout.Clone()
@@ -128,11 +149,17 @@ type Tanh struct {
 
 // Forward applies tanh element-wise.
 func (t *Tanh) Forward(x *Mat) *Mat {
+	out := t.Infer(x)
+	t.y = out
+	return out
+}
+
+// Infer applies tanh element-wise without caching the activation.
+func (t *Tanh) Infer(x *Mat) *Mat {
 	out := x.Clone()
 	for i, v := range out.Data {
 		out.Data[i] = math.Tanh(v)
 	}
-	t.y = out
 	return out
 }
 

@@ -119,6 +119,23 @@ func (n *Network) ReinitOutput(rng *rand.Rand) {
 	panic("nn: ReinitOutput on a network without a Linear layer")
 }
 
+// Infer runs the batch through the network without caching anything for a
+// backward pass. Forward stores per-layer state (the Linear input, the ReLU
+// mask) and therefore must not be called concurrently on a shared network;
+// Infer touches only the parameter values, so any number of goroutines may
+// call it on one network at once as long as none mutates the parameters.
+// That is exactly the contract of a published policy snapshot: the parameter
+// server hands one immutable network to every actor, and the actors' episode
+// hot path stays allocation-light and lock-free instead of cloning the
+// network per worker. Each Layer.Infer is required to compute exactly what
+// its Forward computes (asserted bitwise by the parity test).
+func (n *Network) Infer(x *Mat) *Mat {
+	for _, l := range n.Layers {
+		x = l.Infer(x)
+	}
+	return x
+}
+
 // netState is the gob wire form of a network: enough to rebuild layer
 // structure plus the flat parameter values.
 type netState struct {
@@ -205,6 +222,34 @@ func (n *Network) Clone() *Network {
 				Out: l.Out,
 				W:   &Param{Name: "W", Value: append([]float64(nil), l.W.Value...), Grad: make([]float64, len(l.W.Grad))},
 				B:   &Param{Name: "b", Value: append([]float64(nil), l.B.Value...), Grad: make([]float64, len(l.B.Grad))},
+			})
+		case *ReLU:
+			out.Layers = append(out.Layers, &ReLU{})
+		case *Tanh:
+			out.Layers = append(out.Layers, &Tanh{})
+		default:
+			panic(fmt.Sprintf("nn: cannot clone layer %T", l))
+		}
+	}
+	return out
+}
+
+// CloneForInference deep-copies the parameter values but allocates no
+// gradient buffers: the copy supports Infer (and Forward) but not Backward.
+// An async learner republishes a snapshot after every policy update, so the
+// publish hot path skips half of Clone's allocation and memory traffic —
+// snapshots are read-only by contract and their gradients would be dead
+// weight.
+func (n *Network) CloneForInference() *Network {
+	out := &Network{Layers: make([]Layer, 0, len(n.Layers))}
+	for _, l := range n.Layers {
+		switch l := l.(type) {
+		case *Linear:
+			out.Layers = append(out.Layers, &Linear{
+				In:  l.In,
+				Out: l.Out,
+				W:   &Param{Name: "W", Value: append([]float64(nil), l.W.Value...)},
+				B:   &Param{Name: "b", Value: append([]float64(nil), l.B.Value...)},
 			})
 		case *ReLU:
 			out.Layers = append(out.Layers, &ReLU{})

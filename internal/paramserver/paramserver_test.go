@@ -1,0 +1,209 @@
+package paramserver
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"handsfree/internal/nn"
+)
+
+// tagNet builds a 1×1 network whose single weight carries tag, so a reader
+// can recover which publish produced the snapshot it observed.
+func tagNet(tag float64) *nn.Network {
+	net := nn.NewMLP(rand.New(rand.NewSource(1)), 1, 1)
+	net.Layers[0].(*nn.Linear).W.Value[0] = tag
+	net.Layers[0].(*nn.Linear).B.Value[0] = 0
+	return net
+}
+
+func tagOf(net *nn.Network) float64 {
+	return net.Layers[0].(*nn.Linear).W.Value[0]
+}
+
+func TestPublishAssignsDenseVersions(t *testing.T) {
+	srv := New(tagNet(0))
+	if v := srv.Version(); v != 0 {
+		t.Fatalf("initial version %d, want 0", v)
+	}
+	for i := 1; i <= 10; i++ {
+		if v := srv.Publish(tagNet(float64(i)), i); v != uint64(i) {
+			t.Fatalf("publish %d assigned version %d", i, v)
+		}
+	}
+	snap := srv.Latest()
+	if snap.Version != 10 || tagOf(snap.Net) != 10 || snap.Updates != 10 {
+		t.Fatalf("latest = (v%d, tag %v, updates %d), want (10, 10, 10)", snap.Version, tagOf(snap.Net), snap.Updates)
+	}
+	st := srv.Stats()
+	if st.Publishes != 10 || st.Version != 10 || st.Fetches != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOnPublishHookSeesEveryVersion(t *testing.T) {
+	srv := New(tagNet(0))
+	var got []uint64
+	srv.OnPublish = func(v uint64) { got = append(got, v) }
+	for i := 1; i <= 5; i++ {
+		srv.Publish(tagNet(float64(i)), i)
+	}
+	if len(got) != 5 {
+		t.Fatalf("hook ran %d times, want 5", len(got))
+	}
+	for i, v := range got {
+		if v != uint64(i+1) {
+			t.Fatalf("hook call %d saw version %d", i, v)
+		}
+	}
+}
+
+// TestPublishFetchLinearizable is the race/linearizability harness for the
+// snapshot exchange: 4 concurrent publishers CAS-race ≥200 publishes while
+// 4 readers continuously fetch. Afterwards it checks, against the publishers'
+// own (version → tag) records, that
+//
+//  1. versions are dense — every version in [1, publishes] was assigned
+//     exactly once;
+//  2. every snapshot a reader observed is exactly one published (version,
+//     tag) pair — no torn or recombined snapshots;
+//  3. each reader's observed versions are monotonically non-decreasing —
+//     once version v is visible, no older snapshot can be fetched.
+//
+// Run under -race this also proves the data handoff (network contents
+// written before Publish, read after Latest) is properly synchronized.
+func TestPublishFetchLinearizable(t *testing.T) {
+	const publishers, readers, perPublisher = 4, 4, 60
+
+	srv := New(tagNet(0))
+	published := make([]map[uint64]float64, publishers) // version → tag
+	readerSeen := make([][]Snapshot, readers)
+
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	for p := 0; p < publishers; p++ {
+		published[p] = make(map[uint64]float64, perPublisher)
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			start.Wait()
+			for i := 0; i < perPublisher; i++ {
+				tag := float64(p*1_000_000 + i + 1)
+				v := srv.Publish(tagNet(tag), i)
+				published[p][v] = tag
+			}
+		}(p)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			start.Wait()
+			for i := 0; i < 2000; i++ {
+				snap := srv.Latest()
+				readerSeen[r] = append(readerSeen[r], Snapshot{Version: snap.Version, Net: snap.Net})
+			}
+		}(r)
+	}
+	start.Done()
+	wg.Wait()
+
+	const total = publishers * perPublisher
+	if total < 200 {
+		t.Fatalf("stress too small: %d publishes", total)
+	}
+	// (1) dense, uniquely assigned versions.
+	byVersion := map[uint64]float64{0: 0}
+	for p := range published {
+		for v, tag := range published[p] {
+			if _, dup := byVersion[v]; dup {
+				t.Fatalf("version %d assigned twice", v)
+			}
+			byVersion[v] = tag
+		}
+	}
+	for v := uint64(1); v <= total; v++ {
+		if _, ok := byVersion[v]; !ok {
+			t.Fatalf("version %d never assigned", v)
+		}
+	}
+	if got := srv.Version(); got != total {
+		t.Fatalf("final version %d, want %d", got, total)
+	}
+	// (2) observed snapshots match published pairs; (3) monotonic reads.
+	for r := range readerSeen {
+		last := uint64(0)
+		for i, snap := range readerSeen[r] {
+			if snap.Version < last {
+				t.Fatalf("reader %d: version went backwards at read %d (%d after %d)", r, i, snap.Version, last)
+			}
+			last = snap.Version
+			want, ok := byVersion[snap.Version]
+			if !ok {
+				t.Fatalf("reader %d observed unassigned version %d", r, snap.Version)
+			}
+			if got := tagOf(snap.Net); got != want {
+				t.Fatalf("reader %d: version %d carried tag %v, want %v — torn snapshot", r, snap.Version, got, want)
+			}
+		}
+	}
+}
+
+// TestClientStalenessBound: while a publisher races ahead, a
+// staleness-bounded client must never act on a snapshot more than K
+// versions behind the server version it checked against.
+func TestClientStalenessBound(t *testing.T) {
+	for _, k := range []int{0, 1, 3} {
+		srv := New(tagNet(0))
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 1; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+					srv.Publish(tagNet(float64(i)), i)
+				}
+			}
+		}()
+		client := srv.NewClient(k)
+		for i := 0; i < 5000; i++ {
+			snap, lag := client.Snapshot()
+			if lag > uint64(k) {
+				t.Fatalf("K=%d: client acted on lag %d", k, lag)
+			}
+			if snap == nil {
+				t.Fatalf("K=%d: nil snapshot", k)
+			}
+		}
+		close(done)
+		wg.Wait()
+		if client.MaxLag() > uint64(k) {
+			t.Fatalf("K=%d: MaxLag %d exceeds bound", k, client.MaxLag())
+		}
+		if k == 0 && client.Refetches() == 0 {
+			t.Fatal("K=0 client under a racing publisher never refetched")
+		}
+	}
+}
+
+// TestClientCachesWithinBound: with no publishes happening, the client must
+// fetch once and then serve its cache.
+func TestClientCachesWithinBound(t *testing.T) {
+	srv := New(tagNet(0))
+	client := srv.NewClient(2)
+	for i := 0; i < 100; i++ {
+		if _, lag := client.Snapshot(); lag != 0 {
+			t.Fatalf("lag %d with no publisher", lag)
+		}
+	}
+	if client.Refetches() != 1 {
+		t.Fatalf("refetches = %d, want exactly the initial fetch", client.Refetches())
+	}
+	if srv.Stats().Fetches != 1 {
+		t.Fatalf("server fetches = %d, want 1", srv.Stats().Fetches)
+	}
+}

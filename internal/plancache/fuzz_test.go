@@ -1,0 +1,90 @@
+package plancache
+
+import (
+	"math/rand"
+	"testing"
+
+	"handsfree/internal/query"
+)
+
+// fuzzQuery builds an arbitrary (not necessarily valid) logical query from
+// fuzzer-controlled bytes: relation/join/filter/group-by/aggregate counts
+// and contents are all derived from the input stream, so the fuzzer explores
+// alias collisions, self-joins, duplicate predicates, and empty sections.
+func fuzzQuery(data []byte) *query.Query {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	name := func() string {
+		names := []string{"t", "mc", "ci", "mk", "n", "k", "a", "b"}
+		return names[int(next())%len(names)]
+	}
+	col := func() string {
+		cols := []string{"id", "movie_id", "kind_id", "x", "y"}
+		return cols[int(next())%len(cols)]
+	}
+	q := &query.Query{}
+	for i, n := 0, 1+int(next())%6; i < n; i++ {
+		q.Relations = append(q.Relations, query.Relation{Table: name(), Alias: name()})
+	}
+	for i, n := 0, int(next())%6; i < n; i++ {
+		q.Joins = append(q.Joins, query.Join{
+			LeftAlias: name(), LeftCol: col(),
+			RightAlias: name(), RightCol: col(),
+		})
+	}
+	for i, n := 0, int(next())%6; i < n; i++ {
+		q.Filters = append(q.Filters, query.Filter{
+			Alias: name(), Column: col(),
+			Op: query.CmpOp(int(next()) % 6), Value: int64(next()) - 128,
+		})
+	}
+	for i, n := 0, int(next())%3; i < n; i++ {
+		q.GroupBys = append(q.GroupBys, query.GroupBy{Alias: name(), Column: col()})
+	}
+	for i, n := 0, int(next())%3; i < n; i++ {
+		q.Aggregates = append(q.Aggregates, query.Aggregate{
+			Kind: query.AggKind(1 + int(next())%4), Alias: name(), Column: col(),
+		})
+	}
+	return q
+}
+
+// FuzzFingerprint: on arbitrary generated queries, the canonical fingerprint
+// must be invariant under permutation of every component list and under
+// swapping the two sides of any equality join (the permuted helper from the
+// property tests) — the property that makes it safe as a cache key — and
+// must change when the logical content changes.
+func FuzzFingerprint(f *testing.F) {
+	f.Add([]byte{}, int64(1))
+	f.Add([]byte{3, 1, 2, 0, 4, 4, 2, 2, 1, 1, 9, 9, 200, 17, 5}, int64(7))
+	f.Add([]byte("SELECT-ish arbitrary bytes \x00\xff\x80"), int64(42))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		q := fuzzQuery(data)
+		fp := Fingerprint(q)
+		canon := Canonical(q)
+		rng := rand.New(rand.NewSource(seed))
+		for v := 0; v < 4; v++ {
+			p := permuted(rng, q)
+			if got := Canonical(p); got != canon {
+				t.Fatalf("canonical form not permutation-invariant (variant %d):\n%q\n%q", v, canon, got)
+			}
+			if got := Fingerprint(p); got != fp {
+				t.Fatalf("fingerprint not permutation-invariant (variant %d): %x vs %x", v, got, fp)
+			}
+		}
+		// Sanity: a logical change must change the canonical form.
+		if len(q.Filters) > 0 {
+			mutated := permuted(rng, q)
+			mutated.Filters[0].Value++
+			if Canonical(mutated) == canon {
+				t.Fatal("changing a filter value left the canonical form unchanged")
+			}
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package planspace
+
+import (
+	"runtime"
+
+	"handsfree/internal/rl"
+)
+
+// TrainAsync trains agent over the environment with the asynchronous
+// actor-learner split (rl.TrainAsync): cfg.Actors replicas of base
+// continuously collect episodes against lock-free policy snapshots while the
+// learner drains trajectories, applies policy-batch updates, and
+// republishes. onEpisode (optional) observes every consumed episode in
+// consumption order — a scheduling-dependent order; Collector.Collect is the
+// deterministic round-synchronous alternative.
+//
+// The configured Reward must be a pure function of the outcome (CostReward
+// and LatencyReward are), exactly as for Replica-based parallel collection.
+// Every snapshot publish advances the shared plan cache's policy epoch, so
+// ModeGreedyPolicy entries from older snapshots can never be served; the
+// replicas' execution counters are folded back into base when training
+// returns, so §4-style timeout statistics survive async collection.
+func TrainAsync(base *Env, agent *rl.Reinforce, episodes int, cfg rl.AsyncConfig,
+	onEpisode func(i int, rec EpisodeRecord)) rl.AsyncStats {
+	if cfg.Actors < 1 {
+		// Same default rl.TrainAsync documents: the replica count must be
+		// fixed here, before the environments are built.
+		cfg.Actors = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 4*base.Cfg.Space.MaxRels + 8
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = base.Cfg.Seed + 1
+	}
+	replicas := make([]*Env, cfg.Actors)
+	envs := make([]rl.Env, cfg.Actors)
+	for w := 0; w < cfg.Actors; w++ {
+		replicas[w] = base.Replica(w, cfg.Actors)
+		envs[w] = replicas[w]
+	}
+	cache := base.Cfg.Planner.Cache
+	cache.BumpEpoch()
+	prev := cfg.OnPublish
+	cfg.OnPublish = func(version uint64) {
+		cache.BumpEpoch()
+		if prev != nil {
+			prev(version)
+		}
+	}
+
+	i := 0
+	stats := rl.TrainAsync(agent, envs, episodes, cfg,
+		func(w, seq int, traj rl.Trajectory) any {
+			return EpisodeRecord{
+				Query: replicas[w].Current(),
+				Traj:  traj,
+				Out:   replicas[w].Last,
+			}
+		},
+		func(e rl.AsyncEpisode) {
+			if onEpisode != nil {
+				onEpisode(i, e.Out.(EpisodeRecord))
+			}
+			i++
+		})
+	for _, r := range replicas {
+		base.Executions += r.Executions
+		base.TimedOutCount += r.TimedOutCount
+		r.Executions, r.TimedOutCount = 0, 0
+	}
+	return stats
+}

@@ -1,0 +1,68 @@
+package rejoin
+
+import (
+	"runtime"
+
+	"handsfree/internal/rl"
+)
+
+// TrainAsync runs `episodes` training episodes with the asynchronous
+// actor-learner split (rl.TrainAsync): cfg.Actors environment replicas
+// continuously collect episodes against lock-free policy snapshots from a
+// parameter server while the learner drains trajectories, updates, and
+// republishes — no round barrier, so the learner never idles waiting for
+// the slowest actor. Results arrive in learner-consumption order, which is
+// scheduling-dependent; use TrainEpisodes when bitwise reproducibility
+// matters more than throughput.
+//
+// Every snapshot publish advances the shared plan cache's policy epoch (when
+// a cache is attached via UseCache), so greedy plans memoized under older
+// snapshots can never be served — the same invariant the synchronous rounds
+// maintain, preserved under concurrent republishing.
+func (a *Agent) TrainAsync(episodes int, cfg rl.AsyncConfig) []EpisodeResult {
+	if cfg.Actors < 1 {
+		// Same default rl.TrainAsync documents: the replica count must be
+		// fixed here, before the environments are built.
+		cfg.Actors = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 2*a.Env.Space.MaxRels + 4
+	}
+	if cfg.Seed == 0 {
+		// Advance the agent's snapshot-seed counter so successive training
+		// calls never replay earlier action-sampling RNG streams.
+		a.snapSeed += int64(cfg.Actors)
+		cfg.Seed = a.snapSeed
+	}
+	replicas := make([]*Env, cfg.Actors)
+	envs := make([]rl.Env, cfg.Actors)
+	for w := 0; w < cfg.Actors; w++ {
+		replicas[w] = a.Env.Replica(w, cfg.Actors)
+		envs[w] = replicas[w]
+	}
+	// Fresh snapshots are about to be taken: invalidate plans memoized
+	// under the previous policy, then keep invalidating on every publish.
+	cache := a.Env.Planner.Cache
+	cache.BumpEpoch()
+	prev := cfg.OnPublish
+	cfg.OnPublish = func(version uint64) {
+		cache.BumpEpoch()
+		if prev != nil {
+			prev(version)
+		}
+	}
+
+	results := make([]EpisodeResult, 0, episodes)
+	rl.TrainAsync(a.RL, envs, episodes, cfg,
+		func(w, seq int, _ rl.Trajectory) any {
+			return EpisodeResult{
+				Query: replicas[w].Current(),
+				Cost:  replicas[w].LastCost,
+				Plan:  replicas[w].LastPlan,
+			}
+		},
+		func(e rl.AsyncEpisode) {
+			results = append(results, e.Out.(EpisodeResult))
+		})
+	return results
+}

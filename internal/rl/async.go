@@ -1,0 +1,212 @@
+package rl
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"handsfree/internal/nn"
+	"handsfree/internal/paramserver"
+)
+
+// This file implements the asynchronous actor-learner training split.
+// Parallel collection (collect.go) keeps a synchronous round barrier: every
+// policy-batch round freezes a snapshot, fans out workers, and joins before
+// the next update, so the learner idles while the slowest actor finishes.
+// TrainAsync removes the barrier: actor goroutines continuously collect
+// episodes against their latest-fetched snapshot from a lock-free parameter
+// server and push trajectories into a bounded channel, while the learner
+// drains them, applies batched REINFORCE updates, and republishes. The price
+// is bounded off-policy staleness (an actor's snapshot may lag the learner
+// by up to K versions) and the loss of bitwise determinism — the synchronous
+// path remains the deterministic reference implementation.
+
+// AsyncConfig configures TrainAsync.
+type AsyncConfig struct {
+	// Actors is the number of concurrent actor goroutines (and environment
+	// replicas). Default: runtime.GOMAXPROCS(0).
+	Actors int
+	// Staleness is K, the maximum number of snapshot versions an actor's
+	// policy may lag the server at episode start; actors lagging more
+	// refetch before collecting. 0 selects the default of 4; use 1 for the
+	// tightest useful bound (an actor mid-episode is always at least
+	// momentarily behind a concurrent publish).
+	Staleness int
+	// Queue is the trajectory channel capacity (default 4×Actors). A
+	// bounded queue applies backpressure: when the learner falls behind,
+	// actors block on the send instead of piling up arbitrarily stale
+	// trajectories.
+	Queue int
+	// MaxSteps bounds episode length (default 128).
+	MaxSteps int
+	// DropStale makes the learner discard trajectories whose snapshot is
+	// more than Staleness versions behind the server at consumption time,
+	// instead of learning from them. Dropped episodes still count toward
+	// the episode budget and are still reported to the episode callback
+	// (with Dropped set).
+	DropStale bool
+	// Seed derives the per-actor action-sampling RNG streams.
+	Seed int64
+	// OnPublish, when non-nil, runs after every snapshot publish with the
+	// new version (the plan-cache epoch bump hook).
+	OnPublish func(version uint64)
+}
+
+func (c *AsyncConfig) fill() {
+	if c.Actors < 1 {
+		c.Actors = runtime.GOMAXPROCS(0)
+	}
+	if c.Staleness == 0 {
+		c.Staleness = 4
+	}
+	if c.Staleness < 0 {
+		c.Staleness = 0
+	}
+	if c.Queue < 1 {
+		c.Queue = 4 * c.Actors
+	}
+	if c.MaxSteps < 1 {
+		c.MaxSteps = 128
+	}
+}
+
+// AsyncEpisode is one episode delivered from an actor to the learner.
+type AsyncEpisode struct {
+	Traj Trajectory
+	// Worker is the actor that collected the episode; Seq is the actor's
+	// own episode counter. (Worker, Seq) pairs are unique, but arrival
+	// order across workers is scheduling-dependent.
+	Worker int
+	Seq    int
+	// Version is the snapshot version the episode was collected under.
+	Version uint64
+	// Lag is the staleness (server version at episode start minus Version)
+	// the actor observed; the staleness bound guarantees Lag ≤ K.
+	Lag uint64
+	// Out is whatever the after hook returned for this episode (nil
+	// without a hook) — the environment outcome captured worker-side.
+	Out any
+	// Dropped marks episodes the learner discarded under DropStale.
+	Dropped bool
+}
+
+// AsyncStats summarizes one TrainAsync run.
+type AsyncStats struct {
+	// Episodes is the number of episodes collected (== the budget).
+	Episodes int
+	// Updates is how many policy updates the learner applied.
+	Updates int
+	// Publishes is how many snapshots the learner published (excluding the
+	// initial version-0 snapshot).
+	Publishes uint64
+	// Dropped counts episodes discarded under DropStale.
+	Dropped int
+	// MaxLag is the largest staleness any actor acted on; the staleness
+	// bound guarantees MaxLag ≤ K.
+	MaxLag uint64
+	// Refetches counts staleness-bound-forced snapshot refetches across
+	// all actors.
+	Refetches uint64
+}
+
+// TrainAsync trains learner with the asynchronous actor-learner split: one
+// actor goroutine per environment in envs, each continuously collecting
+// episodes against its latest-fetched policy snapshot from a lock-free
+// parameter server, with the learner (on the calling goroutine) draining
+// the bounded trajectory queue, folding episodes into policy-batch updates
+// via Observe, and republishing a fresh snapshot after every update.
+//
+// Environments must be independent replicas: each is owned by exactly one
+// actor goroutine. The optional after hook runs on the actor goroutine
+// immediately after each episode, before the trajectory is queued — the
+// place to capture per-episode environment state (last plan, cost, outcome);
+// it must touch only worker-local state, and its return value travels to the
+// learner as AsyncEpisode.Out. The optional onEpisode callback runs on the
+// calling goroutine for every consumed episode, in consumption order.
+//
+// TrainAsync returns once exactly `episodes` episodes have been collected
+// and consumed. A trailing partial policy batch stays pending inside the
+// learner, exactly as in sequential training.
+func TrainAsync(learner *Reinforce, envs []Env, episodes int, cfg AsyncConfig,
+	after func(worker, seq int, traj Trajectory) any,
+	onEpisode func(e AsyncEpisode)) AsyncStats {
+	cfg.fill()
+	if len(envs) == 0 {
+		panic("rl: TrainAsync needs at least one environment")
+	}
+	if episodes <= 0 {
+		return AsyncStats{}
+	}
+
+	srv := paramserver.New(learner.Policy.CloneForInference())
+	srv.OnPublish = cfg.OnPublish
+
+	type actorReport struct {
+		maxLag    uint64
+		refetches uint64
+	}
+	reports := make([]actorReport, len(envs))
+	ch := make(chan AsyncEpisode, cfg.Queue)
+	var tickets atomic.Int64
+	var wg sync.WaitGroup
+	for w := range envs {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + 1000*int64(w+1)))
+			client := srv.NewClient(cfg.Staleness)
+			defer func() {
+				reports[w] = actorReport{maxLag: client.MaxLag(), refetches: client.Refetches()}
+			}()
+			for seq := 0; ; seq++ {
+				if tickets.Add(1) > int64(episodes) {
+					return
+				}
+				snap, lag := client.Snapshot()
+				choose := func(s State) int {
+					logits := snap.Net.Infer(nn.FromVec(s.Features))
+					return sampleFrom(nn.MaskedSoftmax(logits.Data, s.Mask), rng)
+				}
+				traj := RunEpisode(envs[w], choose, cfg.MaxSteps)
+				e := AsyncEpisode{Traj: traj, Worker: w, Seq: seq, Version: snap.Version, Lag: lag}
+				if after != nil {
+					e.Out = after(w, seq, traj)
+				}
+				ch <- e
+			}
+		}(w)
+	}
+
+	startUpdates := learner.Updates
+	var stats AsyncStats
+	for received := 0; received < episodes; received++ {
+		e := <-ch
+		// Re-check staleness at consumption time: the episode may have
+		// aged in the queue while the learner published newer versions.
+		if cfg.DropStale && srv.Version()-e.Version > uint64(cfg.Staleness) {
+			e.Dropped = true
+			stats.Dropped++
+		} else if learner.Observe(e.Traj) {
+			srv.Publish(learner.Policy.CloneForInference(), learner.Updates)
+		}
+		if onEpisode != nil {
+			onEpisode(e)
+		}
+	}
+	// Every collected episode holds a ticket ≤ episodes and has been
+	// consumed above, so no actor is blocked on the queue: they all exit
+	// at their next ticket draw.
+	wg.Wait()
+
+	stats.Episodes = episodes
+	stats.Updates = learner.Updates - startUpdates
+	stats.Publishes = srv.Stats().Publishes
+	for _, r := range reports {
+		if r.maxLag > stats.MaxLag {
+			stats.MaxLag = r.maxLag
+		}
+		stats.Refetches += r.refetches
+	}
+	return stats
+}

@@ -1,0 +1,218 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func banditEnvs(n int, arms int, seed int64) []Env {
+	envs := make([]Env, n)
+	for w := range envs {
+		envs[w] = &banditEnv{rng: rand.New(rand.NewSource(seed + int64(w))), arms: arms}
+	}
+	return envs
+}
+
+// pacedEnv adds a fixed per-step delay to an environment, so stress tests
+// get genuine actor overlap instead of one fast actor draining the whole
+// episode budget before the others are scheduled.
+type pacedEnv struct {
+	Env
+	delay time.Duration
+}
+
+func (e *pacedEnv) Step(a int) (State, float64, bool) {
+	time.Sleep(e.delay)
+	return e.Env.Step(a)
+}
+
+func pacedEnvs(n, arms int, seed int64, delay time.Duration) []Env {
+	envs := banditEnvs(n, arms, seed)
+	for w := range envs {
+		envs[w] = &pacedEnv{Env: envs[w], delay: delay}
+	}
+	return envs
+}
+
+// greedyAccuracy scores the greedy policy on fresh contexts.
+func greedyAccuracy(agent *Reinforce, arms int, trials int) int {
+	env := &banditEnv{rng: rand.New(rand.NewSource(99)), arms: arms}
+	correct := 0
+	for i := 0; i < trials; i++ {
+		s := env.Reset()
+		if agent.Greedy(s) == env.ctx {
+			correct++
+		}
+	}
+	return correct
+}
+
+// TestTrainAsyncConvergesLikeSync: asynchronous actor-learner training must
+// reach the synchronous path's final reward within tolerance. The sequential
+// reference on this task reaches ≥90/100 greedy accuracy
+// (TestReinforceLearnsContextualBandit); bounded-staleness off-policy
+// collection is allowed a small concession.
+func TestTrainAsyncConvergesLikeSync(t *testing.T) {
+	const arms = 4
+	agent := NewReinforce(arms, arms, ReinforceConfig{Hidden: []int{32}, BatchSize: 8, Seed: 1})
+	stats := TrainAsync(agent, banditEnvs(4, arms, 42), 2000, AsyncConfig{
+		Actors: 4, Staleness: 4, Seed: 7,
+	}, nil, nil)
+	if stats.Episodes != 2000 {
+		t.Fatalf("collected %d episodes, want 2000", stats.Episodes)
+	}
+	if stats.Updates == 0 || stats.Publishes == 0 {
+		t.Fatalf("learner never updated/published: %+v", stats)
+	}
+	if correct := greedyAccuracy(agent, arms, 100); correct < 85 {
+		t.Fatalf("async greedy policy correct on %d/100 contexts, want ≥ 85 (sync reference: ≥ 90)", correct)
+	}
+}
+
+// TestTrainAsyncStalenessBound is the stress + property test for the async
+// path: 8 actors against a learner publishing a fresh snapshot after every
+// episode (BatchSize 1), ≥200 publishes, staleness bound K=2. Run with
+// -race this exercises the lock-free snapshot exchange under real
+// contention; the property asserted is that NO actor ever collected an
+// episode against a snapshot more than K versions behind the server at
+// episode start, and that each actor's snapshot versions are monotone.
+func TestTrainAsyncStalenessBound(t *testing.T) {
+	const arms, episodes, K = 3, 300, 2
+	agent := NewReinforce(arms, arms, ReinforceConfig{Hidden: []int{8}, BatchSize: 1, Seed: 2})
+	type actorTrace struct {
+		lastSeq     int
+		lastVersion uint64
+	}
+	traces := make(map[int]*actorTrace)
+	seen := 0
+	stats := TrainAsync(agent, pacedEnvs(8, arms, 11, 100*time.Microsecond), episodes, AsyncConfig{
+		Actors: 8, Staleness: K, Seed: 13,
+	}, nil, func(e AsyncEpisode) {
+		seen++
+		if e.Lag > K {
+			t.Errorf("worker %d episode %d acted on staleness %d > K=%d", e.Worker, e.Seq, e.Lag, K)
+		}
+		tr := traces[e.Worker]
+		if tr == nil {
+			tr = &actorTrace{lastSeq: -1}
+			traces[e.Worker] = tr
+		}
+		// Channel sends from one worker arrive in seq order, and snapshot
+		// versions can only move forward.
+		if e.Seq != tr.lastSeq+1 {
+			t.Errorf("worker %d: episode seq %d after %d", e.Worker, e.Seq, tr.lastSeq)
+		}
+		if e.Version < tr.lastVersion {
+			t.Errorf("worker %d: snapshot version went backwards (%d after %d)", e.Worker, e.Version, tr.lastVersion)
+		}
+		tr.lastSeq, tr.lastVersion = e.Seq, e.Version
+	})
+	if seen != episodes {
+		t.Fatalf("onEpisode saw %d episodes, want %d", seen, episodes)
+	}
+	if stats.MaxLag > K {
+		t.Fatalf("MaxLag %d exceeds staleness bound %d", stats.MaxLag, K)
+	}
+	if stats.Publishes < 200 {
+		t.Fatalf("stress run published %d snapshots, want ≥ 200", stats.Publishes)
+	}
+	if stats.Updates != episodes {
+		t.Fatalf("updates = %d, want one per episode with BatchSize 1", stats.Updates)
+	}
+	if len(traces) < 2 {
+		t.Fatalf("only %d actors delivered episodes", len(traces))
+	}
+}
+
+// TestTrainAsyncDropsStaleTrajectories: with DropStale and a tight bound,
+// trajectories that aged in the queue past K versions must be discarded,
+// still count toward the budget, and be flagged to the callback.
+func TestTrainAsyncDropsStaleTrajectories(t *testing.T) {
+	const arms, episodes, K = 3, 600, 1
+	agent := NewReinforce(arms, arms, ReinforceConfig{Hidden: []int{8}, BatchSize: 1, Seed: 3})
+	dropped, kept := 0, 0
+	stats := TrainAsync(agent, pacedEnvs(8, arms, 21, 20*time.Microsecond), episodes, AsyncConfig{
+		Actors: 8, Staleness: K, Queue: 256, DropStale: true, Seed: 23,
+	}, nil, func(e AsyncEpisode) {
+		if e.Dropped {
+			dropped++
+		} else {
+			kept++
+		}
+	})
+	if dropped+kept != episodes {
+		t.Fatalf("callback saw %d+%d episodes, want %d", dropped, kept, episodes)
+	}
+	if stats.Dropped != dropped {
+		t.Fatalf("stats.Dropped = %d, callback counted %d", stats.Dropped, dropped)
+	}
+	if stats.Updates != kept {
+		t.Fatalf("updates = %d, want one per kept episode (%d)", stats.Updates, kept)
+	}
+	if stats.Publishes != uint64(stats.Updates) {
+		t.Fatalf("publishes = %d, updates = %d: must republish after every update", stats.Publishes, stats.Updates)
+	}
+	// With 8 fast actors, a 256-deep queue, and a learner that publishes per
+	// episode, queued trajectories age many versions before consumption.
+	if dropped == 0 {
+		t.Fatal("no trajectory was ever dropped under a K=1 bound with a deep queue")
+	}
+}
+
+// TestTrainAsyncThroughputBeatsSyncBarrier: at 4 actors on a workload with
+// one persistently slow worker — heterogeneous collection cost is exactly
+// the regime the round barrier cannot handle, because every round waits for
+// the straggler while the learner and the fast actors idle — removing the
+// barrier must not lose throughput. The async ticket draw instead
+// load-balances episodes onto whoever is free. (The benchmarks
+// BenchmarkAsyncCollect/BenchmarkSyncCollect measure the same comparison on
+// the real planner workload at 1/4/8 actors.)
+func TestTrainAsyncThroughputBeatsSyncBarrier(t *testing.T) {
+	const arms, episodes, workers, batch = 4, 160, 4, 16
+	newHeteroEnvs := func(seed int64) []Env {
+		envs := banditEnvs(workers, arms, seed)
+		for w := range envs {
+			delay := 400 * time.Microsecond
+			if w == 0 {
+				delay = 2 * time.Millisecond // the straggler
+			}
+			envs[w] = &pacedEnv{Env: envs[w], delay: delay}
+		}
+		return envs
+	}
+
+	// Synchronous reference: rounds of one policy batch, frozen snapshots,
+	// barrier join, learner updates between rounds (the TrainEpisodes shape).
+	syncAgent := NewReinforce(arms, arms, ReinforceConfig{Hidden: []int{16}, BatchSize: batch, Seed: 4})
+	syncEnvs := newHeteroEnvs(31)
+	syncStart := time.Now()
+	snapSeed := int64(100)
+	for done := 0; done < episodes; done += batch {
+		policies := make([]func(State) int, workers)
+		for w := range policies {
+			snapSeed++
+			policies[w] = syncAgent.PolicySnapshot(snapSeed)
+		}
+		per := SplitEpisodes(batch, workers)
+		trajs := CollectParallel(syncEnvs, policies, per, 10, nil)
+		syncAgent.ObserveAll(Interleave(trajs))
+	}
+	syncDur := time.Since(syncStart)
+
+	asyncAgent := NewReinforce(arms, arms, ReinforceConfig{Hidden: []int{16}, BatchSize: batch, Seed: 4})
+	asyncStart := time.Now()
+	TrainAsync(asyncAgent, newHeteroEnvs(31), episodes, AsyncConfig{
+		Actors: workers, Staleness: 4, Seed: 41,
+	}, nil, nil)
+	asyncDur := time.Since(asyncStart)
+
+	t.Logf("sync %v, async %v (%d episodes, %d workers)", syncDur, asyncDur, episodes, workers)
+	// The straggler gives async a large structural advantage (~0.6× sync
+	// in practice), so a generous noise margin still catches a real
+	// regression — losing the advantage entirely — without flaking when a
+	// loaded CI runner stalls the run for a few milliseconds.
+	if float64(asyncDur) > 1.25*float64(syncDur) {
+		t.Fatalf("async collection lost its barrier advantage: %v vs sync %v", asyncDur, syncDur)
+	}
+}

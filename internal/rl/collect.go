@@ -69,10 +69,14 @@ func Interleave[T any](perWorker [][]T) []T {
 }
 
 // SplitEpisodes divides total episodes across workers as evenly as possible
-// (earlier workers take the remainder).
+// (earlier workers take the remainder). Non-positive worker counts are
+// treated as one worker; a non-positive total yields all-zero shares.
 func SplitEpisodes(total, workers int) []int {
 	if workers < 1 {
 		workers = 1
+	}
+	if total < 0 {
+		total = 0
 	}
 	per := make([]int, workers)
 	base := total / workers

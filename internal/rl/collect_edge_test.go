@@ -1,0 +1,81 @@
+package rl
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestInterleaveEdgeCases: the deterministic merge must handle ragged,
+// empty, and zero-worker inputs — exactly the shapes SplitEpisodes produces
+// when episodes don't divide evenly or exceed the worker count.
+func TestInterleaveEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   [][]int
+		want []int
+	}{
+		{name: "no workers", in: nil, want: []int{}},
+		{name: "empty workers", in: [][]int{{}, {}, {}}, want: []int{}},
+		{name: "single worker", in: [][]int{{1, 2, 3}}, want: []int{1, 2, 3}},
+		{name: "even round-robin", in: [][]int{{1, 3}, {2, 4}}, want: []int{1, 2, 3, 4}},
+		{
+			name: "ragged workers skip when exhausted",
+			in:   [][]int{{1, 2, 3}, {4}, {}, {5, 6}},
+			want: []int{1, 4, 5, 2, 6, 3},
+		},
+		{
+			name: "leading empty worker",
+			in:   [][]int{{}, {7, 8}},
+			want: []int{7, 8},
+		},
+		{
+			name: "one long tail",
+			in:   [][]int{{1}, {2, 3, 4, 5}},
+			want: []int{1, 2, 3, 4, 5},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Interleave(c.in)
+			if !reflect.DeepEqual(got, c.want) {
+				t.Fatalf("Interleave(%v) = %v, want %v", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+// TestSplitEpisodesEdgeCases: degenerate worker counts and totals must
+// produce well-formed shares (length max(workers,1), entries non-negative,
+// summing to max(total,0)) so CollectParallel never sees a negative budget.
+func TestSplitEpisodesEdgeCases(t *testing.T) {
+	cases := []struct {
+		name           string
+		total, workers int
+		want           []int
+	}{
+		{name: "zero workers collapse to one", total: 5, workers: 0, want: []int{5}},
+		{name: "negative workers collapse to one", total: 5, workers: -2, want: []int{5}},
+		{name: "zero total", total: 0, workers: 3, want: []int{0, 0, 0}},
+		{name: "negative total clamps to zero", total: -4, workers: 2, want: []int{0, 0}},
+		{name: "fewer episodes than workers", total: 2, workers: 4, want: []int{1, 1, 0, 0}},
+		{name: "remainder goes to earlier workers", total: 7, workers: 3, want: []int{3, 2, 2}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := SplitEpisodes(c.total, c.workers)
+			if !reflect.DeepEqual(got, c.want) {
+				t.Fatalf("SplitEpisodes(%d, %d) = %v, want %v", c.total, c.workers, got, c.want)
+			}
+			sum := 0
+			for _, n := range got {
+				if n < 0 {
+					t.Fatalf("negative share in %v", got)
+				}
+				sum += n
+			}
+			if want := max(c.total, 0); sum != want {
+				t.Fatalf("shares %v sum to %d, want %d", got, sum, want)
+			}
+		})
+	}
+}

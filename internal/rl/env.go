@@ -24,6 +24,13 @@
 // step frozen Reinforce.PolicySnapshot copies concurrently, and Interleave
 // merges the per-worker trajectories into a deterministic order (seeded
 // per-worker RNGs; the merge is a pure function of worker/episode indices).
+//
+// TrainAsync replaces the per-round barrier of CollectParallel with the
+// asynchronous actor-learner split: actors collect continuously against
+// lock-free parameter-server snapshots (staleness bounded by K versions)
+// while the learner drains a bounded trajectory queue, updates, and
+// republishes. Synchronous collection remains the deterministic reference;
+// async trades reproducibility for wall-clock throughput.
 package rl
 
 // State is one observation from an environment: a feature vector plus the

@@ -1,0 +1,104 @@
+package rl
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRunningNormEdgeCases codifies RunningNorm's behavior on degenerate
+// observation streams: no data, a single value, and non-finite inputs. The
+// contract callers rely on is "Normalize is the identity until the
+// statistics are trustworthy, and non-finite observations poison the
+// statistics visibly instead of silently".
+func TestRunningNormEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		observe []float64
+		in      float64
+		want    float64 // expected Normalize(in)
+		mean    float64
+		std     float64
+	}{
+		{name: "zero observations are identity", observe: nil, in: 3.5, want: 3.5, mean: 0, std: 0},
+		{name: "single observation is identity", observe: []float64{5}, in: 7, want: 7, mean: 5, std: 0},
+		{name: "identical observations are identity", observe: []float64{2, 2, 2}, in: 9, want: 9, mean: 2, std: 0},
+		{name: "two observations standardize", observe: []float64{0, 2}, in: 2, want: 1, mean: 1, std: 1},
+		{name: "single NaN is identity (std still zero)", observe: []float64{math.NaN()}, in: 4, want: 4, mean: math.NaN(), std: 0},
+		{name: "NaN poisons the stream", observe: []float64{math.NaN(), 1}, in: 4, want: math.NaN(), mean: math.NaN(), std: math.NaN()},
+		{name: "single +Inf is identity (std still zero)", observe: []float64{math.Inf(1)}, in: 4, want: 4, mean: math.Inf(1), std: 0},
+		{name: "mixed infinities poison the stream", observe: []float64{math.Inf(1), math.Inf(-1)}, in: 4, want: math.NaN(), mean: math.NaN(), std: math.NaN()},
+	}
+	eq := func(a, b float64) bool {
+		return a == b || (math.IsNaN(a) && math.IsNaN(b))
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var rn RunningNorm
+			for _, x := range c.observe {
+				rn.Observe(x)
+			}
+			if rn.Count() != len(c.observe) {
+				t.Fatalf("Count = %d, want %d", rn.Count(), len(c.observe))
+			}
+			if !eq(rn.Mean(), c.mean) {
+				t.Fatalf("Mean = %v, want %v", rn.Mean(), c.mean)
+			}
+			if !eq(rn.Std(), c.std) {
+				t.Fatalf("Std = %v, want %v", rn.Std(), c.std)
+			}
+			if got := rn.Normalize(c.in); !eq(got, c.want) {
+				t.Fatalf("Normalize(%v) = %v, want %v", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+// TestRangeEdgeCases codifies Range's behavior with no data, one value, and
+// non-finite inputs. Notably a NaN after the first observation is ignored
+// (every comparison with NaN is false), while a NaN as the FIRST observation
+// pins the range to NaN forever — the §5.2 bootstrapping path must seed
+// ranges from real phase-1 costs before rescaling anything.
+func TestRangeEdgeCases(t *testing.T) {
+	dst := func() *Range {
+		var d Range
+		d.Observe(10)
+		d.Observe(50)
+		return &d
+	}
+	eq := func(a, b float64) bool {
+		return a == b || (math.IsNaN(a) && math.IsNaN(b))
+	}
+
+	cases := []struct {
+		name     string
+		observe  []float64
+		min, max float64
+		in       float64
+		want     float64 // expected Rescale(in, dst)
+	}{
+		{name: "zero observations rescale to midpoint", observe: nil, min: 0, max: 0, in: 3, want: 30},
+		{name: "single observation rescales to midpoint", observe: []float64{7}, min: 7, max: 7, in: 7, want: 30},
+		{name: "two points map linearly", observe: []float64{100, 200}, min: 100, max: 200, in: 150, want: 30},
+		{name: "NaN first pins the range", observe: []float64{math.NaN(), 5, -5}, min: math.NaN(), max: math.NaN(), in: 1, want: math.NaN()},
+		{name: "NaN later is ignored", observe: []float64{1, math.NaN(), 3}, min: 1, max: 3, in: 2, want: 30},
+		{name: "infinite max collapses finite inputs to dst min", observe: []float64{1, math.Inf(1)}, min: 1, max: math.Inf(1), in: 1e12, want: 10},
+		{name: "rescaling the infinite endpoint is NaN", observe: []float64{1, math.Inf(1)}, min: 1, max: math.Inf(1), in: math.Inf(1), want: math.NaN()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var r Range
+			for _, x := range c.observe {
+				r.Observe(x)
+			}
+			if r.Count() != len(c.observe) {
+				t.Fatalf("Count = %d, want %d", r.Count(), len(c.observe))
+			}
+			if !eq(r.Min(), c.min) || !eq(r.Max(), c.max) {
+				t.Fatalf("range [%v, %v], want [%v, %v]", r.Min(), r.Max(), c.min, c.max)
+			}
+			if got := r.Rescale(c.in, dst()); !eq(got, c.want) {
+				t.Fatalf("Rescale(%v) = %v, want %v", c.in, got, c.want)
+			}
+		})
+	}
+}

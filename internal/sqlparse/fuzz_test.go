@@ -1,0 +1,47 @@
+package sqlparse
+
+import (
+	"testing"
+)
+
+// FuzzParse drives the SQL front end with arbitrary input. Two properties:
+//
+//  1. Parse never panics — it either returns a query or an error, on any
+//     byte sequence.
+//  2. Parse → render → parse round-trips: any query the parser accepts
+//     renders (query.Query.SQL) to text the parser accepts again, the
+//     re-parse renders to the identical text (rendering is a fixed point),
+//     and both parses agree on the logical content (query.Key).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT * FROM title",
+		"SELECT COUNT(*) FROM title AS t, movie_companies mc WHERE mc.movie_id = t.id",
+		"SELECT COUNT(*), MIN(t.production_year) FROM title t WHERE t.production_year > 80;",
+		"SELECT MAX(t.id) FROM title t, cast_info ci WHERE ci.movie_id = t.id AND t.kind_id <= 3 GROUP BY t.kind_id",
+		"SELECT SUM(a.x) FROM b a WHERE a.x <> -5 AND a.x >= 0 GROUP BY a.y, a.z",
+		"SELECT * FROM t WHERE t.a = 1 AND t.b < 2 AND t.c = t.d",
+		"select min(x.y) from tab as x group by x.y",
+		"SELECT * FROM",
+		"SELECT COUNT( FROM t",
+		"\x00\xff(((",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		q, err := Parse(sql)
+		if err != nil {
+			return // rejected input is fine; not panicking is the property
+		}
+		rendered := q.SQL()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of rendered SQL failed: %v\ninput:    %q\nrendered: %q", err, sql, rendered)
+		}
+		if again := q2.SQL(); again != rendered {
+			t.Fatalf("rendering is not a fixed point:\nfirst:  %q\nsecond: %q", rendered, again)
+		}
+		if q.Key() != q2.Key() {
+			t.Fatalf("round-trip changed logical content:\nbefore: %q\nafter:  %q", q.Key(), q2.Key())
+		}
+	})
+}
