@@ -273,8 +273,12 @@ func BenchmarkExecutorHashJoin(b *testing.B) {
 // a 256-dim observation, 64 actions, 128→64 hidden layers, and a replay
 // buffer of 4096 samples.
 func benchQAgent(seed int64) (*rl.QAgent, *rl.ReplayBuffer) {
+	return benchQAgentAt(nn.F64, seed)
+}
+
+func benchQAgentAt(p nn.Precision, seed int64) (*rl.QAgent, *rl.ReplayBuffer) {
 	const obsDim, actions = 256, 64
-	agent := rl.NewQAgent(obsDim, actions, rl.QAgentConfig{Hidden: []int{128, 64}, Seed: seed})
+	agent := rl.NewQAgent(obsDim, actions, rl.QAgentConfig{Hidden: []int{128, 64}, Precision: p, Seed: seed})
 	buf := rl.NewReplayBuffer(4096)
 	rng := rand.New(rand.NewSource(seed))
 	for i := 0; i < 4096; i++ {
@@ -288,12 +292,19 @@ func benchQAgent(seed int64) (*rl.QAgent, *rl.ReplayBuffer) {
 }
 
 // BenchmarkBatchedTrain measures QAgent.Train's batched path: one 64-sample
-// minibatch per iteration through a single parallel forward/backward pass.
+// minibatch per iteration through a single parallel forward/backward pass,
+// at each tensor-core precision. The f32 sub-benchmark moves half the bytes
+// per matmul, bias add, and Adam step (weights, activations, gradients, and
+// optimizer moments are all float32).
 func BenchmarkBatchedTrain(b *testing.B) {
-	agent, buf := benchQAgent(1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		agent.Train(buf, 64)
+	for _, p := range []nn.Precision{nn.F64, nn.F32} {
+		b.Run(p.String(), func(b *testing.B) {
+			agent, buf := benchQAgentAt(p, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				agent.Train(buf, 64)
+			}
+		})
 	}
 }
 
@@ -516,14 +527,16 @@ func BenchmarkColdCollect(b *testing.B) {
 // workers, policy snapshots refreshed and updated every round — with or
 // without the cache. Sampled join orders rarely repeat wholesale, so only
 // subtree entries (leaves, small joins) hit; the win is real but modest
-// compared to the frozen-policy sweep above.
-func benchCacheTrainingCollect(b *testing.B, withCache bool) {
+// compared to the frozen-policy sweep above. minAdmit > 0 adds the
+// cost-based admission threshold: cheap subtree entries (the ones that
+// dominate Put traffic here while rarely hitting) are not memoized at all.
+func benchCacheTrainingCollect(b *testing.B, withCache bool, minAdmit float64) {
 	l := lab(b)
 	queries := benchWorkload(b, l)
 	env := rejoin.NewEnv(l.Space(8), l.Planner, queries, 1)
 	var cache *plancache.Cache
 	if withCache {
-		cache = plancache.New(plancache.Config{Capacity: 1 << 16, Shards: 16})
+		cache = plancache.New(plancache.Config{Capacity: 1 << 16, Shards: 16, MinAdmitCost: minAdmit})
 		env.UseCache(cache)
 	}
 	agent := rejoin.NewAgent(env, rl.ReinforceConfig{Hidden: []int{128, 64}, BatchSize: 16, Seed: 1})
@@ -534,19 +547,29 @@ func benchCacheTrainingCollect(b *testing.B, withCache bool) {
 	}
 	if withCache {
 		b.StopTimer()
-		b.ReportMetric(cache.Stats().HitRate(), "hit-rate")
+		st := cache.Stats()
+		b.ReportMetric(st.HitRate(), "hit-rate")
+		b.ReportMetric(float64(st.AdmissionSkips), "admission-skips")
 	}
 }
 
 // BenchmarkCachedTrainingCollect is stochastic parallel training collection
-// with the plan cache attached.
+// with the plan cache attached and unconditional admission.
 func BenchmarkCachedTrainingCollect(b *testing.B) {
-	benchCacheTrainingCollect(b, true)
+	benchCacheTrainingCollect(b, true, 0)
+}
+
+// BenchmarkCachedTrainingCollectAdmission adds the cost-based admission
+// threshold, skipping completion subtrees cheaper than the lookup they'd
+// save; compare against BenchmarkCachedTrainingCollect (memoize everything)
+// and BenchmarkColdTrainingCollect (no cache).
+func BenchmarkCachedTrainingCollectAdmission(b *testing.B) {
+	benchCacheTrainingCollect(b, true, 50_000)
 }
 
 // BenchmarkColdTrainingCollect is the uncached stochastic baseline.
 func BenchmarkColdTrainingCollect(b *testing.B) {
-	benchCacheTrainingCollect(b, false)
+	benchCacheTrainingCollect(b, false, 0)
 }
 
 // BenchmarkCompletePhysicalWarm measures a fully warm completion — the

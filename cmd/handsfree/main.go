@@ -12,9 +12,11 @@
 //
 // Flags:
 //
-//	-quick      miniature substrate and budgets (minutes → seconds)
-//	-scale f    database scale factor override
-//	-seed n     experiment seed override
+//	-quick        miniature substrate and budgets (minutes → seconds)
+//	-scale f      database scale factor override
+//	-seed n       experiment seed override
+//	-precision s  tensor-core precision for learned agents: f64 (default,
+//	              bitwise-deterministic) or f32 (half the memory bandwidth)
 package main
 
 import (
@@ -25,17 +27,28 @@ import (
 	"time"
 
 	"handsfree/internal/experiment"
+	"handsfree/internal/nn"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "use miniature budgets")
 	scale := flag.Float64("scale", 0, "database scale factor override")
 	seed := flag.Int64("seed", 0, "experiment seed override")
+	precision := flag.String("precision", "", "tensor-core precision for learned agents: f64 or f32 (default: HANDSFREE_PRECISION, else f64)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
+	}
+	if *precision != "" {
+		if _, err := nn.ParsePrecision(*precision); err != nil {
+			fatal(err)
+		}
+		// The experiments build their agents with PrecisionAuto, which
+		// resolves through this env var on first use — set it before the lab
+		// constructs any network.
+		os.Setenv("HANDSFREE_PRECISION", *precision)
 	}
 	cmd := strings.ToLower(flag.Arg(0))
 
@@ -177,7 +190,7 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: handsfree [-quick] [-scale f] [-seed n] <experiment>
+	fmt.Fprint(os.Stderr, `usage: handsfree [-quick] [-scale f] [-seed n] [-precision f64|f32] <experiment>
 
 experiments:
   fig3a        ReJOIN convergence (Figure 3a)

@@ -21,11 +21,14 @@ package handsfree
 
 import (
 	"fmt"
+	"io"
+	"math"
 
 	"handsfree/internal/cost"
 	"handsfree/internal/datagen"
 	"handsfree/internal/engine"
 	"handsfree/internal/featurize"
+	"handsfree/internal/nn"
 	"handsfree/internal/optimizer"
 	"handsfree/internal/plan"
 	"handsfree/internal/plancache"
@@ -63,6 +66,23 @@ type (
 	// AsyncStats summarizes an asynchronous training run (updates,
 	// publishes, max observed staleness, dropped trajectories).
 	AsyncStats = rl.AsyncStats
+	// Precision selects the scalar type the learned agents' networks store
+	// and compute in; see Config.Precision.
+	Precision = nn.Precision
+)
+
+// Precision values for Config.Precision and ReJOINConfig.Precision.
+const (
+	// PrecisionAuto resolves through the HANDSFREE_PRECISION environment
+	// variable and defaults to F64.
+	PrecisionAuto = nn.PrecisionAuto
+	// F64 is the float64 tensor path: the bitwise-deterministic reference.
+	F64 = nn.F64
+	// F32 is the float32 tensor path: half the memory bandwidth on every
+	// batched network kernel, verified against F64 by tolerance-based
+	// parity. Pick it for long training runs where throughput matters more
+	// than bitwise reproducibility; see README.md.
+	F32 = nn.F32
 )
 
 // CacheConfig controls the optional plan cache service.
@@ -78,6 +98,12 @@ type CacheConfig struct {
 	// rarely contend when it exceeds the worker count (default 16,
 	// rounded up to a power of two).
 	Shards int
+	// MinAdmitCost skips caching completion subtrees whose plan cost is
+	// below the threshold: such entries cost about as much to look up as to
+	// recompute, and in stochastic training they dominate memoization
+	// traffic while almost never hitting. 0 admits everything. Skips are
+	// counted in PlanCacheStats.AdmissionSkips.
+	MinAdmitCost float64
 }
 
 // Config controls Open.
@@ -92,6 +118,13 @@ type Config struct {
 	LatencySeed int64
 	// Cache configures the plan cache service (disabled by default).
 	Cache CacheConfig
+	// Precision is the default scalar type for every learned agent the
+	// system builds (per-agent configs may override it). The default,
+	// PrecisionAuto, resolves through the HANDSFREE_PRECISION environment
+	// variable and falls back to F64 — bitwise-identical to the historical
+	// float64 behavior. F32 halves the memory bandwidth of every batched
+	// network kernel at tolerance-bounded (not bitwise) parity.
+	Precision Precision
 }
 
 func (c *Config) fill() {
@@ -125,6 +158,31 @@ type System struct {
 	// PlanCache is the plan cache service attached to Planner (nil unless
 	// Config.Cache.Enabled).
 	PlanCache *PlanCache
+	// Precision is the system-wide default for learned agents (resolved
+	// from Config.Precision).
+	Precision Precision
+
+	// cacheTag fingerprints the configuration that determines plan
+	// identity (database seed, scale, oracle seed); plan-cache dumps carry
+	// it so a dump can never warm a differently built system.
+	cacheTag uint64
+}
+
+// systemTag hashes the configuration fields that determine what plans and
+// costs the system computes (FNV-1a over seed, scale bits, oracle seed).
+func systemTag(cfg Config) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(uint64(cfg.Seed))
+	mix(math.Float64bits(cfg.Scale))
+	mix(uint64(cfg.OracleSeed))
+	return h
 }
 
 // Open generates the synthetic database and assembles the system.
@@ -141,8 +199,9 @@ func Open(cfg Config) (*System, error) {
 	var cache *PlanCache
 	if cfg.Cache.Enabled {
 		cache = plancache.New(plancache.Config{
-			Capacity: cfg.Cache.Capacity,
-			Shards:   cfg.Cache.Shards,
+			Capacity:     cfg.Cache.Capacity,
+			Shards:       cfg.Cache.Shards,
+			MinAdmitCost: cfg.Cache.MinAdmitCost,
 		})
 		planner = planner.WithCache(cache)
 	}
@@ -157,7 +216,34 @@ func Open(cfg Config) (*System, error) {
 		Engine:    engine.New(db.Store),
 		Workload:  workload.New(db),
 		PlanCache: cache,
+		Precision: cfg.Precision.Resolve(),
+		cacheTag:  systemTag(cfg),
 	}, nil
+}
+
+// SavePlanCache serializes the plan cache's pure (policy-independent)
+// entries to w, so a restarted system can warm-start with LoadPlanCache and
+// skip the cold completion sweep on its repeated workload. The dump is
+// tagged with the system's plan-identity fingerprint (database seed, scale,
+// oracle seed), so it can only be loaded into an identically configured
+// system. Errors if the cache is disabled.
+func (s *System) SavePlanCache(w io.Writer) error {
+	if s.PlanCache == nil {
+		return fmt.Errorf("handsfree: plan cache is disabled (Config.Cache.Enabled)")
+	}
+	return s.PlanCache.Save(w, s.cacheTag)
+}
+
+// LoadPlanCache replays a dump written by SavePlanCache into the system's
+// plan cache, returning how many entries the cache stored. It errors if the
+// cache is disabled or if the dump was produced by a system with a
+// different database seed, scale, or oracle seed — entries keyed under one
+// catalog must never serve another.
+func (s *System) LoadPlanCache(r io.Reader) (int, error) {
+	if s.PlanCache == nil {
+		return 0, fmt.Errorf("handsfree: plan cache is disabled (Config.Cache.Enabled)")
+	}
+	return s.PlanCache.Load(r, s.cacheTag)
 }
 
 // CacheStats snapshots the plan cache counters (zeros when the cache is
@@ -216,8 +302,11 @@ type ReJOINConfig struct {
 	// Hidden layer widths (default 128, 64).
 	Hidden []int
 	// LR is the learning rate (default 1.5e-3).
-	LR   float64
-	Seed int64
+	LR float64
+	// Precision overrides the system-wide Config.Precision for this agent's
+	// policy network (PrecisionAuto inherits the system setting).
+	Precision Precision
+	Seed      int64
 }
 
 // NewReJOINAgent builds a ReJOIN agent over a training workload. Queries
@@ -241,10 +330,14 @@ func (s *System) NewReJOINAgent(queries []*Query, cfg ReJOINConfig) (*ReJOINAgen
 	if cfg.LR == 0 {
 		cfg.LR = 1.5e-3
 	}
+	prec := cfg.Precision
+	if prec == PrecisionAuto {
+		prec = s.Precision
+	}
 	space := featurize.NewSpace(cfg.MaxRelations, s.Est)
 	env := rejoin.NewEnv(space, s.Planner, queries, cfg.Seed)
 	agent := rejoin.NewAgent(env, rl.ReinforceConfig{
-		Hidden: cfg.Hidden, LR: cfg.LR, BatchSize: 16, Seed: cfg.Seed,
+		Hidden: cfg.Hidden, LR: cfg.LR, BatchSize: 16, Precision: prec, Seed: cfg.Seed,
 	})
 	return &ReJOINAgent{agent: agent}, nil
 }

@@ -1,6 +1,7 @@
 package handsfree
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -124,5 +125,114 @@ func TestReJOINAgentTrainAsync(t *testing.T) {
 	node, cost := agent.Plan(queries[0])
 	if node == nil || cost <= 0 {
 		t.Fatalf("async-trained agent produced plan=%v cost=%v", node, cost)
+	}
+}
+
+func TestPrecisionKnobThreadsToAgents(t *testing.T) {
+	sys, err := Open(Config{Scale: 0.05, Precision: F32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Precision != F32 {
+		t.Fatalf("system precision %v, want f32", sys.Precision)
+	}
+	queries, err := sys.Workload.Training(3, 4, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Agent inherits the system-wide precision…
+	agent, err := sys.NewReJOINAgent(queries, ReJOINConfig{Seed: 1, Hidden: []int{16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent.Train(20)
+	if node, cost := agent.Plan(queries[0]); node == nil || cost <= 0 {
+		t.Fatalf("f32 agent produced plan=%v cost=%v", node, cost)
+	}
+	// …and a per-agent override beats it.
+	f64agent, err := sys.NewReJOINAgent(queries, ReJOINConfig{Seed: 1, Hidden: []int{16}, Precision: F64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f64agent.Train(20)
+	if node, cost := f64agent.Plan(queries[0]); node == nil || cost <= 0 {
+		t.Fatalf("f64-override agent produced plan=%v cost=%v", node, cost)
+	}
+}
+
+func TestPlanCacheWarmStartAPI(t *testing.T) {
+	cold, err := Open(Config{Scale: 0.05, Cache: CacheConfig{Enabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := cold.Workload.ByRelations(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.Plan(q); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cold.SavePlanCache(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := Open(Config{Scale: 0.05, Cache: CacheConfig{Enabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := warm.LoadPlanCache(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored == 0 {
+		t.Fatal("no entries restored from the dump")
+	}
+	q2, err := warm.Workload.ByRelations(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Plan(q2); err != nil {
+		t.Fatal(err)
+	}
+	st := warm.CacheStats()
+	if st.Hits == 0 {
+		t.Fatalf("warm-started system planned without cache hits: %+v", st)
+	}
+
+	// Cache disabled → explicit errors, not nil panics.
+	bare := testSystem(t)
+	if err := bare.SavePlanCache(&buf); err == nil {
+		t.Fatal("SavePlanCache succeeded without a cache")
+	}
+	if _, err := bare.LoadPlanCache(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("LoadPlanCache succeeded without a cache")
+	}
+}
+
+func TestLoadPlanCacheRejectsDifferentSystem(t *testing.T) {
+	src, err := Open(Config{Scale: 0.05, Cache: CacheConfig{Enabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := src.Workload.ByRelations(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Plan(q); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.SavePlanCache(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A differently scaled system computes different plans/costs for the
+	// same fingerprints: the dump must be refused, not silently served.
+	other, err := Open(Config{Scale: 0.1, Cache: CacheConfig{Enabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.LoadPlanCache(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("plan-cache dump from a different system configuration loaded without error")
 	}
 }

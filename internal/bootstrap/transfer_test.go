@@ -3,12 +3,14 @@ package bootstrap
 import (
 	"testing"
 
+	"handsfree/internal/nn"
 	"handsfree/internal/rl"
 )
 
 func TestTransferSwitchKeepsHiddenReinitsOutput(t *testing.T) {
 	env, _ := fixtureEnv(t, 4, 4, 5)
-	agent := New(Config{Env: env, Agent: rl.ReinforceConfig{Hidden: []int{32, 16}, Seed: 3}, Scaling: ScaleTransfer})
+	// Pinned to f64: the test compares raw Params() slices across the switch.
+	agent := New(Config{Env: env, Agent: rl.ReinforceConfig{Hidden: []int{32, 16}, Precision: nn.F64, Seed: 3}, Scaling: ScaleTransfer})
 	for ep := 0; ep < 40; ep++ {
 		agent.TrainEpisode()
 	}

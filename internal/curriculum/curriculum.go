@@ -139,6 +139,10 @@ type Config struct {
 	// may lag the learner (0 = the rl.AsyncConfig default of 4). Ignored
 	// unless Async.
 	Staleness int
+	// AdaptStaleness lets the async learner shrink the staleness bound
+	// below Staleness while it outpaces the actors (see
+	// rl.AsyncConfig.AdaptStaleness). Ignored unless Async.
+	AdaptStaleness bool
 	// Cache, when non-nil, memoizes optimizer completions and expert plans
 	// across episodes and phases (the plan cache service). Completion
 	// entries are pure and survive phase transitions; policy-dependent
@@ -237,9 +241,10 @@ func (t *Trainer) RunPhase(p Phase, episodeBase int, onEpisode func(ep int, out 
 		// and republishes while actors keep collecting against bounded-
 		// staleness snapshots.
 		planspace.TrainAsync(env, t.agent, p.Episodes, rl.AsyncConfig{
-			Actors:    t.Cfg.Workers,
-			Staleness: t.Cfg.Staleness,
-			Seed:      t.Cfg.Seed,
+			Actors:         t.Cfg.Workers,
+			Staleness:      t.Cfg.Staleness,
+			AdaptStaleness: t.Cfg.AdaptStaleness,
+			Seed:           t.Cfg.Seed,
 		}, func(i int, rec planspace.EpisodeRecord) {
 			if onEpisode != nil {
 				onEpisode(episodeBase+i, rec.Out)

@@ -13,7 +13,7 @@ func TestInferMatchesForward(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	net := NewMLP(rng, 12, 16, 8, 5)
 	// Include a Tanh so every layer kind is exercised.
-	net.Layers = append(net.Layers, &Tanh{})
+	net.F64().Layers = append(net.F64().Layers, &Tanh{})
 	for trial := 0; trial < 5; trial++ {
 		x := randMat(1+trial*3, 12, rng)
 		want := net.Forward(x.Clone())
@@ -37,7 +37,7 @@ func TestInferMatchesForwardOnNaNActivations(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	net := NewMLP(rng, 4, 8, 3)
 	// Poison one hidden row so the ReLU input contains NaN.
-	lin := net.Layers[0].(*Linear)
+	lin := net.F64().Layers[0].(*Linear)
 	for j := 0; j < lin.Out; j++ {
 		lin.W.Value[j] = math.NaN()
 	}

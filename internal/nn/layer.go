@@ -5,66 +5,83 @@ import (
 	"math/rand"
 )
 
-// Param is a learnable parameter tensor with its accumulated gradient.
+// ParamOf is a learnable parameter tensor with its accumulated gradient.
 // Optimizers update Value in place from Grad.
-type Param struct {
+type ParamOf[T Float] struct {
 	Name  string
-	Value []float64
-	Grad  []float64
+	Value []T
+	Grad  []T
 }
 
+// Param is the float64 parameter (the reference precision's API).
+type Param = ParamOf[float64]
+
 // ZeroGrad clears the accumulated gradient.
-func (p *Param) ZeroGrad() {
+func (p *ParamOf[T]) ZeroGrad() {
 	for i := range p.Grad {
 		p.Grad[i] = 0
 	}
 }
 
-// Layer is one differentiable stage of a network. Forward consumes a batch
-// and must cache whatever it needs for the matching Backward call; Backward
-// consumes the gradient of the loss with respect to its output and returns
-// the gradient with respect to its input, accumulating parameter gradients.
-// Infer must compute exactly what Forward computes while writing no layer
-// state, so concurrent Infer calls on a shared layer are safe as long as
-// the parameters are not mutated.
-type Layer interface {
-	Forward(x *Mat) *Mat
-	Infer(x *Mat) *Mat
-	Backward(dout *Mat) *Mat
-	Params() []*Param
+// LayerOf is one differentiable stage of a network at a fixed precision.
+// Forward consumes a batch and must cache whatever it needs for the matching
+// Backward call; Backward consumes the gradient of the loss with respect to
+// its output and returns the gradient with respect to its input, accumulating
+// parameter gradients. Infer must compute exactly what Forward computes while
+// writing no layer state, so concurrent Infer calls on a shared layer are
+// safe as long as the parameters are not mutated.
+type LayerOf[T Float] interface {
+	Forward(x *MatOf[T]) *MatOf[T]
+	Infer(x *MatOf[T]) *MatOf[T]
+	Backward(dout *MatOf[T]) *MatOf[T]
+	Params() []*ParamOf[T]
 }
 
-// Linear is a fully connected layer: y = x·W + b.
-type Linear struct {
+// Layer is the float64 layer interface.
+type Layer = LayerOf[float64]
+
+// LinearOf is a fully connected layer: y = x·W + b.
+type LinearOf[T Float] struct {
 	In, Out int
-	W       *Param // In*Out, row-major (in × out)
-	B       *Param // Out
+	W       *ParamOf[T] // In*Out, row-major (in × out)
+	B       *ParamOf[T] // Out
 
-	x *Mat // cached input for backward
+	x *MatOf[T] // cached input for backward
 }
 
-// NewLinear returns a Glorot-initialized fully connected layer.
-func NewLinear(in, out int, rng *rand.Rand) *Linear {
-	w := NewMat(in, out)
+// Linear is the float64 fully connected layer.
+type Linear = LinearOf[float64]
+
+// NewLinearOf returns a Glorot-initialized fully connected layer of the
+// given precision.
+func NewLinearOf[T Float](in, out int, rng *rand.Rand) *LinearOf[T] {
+	w := NewMatOf[T](in, out)
 	Xavier(w, in, out, rng)
-	return &Linear{
+	return &LinearOf[T]{
 		In:  in,
 		Out: out,
-		W:   &Param{Name: "W", Value: w.Data, Grad: make([]float64, in*out)},
-		B:   &Param{Name: "b", Value: make([]float64, out), Grad: make([]float64, out)},
+		W:   &ParamOf[T]{Name: "W", Value: w.Data, Grad: make([]T, in*out)},
+		B:   &ParamOf[T]{Name: "b", Value: make([]T, out), Grad: make([]T, out)},
 	}
 }
 
-func (l *Linear) weight() *Mat { return &Mat{Rows: l.In, Cols: l.Out, Data: l.W.Value} }
+// NewLinear returns a Glorot-initialized float64 fully connected layer.
+func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	return NewLinearOf[float64](in, out, rng)
+}
+
+func (l *LinearOf[T]) weight() *MatOf[T] {
+	return &MatOf[T]{Rows: l.In, Cols: l.Out, Data: l.W.Value}
+}
 
 // Forward computes x·W + b for a batch.
-func (l *Linear) Forward(x *Mat) *Mat {
+func (l *LinearOf[T]) Forward(x *MatOf[T]) *MatOf[T] {
 	l.x = x
 	return l.Infer(x)
 }
 
 // Infer computes x·W + b without caching the input for backward.
-func (l *Linear) Infer(x *Mat) *Mat {
+func (l *LinearOf[T]) Infer(x *MatOf[T]) *MatOf[T] {
 	out := MatMul(x, l.weight())
 	for i := 0; i < out.Rows; i++ {
 		row := out.Row(i)
@@ -76,7 +93,7 @@ func (l *Linear) Infer(x *Mat) *Mat {
 }
 
 // Backward accumulates dW = xᵀ·dout and db = Σ dout, and returns dx = dout·Wᵀ.
-func (l *Linear) Backward(dout *Mat) *Mat {
+func (l *LinearOf[T]) Backward(dout *MatOf[T]) *MatOf[T] {
 	dw := MatMulATB(l.x, dout)
 	for i, v := range dw.Data {
 		l.W.Grad[i] += v
@@ -91,15 +108,18 @@ func (l *Linear) Backward(dout *Mat) *Mat {
 }
 
 // Params returns the weight and bias parameters.
-func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+func (l *LinearOf[T]) Params() []*ParamOf[T] { return []*ParamOf[T]{l.W, l.B} }
 
-// ReLU is the rectified-linear activation, applied element-wise.
-type ReLU struct {
+// ReLUOf is the rectified-linear activation, applied element-wise.
+type ReLUOf[T Float] struct {
 	mask []bool
 }
 
+// ReLU is the float64 rectified-linear activation.
+type ReLU = ReLUOf[float64]
+
 // Forward zeroes negative inputs.
-func (r *ReLU) Forward(x *Mat) *Mat {
+func (r *ReLUOf[T]) Forward(x *MatOf[T]) *MatOf[T] {
 	out := x.Clone()
 	if cap(r.mask) < len(x.Data) {
 		r.mask = make([]bool, len(x.Data))
@@ -118,7 +138,7 @@ func (r *ReLU) Forward(x *Mat) *Mat {
 
 // Infer zeroes everything not strictly positive — including NaN, exactly as
 // Forward does — without touching the backward mask.
-func (r *ReLU) Infer(x *Mat) *Mat {
+func (r *ReLUOf[T]) Infer(x *MatOf[T]) *MatOf[T] {
 	out := x.Clone()
 	for i, v := range x.Data {
 		if !(v > 0) {
@@ -129,7 +149,7 @@ func (r *ReLU) Infer(x *Mat) *Mat {
 }
 
 // Backward passes gradient only where the input was positive.
-func (r *ReLU) Backward(dout *Mat) *Mat {
+func (r *ReLUOf[T]) Backward(dout *MatOf[T]) *MatOf[T] {
 	dx := dout.Clone()
 	for i := range dx.Data {
 		if !r.mask[i] {
@@ -140,31 +160,34 @@ func (r *ReLU) Backward(dout *Mat) *Mat {
 }
 
 // Params returns nil; ReLU has no learnable parameters.
-func (r *ReLU) Params() []*Param { return nil }
+func (r *ReLUOf[T]) Params() []*ParamOf[T] { return nil }
 
-// Tanh is the hyperbolic-tangent activation, applied element-wise.
-type Tanh struct {
-	y *Mat
+// TanhOf is the hyperbolic-tangent activation, applied element-wise.
+type TanhOf[T Float] struct {
+	y *MatOf[T]
 }
 
+// Tanh is the float64 hyperbolic-tangent activation.
+type Tanh = TanhOf[float64]
+
 // Forward applies tanh element-wise.
-func (t *Tanh) Forward(x *Mat) *Mat {
+func (t *TanhOf[T]) Forward(x *MatOf[T]) *MatOf[T] {
 	out := t.Infer(x)
 	t.y = out
 	return out
 }
 
 // Infer applies tanh element-wise without caching the activation.
-func (t *Tanh) Infer(x *Mat) *Mat {
+func (t *TanhOf[T]) Infer(x *MatOf[T]) *MatOf[T] {
 	out := x.Clone()
 	for i, v := range out.Data {
-		out.Data[i] = math.Tanh(v)
+		out.Data[i] = T(math.Tanh(float64(v)))
 	}
 	return out
 }
 
 // Backward multiplies by 1 − tanh².
-func (t *Tanh) Backward(dout *Mat) *Mat {
+func (t *TanhOf[T]) Backward(dout *MatOf[T]) *MatOf[T] {
 	dx := dout.Clone()
 	for i := range dx.Data {
 		y := t.y.Data[i]
@@ -174,4 +197,4 @@ func (t *Tanh) Backward(dout *Mat) *Mat {
 }
 
 // Params returns nil; Tanh has no learnable parameters.
-func (t *Tanh) Params() []*Param { return nil }
+func (t *TanhOf[T]) Params() []*ParamOf[T] { return nil }

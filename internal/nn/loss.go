@@ -2,18 +2,23 @@ package nn
 
 import "math"
 
+// The losses and softmax helpers are generic over the tensor-core precision.
+// Element-wise transcendentals (exp, log, tanh) are evaluated through the
+// float64 math package and rounded to T, so the float64 instantiations are
+// bitwise identical to the pre-generic implementations.
+
 // Softmax writes the softmax of logits into a new slice, numerically stable.
-func Softmax(logits []float64) []float64 {
-	out := make([]float64, len(logits))
-	maxv := math.Inf(-1)
+func Softmax[T Float](logits []T) []T {
+	out := make([]T, len(logits))
+	maxv := T(math.Inf(-1))
 	for _, v := range logits {
 		if v > maxv {
 			maxv = v
 		}
 	}
-	var sum float64
+	var sum T
 	for i, v := range logits {
-		e := math.Exp(v - maxv)
+		e := T(math.Exp(float64(v - maxv)))
 		out[i] = e
 		sum += e
 	}
@@ -26,9 +31,9 @@ func Softmax(logits []float64) []float64 {
 // MaskedSoftmax computes a probability distribution over only the positions
 // where mask is true; masked-out positions get probability 0. If no position
 // is valid the result is all zeros.
-func MaskedSoftmax(logits []float64, mask []bool) []float64 {
-	out := make([]float64, len(logits))
-	maxv := math.Inf(-1)
+func MaskedSoftmax[T Float](logits []T, mask []bool) []T {
+	out := make([]T, len(logits))
+	maxv := T(math.Inf(-1))
 	any := false
 	for i, v := range logits {
 		if mask[i] && v > maxv {
@@ -39,12 +44,12 @@ func MaskedSoftmax(logits []float64, mask []bool) []float64 {
 	if !any {
 		return out
 	}
-	var sum float64
+	var sum T
 	for i, v := range logits {
 		if !mask[i] {
 			continue
 		}
-		e := math.Exp(v - maxv)
+		e := T(math.Exp(float64(v - maxv)))
 		out[i] = e
 		sum += e
 	}
@@ -56,8 +61,8 @@ func MaskedSoftmax(logits []float64, mask []bool) []float64 {
 
 // SoftmaxRows applies Softmax independently to every row of a batch of
 // logits, writing into a new matrix of the same shape.
-func SoftmaxRows(logits *Mat) *Mat {
-	out := NewMat(logits.Rows, logits.Cols)
+func SoftmaxRows[T Float](logits *MatOf[T]) *MatOf[T] {
+	out := NewMatOf[T](logits.Rows, logits.Cols)
 	for i := 0; i < logits.Rows; i++ {
 		copy(out.Row(i), Softmax(logits.Row(i)))
 	}
@@ -66,11 +71,11 @@ func SoftmaxRows(logits *Mat) *Mat {
 
 // MaskedSoftmaxRows applies MaskedSoftmax to every row of a batch of logits
 // under the corresponding per-row mask. len(masks) must equal logits.Rows.
-func MaskedSoftmaxRows(logits *Mat, masks [][]bool) *Mat {
+func MaskedSoftmaxRows[T Float](logits *MatOf[T], masks [][]bool) *MatOf[T] {
 	if len(masks) != logits.Rows {
 		panic("nn: MaskedSoftmaxRows mask count does not match batch size")
 	}
-	out := NewMat(logits.Rows, logits.Cols)
+	out := NewMatOf[T](logits.Rows, logits.Cols)
 	for i := 0; i < logits.Rows; i++ {
 		copy(out.Row(i), MaskedSoftmax(logits.Row(i), masks[i]))
 	}
@@ -80,36 +85,38 @@ func MaskedSoftmaxRows(logits *Mat, masks [][]bool) *Mat {
 // MSEBatch returns the mean squared error over a whole k×d batch (each row
 // one sample) and the gradient matrix with respect to pred. Equivalent to
 // averaging per-row MSE over the batch.
-func MSEBatch(pred, target *Mat) (loss float64, grad *Mat) {
+func MSEBatch[T Float](pred, target *MatOf[T]) (loss float64, grad *MatOf[T]) {
 	if pred.Rows != target.Rows || pred.Cols != target.Cols {
 		panic("nn: MSEBatch shape mismatch")
 	}
-	grad = NewMat(pred.Rows, pred.Cols)
-	n := float64(len(pred.Data))
+	grad = NewMatOf[T](pred.Rows, pred.Cols)
+	n := T(len(pred.Data))
+	var total T
 	for i, p := range pred.Data {
 		d := p - target.Data[i]
-		loss += d * d
+		total += d * d
 		grad.Data[i] = 2 * d / n
 	}
-	return loss / n, grad
+	return float64(total / n), grad
 }
 
 // HuberBatch returns the Huber loss (delta=1) over a whole k×d batch and the
 // gradient matrix with respect to pred — the batched form of HuberLoss.
-func HuberBatch(pred, target *Mat) (loss float64, grad *Mat) {
+func HuberBatch[T Float](pred, target *MatOf[T]) (loss float64, grad *MatOf[T]) {
 	if pred.Rows != target.Rows || pred.Cols != target.Cols {
 		panic("nn: HuberBatch shape mismatch")
 	}
 	const delta = 1.0
-	grad = NewMat(pred.Rows, pred.Cols)
-	n := float64(len(pred.Data))
+	grad = NewMatOf[T](pred.Rows, pred.Cols)
+	n := T(len(pred.Data))
+	var total T
 	for i, p := range pred.Data {
 		d := p - target.Data[i]
-		if math.Abs(d) <= delta {
-			loss += 0.5 * d * d
+		if absT(d) <= delta {
+			total += 0.5 * d * d
 			grad.Data[i] = d / n
 		} else {
-			loss += delta * (math.Abs(d) - 0.5*delta)
+			total += delta * (absT(d) - 0.5*delta)
 			if d > 0 {
 				grad.Data[i] = delta / n
 			} else {
@@ -117,34 +124,37 @@ func HuberBatch(pred, target *Mat) (loss float64, grad *Mat) {
 			}
 		}
 	}
-	return loss / n, grad
+	return float64(total / n), grad
 }
 
 // MSE returns the mean squared error and the gradient with respect to pred.
-func MSE(pred, target []float64) (loss float64, grad []float64) {
-	grad = make([]float64, len(pred))
+func MSE[T Float](pred, target []T) (loss float64, grad []T) {
+	grad = make([]T, len(pred))
+	n := T(len(pred))
+	var total T
 	for i := range pred {
 		d := pred[i] - target[i]
-		loss += d * d
-		grad[i] = 2 * d / float64(len(pred))
+		total += d * d
+		grad[i] = 2 * d / n
 	}
-	return loss / float64(len(pred)), grad
+	return float64(total / n), grad
 }
 
 // HuberLoss returns the Huber loss (delta=1) and gradient with respect to
 // pred. It is the regression loss used for reward-prediction training, where
 // catastrophic-plan latencies would otherwise dominate MSE gradients.
-func HuberLoss(pred, target []float64) (loss float64, grad []float64) {
+func HuberLoss[T Float](pred, target []T) (loss float64, grad []T) {
 	const delta = 1.0
-	grad = make([]float64, len(pred))
-	n := float64(len(pred))
+	grad = make([]T, len(pred))
+	n := T(len(pred))
+	var total T
 	for i := range pred {
 		d := pred[i] - target[i]
-		if math.Abs(d) <= delta {
-			loss += 0.5 * d * d
+		if absT(d) <= delta {
+			total += 0.5 * d * d
 			grad[i] = d / n
 		} else {
-			loss += delta * (math.Abs(d) - 0.5*delta)
+			total += delta * (absT(d) - 0.5*delta)
 			if d > 0 {
 				grad[i] = delta / n
 			} else {
@@ -152,51 +162,57 @@ func HuberLoss(pred, target []float64) (loss float64, grad []float64) {
 			}
 		}
 	}
-	return loss / n, grad
+	return float64(total / n), grad
 }
+
+// absT is math.Abs in the tensor precision (NaN and ±0 behave as math.Abs).
+func absT[T Float](x T) T { return T(math.Abs(float64(x))) }
 
 // PolicyGradient computes the REINFORCE gradient of
 // −advantage·log π(action) − entropyCoef·H(π) with respect to the logits,
 // for a single decision with a masked action space. probs must be the
 // masked softmax of the logits. The returned slice is ∂loss/∂logits.
-func PolicyGradient(probs []float64, mask []bool, action int, advantage, entropyCoef float64) []float64 {
-	grad := make([]float64, len(probs))
+func PolicyGradient[T Float](probs []T, mask []bool, action int, advantage, entropyCoef float64) []T {
+	grad := make([]T, len(probs))
 	// d(−A·log p_a)/dlogit_i = A·(p_i − 1{i==a}) restricted to the mask.
 	for i, p := range probs {
 		if !mask[i] {
 			continue
 		}
-		g := advantage * p
+		g := advantage * float64(p)
 		if i == action {
 			g -= advantage
 		}
-		grad[i] = g
+		grad[i] = T(g)
 	}
 	if entropyCoef != 0 {
 		// H = −Σ p log p; dH/dlogit_i = −p_i (log p_i + H) on the mask.
 		var h float64
 		for i, p := range probs {
 			if mask[i] && p > 0 {
-				h -= p * math.Log(p)
+				pf := float64(p)
+				h -= pf * math.Log(pf)
 			}
 		}
 		for i, p := range probs {
 			if !mask[i] || p <= 0 {
 				continue
 			}
-			dh := -p * (math.Log(p) + h)
-			grad[i] -= entropyCoef * dh
+			pf := float64(p)
+			dh := -pf * (math.Log(pf) + h)
+			grad[i] -= T(entropyCoef * dh)
 		}
 	}
 	return grad
 }
 
 // Entropy returns the Shannon entropy of a distribution (0·log0 taken as 0).
-func Entropy(probs []float64) float64 {
+func Entropy[T Float](probs []T) float64 {
 	var h float64
 	for _, p := range probs {
 		if p > 0 {
-			h -= p * math.Log(p)
+			pf := float64(p)
+			h -= pf * math.Log(pf)
 		}
 	}
 	return h

@@ -25,6 +25,18 @@
 // row is accumulated in exactly the order the serial kernel uses, the
 // parallel kernels are bitwise identical to the serial ones — verified in
 // the tests. SetWorkers(1) disables the parallel path entirely.
+//
+// # Precision
+//
+// The tensor core is generic over the Float constraint: MatOf, LinearOf,
+// NetOf, the kernels, the losses, and the optimizer updates are instantiated
+// at float64 (the bitwise-deterministic reference — the aliases Mat, Linear,
+// Param, Layer preserve the original float64 API verbatim) and at float32,
+// which halves the memory bandwidth of every batched kernel. Networks carry
+// their precision; the erased Network wrapper keeps a float64 interchange
+// boundary so callers above nn never go generic. The f64 path is verified
+// bitwise against the pre-generic kernels; the f32 path is verified against
+// f64 by tolerance-based parity (see ARCHITECTURE.md).
 package nn
 
 import (
@@ -33,43 +45,66 @@ import (
 	"math/rand"
 )
 
-// Mat is a dense row-major matrix. A batch of k vectors of dimension d is a
-// k×d Mat. The zero value is an empty matrix.
-type Mat struct {
+// MatOf is a dense row-major matrix over either float precision. A batch of
+// k vectors of dimension d is a k×d matrix. The zero value is an empty
+// matrix.
+type MatOf[T Float] struct {
 	Rows, Cols int
-	Data       []float64
+	Data       []T
 }
 
-// NewMat returns a zeroed r×c matrix.
-func NewMat(r, c int) *Mat {
-	return &Mat{Rows: r, Cols: c, Data: make([]float64, r*c)}
+// Mat is the float64 matrix — the package's interchange type: every API
+// boundary above the kernels (states, logits, gradients crossing the erased
+// Network) speaks float64 regardless of the precision a network computes in.
+type Mat = MatOf[float64]
+
+// Mat32 is the float32 matrix used inside f32 networks.
+type Mat32 = MatOf[float32]
+
+// NewMatOf returns a zeroed r×c matrix of the given precision.
+func NewMatOf[T Float](r, c int) *MatOf[T] {
+	return &MatOf[T]{Rows: r, Cols: c, Data: make([]T, r*c)}
 }
 
-// FromVec wraps a single vector as a 1×len(v) matrix. The slice is not copied.
-func FromVec(v []float64) *Mat {
-	return &Mat{Rows: 1, Cols: len(v), Data: v}
+// NewMat returns a zeroed r×c float64 matrix.
+func NewMat(r, c int) *Mat { return NewMatOf[float64](r, c) }
+
+// FromVec wraps a single vector as a 1×len(v) matrix. The slice is not
+// copied.
+func FromVec[T Float](v []T) *MatOf[T] {
+	return &MatOf[T]{Rows: 1, Cols: len(v), Data: v}
+}
+
+// ConvertMat copies m into a matrix of element type U, converting every
+// element. Converting f64→f32 rounds to nearest; f32→f64 is exact.
+func ConvertMat[U, T Float](m *MatOf[T]) *MatOf[U] {
+	out := NewMatOf[U](m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = U(v)
+	}
+	return out
 }
 
 // Row returns a view of row i (no copy).
-func (m *Mat) Row(i int) []float64 {
+func (m *MatOf[T]) Row(i int) []T {
 	return m.Data[i*m.Cols : (i+1)*m.Cols]
 }
 
 // At returns the element at row i, column j.
-func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+func (m *MatOf[T]) At(i, j int) T { return m.Data[i*m.Cols+j] }
 
 // Set assigns the element at row i, column j.
-func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+func (m *MatOf[T]) Set(i, j int, v T) { m.Data[i*m.Cols+j] = v }
 
 // Clone returns a deep copy.
-func (m *Mat) Clone() *Mat {
-	out := NewMat(m.Rows, m.Cols)
+func (m *MatOf[T]) Clone() *MatOf[T] {
+	out := NewMatOf[T](m.Rows, m.Cols)
 	copy(out.Data, m.Data)
 	return out
 }
 
 // Zero sets every element to 0 in place.
-func (m *Mat) Zero() {
+func (m *MatOf[T]) Zero() {
 	for i := range m.Data {
 		m.Data[i] = 0
 	}
@@ -79,11 +114,11 @@ func (m *Mat) Zero() {
 // here are always programmer errors, never data errors. Large products are
 // computed tile-parallel on the package worker pool with results bitwise
 // identical to the serial kernel.
-func MatMul(a, b *Mat) *Mat {
+func MatMul[T Float](a, b *MatOf[T]) *MatOf[T] {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("nn: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := NewMat(a.Rows, b.Cols)
+	out := NewMatOf[T](a.Rows, b.Cols)
 	parallelRows(a.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
 		matMulRows(a, b, out, lo, hi)
 	})
@@ -91,7 +126,7 @@ func MatMul(a, b *Mat) *Mat {
 }
 
 // matMulRows computes output rows [lo, hi) of a·b.
-func matMulRows(a, b, out *Mat, lo, hi int) {
+func matMulRows[T Float](a, b, out *MatOf[T], lo, hi int) {
 	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
@@ -108,11 +143,11 @@ func matMulRows(a, b, out *Mat, lo, hi int) {
 }
 
 // MatMulATB returns aᵀ·b without materializing the transpose.
-func MatMulATB(a, b *Mat) *Mat {
+func MatMulATB[T Float](a, b *MatOf[T]) *MatOf[T] {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("nn: matmulATB shape mismatch %dx%d ᵀ· %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := NewMat(a.Cols, b.Cols)
+	out := NewMatOf[T](a.Cols, b.Cols)
 	parallelRows(a.Cols, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
 		matMulATBRows(a, b, out, lo, hi)
 	})
@@ -122,7 +157,7 @@ func MatMulATB(a, b *Mat) *Mat {
 // matMulATBRows computes output rows [lo, hi) of aᵀ·b. The reduction over
 // a's rows stays outermost so each output element accumulates in the same
 // order as the serial kernel.
-func matMulATBRows(a, b, out *Mat, lo, hi int) {
+func matMulATBRows[T Float](a, b, out *MatOf[T], lo, hi int) {
 	for r := 0; r < a.Rows; r++ {
 		arow := a.Row(r)
 		brow := b.Row(r)
@@ -140,11 +175,11 @@ func matMulATBRows(a, b, out *Mat, lo, hi int) {
 }
 
 // MatMulABT returns a·bᵀ without materializing the transpose.
-func MatMulABT(a, b *Mat) *Mat {
+func MatMulABT[T Float](a, b *MatOf[T]) *MatOf[T] {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("nn: matmulABT shape mismatch %dx%d · %dx%d ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := NewMat(a.Rows, b.Rows)
+	out := NewMatOf[T](a.Rows, b.Rows)
 	parallelRows(a.Rows, a.Rows*a.Cols*b.Rows, func(lo, hi int) {
 		matMulABTRows(a, b, out, lo, hi)
 	})
@@ -152,13 +187,13 @@ func MatMulABT(a, b *Mat) *Mat {
 }
 
 // matMulABTRows computes output rows [lo, hi) of a·bᵀ.
-func matMulABTRows(a, b, out *Mat, lo, hi int) {
+func matMulABTRows[T Float](a, b, out *MatOf[T], lo, hi int) {
 	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		for j := 0; j < b.Rows; j++ {
 			brow := b.Row(j)
-			var s float64
+			var s T
 			for k, av := range arow {
 				s += av * brow[k]
 			}
@@ -168,10 +203,12 @@ func matMulABTRows(a, b, out *Mat, lo, hi int) {
 }
 
 // Xavier fills m with Glorot-uniform values appropriate for a layer with the
-// given fan-in and fan-out.
-func Xavier(m *Mat, fanIn, fanOut int, rng *rand.Rand) {
+// given fan-in and fan-out. The draws come from rng in float64 and are then
+// rounded to m's precision, so f32 and f64 networks built from the same seed
+// start from the same (rounded) weights.
+func Xavier[T Float](m *MatOf[T], fanIn, fanOut int, rng *rand.Rand) {
 	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
 	for i := range m.Data {
-		m.Data[i] = rng.Float64()*2*limit - limit
+		m.Data[i] = T(rng.Float64()*2*limit - limit)
 	}
 }

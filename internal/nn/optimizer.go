@@ -3,9 +3,18 @@ package nn
 import "math"
 
 // Optimizer updates parameters in place from their accumulated gradients.
+// Step is the historical float64-parameter entry point; StepNet dispatches on
+// a network's precision, running the entire update — moments, clipping scale
+// application, and the weight write — in the network's own scalar type, so
+// an f32 network's optimizer state also stays f32.
 type Optimizer interface {
 	Step(params []*Param)
+	StepNet(net *Network)
 }
+
+// sqrtT computes a square root in the parameter precision (the float64
+// instantiation is exactly math.Sqrt).
+func sqrtT[T Float](x T) T { return T(math.Sqrt(float64(x))) }
 
 // SGD is plain stochastic gradient descent with optional gradient clipping.
 type SGD struct {
@@ -13,12 +22,23 @@ type SGD struct {
 	Clip float64 // max L2 norm of the full gradient; 0 disables clipping
 }
 
-// Step applies one SGD update.
-func (o *SGD) Step(params []*Param) {
-	scale := clipScale(params, o.Clip)
+// Step applies one SGD update to float64 parameters.
+func (o *SGD) Step(params []*Param) { sgdStepT(params, o.LR, o.Clip) }
+
+// StepNet applies one SGD update in the network's precision.
+func (o *SGD) StepNet(net *Network) {
+	if net.Precision() == F32 {
+		sgdStepT(net.F32().Params(), o.LR, o.Clip)
+		return
+	}
+	sgdStepT(net.F64().Params(), o.LR, o.Clip)
+}
+
+func sgdStepT[T Float](params []*ParamOf[T], lr, clip float64) {
+	k := T(lr * clipScaleT(params, clip))
 	for _, p := range params {
 		for i := range p.Value {
-			p.Value[i] -= o.LR * scale * p.Grad[i]
+			p.Value[i] -= k * p.Grad[i]
 		}
 	}
 }
@@ -28,23 +48,41 @@ type Momentum struct {
 	LR, Mu float64
 	Clip   float64
 
-	vel map[*Param][]float64
+	vel   map[*Param][]float64
+	vel32 map[*ParamOf[float32]][]float32
 }
 
-// Step applies one momentum update.
+// Step applies one momentum update to float64 parameters.
 func (o *Momentum) Step(params []*Param) {
 	if o.vel == nil {
 		o.vel = make(map[*Param][]float64)
 	}
-	scale := clipScale(params, o.Clip)
+	momentumStepT(o.vel, params, o.LR, o.Mu, o.Clip)
+}
+
+// StepNet applies one momentum update in the network's precision.
+func (o *Momentum) StepNet(net *Network) {
+	if net.Precision() == F32 {
+		if o.vel32 == nil {
+			o.vel32 = make(map[*ParamOf[float32]][]float32)
+		}
+		momentumStepT(o.vel32, net.F32().Params(), o.LR, o.Mu, o.Clip)
+		return
+	}
+	o.Step(net.F64().Params())
+}
+
+func momentumStepT[T Float](vel map[*ParamOf[T]][]T, params []*ParamOf[T], lr, mu, clip float64) {
+	k := T(lr * clipScaleT(params, clip))
+	tmu := T(mu)
 	for _, p := range params {
-		v := o.vel[p]
+		v := vel[p]
 		if v == nil {
-			v = make([]float64, len(p.Value))
-			o.vel[p] = v
+			v = make([]T, len(p.Value))
+			vel[p] = v
 		}
 		for i := range p.Value {
-			v[i] = o.Mu*v[i] - o.LR*scale*p.Grad[i]
+			v[i] = tmu*v[i] - k*p.Grad[i]
 			p.Value[i] += v[i]
 		}
 	}
@@ -56,9 +94,11 @@ type Adam struct {
 	LR, Beta1, Beta2, Eps float64
 	Clip                  float64
 
-	t int
-	m map[*Param][]float64
-	v map[*Param][]float64
+	t   int
+	m   map[*Param][]float64
+	v   map[*Param][]float64
+	m32 map[*ParamOf[float32]][]float32
+	v32 map[*ParamOf[float32]][]float32
 }
 
 // NewAdam returns an Adam optimizer with the conventional defaults
@@ -74,42 +114,68 @@ func NewAdam(lr float64) *Adam {
 	}
 }
 
-// Step applies one Adam update with bias correction.
+// Step applies one Adam update with bias correction to float64 parameters.
 func (o *Adam) Step(params []*Param) {
 	o.t++
-	scale := clipScale(params, o.Clip)
-	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
-	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	adamStepT(o.m, o.v, params, o.t, o.LR, o.Beta1, o.Beta2, o.Eps, o.Clip)
+}
+
+// StepNet applies one Adam update in the network's precision. The moment
+// buffers live in the same precision as the weights, so the f32 path moves
+// half the optimizer-state bytes per step as well.
+func (o *Adam) StepNet(net *Network) {
+	if net.Precision() == F32 {
+		o.t++
+		if o.m32 == nil {
+			o.m32 = make(map[*ParamOf[float32]][]float32)
+			o.v32 = make(map[*ParamOf[float32]][]float32)
+		}
+		adamStepT(o.m32, o.v32, net.F32().Params(), o.t, o.LR, o.Beta1, o.Beta2, o.Eps, o.Clip)
+		return
+	}
+	o.Step(net.F64().Params())
+}
+
+func adamStepT[T Float](m, v map[*ParamOf[T]][]T, params []*ParamOf[T], t int, lr, beta1, beta2, eps, clip float64) {
+	scale := T(clipScaleT(params, clip))
+	c1 := T(1 - math.Pow(beta1, float64(t)))
+	c2 := T(1 - math.Pow(beta2, float64(t)))
+	b1, nb1 := T(beta1), T(1-beta1)
+	b2, nb2 := T(beta2), T(1-beta2)
+	tlr, teps := T(lr), T(eps)
 	for _, p := range params {
-		m := o.m[p]
-		v := o.v[p]
-		if m == nil {
-			m = make([]float64, len(p.Value))
-			v = make([]float64, len(p.Value))
-			o.m[p] = m
-			o.v[p] = v
+		mm := m[p]
+		vv := v[p]
+		if mm == nil {
+			mm = make([]T, len(p.Value))
+			vv = make([]T, len(p.Value))
+			m[p] = mm
+			v[p] = vv
 		}
 		for i := range p.Value {
 			g := scale * p.Grad[i]
-			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
-			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
-			mhat := m[i] / c1
-			vhat := v[i] / c2
-			p.Value[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
+			mm[i] = b1*mm[i] + nb1*g
+			vv[i] = b2*vv[i] + nb2*g*g
+			mhat := mm[i] / c1
+			vhat := vv[i] / c2
+			p.Value[i] -= tlr * mhat / (sqrtT(vhat) + teps)
 		}
 	}
 }
 
-// clipScale returns the multiplier that caps the global gradient L2 norm at
-// clip (1 if clip is 0 or the norm is already within bounds).
-func clipScale(params []*Param, clip float64) float64 {
+// clipScaleT returns the multiplier that caps the global gradient L2 norm at
+// clip (1 if clip is 0 or the norm is already within bounds). The norm is
+// accumulated in float64 at every precision: it is a scalar reduction, so
+// the extra accuracy is free and keeps the clipping decision stable.
+func clipScaleT[T Float](params []*ParamOf[T], clip float64) float64 {
 	if clip <= 0 {
 		return 1
 	}
 	var sq float64
 	for _, p := range params {
 		for _, g := range p.Grad {
-			sq += g * g
+			gf := float64(g)
+			sq += gf * gf
 		}
 	}
 	norm := math.Sqrt(sq)

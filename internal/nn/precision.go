@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Float constrains the scalar element type of the tensor core. Every kernel,
+// layer, loss, and optimizer update in this package is generic over these two
+// precisions: float64 is the bitwise-deterministic reference used by the
+// synchronous training path, float32 halves the bytes moved by every batched
+// matmul (the memory-bandwidth lever on the incremental-training loop, and
+// the precision Neo and Balsa train their learned optimizers in).
+type Float interface {
+	~float32 | ~float64
+}
+
+// Precision selects the scalar type a network stores and computes in.
+//
+// The zero value (PrecisionAuto) resolves through the HANDSFREE_PRECISION
+// environment variable, defaulting to F64 — so existing callers that never
+// set a precision keep today's float64 numerics bit for bit, while CI can
+// sweep the whole test suite through the f32 kernels with one env var.
+type Precision uint8
+
+const (
+	// PrecisionAuto defers to DefaultPrecision (the HANDSFREE_PRECISION
+	// environment variable, or F64 when unset).
+	PrecisionAuto Precision = iota
+	// F64 is the float64 path: the bitwise-deterministic reference.
+	F64
+	// F32 is the float32 path: half the memory traffic per kernel, verified
+	// against F64 by tolerance-based parity rather than bitwise equality
+	// (see ARCHITECTURE.md, "Precision-generic tensor core").
+	F32
+)
+
+// String names the precision.
+func (p Precision) String() string {
+	switch p {
+	case F32:
+		return "f32"
+	case F64:
+		return "f64"
+	default:
+		return "auto"
+	}
+}
+
+// ParsePrecision parses a precision name: "f32"/"float32"/"32" and
+// "f64"/"float64"/"64" (case-insensitive); "" and "auto" are PrecisionAuto.
+func ParsePrecision(s string) (Precision, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return PrecisionAuto, nil
+	case "f32", "float32", "32":
+		return F32, nil
+	case "f64", "float64", "64":
+		return F64, nil
+	}
+	return PrecisionAuto, fmt.Errorf("nn: unknown precision %q (want f32 or f64)", s)
+}
+
+// defaultPrecision caches the HANDSFREE_PRECISION lookup: the env var is a
+// process-wide test-matrix knob, not something that changes mid-run.
+var defaultPrecision = sync.OnceValue(func() Precision {
+	p, err := ParsePrecision(os.Getenv("HANDSFREE_PRECISION"))
+	if err != nil || p == PrecisionAuto {
+		return F64
+	}
+	return p
+})
+
+// DefaultPrecision returns the precision PrecisionAuto resolves to: the value
+// of the HANDSFREE_PRECISION environment variable at first use, or F64.
+func DefaultPrecision() Precision { return defaultPrecision() }
+
+// Resolve maps PrecisionAuto to DefaultPrecision and returns concrete
+// precisions unchanged.
+func (p Precision) Resolve() Precision {
+	if p == PrecisionAuto {
+		return DefaultPrecision()
+	}
+	return p
+}

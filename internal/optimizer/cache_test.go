@@ -1,11 +1,13 @@
 package optimizer
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 
 	"handsfree/internal/plan"
 	"handsfree/internal/plancache"
+	"handsfree/internal/query"
 	"handsfree/internal/workload"
 )
 
@@ -162,4 +164,79 @@ func isBushy(n plan.Node) bool {
 		}
 	})
 	return bushy
+}
+
+// TestWarmStartSkipsColdSweep: a cache saved at shutdown and loaded into a
+// fresh planner in a "restarted" process must serve the whole repeated
+// workload sweep — full plans and per-episode completions — without a single
+// recomputation: every lookup hits, zero entry-producing misses.
+func TestWarmStartSkipsColdSweep(t *testing.T) {
+	p, _, w := cacheFixture(t)
+	rng := rand.New(rand.NewSource(11))
+
+	// First process: plan and complete the bench workload cold.
+	first := p.WithCache(plancache.New(plancache.Config{Capacity: 1 << 14, Shards: 8}))
+	type sweep struct {
+		q        *query.Query
+		skeleton plan.Node
+	}
+	var sweeps []sweep
+	var coldPlans []string
+	var coldCosts []float64
+	for _, name := range workload.Fig3bNames()[:4] {
+		q := w.MustNamed(name)
+		skeleton := RandomOrder(q, rng)
+		sweeps = append(sweeps, sweep{q, skeleton})
+		planned, err := first.Plan(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, nc := first.CompletePhysical(q, skeleton)
+		coldPlans = append(coldPlans, plan.Format(planned.Root), plan.Format(node))
+		coldCosts = append(coldCosts, planned.Cost, nc.Total)
+	}
+
+	var buf bytes.Buffer
+	if err := first.Cache.Save(&buf, 42); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restarted" process: fresh cache, warm-started from the dump.
+	warm := plancache.New(plancache.Config{Capacity: 1 << 14, Shards: 8})
+	restored, err := warm.Load(&buf, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored == 0 {
+		t.Fatal("dump restored no entries")
+	}
+	second := p.WithCache(warm)
+	before := warm.Stats()
+	var warmPlans []string
+	var warmCosts []float64
+	for _, s := range sweeps {
+		planned, err := second.Plan(s.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, nc := second.CompletePhysical(s.q, s.skeleton)
+		warmPlans = append(warmPlans, plan.Format(planned.Root), plan.Format(node))
+		warmCosts = append(warmCosts, planned.Cost, nc.Total)
+	}
+	after := warm.Stats()
+
+	if after.Misses != before.Misses {
+		t.Fatalf("warm-started sweep missed %d times; the cold sweep was not skipped", after.Misses-before.Misses)
+	}
+	if after.Hits == before.Hits {
+		t.Fatal("warm-started sweep never hit the restored cache")
+	}
+	if after.Puts != before.Puts {
+		t.Fatalf("warm-started sweep recomputed %d entries", after.Puts-before.Puts)
+	}
+	for i := range coldPlans {
+		if coldPlans[i] != warmPlans[i] || coldCosts[i] != warmCosts[i] {
+			t.Fatalf("restored result %d differs from the cold sweep", i)
+		}
+	}
 }

@@ -118,14 +118,41 @@ func (s *Server) Stats() Stats {
 	}
 }
 
+// DynBound is a staleness bound shared by many clients and adjustable while
+// they run: the adaptive-staleness learner tightens it when it outpaces the
+// actors and relaxes it when publishes are rare. Set/Get are atomic, so the
+// learner adjusts it without synchronizing with the actor goroutines.
+type DynBound struct {
+	v atomic.Int64
+}
+
+// NewDynBound returns a shared bound initialized to k (clamped at 0).
+func NewDynBound(k int) *DynBound {
+	b := &DynBound{}
+	b.Set(k)
+	return b
+}
+
+// Set replaces the bound (values < 0 clamp to 0).
+func (b *DynBound) Set(k int) {
+	if k < 0 {
+		k = 0
+	}
+	b.v.Store(int64(k))
+}
+
+// Get returns the current bound.
+func (b *DynBound) Get() int { return int(b.v.Load()) }
+
 // Client is one actor's staleness-bounded view of the server. It caches the
 // most recently fetched snapshot and refetches only when the cache lags the
 // server by more than the bound, keeping the per-episode cost at one atomic
 // load in the common case. A Client belongs to a single actor goroutine and
-// is not safe for concurrent use.
+// is not safe for concurrent use (the optional shared DynBound is).
 type Client struct {
 	srv   *Server
 	bound uint64
+	dyn   *DynBound
 	snap  *Snapshot
 
 	refetches uint64
@@ -143,6 +170,21 @@ func (s *Server) NewClient(bound int) *Client {
 	return &Client{srv: s, bound: uint64(bound)}
 }
 
+// NewClientDyn builds a client whose bound is read from the shared DynBound
+// at every Snapshot call, so a learner-side adjustment takes effect for the
+// actor's very next episode.
+func (s *Server) NewClientDyn(bound *DynBound) *Client {
+	return &Client{srv: s, dyn: bound}
+}
+
+// boundNow returns the bound in force for the next Snapshot call.
+func (c *Client) boundNow() uint64 {
+	if c.dyn != nil {
+		return uint64(c.dyn.Get())
+	}
+	return c.bound
+}
+
 // Snapshot returns the snapshot the actor should act on and the staleness
 // (server version at check time minus snapshot version, floored at 0) of
 // what it returns. If the cached snapshot lags by more than the bound it is
@@ -150,7 +192,7 @@ func (s *Server) NewClient(bound int) *Client {
 // the bound: this is the staleness invariant the property tests pin down.
 func (c *Client) Snapshot() (*Snapshot, uint64) {
 	latest := c.srv.Version()
-	if c.snap == nil || latest-c.snap.Version > c.bound {
+	if c.snap == nil || latest-c.snap.Version > c.boundNow() {
 		c.snap = c.srv.Latest()
 		c.refetches++
 	}
@@ -164,12 +206,14 @@ func (c *Client) Snapshot() (*Snapshot, uint64) {
 	return c.snap, lag
 }
 
-// Bound returns the client's staleness bound K.
-func (c *Client) Bound() uint64 { return c.bound }
+// Bound returns the client's staleness bound K currently in force.
+func (c *Client) Bound() uint64 { return c.boundNow() }
 
 // Refetches reports how many times the bound forced a refetch.
 func (c *Client) Refetches() uint64 { return c.refetches }
 
 // MaxLag reports the largest staleness the client ever acted on; it never
-// exceeds Bound.
+// exceeds the bound that was in force at that Snapshot call (for a fixed
+// bound, never Bound; under a shrinking DynBound it may exceed the current
+// bound but never the largest bound ever set).
 func (c *Client) MaxLag() uint64 { return c.maxLag }

@@ -12,13 +12,13 @@ import (
 // can recover which publish produced the snapshot it observed.
 func tagNet(tag float64) *nn.Network {
 	net := nn.NewMLP(rand.New(rand.NewSource(1)), 1, 1)
-	net.Layers[0].(*nn.Linear).W.Value[0] = tag
-	net.Layers[0].(*nn.Linear).B.Value[0] = 0
+	net.F64().Layers[0].(*nn.Linear).W.Value[0] = tag
+	net.F64().Layers[0].(*nn.Linear).B.Value[0] = 0
 	return net
 }
 
 func tagOf(net *nn.Network) float64 {
-	return net.Layers[0].(*nn.Linear).W.Value[0]
+	return net.F64().Layers[0].(*nn.Linear).W.Value[0]
 }
 
 func TestPublishAssignsDenseVersions(t *testing.T) {
@@ -206,4 +206,79 @@ func TestClientCachesWithinBound(t *testing.T) {
 	if srv.Stats().Fetches != 1 {
 		t.Fatalf("server fetches = %d, want 1", srv.Stats().Fetches)
 	}
+}
+
+// TestClientDynBoundTakesEffectImmediately: tightening a shared DynBound
+// must change the refetch decision of the very next Snapshot call, and
+// loosening it must let the cache ride again.
+func TestClientDynBoundTakesEffectImmediately(t *testing.T) {
+	srv := New(tagNet(0))
+	bound := NewDynBound(4)
+	client := srv.NewClientDyn(bound)
+	client.Snapshot() // initial fetch at version 0
+
+	// Publish 3 versions: lag 3 ≤ 4, so the cache must be served.
+	for i := 1; i <= 3; i++ {
+		srv.Publish(tagNet(float64(i)), i)
+	}
+	if snap, lag := client.Snapshot(); snap.Version != 0 || lag != 3 {
+		t.Fatalf("within bound: got version %d lag %d, want cached version 0 lag 3", snap.Version, lag)
+	}
+
+	// Tighten to 1: the same 3-version lag must now force a refetch.
+	bound.Set(1)
+	if client.Bound() != 1 {
+		t.Fatalf("Bound() = %d after Set(1)", client.Bound())
+	}
+	if snap, lag := client.Snapshot(); snap.Version != 3 || lag != 0 {
+		t.Fatalf("after tightening: got version %d lag %d, want fresh version 3", snap.Version, lag)
+	}
+
+	// Loosen back to 4: two more publishes stay within the bound again.
+	bound.Set(4)
+	srv.Publish(tagNet(4), 4)
+	srv.Publish(tagNet(5), 5)
+	if snap, lag := client.Snapshot(); snap.Version != 3 || lag != 2 {
+		t.Fatalf("after loosening: got version %d lag %d, want cached version 3 lag 2", snap.Version, lag)
+	}
+	if NewDynBound(-5).Get() != 0 {
+		t.Fatal("negative DynBound must clamp to 0")
+	}
+}
+
+// TestSnapshotsPreservePrecision: an f32 learner's published snapshots must
+// stay f32 end to end — the parameter server is precision-transparent, so
+// actors infer against half-width weights exactly as published.
+func TestSnapshotsPreservePrecision(t *testing.T) {
+	f32net := nn.NewMLPAt(nn.F32, rand.New(rand.NewSource(1)), 3, 4, 2)
+	srv := New(f32net.CloneForInference())
+	if p := srv.Latest().Net.Precision(); p != nn.F32 {
+		t.Fatalf("initial snapshot precision %v, want f32", p)
+	}
+	srv.Publish(f32net.CloneForInference(), 1)
+	snap := srv.Latest()
+	if p := snap.Net.Precision(); p != nn.F32 {
+		t.Fatalf("published snapshot precision %v, want f32", p)
+	}
+	// The snapshot must serve concurrent inference (the actor contract).
+	x := nn.NewMat(1, 3)
+	x.Data[0] = 1
+	want := snap.Net.Infer(x.Clone())
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				got := snap.Net.Infer(x.Clone())
+				for j := range want.Data {
+					if got.Data[j] != want.Data[j] {
+						t.Errorf("concurrent f32 Infer diverged")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -1,0 +1,188 @@
+package plancache
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"handsfree/internal/cost"
+	"handsfree/internal/plan"
+	"handsfree/internal/query"
+)
+
+// TestAdmissionThresholdSkipsCheapSubtrees: completion-subtree entries below
+// MinAdmitCost must be skipped and counted; entries at or above it, and
+// whole-query entries of any cost, must be admitted.
+func TestAdmissionThresholdSkipsCheapSubtrees(t *testing.T) {
+	c := New(Config{Capacity: 64, Shards: 4, MinAdmitCost: 100})
+
+	cheap := Key{Query: 1, Skeleton: 2, Mode: ModeCompletePhysical}
+	c.Put(cheap, entryFor(99))
+	if _, ok := c.Get(cheap); ok {
+		t.Fatal("sub-threshold completion entry was admitted")
+	}
+
+	expensive := Key{Query: 1, Skeleton: 3, Mode: ModeCompletePhysical}
+	c.Put(expensive, entryFor(100))
+	if _, ok := c.Get(expensive); !ok {
+		t.Fatal("at-threshold completion entry was rejected")
+	}
+
+	// Every completion mode is admission-controlled.
+	for i, m := range []Mode{ModeCompleteOperators, ModeCompleteAccess, ModeCostFixed} {
+		k := Key{Query: 2, Skeleton: uint64(10 + i), Mode: m}
+		c.Put(k, entryFor(1))
+		if _, ok := c.Get(k); ok {
+			t.Fatalf("cheap %v entry was admitted", m)
+		}
+	}
+
+	// Whole-query entries always amortize: admitted regardless of cost.
+	for _, m := range []Mode{ModePlan, ModeGreedyPolicy} {
+		k := Key{Query: 3, Skeleton: uint64(m), Mode: m}
+		c.Put(k, entryFor(1))
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("cheap whole-query %v entry was rejected by admission", m)
+		}
+	}
+
+	st := c.Stats()
+	if st.AdmissionSkips != 4 {
+		t.Fatalf("AdmissionSkips = %d, want 4", st.AdmissionSkips)
+	}
+	if st.Puts != 3 {
+		t.Fatalf("Puts = %d, want 3 admitted puts", st.Puts)
+	}
+
+	// Threshold 0 disables admission control entirely.
+	open := New(Config{Capacity: 64, Shards: 4})
+	open.Put(cheap, entryFor(1))
+	if _, ok := open.Get(cheap); !ok {
+		t.Fatal("zero threshold must admit everything")
+	}
+	if open.Stats().AdmissionSkips != 0 {
+		t.Fatal("zero-threshold cache counted admission skips")
+	}
+}
+
+// buildTree returns a small physical plan exercising every node kind, so a
+// persisted entry round-trips scans, joins, and aggregation.
+func buildTree() plan.Node {
+	left := &plan.Scan{Alias: "t", Table: "title", Access: plan.IndexScan, IndexColumn: "id",
+		Filters: []query.Filter{{Alias: "t", Column: "year", Op: query.Gt, Value: 1990}}}
+	right := &plan.Scan{Alias: "mc", Table: "movie_companies"}
+	join := &plan.Join{Algo: plan.HashJoin, Left: left, Right: right,
+		Preds: []query.Join{{LeftAlias: "t", LeftCol: "id", RightAlias: "mc", RightCol: "movie_id"}}}
+	return &plan.Agg{Algo: plan.HashAgg, Child: join,
+		Aggregates: []query.Aggregate{{Kind: query.AggCount}}}
+}
+
+// TestSaveLoadRoundTrip: pure entries must survive a gob round trip into a
+// fresh cache — same keys, same costs, structurally identical plans — while
+// policy-dependent entries stay behind.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := New(Config{Capacity: 64, Shards: 4})
+	pure1 := Key{Query: 11, Skeleton: 21, Mode: ModeCompletePhysical}
+	pure2 := Key{Query: 12, Skeleton: 0, Mode: ModePlan, Aux: 2}
+	policy := Key{Query: 13, Skeleton: 99, Mode: ModeGreedyPolicy, Epoch: 5}
+	tree := buildTree()
+	src.Put(pure1, Entry{Plan: tree, Cost: cost.NodeCost{Rows: 10, Total: 1234.5, Sorted: true}})
+	src.Put(pure2, Entry{Plan: tree, Cost: cost.NodeCost{Total: 42}})
+	src.Put(policy, entryFor(7))
+
+	var buf bytes.Buffer
+	if err := src.Save(&buf, 77); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := New(Config{Capacity: 64, Shards: 2})
+	n, err := dst.Load(&buf, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("restored %d entries, want the 2 pure ones", n)
+	}
+	if _, ok := dst.Get(policy); ok {
+		t.Fatal("policy-dependent entry crossed the process boundary")
+	}
+	e1, ok := dst.Get(pure1)
+	if !ok || e1.Cost.Total != 1234.5 || e1.Cost.Rows != 10 || !e1.Cost.Sorted {
+		t.Fatalf("pure entry 1 mangled: ok=%v cost=%+v", ok, e1.Cost)
+	}
+	if e1.Plan.Signature() != tree.Signature() {
+		t.Fatalf("restored plan signature %q differs from original %q", e1.Plan.Signature(), tree.Signature())
+	}
+	if e2, ok := dst.Get(pure2); !ok || e2.Cost.Total != 42 {
+		t.Fatalf("pure entry 2 mangled: ok=%v cost=%v", ok, e2.Cost.Total)
+	}
+}
+
+// TestLoadAppliesReceiverAdmission: a dump replayed into a cache with a
+// stricter admission threshold is re-filtered by it.
+func TestLoadAppliesReceiverAdmission(t *testing.T) {
+	src := New(Config{Capacity: 16, Shards: 2})
+	cheapK := Key{Query: 1, Skeleton: 1, Mode: ModeCompletePhysical}
+	richK := Key{Query: 1, Skeleton: 2, Mode: ModeCompletePhysical}
+	src.Put(cheapK, Entry{Plan: buildTree(), Cost: cost.NodeCost{Total: 5}})
+	src.Put(richK, Entry{Plan: buildTree(), Cost: cost.NodeCost{Total: 5000}})
+
+	var buf bytes.Buffer
+	if err := src.Save(&buf, 77); err != nil {
+		t.Fatal(err)
+	}
+	strict := New(Config{Capacity: 16, Shards: 2, MinAdmitCost: 1000})
+	if _, err := strict.Load(&buf, 77); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := strict.Get(cheapK); ok {
+		t.Fatal("strict cache admitted a sub-threshold dump entry")
+	}
+	if _, ok := strict.Get(richK); !ok {
+		t.Fatal("strict cache rejected an above-threshold dump entry")
+	}
+	if strict.Stats().AdmissionSkips != 1 {
+		t.Fatalf("AdmissionSkips = %d, want 1", strict.Stats().AdmissionSkips)
+	}
+}
+
+// TestLoadRejectsBadData: garbage and truncated dumps error cleanly.
+func TestLoadRejectsBadData(t *testing.T) {
+	c := New(Config{Capacity: 16, Shards: 2})
+	if _, err := c.Load(strings.NewReader(""), 0); err == nil {
+		t.Fatal("empty dump loaded without error")
+	}
+	if _, err := c.Load(strings.NewReader("garbage bytes"), 0); err == nil {
+		t.Fatal("garbage dump loaded without error")
+	}
+	src := New(Config{Capacity: 16, Shards: 2})
+	src.Put(Key{Query: 1, Mode: ModePlan}, Entry{Plan: buildTree(), Cost: cost.NodeCost{Total: 9}})
+	var buf bytes.Buffer
+	if err := src.Save(&buf, 77); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load(bytes.NewReader(buf.Bytes()[:buf.Len()/2]), 0); err == nil {
+		t.Fatal("truncated dump loaded without error")
+	}
+}
+
+// TestLoadRejectsForeignTag: a dump tagged for one system configuration
+// must not load into a cache claiming another — entries are keyed by pure
+// fingerprints with the catalog implicit, so a silent cross-system load
+// would serve plans and costs from the wrong database.
+func TestLoadRejectsForeignTag(t *testing.T) {
+	src := New(Config{Capacity: 16, Shards: 2})
+	k := Key{Query: 1, Mode: ModePlan}
+	src.Put(k, Entry{Plan: buildTree(), Cost: cost.NodeCost{Total: 9}})
+	var buf bytes.Buffer
+	if err := src.Save(&buf, 111); err != nil {
+		t.Fatal(err)
+	}
+	dst := New(Config{Capacity: 16, Shards: 2})
+	if _, err := dst.Load(&buf, 222); err == nil {
+		t.Fatal("dump with a foreign tag loaded without error")
+	}
+	if _, ok := dst.Get(k); ok {
+		t.Fatal("foreign-tagged entry reached the cache")
+	}
+}

@@ -13,8 +13,18 @@ import (
 // action-by-action wherever an old action has a counterpart in the new
 // layout (a join pair keeps its weights across the 1→3 algorithm expansion,
 // with each algorithm variant initialized from the old pair weights).
-// Actions with no counterpart keep fresh Xavier weights.
+// Actions with no counterpart keep fresh Xavier weights. The surgery runs in
+// the network's own precision: an f32 policy transfers without ever widening
+// its weights to float64.
 func TransferPolicy(old *nn.Network, space *featurize.Space, oldStages, newStages Stages, rng *rand.Rand) *nn.Network {
+	if old.Precision() == nn.F32 {
+		return nn.WrapNet32(transferPolicyT(old.F32(), space, oldStages, newStages, rng))
+	}
+	return nn.WrapNet64(transferPolicyT(old.F64(), space, oldStages, newStages, rng))
+}
+
+// transferPolicyT is the precision-generic transfer surgery.
+func transferPolicyT[T nn.Float](old *nn.NetOf[T], space *featurize.Space, oldStages, newStages Stages, rng *rand.Rand) *nn.NetOf[T] {
 	oldLayout := Layout{Space: space, Stages: oldStages}
 	newLayout := Layout{Space: space, Stages: newStages}
 
@@ -26,27 +36,15 @@ func TransferPolicy(old *nn.Network, space *featurize.Space, oldStages, newStage
 	newOut := newLayout.ActionDim()
 
 	// Capture the output layer's weights before surgery.
-	var outLin *nn.Linear
-	for i := len(net.Layers) - 1; i >= 0; i-- {
-		if lin, ok := net.Layers[i].(*nn.Linear); ok {
-			outLin = lin
-			break
-		}
-	}
+	outLin := lastLinear(net)
 	if outLin == nil {
 		return net
 	}
-	oldW := append([]float64(nil), outLin.W.Value...)
-	oldB := append([]float64(nil), outLin.B.Value...)
+	oldW := append([]T(nil), outLin.W.Value...)
+	oldB := append([]T(nil), outLin.B.Value...)
 
 	net.ResizeOutput(newOut, rng)
-	var newLin *nn.Linear
-	for i := len(net.Layers) - 1; i >= 0; i-- {
-		if lin, ok := net.Layers[i].(*nn.Linear); ok {
-			newLin = lin
-			break
-		}
-	}
+	newLin := lastLinear(net)
 
 	copyAction := func(oldA, newA int) {
 		if oldA < 0 || oldA >= oldOut || newA < 0 || newA >= newOut {
@@ -83,4 +81,14 @@ func TransferPolicy(old *nn.Network, space *featurize.Space, oldStages, newStage
 		}
 	}
 	return net
+}
+
+// lastLinear returns the network's final Linear layer (nil if none).
+func lastLinear[T nn.Float](net *nn.NetOf[T]) *nn.LinearOf[T] {
+	for i := len(net.Layers) - 1; i >= 0; i-- {
+		if lin, ok := net.Layers[i].(*nn.LinearOf[T]); ok {
+			return lin
+		}
+	}
+	return nil
 }

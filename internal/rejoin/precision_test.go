@@ -1,0 +1,76 @@
+package rejoin
+
+import (
+	"testing"
+
+	"handsfree/internal/featurize"
+	"handsfree/internal/nn"
+	"handsfree/internal/rl"
+)
+
+// TestF32TrainingConvergesOnSeedWorkload is the system-level half of the
+// f32 tolerance-parity contract (the per-step bound lives in nn and rl):
+// training ReJOIN entirely in float32 on the seed workload must reach final
+// plan quality within the same 1.6× tolerance band the async-vs-sync test
+// uses against the f64 reference. The f32 trajectory diverges from f64's
+// after the first rounded softmax, so the comparison is outcome-level, not
+// per-step.
+func TestF32TrainingConvergesOnSeedWorkload(t *testing.T) {
+	fx := fixture(t, 4, 4, 5)
+	const episodes = 240
+
+	build := func(p nn.Precision) *Agent {
+		space := featurize.NewSpace(fx.maxRels, fx.est)
+		env := NewEnv(space, fx.planner, fx.queries, 1)
+		return NewAgent(env, rl.ReinforceConfig{Hidden: []int{32}, BatchSize: 8, Precision: p, Seed: 2})
+	}
+
+	ref := build(nn.F64)
+	ref.TrainEpisodes(episodes, 1)
+	refRatio := greedyRatio(t, fx, ref)
+
+	f32 := build(nn.F32)
+	if f32.RL.Policy.Precision() != nn.F32 {
+		t.Fatal("agent did not build an f32 policy")
+	}
+	f32.TrainEpisodes(episodes, 1)
+	f32Ratio := greedyRatio(t, fx, f32)
+
+	t.Logf("greedy cost ratio vs optimizer: f64 %.3f, f32 %.3f", refRatio, f32Ratio)
+	if f32Ratio > 1.6*refRatio {
+		t.Fatalf("f32 final plan quality %.3f not within tolerance of f64 %.3f", f32Ratio, refRatio)
+	}
+}
+
+// TestF32CheckpointRoundTripOnAgent: an f32 ReJOIN agent must save and
+// restore through the rejoin-level Save/Load path (the versioned gob format
+// carries the precision).
+func TestF32CheckpointRoundTripOnAgent(t *testing.T) {
+	fx := fixture(t, 3, 4, 4)
+	space := featurize.NewSpace(fx.maxRels, fx.est)
+	env := NewEnv(space, fx.planner, fx.queries, 1)
+	agent := NewAgent(env, rl.ReinforceConfig{Hidden: []int{16}, BatchSize: 4, Precision: nn.F32, Seed: 3})
+	for ep := 0; ep < 12; ep++ {
+		agent.TrainEpisode()
+	}
+	data, err := agent.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewAgent(NewEnv(space, fx.planner, fx.queries, 1),
+		rl.ReinforceConfig{Hidden: []int{16}, BatchSize: 4, Precision: nn.F32, Seed: 4})
+	if err := restored.Load(data); err != nil {
+		t.Fatal(err)
+	}
+	if restored.RL.Policy.Precision() != nn.F32 {
+		t.Fatalf("restored precision %v, want f32", restored.RL.Policy.Precision())
+	}
+	for _, q := range fx.queries {
+		p1, c1 := agent.GreedyPlan(q)
+		p2, c2 := restored.GreedyPlan(q)
+		if p1 == nil || p2 == nil || c1 != c2 {
+			t.Fatalf("restored f32 agent plans %s at cost %v, original %v", q.Name, c2, c1)
+		}
+	}
+}

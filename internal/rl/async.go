@@ -46,6 +46,22 @@ type AsyncConfig struct {
 	// the episode budget and are still reported to the episode callback
 	// (with Dropped set).
 	DropStale bool
+	// AdaptStaleness turns the fixed bound K into a ceiling for an adaptive
+	// bound: every AdaptWindow consumed episodes the learner compares the
+	// observed actor lag against the current bound and tightens it by one
+	// (down to MinStaleness) when actors ride the bound — the signature of a
+	// learner publishing faster than actors collect — or relaxes it by one
+	// (back up to Staleness) when publishes are rare and the bound is slack.
+	// Tight bounds keep training data near-on-policy exactly when
+	// off-policyness is accumulating fastest, at the price of more snapshot
+	// refetches.
+	AdaptStaleness bool
+	// MinStaleness floors the adaptive bound (default 1; ignored unless
+	// AdaptStaleness).
+	MinStaleness int
+	// AdaptWindow is how many consumed episodes pass between adaptive-bound
+	// reevaluations (default 16; ignored unless AdaptStaleness).
+	AdaptWindow int
 	// Seed derives the per-actor action-sampling RNG streams.
 	Seed int64
 	// OnPublish, when non-nil, runs after every snapshot publish with the
@@ -68,6 +84,15 @@ func (c *AsyncConfig) fill() {
 	}
 	if c.MaxSteps < 1 {
 		c.MaxSteps = 128
+	}
+	if c.MinStaleness < 1 {
+		c.MinStaleness = 1
+	}
+	if c.MinStaleness > c.Staleness {
+		c.MinStaleness = c.Staleness
+	}
+	if c.AdaptWindow < 1 {
+		c.AdaptWindow = 16
 	}
 }
 
@@ -108,6 +133,12 @@ type AsyncStats struct {
 	// Refetches counts staleness-bound-forced snapshot refetches across
 	// all actors.
 	Refetches uint64
+	// FinalStaleness is the staleness bound in force when training finished
+	// (== Staleness unless AdaptStaleness adjusted it).
+	FinalStaleness int
+	// Tightened and Loosened count adaptive-bound adjustments in each
+	// direction (zero unless AdaptStaleness).
+	Tightened, Loosened int
 }
 
 // TrainAsync trains learner with the asynchronous actor-learner split: one
@@ -141,6 +172,9 @@ func TrainAsync(learner *Reinforce, envs []Env, episodes int, cfg AsyncConfig,
 
 	srv := paramserver.New(learner.Policy.CloneForInference())
 	srv.OnPublish = cfg.OnPublish
+	// The staleness bound actors consult: fixed at K, or a shared dynamic
+	// bound starting at K that the learner adjusts from observed lag.
+	bound := paramserver.NewDynBound(cfg.Staleness)
 
 	type actorReport struct {
 		maxLag    uint64
@@ -155,7 +189,12 @@ func TrainAsync(learner *Reinforce, envs []Env, episodes int, cfg AsyncConfig,
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + 1000*int64(w+1)))
-			client := srv.NewClient(cfg.Staleness)
+			var client *paramserver.Client
+			if cfg.AdaptStaleness {
+				client = srv.NewClientDyn(bound)
+			} else {
+				client = srv.NewClient(cfg.Staleness)
+			}
 			defer func() {
 				reports[w] = actorReport{maxLag: client.MaxLag(), refetches: client.Refetches()}
 			}()
@@ -180,15 +219,40 @@ func TrainAsync(learner *Reinforce, envs []Env, episodes int, cfg AsyncConfig,
 
 	startUpdates := learner.Updates
 	var stats AsyncStats
+	var winLag uint64
+	winEpisodes := 0
 	for received := 0; received < episodes; received++ {
 		e := <-ch
-		// Re-check staleness at consumption time: the episode may have
-		// aged in the queue while the learner published newer versions.
-		if cfg.DropStale && srv.Version()-e.Version > uint64(cfg.Staleness) {
+		// Consumption-time staleness: how many versions the learner published
+		// between this episode's snapshot and now (collection lag plus queue
+		// aging) — the direct measure of the learner outpacing the actors,
+		// and the quantity the DropStale check bounds.
+		consumeLag := srv.Version() - e.Version
+		if cfg.DropStale && consumeLag > uint64(cfg.Staleness) {
 			e.Dropped = true
 			stats.Dropped++
 		} else if learner.Observe(e.Traj) {
 			srv.Publish(learner.Policy.CloneForInference(), learner.Updates)
+		}
+		if cfg.AdaptStaleness {
+			winLag += consumeLag
+			winEpisodes++
+			if winEpisodes >= cfg.AdaptWindow {
+				k := bound.Get()
+				// Episodes arriving ≥ K/2 versions old mean the learner is
+				// publishing faster than actors deliver: tighten so actors
+				// refetch sooner and training data stays near-on-policy.
+				// Episodes arriving ≤ K/4 old mean publishes are rare: relax
+				// back toward the configured ceiling.
+				if 2*winLag >= uint64(k)*uint64(winEpisodes) && k > cfg.MinStaleness {
+					bound.Set(k - 1)
+					stats.Tightened++
+				} else if 4*winLag <= uint64(k)*uint64(winEpisodes) && k < cfg.Staleness {
+					bound.Set(k + 1)
+					stats.Loosened++
+				}
+				winLag, winEpisodes = 0, 0
+			}
 		}
 		if onEpisode != nil {
 			onEpisode(e)
@@ -202,6 +266,7 @@ func TrainAsync(learner *Reinforce, envs []Env, episodes int, cfg AsyncConfig,
 	stats.Episodes = episodes
 	stats.Updates = learner.Updates - startUpdates
 	stats.Publishes = srv.Stats().Publishes
+	stats.FinalStaleness = bound.Get()
 	for _, r := range reports {
 		if r.maxLag > stats.MaxLag {
 			stats.MaxLag = r.maxLag

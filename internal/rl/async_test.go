@@ -216,3 +216,70 @@ func TestTrainAsyncThroughputBeatsSyncBarrier(t *testing.T) {
 		t.Fatalf("async collection lost its barrier advantage: %v vs sync %v", asyncDur, syncDur)
 	}
 }
+
+// TestAdaptiveStalenessTightensWhenLearnerOutpaces: with BatchSize 1 the
+// learner publishes after every consumed episode, so actors constantly ride
+// the staleness bound — the adaptive controller must tighten K below its
+// configured ceiling (and never below MinStaleness).
+func TestAdaptiveStalenessTightensWhenLearnerOutpaces(t *testing.T) {
+	const actors = 4
+	envs := make([]Env, actors)
+	for w := range envs {
+		envs[w] = &banditEnv{rng: rand.New(rand.NewSource(int64(60 + w))), arms: 3}
+	}
+	learner := NewReinforce(3, 3, ReinforceConfig{Hidden: []int{8}, BatchSize: 1, Seed: 61})
+	cfg := AsyncConfig{
+		Actors:         actors,
+		Staleness:      8,
+		AdaptStaleness: true,
+		MinStaleness:   1,
+		AdaptWindow:    8,
+		Seed:           62,
+	}
+	stats := TrainAsync(learner, envs, 400, cfg, nil, nil)
+	if stats.Publishes < 100 {
+		t.Fatalf("learner published only %d times; the outpacing premise failed", stats.Publishes)
+	}
+	if stats.Tightened == 0 {
+		t.Fatalf("bound never tightened despite a publish-per-episode learner: %+v", stats)
+	}
+	if stats.FinalStaleness >= 8 {
+		t.Fatalf("final staleness %d did not drop below the ceiling 8", stats.FinalStaleness)
+	}
+	if stats.FinalStaleness < 1 {
+		t.Fatalf("final staleness %d fell below MinStaleness 1", stats.FinalStaleness)
+	}
+	// The ceiling remains a hard bound on what any actor ever acted on.
+	if stats.MaxLag > 8 {
+		t.Fatalf("max lag %d exceeded the configured ceiling 8", stats.MaxLag)
+	}
+}
+
+// TestAdaptiveStalenessIdleWithoutPublishes: when the learner never
+// publishes (batch larger than the episode budget) there is no staleness
+// pressure, so the adaptive bound must not tighten.
+func TestAdaptiveStalenessIdleWithoutPublishes(t *testing.T) {
+	const actors = 2
+	envs := make([]Env, actors)
+	for w := range envs {
+		envs[w] = &banditEnv{rng: rand.New(rand.NewSource(int64(70 + w))), arms: 3}
+	}
+	learner := NewReinforce(3, 3, ReinforceConfig{Hidden: []int{8}, BatchSize: 1024, Seed: 71})
+	cfg := AsyncConfig{
+		Actors:         actors,
+		Staleness:      4,
+		AdaptStaleness: true,
+		AdaptWindow:    8,
+		Seed:           72,
+	}
+	stats := TrainAsync(learner, envs, 96, cfg, nil, nil)
+	if stats.Publishes != 0 {
+		t.Fatalf("unexpected publishes: %d", stats.Publishes)
+	}
+	if stats.Tightened != 0 {
+		t.Fatalf("bound tightened %d times with zero publishes", stats.Tightened)
+	}
+	if stats.FinalStaleness != 4 {
+		t.Fatalf("final staleness %d, want the configured 4", stats.FinalStaleness)
+	}
+}

@@ -68,7 +68,12 @@ type QAgentConfig struct {
 	LR      float64 // Adam learning rate (default 1e-3)
 	Epsilon float64 // exploration probability during acting (default 0.05)
 	Clip    float64 // gradient clip norm (default 5)
-	Seed    int64
+	// Precision selects the network's scalar type: nn.F64 (the
+	// bitwise-deterministic default), nn.F32 (half the memory bandwidth per
+	// batched kernel, tolerance-verified against f64), or nn.PrecisionAuto
+	// (the HANDSFREE_PRECISION environment variable, defaulting to f64).
+	Precision nn.Precision
+	Seed      int64
 }
 
 func (c *QAgentConfig) fill() {
@@ -119,7 +124,7 @@ func NewQAgent(obsDim, actionDim int, cfg QAgentConfig) *QAgent {
 	sizes := append(append([]int{obsDim}, cfg.Hidden...), actionDim)
 	opt := nn.NewAdam(cfg.LR)
 	opt.Clip = cfg.Clip
-	return &QAgent{Net: nn.NewMLP(rng, sizes...), Opt: opt, Cfg: cfg, rng: rng}
+	return &QAgent{Net: nn.NewMLPAt(cfg.Precision, rng, sizes...), Opt: opt, Cfg: cfg, rng: rng}
 }
 
 // Predict returns the predicted log-latency for every action at a state.
@@ -234,12 +239,8 @@ func (q *QAgent) Train(buf *ReplayBuffer, batchSize int) float64 {
 	}
 	q.Net.ZeroGrad()
 	q.Net.Backward(grad)
-	for _, p := range q.Net.Params() {
-		for i := range p.Grad {
-			p.Grad[i] /= float64(len(batch))
-		}
-	}
-	q.Opt.Step(q.Net.Params())
+	q.Net.DivideGrads(float64(len(batch)))
+	q.Opt.StepNet(q.Net)
 	return total / float64(len(batch))
 }
 
@@ -303,12 +304,8 @@ func (q *QAgent) TrainMargin(buf *ReplayBuffer, batchSize int, margin, marginWei
 	}
 	q.Net.ZeroGrad()
 	q.Net.Backward(grad)
-	for _, p := range q.Net.Params() {
-		for i := range p.Grad {
-			p.Grad[i] /= float64(len(batch))
-		}
-	}
-	q.Opt.Step(q.Net.Params())
+	q.Net.DivideGrads(float64(len(batch)))
+	q.Opt.StepNet(q.Net)
 	return total / float64(len(batch))
 }
 

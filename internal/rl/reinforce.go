@@ -44,7 +44,12 @@ type ReinforceConfig struct {
 	EntropyDecay float64
 	// EntropyMin floors the annealed entropy bonus (default EntropyCoef/50).
 	EntropyMin float64
-	Seed       int64
+	// Precision selects the policy network's scalar type: nn.F64 (the
+	// bitwise-deterministic default), nn.F32 (half the memory bandwidth per
+	// batched kernel, tolerance-verified against f64), or nn.PrecisionAuto
+	// (the HANDSFREE_PRECISION environment variable, defaulting to f64).
+	Precision nn.Precision
+	Seed      int64
 }
 
 func (c *ReinforceConfig) fill() {
@@ -107,7 +112,7 @@ func NewReinforce(obsDim, actionDim int, cfg ReinforceConfig) *Reinforce {
 		opt = adam
 	}
 	return &Reinforce{
-		Policy:  nn.NewMLP(rng, sizes...),
+		Policy:  nn.NewMLPAt(cfg.Precision, rng, sizes...),
 		Opt:     opt,
 		Cfg:     cfg,
 		rng:     rng,
@@ -175,7 +180,10 @@ func (a *Reinforce) MarshalPolicy() ([]byte, error) {
 }
 
 // UnmarshalPolicy restores a policy saved with MarshalPolicy. The network
-// dimensions must match the agent's environment.
+// dimensions must match the agent's environment. Checkpoints saved at a
+// different precision than the agent's are explicitly converted on load
+// (f32→f64 widens exactly; f64→f32 rounds each weight), so old float64 gob
+// files keep working after an agent is reconfigured to f32 and vice versa.
 func (a *Reinforce) UnmarshalPolicy(data []byte) error {
 	net := &nn.Network{}
 	if err := net.UnmarshalBinary(data); err != nil {
@@ -185,7 +193,7 @@ func (a *Reinforce) UnmarshalPolicy(data []byte) error {
 		return fmt.Errorf("rl: checkpoint dims %dx%d do not match agent %dx%d",
 			net.InDim(), net.OutDim(), a.Policy.InDim(), a.Policy.OutDim())
 	}
-	a.Policy = net
+	a.Policy = net.ConvertTo(a.Policy.Precision())
 	a.ResetBatch()
 	return nil
 }
@@ -296,12 +304,8 @@ func (a *Reinforce) update() {
 	a.Policy.ZeroGrad()
 	a.Policy.Backward(grad)
 	// Scale by batch size so the step magnitude is independent of B.
-	for _, p := range a.Policy.Params() {
-		for i := range p.Grad {
-			p.Grad[i] /= float64(n)
-		}
-	}
-	a.Opt.Step(a.Policy.Params())
+	a.Policy.DivideGrads(float64(n))
+	a.Opt.StepNet(a.Policy)
 	a.Updates++
 	if a.Cfg.EntropyDecay < 1 {
 		a.entCoef *= a.Cfg.EntropyDecay

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"handsfree/internal/nn"
 )
 
 // banditEnv is a contextual bandit: the context says which arm pays.
@@ -284,7 +286,8 @@ func TestStateNumValid(t *testing.T) {
 // must return the first valid action AND count the anomaly, so diverged
 // networks are observable rather than silently tolerated.
 func TestQAgentBestFallbackCounted(t *testing.T) {
-	agent := NewQAgent(2, 3, QAgentConfig{Hidden: []int{8}, Seed: 1})
+	// Pinned to f64: the test pokes NaNs straight into Params().
+	agent := NewQAgent(2, 3, QAgentConfig{Hidden: []int{8}, Precision: nn.F64, Seed: 1})
 	// Poison the network: NaN weights make every prediction NaN.
 	for _, p := range agent.Net.Params() {
 		for i := range p.Value {
