@@ -562,9 +562,43 @@ func BenchmarkCachedTrainingCollect(b *testing.B) {
 // BenchmarkCachedTrainingCollectAdmission adds the cost-based admission
 // threshold, skipping completion subtrees cheaper than the lookup they'd
 // save; compare against BenchmarkCachedTrainingCollect (memoize everything)
-// and BenchmarkColdTrainingCollect (no cache).
+// and BenchmarkColdTrainingCollect (no cache). As of PR 5 the environments
+// also keep a per-episode skeleton-hash memo (optimizer.*Memo +
+// plancache.HashSubtreesMemo), which removes the remaining per-episode
+// fingerprint/hash overhead the ROADMAP named: each skeleton node is hashed
+// once per episode, with zero map allocations after the first episode.
 func BenchmarkCachedTrainingCollectAdmission(b *testing.B) {
 	benchCacheTrainingCollect(b, true, 50_000)
+}
+
+// BenchmarkSkeletonHashing isolates the per-completion hashing cost the
+// episode memo removes: "fresh" is the pre-memo behaviour (allocate a map,
+// walk the whole tree, every completion call), "memo" is the per-episode
+// path (first completion fills the reused map, later completions of the
+// same episode — e.g. the double CostFixed aggregation probe — hit it).
+func BenchmarkSkeletonHashing(b *testing.B) {
+	l := lab(b)
+	q, err := l.Workload.ByRelations(8, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	skeleton := optimizer.RandomOrder(q, rand.New(rand.NewSource(7)))
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hs := make(map[PlanNode]uint64, 16)
+			plancache.HashSubtrees(skeleton, hs)
+		}
+	})
+	b.Run("memo", func(b *testing.B) {
+		b.ReportAllocs()
+		memo := make(map[PlanNode]uint64, 16)
+		plancache.HashSubtreesMemo(skeleton, memo)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			plancache.HashSubtreesMemo(skeleton, memo)
+		}
+	})
 }
 
 // BenchmarkColdTrainingCollect is the uncached stochastic baseline.

@@ -1,4 +1,5 @@
-// Command handsfree regenerates the paper's figures and experiments.
+// Command handsfree regenerates the paper's figures and experiments, and
+// runs the optimizer-as-a-service lifecycle end to end.
 //
 //	handsfree fig3a        ReJOIN convergence (Figure 3a)
 //	handsfree fig3b        final plan cost per JOB query (Figure 3b)
@@ -8,6 +9,9 @@
 //	handsfree lfd          §5.1: learning from demonstration
 //	handsfree bootstrap    §5.2: cost-model bootstrapping
 //	handsfree incremental  §5.3: incremental learning curricula
+//	handsfree service      run the Service lifecycle (demonstration →
+//	                       cost training → latency tuning) and serve the
+//	                       workload through the safeguarded Plan path
 //	handsfree all          every experiment in sequence
 //
 // Flags:
@@ -17,15 +21,19 @@
 //	-seed n       experiment seed override
 //	-precision s  tensor-core precision for learned agents: f64 (default,
 //	              bitwise-deterministic) or f32 (half the memory bandwidth)
+//	-timeout d    service mode: overall lifecycle deadline, and per-query
+//	              planning deadline on the Plan(ctx) serving path
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"handsfree"
 	"handsfree/internal/experiment"
 	"handsfree/internal/nn"
 )
@@ -35,6 +43,7 @@ func main() {
 	scale := flag.Float64("scale", 0, "database scale factor override")
 	seed := flag.Int64("seed", 0, "experiment seed override")
 	precision := flag.String("precision", "", "tensor-core precision for learned agents: f64 or f32 (default: HANDSFREE_PRECISION, else f64)")
+	timeout := flag.Duration("timeout", 0, "service mode: lifecycle deadline and per-query planning deadline (0 = none)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -51,6 +60,11 @@ func main() {
 		os.Setenv("HANDSFREE_PRECISION", *precision)
 	}
 	cmd := strings.ToLower(flag.Arg(0))
+
+	if cmd == "service" {
+		runService(*quick, *scale, *seed, *timeout)
+		return
+	}
 
 	labCfg := experiment.DefaultLabConfig()
 	if *quick {
@@ -175,6 +189,96 @@ func main() {
 	f()
 }
 
+// runService is the optimizer-as-a-service demo: build a Service, run the
+// learning state machine in the background while serving the workload, then
+// report the lifecycle transitions and serving counters. The -timeout flag
+// bounds the whole lifecycle via context and each Plan call individually.
+func runService(quick bool, scale float64, seed int64, timeout time.Duration) {
+	if scale == 0 {
+		scale = 0.25
+		if quick {
+			scale = 0.05
+		}
+	}
+	if seed == 0 {
+		seed = 3
+	}
+	lifecycleCtx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if timeout > 0 {
+		lifecycleCtx, cancel = context.WithTimeout(lifecycleCtx, timeout)
+	}
+	defer cancel()
+	planCtx := func() (context.Context, context.CancelFunc) {
+		if timeout > 0 {
+			return context.WithTimeout(context.Background(), timeout)
+		}
+		return context.Background(), func() {}
+	}
+
+	fmt.Fprintf(os.Stderr, "building service (scale %.2f)…\n", scale)
+	svc, err := handsfree.New(
+		handsfree.WithScale(scale),
+		handsfree.WithWorkload(8, 4, 6, seed),
+		handsfree.WithCache(handsfree.CacheConfig{Capacity: 1 << 14}),
+	)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := handsfree.LifecycleConfig{Seed: seed}
+	if quick {
+		cfg.PretrainBatches = 12
+		cfg.CostEpisodes = 96
+		cfg.EvalEvery = 48
+		cfg.LatencyEpisodes = 32
+	}
+	start := time.Now()
+	if err := svc.StartTraining(lifecycleCtx, cfg); err != nil {
+		fatal(err)
+	}
+	// Serve while training: the policy hot-swaps under these Plan calls.
+	served := 0
+	for svc.TrainingActive() {
+		for _, q := range svc.Queries() {
+			ctx, done := planCtx()
+			if _, err := svc.Plan(ctx, q); err == nil {
+				served++
+			}
+			done()
+		}
+	}
+	if err := svc.WaitTraining(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "lifecycle stopped: %v\n", err)
+	}
+	fmt.Fprintf(os.Stderr, "lifecycle finished in %s (%d plans served during training)\n\n",
+		time.Since(start).Round(time.Millisecond), served)
+
+	st := svc.LifecycleStats()
+	fmt.Printf("phase: %s (policy v%d)\n", st.Phase, st.PolicyVersion)
+	for _, tr := range st.Transitions {
+		fmt.Printf("  %s → %s: %s\n", tr.From, tr.To, tr.Reason)
+	}
+	fmt.Printf("demonstrations: %d, pretrain batches: %d, cost episodes: %d (ratio %.3f), latency episodes: %d\n",
+		st.Demonstrations, st.PretrainBatches, st.CostEpisodes, st.CostRatio, st.LatencyEpisodes)
+
+	fmt.Println("\nserving the workload through the safeguarded path:")
+	for _, q := range svc.Queries() {
+		ctx, done := planCtx()
+		res, err := svc.Plan(ctx, q)
+		done()
+		if err != nil {
+			fmt.Printf("  %-24s aborted: %v\n", q.Name, err)
+			continue
+		}
+		fmt.Printf("  %-24s source %-8s cost %12.1f  (expert %12.1f, policy v%d)\n",
+			q.Name, res.Source, res.Cost, res.ExpertCost, res.PolicyVersion)
+	}
+	final := svc.LifecycleStats()
+	fmt.Printf("\nserving counters: %d plans, %d learned, %d expert, %d fallbacks (guard ratio %.2f)\n",
+		final.Plans, final.LearnedServed, final.ExpertServed, final.Fallbacks, svc.FallbackRatio())
+}
+
 // renderer is anything that can print itself.
 type renderer interface{ Render() string }
 
@@ -190,7 +294,7 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: handsfree [-quick] [-scale f] [-seed n] [-precision f64|f32] <experiment>
+	fmt.Fprint(os.Stderr, `usage: handsfree [-quick] [-scale f] [-seed n] [-precision f64|f32] [-timeout d] <experiment>
 
 experiments:
   fig3a        ReJOIN convergence (Figure 3a)
@@ -203,6 +307,10 @@ experiments:
   incremental  §5.3 incremental learning curricula
   ablation-oracle  latency headroom vs cost-model error strength
   ablation-enum    bushy DP vs left-deep DP vs greedy vs GEQO
+  service      optimizer-as-a-service lifecycle: train in the background
+               (demonstration → cost → latency), hot-swap policies, serve
+               the workload through the safeguarded Plan(ctx) path
+               (-timeout bounds the lifecycle and each planning call)
   all          run everything
 `)
 }

@@ -1,13 +1,16 @@
 // Command queryopt optimizes a single SQL query against the synthetic
 // database with every available planner and reports plans, costs, and
-// simulated latencies.
+// simulated latencies, then serves the query through the handsfree.Service
+// decision path (expert plan + safeguard).
 //
 //	queryopt -sql "SELECT COUNT(*) FROM title t, movie_companies mc WHERE mc.movie_id = t.id AND t.production_year > 80"
 //	queryopt -named 8c
 //	queryopt -named 8c -execute
+//	queryopt -named 22c -timeout 50ms
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +24,7 @@ func main() {
 	named := flag.String("named", "", "named workload query (e.g. 1a, 8c, 22c)")
 	scale := flag.Float64("scale", 0.25, "database scale factor")
 	execute := flag.Bool("execute", false, "also execute the best plan on the columnar engine")
+	timeout := flag.Duration("timeout", 0, "planning deadline per query (0 = none); expired deadlines abort the search mid-flight")
 	flag.Parse()
 
 	if (*sql == "") == (*named == "") {
@@ -28,9 +32,19 @@ func main() {
 		os.Exit(2)
 	}
 
-	sys, err := handsfree.Open(handsfree.Config{Scale: *scale})
+	svc, err := handsfree.New(handsfree.WithScale(*scale))
 	if err != nil {
 		fatal(err)
+	}
+	sys := svc.System()
+
+	// planCtx returns a fresh request context per planning call, so each
+	// strategy gets the full -timeout budget.
+	planCtx := func() (context.Context, context.CancelFunc) {
+		if *timeout > 0 {
+			return context.WithTimeout(context.Background(), *timeout)
+		}
+		return context.Background(), func() {}
 	}
 
 	var q *handsfree.Query
@@ -49,26 +63,43 @@ func main() {
 			fmt.Printf("— %s: skipped (%d relations exceed the DP threshold)\n\n", strat, len(q.Relations))
 			continue
 		}
-		planned, err := sys.Planner.PlanWith(q, strat)
+		ctx, cancel := planCtx()
+		planned, err := sys.Planner.PlanWithCtx(ctx, q, strat)
+		cancel()
 		if err != nil {
-			fatal(err)
+			fmt.Printf("— %s: aborted (%v)\n\n", strat, err)
+			continue
 		}
 		lat := sys.SimulateLatency(q, planned.Root)
 		fmt.Printf("— %s: cost %.1f, est rows %.0f, planning time %s, simulated latency %.2f ms\n%s\n",
 			strat, planned.Cost, planned.Rows, planned.Duration.Round(0), lat, handsfree.ExplainPlan(planned.Root))
 	}
 
+	// The service decision: what a hands-free deployment would actually
+	// serve (expert until trained, learned within the safeguard after).
+	ctx, cancel := planCtx()
+	res, err := svc.Plan(ctx, q)
+	cancel()
+	if err != nil {
+		fmt.Printf("— service: aborted (%v)\n", err)
+	} else {
+		fmt.Printf("— service decision: source %s, cost %.1f (expert %.1f, policy v%d)\n",
+			res.Source, res.Cost, res.ExpertCost, res.PolicyVersion)
+	}
+
 	if *execute {
-		planned, err := sys.Plan(q)
+		ctx, cancel := planCtx()
+		res, err := svc.Plan(ctx, q)
+		cancel()
 		if err != nil {
 			fatal(err)
 		}
-		res, work, err := sys.Execute(q, planned.Root)
+		out, work, err := sys.Execute(q, res.Plan)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("executed: %d result rows, work: %d tuples read, %d emitted, %d comparisons, %d hash ops\n",
-			res.N, work.TuplesRead, work.TuplesEmitted, work.Comparisons, work.HashOps)
+			out.N, work.TuplesRead, work.TuplesEmitted, work.Comparisons, work.HashOps)
 	}
 }
 

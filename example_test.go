@@ -1,10 +1,67 @@
 package handsfree_test
 
 import (
+	"context"
 	"fmt"
 
 	"handsfree"
 )
+
+// ExampleService builds the optimizer service with functional options, runs
+// the full learning lifecycle (demonstration → cost training → latency
+// tuning) in the background, and serves the workload through the
+// safeguarded, request-scoped Plan path.
+func ExampleService() {
+	svc, err := handsfree.New(
+		handsfree.WithScale(0.05),
+		handsfree.WithWorkload(4, 4, 5, 3),
+		handsfree.WithFallbackRatio(1.2),
+	)
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+
+	// Untrained: the expert (traditional optimizer) serves every query.
+	before, err := svc.Plan(ctx, svc.Queries()[0])
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("before training:", before.Source)
+
+	// The learning state machine runs in the background; serving continues
+	// (and hot-swaps policies) throughout. Tiny budgets keep the example
+	// fast.
+	err = svc.StartTraining(ctx, handsfree.LifecycleConfig{
+		Hidden: []int{32}, PretrainBatches: 4, DemoSweeps: 1,
+		CostEpisodes: 32, LatencyEpisodes: 16, Actors: 2, Seed: 7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := svc.WaitTraining(ctx); err != nil {
+		panic(err)
+	}
+
+	st := svc.LifecycleStats()
+	fmt.Println("phases visited:", len(st.Transitions))
+	fmt.Println("final phase:", st.Phase)
+	fmt.Println("policy published:", st.PolicyVersion > 0)
+
+	// Trained: decisions consult the learned policy, and the regression
+	// guard keeps every served plan within 1.2× the expert's cost.
+	after, err := svc.Plan(ctx, svc.Queries()[0])
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("safeguard holds:", after.Cost <= 1.2*after.ExpertCost)
+	// Output:
+	// before training: expert
+	// phases visited: 4
+	// final phase: done
+	// policy published: true
+	// safeguard holds: true
+}
 
 // ExampleOpen builds the synthetic substrate and plans a SQL query with the
 // traditional optimizer.

@@ -1,19 +1,22 @@
-// Quickstart: open the synthetic database, optimize a SQL query with the
-// traditional optimizer, inspect the plan, execute it on the columnar
-// engine, and compare the cost model's opinion with simulated latency.
+// Quickstart: build the hands-free optimizer service, plan a SQL query
+// under a request deadline, inspect the decision, execute the plan on the
+// columnar engine, and compare the cost model's opinion with simulated
+// latency.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"handsfree"
 )
 
 func main() {
-	// A small database keeps the example snappy; Scale: 1.0 is the full
+	// A small database keeps the example snappy; WithScale(1.0) is the full
 	// synthetic IMDB-like dataset (~400k rows).
-	sys, err := handsfree.Open(handsfree.Config{Scale: 0.1})
+	svc, err := handsfree.New(handsfree.WithScale(0.1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -23,28 +26,34 @@ func main() {
 		WHERE mc.movie_id = t.id AND mc.company_id = cn.id
 		  AND t.production_year > 40 AND cn.country_code < 40;`
 
-	planned, err := sys.PlanSQL(sql)
+	// Every planning request is context-scoped: a deadline cuts the search
+	// off mid-enumeration instead of blocking the caller.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	res, err := svc.PlanSQL(ctx, sql)
 	if err != nil {
 		log.Fatal(err)
 	}
 	q, _ := handsfree.ParseSQL(sql)
 
 	fmt.Println("SQL:", q.SQL())
-	fmt.Printf("\noptimizer cost: %.1f (strategy %s, planned in %s)\n",
-		planned.Cost, planned.Strategy, planned.Duration.Round(0))
+	fmt.Printf("\nserved by %s planner: cost %.1f (untrained service always serves the expert)\n",
+		res.Source, res.Cost)
 	fmt.Println("\nplan:")
-	fmt.Print(handsfree.ExplainPlan(planned.Root))
+	fmt.Print(handsfree.ExplainPlan(res.Plan))
 
 	// The cost model plans with *estimated* cardinalities; the simulator
 	// reflects the true ones. This gap is what the paper's learned
-	// optimizers exploit.
-	fmt.Printf("\nsimulated execution latency: %.2f ms\n", sys.SimulateLatency(q, planned.Root))
+	// optimizers exploit — and what Service.StartTraining learns away in the
+	// background (see examples/service).
+	sys := svc.System()
+	fmt.Printf("\nsimulated execution latency: %.2f ms\n", sys.SimulateLatency(q, res.Plan))
 
-	res, work, err := sys.Execute(q, planned.Root)
+	out, work, err := sys.Execute(q, res.Plan)
 	if err != nil {
 		log.Fatal(err)
 	}
-	count, err := res.Column("agg0_COUNT")
+	count, err := out.Column("agg0_COUNT")
 	if err != nil {
 		log.Fatal(err)
 	}

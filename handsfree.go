@@ -3,23 +3,35 @@
 // Papaemmanouil, CIDR 2019): a deep-reinforcement-learning query optimizer
 // stack built on a synthetic relational substrate.
 //
-// The package re-exports the pieces a downstream user needs:
+// The package's primary entry point is the optimizer-as-a-service API:
 //
-//   - Open builds the synthetic JOB-like database with statistics, a
+//   - New assembles the synthetic JOB-like database with statistics, a
 //     PostgreSQL-style cost model, a traditional optimizer, a truth oracle,
-//     and a latency simulator.
+//     and a latency simulator, and wraps them in a concurrency-safe Service
+//     (functional options: WithScale, WithPrecision, WithCache,
+//     WithWorkload, WithFallbackRatio, …).
+//   - Service.Plan / Service.PlanSQL serve request-scoped, safeguarded
+//     planning decisions: context deadlines cut searches off mid-flight,
+//     and a regression guard falls back to the expert plan whenever the
+//     learned plan's cost regresses past a configurable ratio.
+//   - Service.StartTraining runs the paper's learning state machine in the
+//     background — observe the expert (§5.1), train on cost (§5.2 Phase 1),
+//     fine-tune on latency (§5.2 Phase 2) — hot-swapping policy snapshots
+//     while serving continues.
 //   - ParseSQL turns SQL text into the query IR.
-//   - System.Plan / System.Execute run the traditional optimizer and the
-//     columnar execution engine.
-//   - System.NewReJOINAgent trains the paper's §3 join-order enumerator.
 //   - The internal/experiment package (exposed through cmd/handsfree)
 //     regenerates every figure of the paper.
 //
-// See README.md for an overview and ARCHITECTURE.md for the layer stack
-// and the data flow of the batched + cached training loop.
+// The pre-service API (Open, System.Plan, System.NewReJOINAgent) remains as
+// thin deprecated wrappers delegating to the same machinery.
+//
+// See README.md for an overview and ARCHITECTURE.md for the layer stack,
+// the data flow of the batched + cached training loop, and the service
+// lifecycle state machine.
 package handsfree
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -166,6 +178,9 @@ type System struct {
 	// identity (database seed, scale, oracle seed); plan-cache dumps carry
 	// it so a dump can never warm a differently built system.
 	cacheTag uint64
+	// svc is the owning Service: every System is built through New, and the
+	// deprecated System entry points delegate to it.
+	svc *Service
 }
 
 // systemTag hashes the configuration fields that determine what plans and
@@ -186,7 +201,22 @@ func systemTag(cfg Config) uint64 {
 }
 
 // Open generates the synthetic database and assembles the system.
+//
+// Deprecated: Open is the pre-service entry point, retained as a thin
+// wrapper that builds a Service and returns its System view. New code
+// should call New with functional options and use the request-scoped,
+// safeguarded Service API.
 func Open(cfg Config) (*System, error) {
+	svc, err := New(WithConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return svc.System(), nil
+}
+
+// openSystem generates the synthetic database and assembles the substrate
+// bundle (the construction behind New and, through it, Open).
+func openSystem(cfg Config) (*System, error) {
 	cfg.fill()
 	db, err := datagen.Generate(datagen.Config{Seed: cfg.Seed, Scale: cfg.Scale})
 	if err != nil {
@@ -259,11 +289,20 @@ func ParseSQL(sql string) (*Query, error) {
 
 // Plan optimizes a query with the traditional optimizer (Selinger DP up to
 // 12 relations, GEQO-style randomized search beyond).
+//
+// Deprecated: use Service.Plan for safeguarded serving or
+// Service.ExpertPlan for a request-scoped expert plan; this wrapper
+// delegates to the owning service's expert path with a background context.
 func (s *System) Plan(q *Query) (Planned, error) {
+	if s.svc != nil {
+		return s.svc.ExpertPlan(context.Background(), q)
+	}
 	return s.Planner.Plan(q)
 }
 
 // PlanSQL parses and optimizes SQL text.
+//
+// Deprecated: use Service.PlanSQL; see System.Plan.
 func (s *System) PlanSQL(sql string) (Planned, error) {
 	q, err := ParseSQL(sql)
 	if err != nil {
@@ -311,7 +350,26 @@ type ReJOINConfig struct {
 
 // NewReJOINAgent builds a ReJOIN agent over a training workload. Queries
 // must not exceed cfg.MaxRelations relations.
+//
+// Deprecated: this wrapper delegates to Service.NewReJOINAgent; prefer the
+// Service lifecycle (StartTraining) for hands-free training, or
+// Service.NewReJOINAgent for direct §3-style agent control.
 func (s *System) NewReJOINAgent(queries []*Query, cfg ReJOINConfig) (*ReJOINAgent, error) {
+	if s.svc != nil {
+		return s.svc.NewReJOINAgent(queries, cfg)
+	}
+	return newReJOINAgent(s, queries, cfg)
+}
+
+// NewReJOINAgent builds the paper's §3 join-order enumerator over a
+// training workload. Queries must not exceed cfg.MaxRelations relations.
+// The agent is independent of the service lifecycle: it trains its own
+// policy and is planned with directly (ReJOINAgent.Plan / PlanCtx).
+func (s *Service) NewReJOINAgent(queries []*Query, cfg ReJOINConfig) (*ReJOINAgent, error) {
+	return newReJOINAgent(s.sys, queries, cfg)
+}
+
+func newReJOINAgent(sys *System, queries []*Query, cfg ReJOINConfig) (*ReJOINAgent, error) {
 	if cfg.MaxRelations == 0 {
 		for _, q := range queries {
 			if len(q.Relations) > cfg.MaxRelations {
@@ -332,10 +390,10 @@ func (s *System) NewReJOINAgent(queries []*Query, cfg ReJOINConfig) (*ReJOINAgen
 	}
 	prec := cfg.Precision
 	if prec == PrecisionAuto {
-		prec = s.Precision
+		prec = sys.Precision
 	}
-	space := featurize.NewSpace(cfg.MaxRelations, s.Est)
-	env := rejoin.NewEnv(space, s.Planner, queries, cfg.Seed)
+	space := featurize.NewSpace(cfg.MaxRelations, sys.Est)
+	env := rejoin.NewEnv(space, sys.Planner, queries, cfg.Seed)
 	agent := rejoin.NewAgent(env, rl.ReinforceConfig{
 		Hidden: cfg.Hidden, LR: cfg.LR, BatchSize: 16, Precision: prec, Seed: cfg.Seed,
 	})
@@ -376,4 +434,11 @@ func (a *ReJOINAgent) TrainAsync(n int, cfg AsyncConfig) {
 // its optimizer cost.
 func (a *ReJOINAgent) Plan(q *Query) (PlanNode, float64) {
 	return a.agent.GreedyPlan(q)
+}
+
+// PlanCtx is Plan under a request-scoped context: the greedy rollout checks
+// ctx before every policy decision, so a deadline or cancellation cuts the
+// search off mid-episode and returns ctx.Err().
+func (a *ReJOINAgent) PlanCtx(ctx context.Context, q *Query) (PlanNode, float64, error) {
+	return a.agent.GreedyPlanCtx(ctx, q)
 }

@@ -17,6 +17,7 @@ package bootstrap
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"handsfree/internal/planspace"
 	"handsfree/internal/query"
@@ -50,6 +51,15 @@ type Config struct {
 	// CalibrationWindow is how many trailing Phase-1 episodes contribute to
 	// the observed cost range (default 200).
 	CalibrationWindow int
+	// Robust keeps the learner's production defaults (Adam, batch-standardized
+	// baseline, gradient clipping) instead of the deliberately range-sensitive
+	// vanilla-REINFORCE setup the §5.2 experiment uses to expose the reward
+	// switch. With a scale-free learner the raw reward magnitude is irrelevant,
+	// so Phase 2 trains on −log(latency) regardless of Scaling and
+	// SwitchToLatency performs no learner surgery. This is the configuration
+	// the root handsfree.Service lifecycle controller runs: the experiment
+	// studies the hazard, the service avoids it.
+	Robust bool
 }
 
 // Agent is the cost-model-bootstrapped learner.
@@ -57,6 +67,11 @@ type Agent struct {
 	Cfg Config
 	RL  *rl.Reinforce
 
+	// mu guards the reward closure's calibration state. The closure is
+	// shared by every environment replica during parallel or asynchronous
+	// collection (replicas copy the env config, closure value included), so
+	// it runs on actor goroutines concurrently.
+	mu          sync.Mutex
 	phase2      bool
 	costRange   rl.Range
 	latRange    rl.Range
@@ -73,18 +88,20 @@ func New(cfg Config) *Agent {
 		cfg.CalibrationWindow = 200
 	}
 	env := cfg.Env
-	// Range-sensitive learner: the §5.2 phenomenon under study is the
-	// reward-range discontinuity. A per-batch standardizer would hide it in
-	// the advantages, and Adam's per-weight normalization would hide it in
-	// the updates, so the bootstrapping agent uses an EMA baseline with
-	// plain gradient ascent (vanilla REINFORCE, as in §2 of the paper).
-	cfg.Agent.Baseline = rl.BaselineRunningEMA
-	cfg.Agent.UseSGD = true
-	if cfg.Agent.Clip == 0 {
-		cfg.Agent.Clip = -1 // unclipped: §5.2's hazard is the raw magnitude
-	}
-	if cfg.Agent.LR == 0 {
-		cfg.Agent.LR = 3e-2
+	if !cfg.Robust {
+		// Range-sensitive learner: the §5.2 phenomenon under study is the
+		// reward-range discontinuity. A per-batch standardizer would hide it in
+		// the advantages, and Adam's per-weight normalization would hide it in
+		// the updates, so the bootstrapping agent uses an EMA baseline with
+		// plain gradient ascent (vanilla REINFORCE, as in §2 of the paper).
+		cfg.Agent.Baseline = rl.BaselineRunningEMA
+		cfg.Agent.UseSGD = true
+		if cfg.Agent.Clip == 0 {
+			cfg.Agent.Clip = -1 // unclipped: §5.2's hazard is the raw magnitude
+		}
+		if cfg.Agent.LR == 0 {
+			cfg.Agent.LR = 3e-2
+		}
 	}
 	a := &Agent{Cfg: cfg, RL: rl.NewReinforce(env.ObsDim(), env.ActionDim(), cfg.Agent)}
 	env.Cfg.Reward = a.reward
@@ -95,7 +112,11 @@ func New(cfg Config) *Agent {
 // reward is the phase-dependent reward closure installed into the env.
 // Phase 1: −log(cost), with the trailing cost range recorded for
 // calibration. Phase 2: −(latency mapped per the configured scaling).
+// It is safe for concurrent use: environment replicas collecting in
+// parallel (or async actors) share this closure.
 func (a *Agent) reward(o planspace.Outcome) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if !a.phase2 {
 		if math.IsInf(o.Cost, 1) || o.Cost <= 0 {
 			return -1e6
@@ -114,6 +135,11 @@ func (a *Agent) reward(o planspace.Outcome) float64 {
 		return -1e6
 	}
 	a.latRange.Observe(lat)
+	if a.Cfg.Robust {
+		// Scale-free learner: the raw magnitude is irrelevant, no mapping
+		// needed (Scaling is ignored under Robust).
+		return -math.Log(lat)
+	}
 	switch a.Cfg.Scaling {
 	case ScaleTransfer:
 		// Scale-free learner: the raw magnitude is irrelevant.
@@ -141,7 +167,7 @@ func (a *Agent) TrainEpisode() planspace.Outcome {
 	env := a.Cfg.Env
 	traj := rl.RunEpisode(env, a.RL.Sample, 4*env.Cfg.Space.MaxRels+8)
 	a.RL.Observe(traj)
-	if a.phase2 {
+	if a.InPhase2() {
 		a.Phase2Episodes++
 	}
 	return env.Last
@@ -154,11 +180,17 @@ func (a *Agent) TrainEpisode() planspace.Outcome {
 // is rebuilt scale-free (Adam + batch standardization) over the preserved
 // hidden layers.
 func (a *Agent) SwitchToLatency() {
+	a.mu.Lock()
 	a.phase2 = true
-	a.Cfg.Env.Cfg.RewardNeedsLatency = true
 	a.costRange = rl.Range{}
 	for _, c := range a.recentCosts {
 		a.costRange.Observe(c)
+	}
+	a.mu.Unlock()
+	a.Cfg.Env.Cfg.RewardNeedsLatency = true
+	if a.Cfg.Robust {
+		// Scale-free learner throughout: no surgery needed at the switch.
+		return
 	}
 	if a.Cfg.Scaling == ScaleTransfer {
 		old := a.RL.Policy
@@ -176,7 +208,11 @@ func (a *Agent) SwitchToLatency() {
 }
 
 // InPhase2 reports whether the latency phase is active.
-func (a *Agent) InPhase2() bool { return a.phase2 }
+func (a *Agent) InPhase2() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.phase2
+}
 
 // GreedyOutcome plans q greedily with the current policy and returns the
 // (always-executed) outcome.

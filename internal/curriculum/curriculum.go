@@ -7,6 +7,7 @@
 package curriculum
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -214,6 +215,13 @@ func (t *Trainer) envFor(p Phase, queries []*query.Query) *planspace.Env {
 // changes, and returns the phase report. onEpisode (optional) observes every
 // training episode with the cumulative episode index.
 func (t *Trainer) RunPhase(p Phase, episodeBase int, onEpisode func(ep int, out planspace.Outcome)) (PhaseResult, error) {
+	return t.RunPhaseCtx(context.Background(), p, episodeBase, onEpisode)
+}
+
+// RunPhaseCtx is RunPhase under a request-scoped context: cancellation stops
+// training between episodes (sequential), between collection rounds
+// (parallel), or through rl.TrainAsyncCtx (async) and returns ctx.Err().
+func (t *Trainer) RunPhaseCtx(ctx context.Context, p Phase, episodeBase int, onEpisode func(ep int, out planspace.Outcome)) (PhaseResult, error) {
 	queries := t.filterQueries(p)
 	if len(queries) == 0 {
 		return PhaseResult{}, fmt.Errorf("curriculum: phase %s has no queries (max relations %d)", p.Name, p.MaxRelations)
@@ -240,7 +248,7 @@ func (t *Trainer) RunPhase(p Phase, episodeBase int, onEpisode func(ep int, out 
 		// Async actor-learner split: no round barrier; the learner updates
 		// and republishes while actors keep collecting against bounded-
 		// staleness snapshots.
-		planspace.TrainAsync(env, t.agent, p.Episodes, rl.AsyncConfig{
+		planspace.TrainAsyncCtx(ctx, env, t.agent, p.Episodes, rl.AsyncConfig{
 			Actors:         t.Cfg.Workers,
 			Staleness:      t.Cfg.Staleness,
 			AdaptStaleness: t.Cfg.AdaptStaleness,
@@ -250,6 +258,9 @@ func (t *Trainer) RunPhase(p Phase, episodeBase int, onEpisode func(ep int, out 
 				onEpisode(episodeBase+i, rec.Out)
 			}
 		})
+		if err := ctx.Err(); err != nil {
+			return PhaseResult{}, err
+		}
 	} else if t.Cfg.Workers > 1 {
 		// Parallel collection: one policy-batch of episodes per round from
 		// frozen policy snapshots, merged deterministically, so the learner
@@ -260,6 +271,9 @@ func (t *Trainer) RunPhase(p Phase, episodeBase int, onEpisode func(ep int, out 
 			round = 1
 		}
 		for ep := 0; ep < p.Episodes; {
+			if err := ctx.Err(); err != nil {
+				return PhaseResult{}, err
+			}
 			n := min(round, p.Episodes-ep)
 			for i, rec := range collector.Collect(t.agent, n) {
 				t.agent.Observe(rec.Traj)
@@ -271,6 +285,9 @@ func (t *Trainer) RunPhase(p Phase, episodeBase int, onEpisode func(ep int, out 
 		}
 	} else {
 		for ep := 0; ep < p.Episodes; ep++ {
+			if err := ctx.Err(); err != nil {
+				return PhaseResult{}, err
+			}
 			traj := rl.RunEpisode(env, t.agent.Sample, 4*t.Cfg.Space.MaxRels+8)
 			t.agent.Observe(traj)
 			if onEpisode != nil {
@@ -288,10 +305,17 @@ func (t *Trainer) RunPhase(p Phase, episodeBase int, onEpisode func(ep int, out 
 
 // Run trains the whole schedule and returns per-phase reports.
 func (t *Trainer) Run(s Schedule, onEpisode func(ep int, out planspace.Outcome)) ([]PhaseResult, error) {
+	return t.RunCtx(context.Background(), s, onEpisode)
+}
+
+// RunCtx is Run under a request-scoped context: cancellation stops the
+// schedule mid-phase (see RunPhaseCtx) and returns the phases completed so
+// far together with ctx.Err().
+func (t *Trainer) RunCtx(ctx context.Context, s Schedule, onEpisode func(ep int, out planspace.Outcome)) ([]PhaseResult, error) {
 	var out []PhaseResult
 	base := 0
 	for _, p := range s {
-		res, err := t.RunPhase(p, base, onEpisode)
+		res, err := t.RunPhaseCtx(ctx, p, base, onEpisode)
 		if err != nil {
 			return out, err
 		}

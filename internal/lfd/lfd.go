@@ -12,6 +12,7 @@
 package lfd
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -134,9 +135,17 @@ func (a *Agent) target(latencyMs float64) float64 {
 // planned by the expert, its plan executed once, and the episode history
 // recorded with the observed latency.
 func (a *Agent) CollectDemonstrations() error {
+	return a.CollectDemonstrationsCtx(context.Background())
+}
+
+// CollectDemonstrationsCtx is CollectDemonstrations under a request-scoped
+// context: the context is threaded into each expert planning call and
+// checked between queries, so a cancelled lifecycle stops demonstrating
+// after at most one query's worth of work.
+func (a *Agent) CollectDemonstrationsCtx(ctx context.Context) error {
 	env := a.Cfg.Env
 	for _, q := range env.Cfg.Queries {
-		planned, err := env.Cfg.Planner.Plan(q)
+		planned, err := env.Cfg.Planner.PlanCtx(ctx, q)
 		if err != nil {
 			return err
 		}

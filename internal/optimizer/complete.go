@@ -22,14 +22,19 @@ func (p *Planner) completionFP(q *query.Query) uint64 {
 // skeletonHashes computes every subtree's structural hash in one walk
 // (nil when no cache is attached); the completion recursion then looks
 // hashes up by node identity instead of rehashing each subtree at each
-// level, keeping hashing O(tree) per completion.
-func (p *Planner) skeletonHashes(skeleton plan.Node) map[plan.Node]uint64 {
+// level, keeping hashing O(tree) per completion. A caller-provided memo
+// (the environments keep one per episode) is reused: nodes already hashed
+// by an earlier completion of the same episode are not re-walked, and no
+// fresh map is allocated.
+func (p *Planner) skeletonHashes(skeleton plan.Node, memo map[plan.Node]uint64) map[plan.Node]uint64 {
 	if p.Cache == nil {
 		return nil
 	}
-	hs := make(map[plan.Node]uint64, 16)
-	plancache.HashSubtrees(skeleton, hs)
-	return hs
+	if memo == nil {
+		memo = make(map[plan.Node]uint64, 16)
+	}
+	plancache.HashSubtreesMemo(skeleton, memo)
+	return memo
 }
 
 // cachedSubtree memoizes one completion computation under (query
@@ -57,7 +62,16 @@ func (p *Planner) cachedSubtree(fp, skeletonHash uint64, mode plancache.Mode, co
 // algorithm). Used when a learned agent has decided order + access paths and
 // delegates operator selection (pipeline stage 2 of §5.3).
 func (p *Planner) CompleteOperators(q *query.Query, skeleton plan.Node) (plan.Node, cost.NodeCost) {
-	e := p.completeOps(q, p.completionFP(q), p.skeletonHashes(skeleton), skeleton)
+	return p.CompleteOperatorsMemo(q, skeleton, nil)
+}
+
+// CompleteOperatorsMemo is CompleteOperators with a caller-maintained
+// skeleton-hash memo (see HashSubtreesMemo): an environment passing its
+// per-episode memo hashes each node once per episode across repeated
+// completion calls instead of once per call. A nil memo behaves exactly
+// like CompleteOperators.
+func (p *Planner) CompleteOperatorsMemo(q *query.Query, skeleton plan.Node, memo map[plan.Node]uint64) (plan.Node, cost.NodeCost) {
+	e := p.completeOps(q, p.completionFP(q), p.skeletonHashes(skeleton, memo), skeleton)
 	return p.finishAgg(q, e.node, e.nc)
 }
 
@@ -93,7 +107,13 @@ func (p *Planner) completeOps(q *query.Query, fp uint64, hs map[plan.Node]uint64
 // lets the optimizer choose every leaf's access path. Used when a learned
 // agent decides order + operators but delegates index selection.
 func (p *Planner) CompleteAccess(q *query.Query, skeleton plan.Node) (plan.Node, cost.NodeCost) {
-	e := p.completeAccess(q, p.completionFP(q), p.skeletonHashes(skeleton), skeleton)
+	return p.CompleteAccessMemo(q, skeleton, nil)
+}
+
+// CompleteAccessMemo is CompleteAccess with a caller-maintained per-episode
+// skeleton-hash memo; see CompleteOperatorsMemo.
+func (p *Planner) CompleteAccessMemo(q *query.Query, skeleton plan.Node, memo map[plan.Node]uint64) (plan.Node, cost.NodeCost) {
+	e := p.completeAccess(q, p.completionFP(q), p.skeletonHashes(skeleton, memo), skeleton)
 	return p.finishAgg(q, e.node, e.nc)
 }
 
@@ -120,10 +140,18 @@ func (p *Planner) completeAccess(q *query.Query, fp uint64, hs map[plan.Node]uin
 // caller), adding the query's aggregation with the given algorithm if the
 // plan lacks it.
 func (p *Planner) CostFixed(q *query.Query, root plan.Node, agg plan.AggAlgo) (plan.Node, cost.NodeCost) {
+	return p.CostFixedMemo(q, root, agg, nil)
+}
+
+// CostFixedMemo is CostFixed with a caller-maintained per-episode
+// skeleton-hash memo: costing the same skeleton under several aggregation
+// algorithms (the agent-delegated aggregation choice) hashes the tree once
+// instead of once per algorithm. A nil memo behaves exactly like CostFixed.
+func (p *Planner) CostFixedMemo(q *query.Query, root plan.Node, agg plan.AggAlgo, memo map[plan.Node]uint64) (plan.Node, cost.NodeCost) {
 	if p.Cache != nil {
 		k := plancache.Key{
 			Query:    p.Cache.FingerprintOf(q),
-			Skeleton: plancache.HashPlan(root),
+			Skeleton: plancache.HashSubtreesMemo(root, memo),
 			Mode:     plancache.ModeCostFixed,
 			Aux:      uint8(agg),
 		}

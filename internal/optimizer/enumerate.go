@@ -1,6 +1,7 @@
 package optimizer
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -13,8 +14,10 @@ import (
 
 // planDP is exhaustive Selinger-style dynamic programming over connected
 // subsets (bushy trees). Cross products are only introduced at the top when
-// the join graph is disconnected and AllowCross is set.
-func (p *Planner) planDP(q *query.Query) (plan.Node, cost.NodeCost, error) {
+// the join graph is disconnected and AllowCross is set. The context is
+// checked once per subset, so an expired deadline aborts the sweep after at
+// most one subset's worth of work.
+func (p *Planner) planDP(ctx context.Context, q *query.Query) (plan.Node, cost.NodeCost, error) {
 	n := len(q.Relations)
 	if n > 20 {
 		return nil, cost.NodeCost{}, fmt.Errorf("optimizer: %d relations exceeds DP capacity", n)
@@ -62,6 +65,9 @@ func (p *Planner) planDP(q *query.Query) (plan.Node, cost.NodeCost, error) {
 	// Enumerate subsets in increasing popcount order via plain increasing
 	// masks (every proper submask of m is < m).
 	for mask := uint32(1); mask <= full; mask++ {
+		if err := ctx.Err(); err != nil {
+			return nil, cost.NodeCost{}, err
+		}
 		if _, done := best[mask]; done {
 			continue // singleton
 		}
@@ -111,14 +117,18 @@ func (p *Planner) crossNeeded(q *query.Query) bool {
 // current subtrees whose best physical join has the lowest resulting total
 // cost — the greedy O(n²)-per-step enumeration the paper attributes to
 // PostgreSQL's non-exhaustive mode. A non-nil rng adds GEQO-style noise by
-// choosing uniformly among the top-3 candidate pairs.
-func (p *Planner) planGreedy(q *query.Query, rng *rand.Rand) (plan.Node, cost.NodeCost, error) {
+// choosing uniformly among the top-3 candidate pairs. The context is checked
+// once per merge step.
+func (p *Planner) planGreedy(ctx context.Context, q *query.Query, rng *rand.Rand) (plan.Node, cost.NodeCost, error) {
 	items := make([]entry, 0, len(q.Relations))
 	for _, r := range q.Relations {
 		node, nc := p.BestScan(q, r.Alias)
 		items = append(items, entry{node, nc})
 	}
 	for len(items) > 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, cost.NodeCost{}, err
+		}
 		type cand struct {
 			i, j int
 			e    entry
@@ -188,7 +198,7 @@ func (p *Planner) planGreedy(q *query.Query, rng *rand.Rand) (plan.Node, cost.No
 // best plan — a stand-in for PostgreSQL's genetic optimizer with the same
 // role in the experiments: sub-exhaustive search for large join counts whose
 // planning time scales far better than DP.
-func (p *Planner) planGEQO(q *query.Query) (plan.Node, cost.NodeCost, error) {
+func (p *Planner) planGEQO(ctx context.Context, q *query.Query) (plan.Node, cost.NodeCost, error) {
 	rng := rand.New(rand.NewSource(p.Seed))
 	var bestN plan.Node
 	bestNC := cost.NodeCost{Total: math.Inf(1)}
@@ -197,7 +207,7 @@ func (p *Planner) planGEQO(q *query.Query) (plan.Node, cost.NodeCost, error) {
 		restarts = 1
 	}
 	for r := 0; r < restarts; r++ {
-		node, nc, err := p.planGreedy(q, rng)
+		node, nc, err := p.planGreedy(ctx, q, rng)
 		if err != nil {
 			return nil, cost.NodeCost{}, err
 		}
@@ -217,7 +227,16 @@ func (p *Planner) planGEQO(q *query.Query) (plan.Node, cost.NodeCost, error) {
 // is memoized per subtree, so the episode-collection hot path skips
 // recomputation for every part of the skeleton it has seen before.
 func (p *Planner) CompletePhysical(q *query.Query, skeleton plan.Node) (plan.Node, cost.NodeCost) {
-	e := p.completeEntry(q, p.completionFP(q), p.skeletonHashes(skeleton), skeleton)
+	return p.CompletePhysicalMemo(q, skeleton, nil)
+}
+
+// CompletePhysicalMemo is CompletePhysical with a caller-maintained
+// per-episode skeleton-hash memo; see CompleteOperatorsMemo. The training
+// environments pass their episode memo here so the terminal completion of
+// each episode reuses hashes (and the map allocation) instead of re-walking
+// the skeleton.
+func (p *Planner) CompletePhysicalMemo(q *query.Query, skeleton plan.Node, memo map[plan.Node]uint64) (plan.Node, cost.NodeCost) {
+	e := p.completeEntry(q, p.completionFP(q), p.skeletonHashes(skeleton, memo), skeleton)
 	return p.finishAgg(q, e.node, e.nc)
 }
 

@@ -20,6 +20,7 @@
 package optimizer
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -139,16 +140,34 @@ type Planned struct {
 
 // Plan optimizes the query with the Auto strategy.
 func (p *Planner) Plan(q *query.Query) (Planned, error) {
-	return p.PlanWith(q, Auto)
+	return p.PlanWithCtx(context.Background(), q, Auto)
+}
+
+// PlanCtx optimizes the query with the Auto strategy under a request-scoped
+// context: enumeration checks ctx between search steps, so a deadline or
+// cancellation cuts planning off mid-search and returns ctx.Err().
+func (p *Planner) PlanCtx(ctx context.Context, q *query.Query) (Planned, error) {
+	return p.PlanWithCtx(ctx, q, Auto)
 }
 
 // PlanWith optimizes the query with an explicit enumeration strategy.
 func (p *Planner) PlanWith(q *query.Query, s Strategy) (Planned, error) {
+	return p.PlanWithCtx(context.Background(), q, s)
+}
+
+// PlanWithCtx is PlanWith with a request-scoped context threaded through the
+// enumeration loops (DP subset sweep, greedy merge steps, GEQO restarts).
+// It returns ctx.Err() — typically context.DeadlineExceeded — as soon as the
+// search loop observes an expired context.
+func (p *Planner) PlanWithCtx(ctx context.Context, q *query.Query, s Strategy) (Planned, error) {
 	if err := q.Validate(); err != nil {
 		return Planned{}, err
 	}
 	if len(q.Relations) == 0 {
 		return Planned{}, fmt.Errorf("optimizer: query has no relations")
+	}
+	if err := ctx.Err(); err != nil {
+		return Planned{}, err
 	}
 	start := time.Now()
 	effective := s
@@ -181,11 +200,11 @@ func (p *Planner) PlanWith(q *query.Query, s Strategy) (Planned, error) {
 	var err error
 	switch effective {
 	case DP:
-		root, nc, err = p.planDP(q)
+		root, nc, err = p.planDP(ctx, q)
 	case Greedy:
-		root, nc, err = p.planGreedy(q, nil)
+		root, nc, err = p.planGreedy(ctx, q, nil)
 	case GEQO:
-		root, nc, err = p.planGEQO(q)
+		root, nc, err = p.planGEQO(ctx, q)
 	}
 	if err != nil {
 		return Planned{}, err

@@ -136,7 +136,7 @@ func mixUint(h, v uint64) uint64 {
 // interchangeable (field order within a node follows storage order, which
 // is deterministic for skeletons built from the same query).
 func HashPlan(n plan.Node) uint64 {
-	return HashSubtrees(n, nil)
+	return hashTree(n, nil, false)
 }
 
 // HashSubtrees computes the structural hash of every node in the tree in a
@@ -146,6 +146,33 @@ func HashPlan(n plan.Node) uint64 {
 // need every subtree's hash (the completion memoization hot path) use this
 // to pay O(tree) once instead of O(subtree) per node.
 func HashSubtrees(n plan.Node, out map[plan.Node]uint64) uint64 {
+	return hashTree(n, out, false)
+}
+
+// HashSubtreesMemo is HashSubtrees with reuse: subtrees whose root node is
+// already present in memo are returned from it without re-walking, and every
+// newly hashed node is added. An environment that keeps one memo per episode
+// pays the structural hash once per node per episode even when several
+// completion calls walk overlapping trees (e.g. costing the same skeleton
+// under two aggregation algorithms), instead of once per completion call.
+// A nil memo degrades to a plain HashSubtrees walk.
+func HashSubtreesMemo(n plan.Node, memo map[plan.Node]uint64) uint64 {
+	if memo == nil {
+		return hashTree(n, nil, false)
+	}
+	return hashTree(n, memo, true)
+}
+
+// hashTree is the shared post-order walk behind HashPlan/HashSubtrees/
+// HashSubtreesMemo. When consult is set, nodes already present in out
+// short-circuit the walk (memoized reuse); entries only ever hold a node's
+// structural hash, so consulting cannot change the result.
+func hashTree(n plan.Node, out map[plan.Node]uint64, consult bool) uint64 {
+	if consult {
+		if h, ok := out[n]; ok {
+			return h
+		}
+	}
 	var h uint64
 	switch n := n.(type) {
 	case *plan.Scan:
@@ -169,8 +196,8 @@ func HashSubtrees(n plan.Node, out map[plan.Node]uint64) uint64 {
 			h = mix(h, p.RightAlias)
 			h = mix(h, p.RightCol)
 		}
-		h = mixUint(h, HashSubtrees(n.Left, out))
-		h = mixUint(h, HashSubtrees(n.Right, out))
+		h = mixUint(h, hashTree(n.Left, out, consult))
+		h = mixUint(h, hashTree(n.Right, out, consult))
 	case *plan.Agg:
 		h = mixUint(fnv64Offset, 3)
 		h = mixUint(h, uint64(n.Algo))
@@ -183,7 +210,7 @@ func HashSubtrees(n plan.Node, out map[plan.Node]uint64) uint64 {
 			h = mix(h, a.Alias)
 			h = mix(h, a.Column)
 		}
-		h = mixUint(h, HashSubtrees(n.Child, out))
+		h = mixUint(h, hashTree(n.Child, out, consult))
 	}
 	if out != nil {
 		out[n] = h

@@ -203,6 +203,50 @@ func TestHashSubtreesMatchesHashPlan(t *testing.T) {
 	}
 }
 
+// TestHashSubtreesMemoReuses: the memoized walk returns the same hashes as
+// a fresh walk, short-circuits on already-hashed subtrees, and composes
+// incrementally — hashing a tree whose children were hashed earlier only
+// visits the new node.
+func TestHashSubtreesMemoReuses(t *testing.T) {
+	scanA := &plan.Scan{Alias: "a", Table: "t1", Filters: []query.Filter{{Alias: "a", Column: "c0", Op: query.Lt, Value: 9}}}
+	scanB := &plan.Scan{Alias: "b", Table: "t2", Access: plan.IndexScan, IndexColumn: "id"}
+	scanC := &plan.Scan{Alias: "c", Table: "t3"}
+	joinAB := &plan.Join{Algo: plan.HashJoin, Left: scanA, Right: scanB,
+		Preds: []query.Join{{LeftAlias: "a", LeftCol: "id", RightAlias: "b", RightCol: "id"}}}
+	root := plan.Node(&plan.Join{Algo: plan.NestLoop, Left: joinAB, Right: scanC})
+
+	// Nil memo degrades to the fresh walk.
+	if HashSubtreesMemo(root, nil) != HashPlan(root) {
+		t.Fatal("nil-memo hash differs from the fresh hash")
+	}
+
+	// Incremental composition: hash the children first, then the root; every
+	// hash must match the fresh walk.
+	memo := map[plan.Node]uint64{}
+	HashSubtreesMemo(joinAB, memo)
+	HashSubtreesMemo(scanC, memo)
+	if got, want := HashSubtreesMemo(root, memo), HashPlan(root); got != want {
+		t.Fatalf("memoized root hash %x != fresh %x", got, want)
+	}
+	plan.Walk(root, func(n plan.Node) {
+		if memo[n] != HashPlan(n) {
+			t.Fatalf("memo entry for %s is %x, fresh hash %x", n.Signature(), memo[n], HashPlan(n))
+		}
+	})
+
+	// Reuse: a poisoned entry proves the memo short-circuits instead of
+	// re-walking (the poisoned child hash propagates into the root).
+	poisoned := map[plan.Node]uint64{joinAB: 0xdeadbeef}
+	if HashSubtreesMemo(root, poisoned) == HashPlan(root) {
+		t.Fatal("memoized walk re-hashed a subtree it should have reused")
+	}
+	// A second walk over the same memo returns the cached root hash.
+	first := HashSubtreesMemo(root, memo)
+	if second := HashSubtreesMemo(root, memo); second != first {
+		t.Fatalf("repeat memoized hash %x != %x", second, first)
+	}
+}
+
 // TestFingerprintMemoBounded: the pointer memo resets at capacity instead
 // of pinning every query ever fingerprinted, and Flush clears it.
 func TestFingerprintMemoBounded(t *testing.T) {

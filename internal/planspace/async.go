@@ -1,6 +1,7 @@
 package planspace
 
 import (
+	"context"
 	"runtime"
 
 	"handsfree/internal/rl"
@@ -21,6 +22,15 @@ import (
 // replicas' execution counters are folded back into base when training
 // returns, so §4-style timeout statistics survive async collection.
 func TrainAsync(base *Env, agent *rl.Reinforce, episodes int, cfg rl.AsyncConfig,
+	onEpisode func(i int, rec EpisodeRecord)) rl.AsyncStats {
+	return TrainAsyncCtx(context.Background(), base, agent, episodes, cfg, onEpisode)
+}
+
+// TrainAsyncCtx is TrainAsync under a request-scoped context: cancellation
+// stops the learner, drains the actors, and returns early with
+// AsyncStats.Episodes < episodes (see rl.TrainAsyncCtx). The replicas'
+// execution counters are folded back into base in every case.
+func TrainAsyncCtx(ctx context.Context, base *Env, agent *rl.Reinforce, episodes int, cfg rl.AsyncConfig,
 	onEpisode func(i int, rec EpisodeRecord)) rl.AsyncStats {
 	if cfg.Actors < 1 {
 		// Same default rl.TrainAsync documents: the replica count must be
@@ -50,7 +60,7 @@ func TrainAsync(base *Env, agent *rl.Reinforce, episodes int, cfg rl.AsyncConfig
 	}
 
 	i := 0
-	stats := rl.TrainAsync(agent, envs, episodes, cfg,
+	stats := rl.TrainAsyncCtx(ctx, agent, envs, episodes, cfg,
 		func(w, seq int, traj rl.Trajectory) any {
 			return EpisodeRecord{
 				Query: replicas[w].Current(),

@@ -1,6 +1,7 @@
 package planspace
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -98,6 +99,11 @@ type Env struct {
 	chosen []int           // access choice per alias index (-1 = undecided)
 	forest []plan.Node
 	ph     phase
+	// memo is the per-episode skeleton-hash memo (lazily allocated, only
+	// with a plan cache attached): the completion calls that end every
+	// episode share it, so a skeleton costed under two aggregation
+	// algorithms is hashed once and no completion allocates a map.
+	memo map[plan.Node]uint64
 
 	// Executions counts how many episodes were actually executed (latency
 	// measured); TimedOutCount counts executions that hit the budget.
@@ -160,7 +166,21 @@ func (e *Env) ResetTo(q *query.Query) rl.State {
 		e.ph = phaseJoin
 	}
 	e.Last = Outcome{}
+	clear(e.memo)
 	return e.state()
+}
+
+// hashMemo returns the env's per-episode skeleton-hash memo, allocating it
+// on first use; without an attached plan cache skeleton hashing is never
+// needed and the memo stays nil.
+func (e *Env) hashMemo() map[plan.Node]uint64 {
+	if e.Cfg.Planner.Cache == nil {
+		return nil
+	}
+	if e.memo == nil {
+		e.memo = make(map[plan.Node]uint64, 16)
+	}
+	return e.memo
 }
 
 // cursor returns the alias index whose access path is being decided.
@@ -312,17 +332,19 @@ func (e *Env) finish(aggAlgo plan.AggAlgo, aggChosen bool) (rl.State, float64, b
 	p := e.Cfg.Planner
 	q := e.cur
 	st := e.Cfg.Stages
+	memo := e.hashMemo()
 	switch {
 	case aggChosen || (st.AccessPaths && st.JoinOps):
 		// Fully specified up to aggregation.
 		if aggChosen {
-			root, nc := p.CostFixed(q, skeleton, aggAlgo)
+			root, nc := p.CostFixedMemo(q, skeleton, aggAlgo, memo)
 			final, costTotal = root, nc.Total
 		} else {
-			// The optimizer picks the cheaper aggregation.
-			bestRoot, bestNC := p.CostFixed(q, skeleton, plan.HashAgg)
+			// The optimizer picks the cheaper aggregation; the shared episode
+			// memo means the skeleton is hashed once for both candidates.
+			bestRoot, bestNC := p.CostFixedMemo(q, skeleton, plan.HashAgg, memo)
 			if len(q.Aggregates) > 0 || len(q.GroupBys) > 0 {
-				r2, nc2 := p.CostFixed(q, skeleton, plan.SortAgg)
+				r2, nc2 := p.CostFixedMemo(q, skeleton, plan.SortAgg, memo)
 				if nc2.Total < bestNC.Total {
 					bestRoot, bestNC = r2, nc2
 				}
@@ -330,13 +352,13 @@ func (e *Env) finish(aggAlgo plan.AggAlgo, aggChosen bool) (rl.State, float64, b
 			final, costTotal = bestRoot, bestNC.Total
 		}
 	case st.AccessPaths:
-		root, nc := p.CompleteOperators(q, skeleton)
+		root, nc := p.CompleteOperatorsMemo(q, skeleton, memo)
 		final, costTotal = root, nc.Total
 	case st.JoinOps:
-		root, nc := p.CompleteAccess(q, skeleton)
+		root, nc := p.CompleteAccessMemo(q, skeleton, memo)
 		final, costTotal = root, nc.Total
 	default:
-		root, nc := p.CompletePhysical(q, skeleton)
+		root, nc := p.CompletePhysicalMemo(q, skeleton, memo)
 		final, costTotal = root, nc.Total
 	}
 
@@ -353,4 +375,34 @@ func (e *Env) finish(aggAlgo plan.AggAlgo, aggChosen bool) (rl.State, float64, b
 	e.ph = phaseDone
 	e.Last = out
 	return rl.State{Terminal: true}, e.Cfg.Reward(out), true
+}
+
+// GreedyRollout plans q by stepping the env with choose until the episode
+// terminates, checking ctx before every decision: a deadline or
+// cancellation cuts the rollout off mid-search and returns ctx.Err(). A
+// negative action from choose (no valid action) ends the rollout early with
+// whatever outcome the env holds. This is the request-scoped serving path of
+// the root handsfree.Service; the env must be owned by the caller (rollouts
+// are not concurrency-safe on a shared env).
+func (e *Env) GreedyRollout(ctx context.Context, q *query.Query, choose func(rl.State) int) (Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return Outcome{}, err
+	}
+	s := e.ResetTo(q)
+	maxSteps := 4*e.Cfg.Space.MaxRels + 8
+	for i := 0; i < maxSteps && !s.Terminal; i++ {
+		if err := ctx.Err(); err != nil {
+			return Outcome{}, err
+		}
+		act := choose(s)
+		if act < 0 {
+			break
+		}
+		next, _, done := e.Step(act)
+		s = next
+		if done {
+			break
+		}
+	}
+	return e.Last, nil
 }

@@ -13,6 +13,7 @@
 package rejoin
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sync/atomic"
@@ -55,6 +56,10 @@ type Env struct {
 	curIdx int
 	cur    *query.Query
 	forest []plan.Node
+	// memo is the per-episode skeleton-hash memo (allocated lazily, only
+	// when a plan cache is attached): the terminal completion reuses it so
+	// each episode hashes each skeleton node once and allocates no map.
+	memo map[plan.Node]uint64
 
 	// LastPlan and LastCost describe the most recently completed episode.
 	LastPlan plan.Node
@@ -122,7 +127,21 @@ func (e *Env) ResetTo(q *query.Query) rl.State {
 	}
 	e.LastPlan = nil
 	e.LastCost = 0
+	clear(e.memo)
 	return e.state()
+}
+
+// hashMemo returns the env's per-episode skeleton-hash memo, allocating it
+// on first use; without an attached plan cache skeleton hashing is never
+// needed and the memo stays nil.
+func (e *Env) hashMemo() map[plan.Node]uint64 {
+	if e.Planner.Cache == nil {
+		return nil
+	}
+	if e.memo == nil {
+		e.memo = make(map[plan.Node]uint64, 16)
+	}
+	return e.memo
 }
 
 func (e *Env) state() rl.State {
@@ -162,7 +181,7 @@ func (e *Env) Step(action int) (rl.State, float64, bool) {
 	if len(e.forest) > 1 {
 		return e.state(), 0, false
 	}
-	completed, nc := e.Planner.CompletePhysical(e.cur, e.forest[0])
+	completed, nc := e.Planner.CompletePhysicalMemo(e.cur, e.forest[0], e.hashMemo())
 	e.LastPlan = completed
 	e.LastCost = nc.Total
 	return e.state(), e.terminalReward(nc.Total), true
@@ -272,6 +291,20 @@ func (a *Agent) greedyKey(c *plancache.Cache, q *query.Query) plancache.Key {
 // greedy evaluations of an unchanged policy — the repeated-workload serving
 // pattern — skip both the network passes and the optimizer completion.
 func (a *Agent) GreedyPlan(q *query.Query) (plan.Node, float64) {
+	node, c, _ := a.GreedyPlanCtx(context.Background(), q)
+	return node, c
+}
+
+// GreedyPlanCtx is GreedyPlan under a request-scoped context: the rollout
+// checks ctx before every policy decision, so a deadline or cancellation
+// cuts the search off mid-episode and returns ctx.Err() with a nil plan.
+// A cache hit is served without touching the policy network and therefore
+// succeeds even under an already-expired context only when the context was
+// still live at entry (the entry check runs first).
+func (a *Agent) GreedyPlanCtx(ctx context.Context, q *query.Query) (plan.Node, float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	cache := a.Env.Planner.Cache
 	if cache != nil {
 		if e, ok := cache.Get(a.greedyKey(cache, q)); ok {
@@ -279,11 +312,14 @@ func (a *Agent) GreedyPlan(q *query.Query) (plan.Node, float64) {
 			// on q and ended with this plan.
 			a.Env.cur = q
 			a.Env.LastPlan, a.Env.LastCost = e.Plan, e.Cost.Total
-			return e.Plan, e.Cost.Total
+			return e.Plan, e.Cost.Total, nil
 		}
 	}
 	s := a.Env.ResetTo(q)
 	for !s.Terminal {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		act := a.RL.Greedy(s)
 		if act < 0 {
 			break
@@ -300,5 +336,5 @@ func (a *Agent) GreedyPlan(q *query.Query) (plan.Node, float64) {
 			Cost: cost.NodeCost{Total: a.Env.LastCost},
 		})
 	}
-	return a.Env.LastPlan, a.Env.LastCost
+	return a.Env.LastPlan, a.Env.LastCost, nil
 }

@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -118,7 +119,8 @@ type AsyncEpisode struct {
 
 // AsyncStats summarizes one TrainAsync run.
 type AsyncStats struct {
-	// Episodes is the number of episodes collected (== the budget).
+	// Episodes is the number of episodes consumed by the learner (== the
+	// budget, unless a TrainAsyncCtx cancellation returned early).
 	Episodes int
 	// Updates is how many policy updates the learner applied.
 	Updates int
@@ -160,6 +162,19 @@ type AsyncStats struct {
 // and consumed. A trailing partial policy batch stays pending inside the
 // learner, exactly as in sequential training.
 func TrainAsync(learner *Reinforce, envs []Env, episodes int, cfg AsyncConfig,
+	after func(worker, seq int, traj Trajectory) any,
+	onEpisode func(e AsyncEpisode)) AsyncStats {
+	return TrainAsyncCtx(context.Background(), learner, envs, episodes, cfg, after, onEpisode)
+}
+
+// TrainAsyncCtx is TrainAsync under a request-scoped context: when ctx is
+// cancelled (or its deadline passes) the learner stops consuming, the actors
+// are told to stop at their next ticket draw, any in-flight trajectories are
+// drained and discarded, and the call returns early with
+// AsyncStats.Episodes reporting how many episodes were actually consumed
+// (less than the budget on cancellation). The learner's pending partial
+// batch is preserved, exactly as on a normal return.
+func TrainAsyncCtx(ctx context.Context, learner *Reinforce, envs []Env, episodes int, cfg AsyncConfig,
 	after func(worker, seq int, traj Trajectory) any,
 	onEpisode func(e AsyncEpisode)) AsyncStats {
 	cfg.fill()
@@ -221,8 +236,16 @@ func TrainAsync(learner *Reinforce, envs []Env, episodes int, cfg AsyncConfig,
 	var stats AsyncStats
 	var winLag uint64
 	winEpisodes := 0
+	consumed := 0
+learn:
 	for received := 0; received < episodes; received++ {
-		e := <-ch
+		var e AsyncEpisode
+		select {
+		case e = <-ch:
+		case <-ctx.Done():
+			break learn
+		}
+		consumed++
 		// Consumption-time staleness: how many versions the learner published
 		// between this episode's snapshot and now (collection lag plus queue
 		// aging) — the direct measure of the learner outpacing the actors,
@@ -258,12 +281,26 @@ func TrainAsync(learner *Reinforce, envs []Env, episodes int, cfg AsyncConfig,
 			onEpisode(e)
 		}
 	}
-	// Every collected episode holds a ticket ≤ episodes and has been
-	// consumed above, so no actor is blocked on the queue: they all exit
-	// at their next ticket draw.
-	wg.Wait()
+	// On a normal return every collected episode holds a ticket ≤ episodes
+	// and has been consumed above, so no actor is blocked on the queue and
+	// they all exit at their next ticket draw. On cancellation, exhaust the
+	// ticket supply so no actor starts another episode, then drain (and
+	// discard) in-flight trajectories until every actor has exited — an
+	// actor blocked on the queue send must be unblocked before wg.Wait can
+	// return.
+	tickets.Store(int64(episodes))
+	drained := make(chan struct{})
+	go func() { wg.Wait(); close(drained) }()
+drain:
+	for {
+		select {
+		case <-ch:
+		case <-drained:
+			break drain
+		}
+	}
 
-	stats.Episodes = episodes
+	stats.Episodes = consumed
 	stats.Updates = learner.Updates - startUpdates
 	stats.Publishes = srv.Stats().Publishes
 	stats.FinalStaleness = bound.Get()

@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -281,5 +282,47 @@ func TestAdaptiveStalenessIdleWithoutPublishes(t *testing.T) {
 	}
 	if stats.FinalStaleness != 4 {
 		t.Fatalf("final staleness %d, want the configured 4", stats.FinalStaleness)
+	}
+}
+
+// TestTrainAsyncCtxCancellationDrainsActors: cancelling the context mid-run
+// must stop the learner early (Episodes < budget), unblock every actor —
+// including actors blocked on the bounded queue — and return without
+// deadlock. The paced envs keep actors mid-episode when the cancel lands.
+func TestTrainAsyncCtxCancellationDrainsActors(t *testing.T) {
+	const arms = 3
+	agent := NewReinforce(arms, arms, ReinforceConfig{Hidden: []int{8}, BatchSize: 8, Seed: 5})
+	envs := pacedEnvs(4, arms, 31, 200*time.Microsecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan AsyncStats, 1)
+	go func() {
+		done <- TrainAsyncCtx(ctx, agent, envs, 1_000_000, AsyncConfig{
+			Actors: 4, Staleness: 2, Queue: 2, Seed: 11,
+		}, nil, nil)
+	}()
+	select {
+	case stats := <-done:
+		if stats.Episodes >= 1_000_000 {
+			t.Fatalf("cancelled run consumed the whole budget (%d episodes)", stats.Episodes)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("TrainAsyncCtx deadlocked after cancellation")
+	}
+}
+
+// TestTrainAsyncCtxCompletesNormally: with a background context the ctx
+// variant must behave exactly like TrainAsync (full budget consumed).
+func TestTrainAsyncCtxCompletesNormally(t *testing.T) {
+	const arms = 3
+	agent := NewReinforce(arms, arms, ReinforceConfig{Hidden: []int{8}, BatchSize: 8, Seed: 6})
+	stats := TrainAsyncCtx(context.Background(), agent, banditEnvs(2, arms, 77), 64, AsyncConfig{
+		Actors: 2, Staleness: 2, Seed: 13,
+	}, nil, nil)
+	if stats.Episodes != 64 {
+		t.Fatalf("consumed %d episodes, want 64", stats.Episodes)
 	}
 }

@@ -1,0 +1,817 @@
+package handsfree
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"handsfree/internal/bootstrap"
+	"handsfree/internal/featurize"
+	"handsfree/internal/lfd"
+	"handsfree/internal/nn"
+	"handsfree/internal/paramserver"
+	"handsfree/internal/planspace"
+	"handsfree/internal/rl"
+)
+
+// This file is the hands-free optimizer as a service: a concurrency-safe
+// front end that always serves a plan (the traditional optimizer's until a
+// learned policy exists, the learned policy's once it beats the safeguard),
+// threads context.Context through every planning request, and runs the
+// paper's learning state machine — observe the expert, train on cost,
+// fine-tune on latency — as a background lifecycle with hot policy swaps.
+//
+//	svc, _ := handsfree.New(handsfree.WithScale(0.1), handsfree.WithWorkload(8, 4, 6, 3))
+//	res, _ := svc.PlanSQL(ctx, "SELECT ...")     // expert plan (untrained)
+//	svc.StartTraining(ctx, handsfree.LifecycleConfig{})
+//	...                                           // Plan keeps serving, policy hot-swaps
+//	svc.WaitTraining(ctx)
+//
+// See ARCHITECTURE.md, "Service lifecycle", for the state machine diagram.
+
+// Stages selects which pipeline steps a lifecycle's learned policy controls
+// (join ordering is always learned; the traditional optimizer completes the
+// rest). The zero value — join ordering only, as in the paper's §3 ReJOIN
+// case study — is the service default.
+type Stages = planspace.Stages
+
+// DefaultFallbackRatio is the regression-guard default: a learned plan is
+// served only while its cost-model estimate stays within this multiple of
+// the expert plan's.
+const DefaultFallbackRatio = 1.2
+
+// serviceOptions is the state assembled by functional options.
+type serviceOptions struct {
+	cfg           Config
+	fallbackRatio float64
+	workload      *workloadSpec
+}
+
+type workloadSpec struct {
+	count, minRel, maxRel int
+	seed                  int64
+}
+
+// Option configures New.
+type Option func(*serviceOptions)
+
+// WithConfig seeds every substrate knob at once from a legacy Config; later
+// options override individual fields.
+func WithConfig(cfg Config) Option {
+	return func(o *serviceOptions) { o.cfg = cfg }
+}
+
+// WithSeed sets the database-generation seed (default 1).
+func WithSeed(seed int64) Option {
+	return func(o *serviceOptions) { o.cfg.Seed = seed }
+}
+
+// WithScale sets the database scale factor (default 1.0 ≈ 400k rows).
+func WithScale(scale float64) Option {
+	return func(o *serviceOptions) { o.cfg.Scale = scale }
+}
+
+// WithOracleSeed selects the systematic cardinality-error field (default 11).
+func WithOracleSeed(seed int64) Option {
+	return func(o *serviceOptions) { o.cfg.OracleSeed = seed }
+}
+
+// WithLatencySeed selects the execution-noise field (default 5).
+func WithLatencySeed(seed int64) Option {
+	return func(o *serviceOptions) { o.cfg.LatencySeed = seed }
+}
+
+// WithPrecision sets the default tensor-core precision for every learned
+// agent the service builds (F64, F32, or PrecisionAuto).
+func WithPrecision(p Precision) Option {
+	return func(o *serviceOptions) { o.cfg.Precision = p }
+}
+
+// WithCache enables and sizes the plan cache service.
+func WithCache(cc CacheConfig) Option {
+	return func(o *serviceOptions) {
+		cc.Enabled = true
+		o.cfg.Cache = cc
+	}
+}
+
+// WithWorkload attaches a generated training workload: count queries of
+// minRel–maxRel relations drawn with the given seed. The lifecycle trains on
+// it by default, and Queries exposes it for serving loops.
+func WithWorkload(count, minRel, maxRel int, seed int64) Option {
+	return func(o *serviceOptions) {
+		o.workload = &workloadSpec{count: count, minRel: minRel, maxRel: maxRel, seed: seed}
+	}
+}
+
+// WithFallbackRatio configures the per-query regression guard: the learned
+// plan is served only while its cost stays ≤ ratio × the expert plan's cost;
+// otherwise the expert plan is served and the fallback counted. Values ≤ 0
+// disable the guard (the learned plan, when one exists, is always served).
+// Default DefaultFallbackRatio.
+func WithFallbackRatio(ratio float64) Option {
+	return func(o *serviceOptions) { o.fallbackRatio = ratio }
+}
+
+// Service is the hands-free optimizer as a long-lived, concurrency-safe
+// service. Plan/PlanSQL may be called from any number of goroutines, during
+// training included: policy snapshots are immutable and swapped atomically
+// (versions are monotone), and the regression guard keeps every served plan
+// within the configured ratio of the expert's.
+type Service struct {
+	sys           *System
+	queries       []*Query
+	fallbackRatio float64
+
+	// policies holds the published policy snapshots (version 0 = no learned
+	// policy yet). The lifecycle's learner publishes, Plan reads lock-free.
+	policies *paramserver.Server
+	// serve is the current serving layout + env pool (nil before the first
+	// StartTraining; swapped atomically when a lifecycle begins).
+	serve atomic.Pointer[servePool]
+
+	phase atomic.Int32
+
+	mu          sync.Mutex
+	running     bool
+	done        chan struct{}
+	trainErr    error
+	transitions []PhaseChange
+	progress    lifecycleProgress
+
+	plans, learnedServed, expertServed, fallbacks atomic.Uint64
+}
+
+// New assembles the synthetic substrate and wraps it in a Service.
+func New(opts ...Option) (*Service, error) {
+	o := serviceOptions{fallbackRatio: DefaultFallbackRatio}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	sys, err := openSystem(o.cfg)
+	if err != nil {
+		return nil, err
+	}
+	svc := &Service{
+		sys:           sys,
+		fallbackRatio: o.fallbackRatio,
+		policies:      paramserver.New(nil),
+	}
+	sys.svc = svc
+	if o.workload != nil {
+		qs, err := sys.Workload.Training(o.workload.count, o.workload.minRel, o.workload.maxRel, o.workload.seed)
+		if err != nil {
+			return nil, err
+		}
+		svc.queries = qs
+	}
+	return svc, nil
+}
+
+// System exposes the underlying substrate (database, planner, engine,
+// latency simulator, workload generators) for code that needs direct access.
+func (s *Service) System() *System { return s.sys }
+
+// Queries returns the workload configured with WithWorkload (nil otherwise).
+func (s *Service) Queries() []*Query { return s.queries }
+
+// FallbackRatio reports the regression-guard ratio in force (≤ 0 when the
+// guard is disabled).
+func (s *Service) FallbackRatio() float64 { return s.fallbackRatio }
+
+// PolicyVersion returns the version of the latest published policy snapshot
+// (0 until the lifecycle publishes one). Versions are monotone: once a
+// caller has observed version v, no later call observes an older version.
+func (s *Service) PolicyVersion() uint64 { return s.policies.Version() }
+
+// PlanSource says which planner produced a served plan.
+type PlanSource int
+
+const (
+	// SourceExpert: the traditional optimizer's plan, served because no
+	// learned policy exists (or it cannot cover the query).
+	SourceExpert PlanSource = iota
+	// SourceLearned: the learned policy's plan, within the safeguard bound.
+	SourceLearned
+	// SourceFallback: the learned policy produced a plan but it regressed
+	// past FallbackRatio × the expert's cost, so the expert plan was served.
+	SourceFallback
+)
+
+// String names the source.
+func (p PlanSource) String() string {
+	switch p {
+	case SourceLearned:
+		return "learned"
+	case SourceFallback:
+		return "fallback"
+	default:
+		return "expert"
+	}
+}
+
+// PlanResult is one served planning decision.
+type PlanResult struct {
+	// Plan is the served physical plan; Cost its cost-model estimate.
+	Plan PlanNode
+	Cost float64
+	// Source says which planner the served plan came from.
+	Source PlanSource
+	// PolicyVersion is the policy snapshot consulted (0 when no learned
+	// policy existed at serving time).
+	PolicyVersion uint64
+	// ExpertCost is the traditional optimizer's plan cost (always computed:
+	// it is both the fallback and the safeguard reference).
+	ExpertCost float64
+	// LearnedCost is the learned plan's cost (NaN when no learned rollout
+	// ran).
+	LearnedCost float64
+}
+
+// Plan serves a plan for q under a request-scoped context. The expert plan
+// is always computed (it is the safeguard reference and the fallback); when
+// a learned policy is published, the policy rolls out greedily and its plan
+// is served only if its cost stays within FallbackRatio × the expert's.
+// Deadlines and cancellation are honored mid-search — inside the expert's
+// enumeration loops and between rollout decisions — returning ctx.Err().
+func (s *Service) Plan(ctx context.Context, q *Query) (PlanResult, error) {
+	if q == nil {
+		return PlanResult{}, fmt.Errorf("handsfree: Plan called with a nil query")
+	}
+	if err := ctx.Err(); err != nil {
+		return PlanResult{}, err
+	}
+	expert, err := s.sys.Planner.PlanCtx(ctx, q)
+	if err != nil {
+		return PlanResult{}, err
+	}
+	res := PlanResult{
+		Plan:        expert.Root,
+		Cost:        expert.Cost,
+		Source:      SourceExpert,
+		ExpertCost:  expert.Cost,
+		LearnedCost: math.NaN(),
+	}
+	sp := s.serve.Load()
+	if sp == nil || len(q.Relations) > sp.maxRels {
+		s.plans.Add(1)
+		s.expertServed.Add(1)
+		return res, nil
+	}
+	snap := s.policies.Latest()
+	if snap.Version == 0 || snap.Net == nil ||
+		snap.Net.InDim() != sp.obsDim || snap.Net.OutDim() != sp.actionDim {
+		// No learned policy yet, or a stale snapshot from a lifecycle with a
+		// different layout (a fresh lifecycle has begun but not published).
+		s.plans.Add(1)
+		s.expertServed.Add(1)
+		return res, nil
+	}
+	res.PolicyVersion = snap.Version
+	env := sp.get()
+	out, rerr := env.GreedyRollout(ctx, q, func(st rl.State) int {
+		return greedyAction(snap.Net, st)
+	})
+	sp.put(env)
+	if rerr != nil {
+		return PlanResult{}, rerr
+	}
+	res.LearnedCost = out.Cost
+	// Count the decision only once it is complete, next to its source
+	// counter, so Plans == LearnedServed + ExpertServed + Fallbacks holds
+	// even when a deadline aborts a rollout mid-episode.
+	s.plans.Add(1)
+	if out.Plan != nil && !math.IsInf(out.Cost, 1) &&
+		(s.fallbackRatio <= 0 || out.Cost <= s.fallbackRatio*expert.Cost) {
+		res.Plan, res.Cost, res.Source = out.Plan, out.Cost, SourceLearned
+		s.learnedServed.Add(1)
+	} else {
+		res.Source = SourceFallback
+		s.fallbacks.Add(1)
+	}
+	return res, nil
+}
+
+// PlanSQL parses SQL text and serves a plan for it; see Plan.
+func (s *Service) PlanSQL(ctx context.Context, sql string) (PlanResult, error) {
+	q, err := ParseSQL(sql)
+	if err != nil {
+		return PlanResult{}, err
+	}
+	return s.Plan(ctx, q)
+}
+
+// ExpertPlan runs only the traditional optimizer under a request-scoped
+// context — no learned policy, no safeguard. It is the request-scoped
+// equivalent of the deprecated System.Plan.
+func (s *Service) ExpertPlan(ctx context.Context, q *Query) (Planned, error) {
+	return s.sys.Planner.PlanCtx(ctx, q)
+}
+
+// greedyAction picks the highest-logit valid action from an immutable policy
+// snapshot (nn.Infer is safe for concurrent use on a shared network).
+// Returns -1 when no valid action exists. Tie-breaking is first-max-wins
+// over the logits, which selects the same action as rl.Reinforce.Greedy's
+// first-max-wins over the softmax probabilities (softmax is monotone and
+// tie-preserving), so serving agrees with the lifecycle's greedyRatio
+// predicate on every state.
+func greedyAction(net *nn.Network, st rl.State) int {
+	logits := net.Infer(nn.FromVec(st.Features))
+	best := -1
+	var bestV float64
+	for i, v := range logits.Data {
+		if i >= len(st.Mask) || !st.Mask[i] || math.IsNaN(v) {
+			continue
+		}
+		if best < 0 || v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// servePool is the serving-side layout and environment pool for learned
+// rollouts. Envs are stateful (one rollout at a time each), so concurrent
+// Plan calls each take their own from the pool.
+type servePool struct {
+	svc               *Service
+	space             *featurize.Space
+	stages            Stages
+	maxRels           int
+	obsDim, actionDim int
+	pool              sync.Pool
+}
+
+func newServePool(svc *Service, space *featurize.Space, stages Stages, maxRels int) *servePool {
+	layout := planspace.Layout{Space: space, Stages: stages}
+	sp := &servePool{
+		svc:       svc,
+		space:     space,
+		stages:    stages,
+		maxRels:   maxRels,
+		obsDim:    layout.ObsDim(),
+		actionDim: layout.ActionDim(),
+	}
+	sp.pool.New = func() any {
+		return planspace.NewEnv(planspace.Config{
+			Space:   sp.space,
+			Stages:  sp.stages,
+			Planner: sp.svc.sys.Planner,
+			Reward:  planspace.CostReward,
+			Cache:   sp.svc.sys.PlanCache,
+		})
+	}
+	return sp
+}
+
+func (sp *servePool) get() *planspace.Env  { return sp.pool.Get().(*planspace.Env) }
+func (sp *servePool) put(e *planspace.Env) { sp.pool.Put(e) }
+
+// LifecyclePhase is a state of the learning state machine.
+type LifecyclePhase int32
+
+const (
+	// PhaseIdle: no lifecycle has run.
+	PhaseIdle LifecyclePhase = iota
+	// PhaseDemonstration: observing the expert (§5.1 steps 1–3): collect
+	// expert demonstrations with executed latencies, pretrain the
+	// reward-prediction network, prime the policy on the expert
+	// trajectories.
+	PhaseDemonstration
+	// PhaseCostTraining: the §5.2 "training wheels" phase — asynchronous
+	// actor-learner training against the cost model, exploration safe
+	// because bad plans are costed, never executed.
+	PhaseCostTraining
+	// PhaseLatencyTuning: the reward switches to simulated execution
+	// latency (§5.2 Phase 2) and training continues asynchronously.
+	PhaseLatencyTuning
+	// PhaseDone: the lifecycle completed its budgets.
+	PhaseDone
+	// PhaseStopped: the lifecycle's context was cancelled mid-run.
+	PhaseStopped
+)
+
+// String names the phase.
+func (p LifecyclePhase) String() string {
+	switch p {
+	case PhaseDemonstration:
+		return "demonstration"
+	case PhaseCostTraining:
+		return "cost-training"
+	case PhaseLatencyTuning:
+		return "latency-tuning"
+	case PhaseDone:
+		return "done"
+	case PhaseStopped:
+		return "stopped"
+	default:
+		return "idle"
+	}
+}
+
+// PhaseChange records one state-machine transition and why it fired.
+type PhaseChange struct {
+	From, To LifecyclePhase
+	Reason   string
+}
+
+// LifecycleConfig budgets the learning state machine. The zero value is
+// usable when the service has a workload (WithWorkload): every knob has a
+// default sized for a quick run; scale the budgets up for real training.
+type LifecycleConfig struct {
+	// Queries is the training workload (default: the service workload).
+	Queries []*Query
+	// Stages selects the pipeline prefix the learned policy controls
+	// (default: join ordering only, the §3 setup).
+	Stages Stages
+	// Hidden, LR, BatchSize, Precision, Seed configure the learners
+	// (defaults: 128/64, 1e-3, 16, the service precision, 1).
+	Hidden    []int
+	LR        float64
+	BatchSize int
+	Precision Precision
+	Seed      int64
+
+	// DemoSweeps is how many times the expert's demonstrated trajectories
+	// are replayed into the policy learner as a warm start (default 2).
+	DemoSweeps int
+	// PretrainBatches bounds §5.1 pretraining on the demonstration buffer
+	// (default 48); PretrainBatchSize is the minibatch size (default 32).
+	PretrainBatches   int
+	PretrainBatchSize int
+	// PretrainLossTarget ends the Demonstration phase early once the
+	// pretrain minibatch loss falls to the target (0 = budget only). This is
+	// the Demonstration → CostTraining transition predicate.
+	PretrainLossTarget float64
+
+	// CostEpisodes budgets the CostTraining phase (default 192).
+	CostEpisodes int
+	// CostRatioTarget ends CostTraining early once the greedy policy's
+	// geometric-mean cost ratio versus the expert reaches the target
+	// (0 = budget only). This is the CostTraining → LatencyTuning
+	// transition predicate; it is evaluated every EvalEvery episodes
+	// (default 64).
+	CostRatioTarget float64
+	EvalEvery       int
+
+	// LatencyEpisodes budgets the LatencyTuning phase (default 96);
+	// LatencyBudgetMs censors simulated execution (0 = no budget).
+	LatencyEpisodes int
+	LatencyBudgetMs float64
+
+	// Actors and Staleness configure the asynchronous actor-learner split
+	// used by the training phases (defaults: GOMAXPROCS actors, bound 4).
+	Actors    int
+	Staleness int
+}
+
+func (c *LifecycleConfig) fill(s *Service) {
+	if len(c.Queries) == 0 {
+		c.Queries = s.queries
+	}
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{128, 64}
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.Precision == PrecisionAuto {
+		c.Precision = s.sys.Precision
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.DemoSweeps == 0 {
+		c.DemoSweeps = 2
+	}
+	if c.PretrainBatches == 0 {
+		c.PretrainBatches = 48
+	}
+	if c.PretrainBatchSize == 0 {
+		c.PretrainBatchSize = 32
+	}
+	if c.CostEpisodes == 0 {
+		c.CostEpisodes = 192
+	}
+	if c.EvalEvery == 0 {
+		c.EvalEvery = 64
+	}
+	if c.LatencyEpisodes == 0 {
+		c.LatencyEpisodes = 96
+	}
+}
+
+// lifecycleProgress is the mutable half of LifecycleStats (mu-guarded).
+type lifecycleProgress struct {
+	demos           int
+	pretrainBatches int
+	pretrainLoss    float64
+	costEpisodes    int
+	latencyEpisodes int
+	costRatio       float64
+}
+
+// LifecycleStats is a point-in-time snapshot of the learning state machine
+// and the serving counters.
+type LifecycleStats struct {
+	// Phase is the current state.
+	Phase LifecyclePhase
+	// Transitions is the ordered transition history with reasons.
+	Transitions []PhaseChange
+	// Demonstrations, PretrainBatches, PretrainLoss describe the
+	// Demonstration phase.
+	Demonstrations  int
+	PretrainBatches int
+	PretrainLoss    float64
+	// CostEpisodes / LatencyEpisodes count consumed training episodes;
+	// CostRatio is the last evaluated greedy-vs-expert geometric-mean cost
+	// ratio.
+	CostEpisodes    int
+	LatencyEpisodes int
+	CostRatio       float64
+	// PolicyVersion is the latest published snapshot version.
+	PolicyVersion uint64
+	// Plans counts Plan/PlanSQL decisions; LearnedServed, ExpertServed,
+	// and Fallbacks split them by source. Fallbacks > 0 means the
+	// regression guard fired — hands-free is not hands-over-eyes.
+	Plans, LearnedServed, ExpertServed, Fallbacks uint64
+}
+
+// Phase returns the lifecycle's current state.
+func (s *Service) Phase() LifecyclePhase { return LifecyclePhase(s.phase.Load()) }
+
+// TrainingActive reports whether a lifecycle goroutine is running.
+func (s *Service) TrainingActive() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
+// LifecycleStats snapshots the state machine and serving counters.
+func (s *Service) LifecycleStats() LifecycleStats {
+	s.mu.Lock()
+	trans := append([]PhaseChange(nil), s.transitions...)
+	prog := s.progress
+	s.mu.Unlock()
+	return LifecycleStats{
+		Phase:           s.Phase(),
+		Transitions:     trans,
+		Demonstrations:  prog.demos,
+		PretrainBatches: prog.pretrainBatches,
+		PretrainLoss:    prog.pretrainLoss,
+		CostEpisodes:    prog.costEpisodes,
+		LatencyEpisodes: prog.latencyEpisodes,
+		CostRatio:       prog.costRatio,
+		PolicyVersion:   s.policies.Version(),
+		Plans:           s.plans.Load(),
+		LearnedServed:   s.learnedServed.Load(),
+		ExpertServed:    s.expertServed.Load(),
+		Fallbacks:       s.fallbacks.Load(),
+	}
+}
+
+// StartTraining launches the learning state machine as a background
+// goroutine: Demonstration → CostTraining → LatencyTuning → Done, with the
+// transition predicates in LifecycleConfig and a policy snapshot published
+// (hot swap; plan-cache epoch bumped) on every learner update. Serving
+// continues throughout. Cancelling ctx stops the lifecycle at the next
+// episode boundary (phase becomes PhaseStopped and WaitTraining returns the
+// context error). Errors if a lifecycle is already running or no workload is
+// configured.
+func (s *Service) StartTraining(ctx context.Context, cfg LifecycleConfig) error {
+	cfg.fill(s)
+	if len(cfg.Queries) == 0 {
+		return fmt.Errorf("handsfree: no training workload: set LifecycleConfig.Queries or configure WithWorkload")
+	}
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		return fmt.Errorf("handsfree: a training lifecycle is already running")
+	}
+	s.running = true
+	s.done = make(chan struct{})
+	s.trainErr = nil
+	s.mu.Unlock()
+
+	// Install the serving layout before anything can be published, so Plan
+	// rollouts always agree with the snapshots' dimensions.
+	maxRels := 0
+	for _, q := range cfg.Queries {
+		if len(q.Relations) > maxRels {
+			maxRels = len(q.Relations)
+		}
+	}
+	space := featurize.NewSpace(maxRels, s.sys.Est)
+	s.serve.Store(newServePool(s, space, cfg.Stages, maxRels))
+
+	done := s.done
+	go func() {
+		err := s.runLifecycle(ctx, cfg, space)
+		s.mu.Lock()
+		s.trainErr = err
+		s.running = false
+		s.mu.Unlock()
+		close(done)
+	}()
+	return nil
+}
+
+// WaitTraining blocks until the running lifecycle finishes (returning its
+// error, nil on success) or ctx expires (returning ctx.Err()). Returns nil
+// immediately if no lifecycle was ever started.
+func (s *Service) WaitTraining(ctx context.Context) error {
+	s.mu.Lock()
+	done := s.done
+	s.mu.Unlock()
+	if done == nil {
+		return nil
+	}
+	select {
+	case <-done:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.trainErr
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// transition moves the state machine and records why.
+func (s *Service) transition(to LifecyclePhase, reason string) {
+	from := LifecyclePhase(s.phase.Swap(int32(to)))
+	s.mu.Lock()
+	s.transitions = append(s.transitions, PhaseChange{From: from, To: to, Reason: reason})
+	s.mu.Unlock()
+}
+
+func (s *Service) setProgress(f func(p *lifecycleProgress)) {
+	s.mu.Lock()
+	f(&s.progress)
+	s.mu.Unlock()
+}
+
+// publish makes the learner's current policy the served snapshot (hot swap)
+// and bumps the plan cache's policy epoch so plans memoized under older
+// policies can never be served.
+func (s *Service) publish(learner *rl.Reinforce) {
+	s.policies.Publish(learner.Policy.CloneForInference(), learner.Updates)
+	s.sys.PlanCache.BumpEpoch()
+}
+
+// stopped marks a context-cancelled lifecycle.
+func (s *Service) stopped(err error) error {
+	s.transition(PhaseStopped, fmt.Sprintf("lifecycle stopped: %v", err))
+	return err
+}
+
+// runLifecycle is the learning state machine (one background goroutine).
+func (s *Service) runLifecycle(ctx context.Context, cfg LifecycleConfig, space *featurize.Space) error {
+	planner := s.sys.Planner
+
+	// --- Demonstration (§5.1 steps 1–3) -------------------------------
+	s.transition(PhaseDemonstration, "lifecycle started: observe the expert")
+	demoEnv := planspace.NewEnv(planspace.Config{
+		Space:           space,
+		Stages:          cfg.Stages,
+		Planner:         planner,
+		Latency:         s.sys.Latency,
+		Queries:         cfg.Queries,
+		ExecuteAlways:   true,
+		LatencyBudgetMs: cfg.LatencyBudgetMs,
+		Cache:           s.sys.PlanCache,
+		Seed:            cfg.Seed,
+	})
+	demo := lfd.New(lfd.Config{Env: demoEnv, Hidden: cfg.Hidden, LR: cfg.LR, Seed: cfg.Seed})
+	if err := demo.CollectDemonstrationsCtx(ctx); err != nil {
+		return s.stopped(err)
+	}
+	s.setProgress(func(p *lifecycleProgress) { p.demos = len(demo.Demos()) })
+	loss := math.Inf(1)
+	batches := 0
+	demoReason := fmt.Sprintf("pretrain budget exhausted (%d batches)", cfg.PretrainBatches)
+	for batches < cfg.PretrainBatches {
+		if err := ctx.Err(); err != nil {
+			return s.stopped(err)
+		}
+		loss = demo.Pretrain(1, cfg.PretrainBatchSize)
+		batches++
+		if cfg.PretrainLossTarget > 0 && loss <= cfg.PretrainLossTarget {
+			demoReason = fmt.Sprintf("pretrain loss %.4f ≤ target %.4f after %d batches", loss, cfg.PretrainLossTarget, batches)
+			break
+		}
+	}
+	s.setProgress(func(p *lifecycleProgress) { p.pretrainBatches, p.pretrainLoss = batches, loss })
+
+	// Build the cost→latency learner (robust bootstrap agent: Adam,
+	// scale-free baseline; the §5.2 reward-range hazard does not apply).
+	trainEnv := planspace.NewEnv(planspace.Config{
+		Space:           space,
+		Stages:          cfg.Stages,
+		Planner:         planner,
+		Latency:         s.sys.Latency,
+		Queries:         cfg.Queries,
+		LatencyBudgetMs: cfg.LatencyBudgetMs,
+		Cache:           s.sys.PlanCache,
+		Seed:            cfg.Seed + 1,
+	})
+	boot := bootstrap.New(bootstrap.Config{
+		Env:    trainEnv,
+		Robust: true,
+		Agent: rl.ReinforceConfig{
+			Hidden:    cfg.Hidden,
+			LR:        cfg.LR,
+			BatchSize: cfg.BatchSize,
+			Precision: cfg.Precision,
+			Seed:      cfg.Seed,
+		},
+	})
+	// Warm-start the policy on the expert's demonstrated trajectories (their
+	// recorded rewards are the same −log(cost) the cost phase trains on), so
+	// cost training starts near the expert instead of from a random policy.
+	for sweep := 0; sweep < cfg.DemoSweeps; sweep++ {
+		if err := ctx.Err(); err != nil {
+			return s.stopped(err)
+		}
+		for _, d := range demo.Demos() {
+			boot.RL.Observe(d.Traj)
+		}
+	}
+	s.publish(boot.RL)
+	s.transition(PhaseCostTraining, demoReason+"; policy primed on expert trajectories")
+
+	// --- CostTraining (§5.2 Phase 1, async actor-learner) --------------
+	async := rl.AsyncConfig{
+		Actors:    cfg.Actors,
+		Staleness: cfg.Staleness,
+		OnPublish: func(uint64) { s.publish(boot.RL) },
+	}
+	seed := cfg.Seed + 100
+	remaining := cfg.CostEpisodes
+	ratio := math.Inf(1)
+	costReason := fmt.Sprintf("cost budget exhausted (%d episodes)", cfg.CostEpisodes)
+	for remaining > 0 {
+		if err := ctx.Err(); err != nil {
+			return s.stopped(err)
+		}
+		chunk := min(cfg.EvalEvery, remaining)
+		seed++
+		async.Seed = seed
+		st := planspace.TrainAsyncCtx(ctx, trainEnv, boot.RL, chunk, async, nil)
+		remaining -= chunk
+		s.setProgress(func(p *lifecycleProgress) { p.costEpisodes += st.Episodes })
+		if err := ctx.Err(); err != nil {
+			return s.stopped(err)
+		}
+		r, err := s.greedyRatio(trainEnv, boot.RL, cfg.Queries)
+		if err == nil {
+			ratio = r
+			s.setProgress(func(p *lifecycleProgress) { p.costRatio = r })
+		}
+		if cfg.CostRatioTarget > 0 && ratio <= cfg.CostRatioTarget {
+			costReason = fmt.Sprintf("greedy cost ratio %.3f ≤ target %.3f", ratio, cfg.CostRatioTarget)
+			break
+		}
+	}
+	s.publish(boot.RL)
+	s.transition(PhaseLatencyTuning, costReason)
+
+	// --- LatencyTuning (§5.2 Phase 2, async actor-learner) -------------
+	boot.SwitchToLatency()
+	seed++
+	async.Seed = seed
+	st := planspace.TrainAsyncCtx(ctx, trainEnv, boot.RL, cfg.LatencyEpisodes, async, nil)
+	s.setProgress(func(p *lifecycleProgress) { p.latencyEpisodes = st.Episodes })
+	if err := ctx.Err(); err != nil {
+		return s.stopped(err)
+	}
+	s.publish(boot.RL)
+	s.transition(PhaseDone, fmt.Sprintf("latency budget exhausted (%d episodes)", cfg.LatencyEpisodes))
+	return nil
+}
+
+// greedyRatio is the CostTraining transition predicate's measurement: the
+// geometric mean over the workload of (greedy learned plan cost) / (expert
+// plan cost). Runs on the lifecycle goroutine between training chunks, when
+// no actors are stepping the env.
+func (s *Service) greedyRatio(env *planspace.Env, learner *rl.Reinforce, queries []*Query) (float64, error) {
+	var logSum float64
+	n := 0
+	for _, q := range queries {
+		out, err := env.GreedyRollout(context.Background(), q, learner.Greedy)
+		if err != nil || out.Plan == nil {
+			continue
+		}
+		planned, err := s.sys.Planner.Plan(q)
+		if err != nil {
+			return 0, err
+		}
+		logSum += math.Log(out.Cost / planned.Cost)
+		n++
+	}
+	if n == 0 {
+		return math.Inf(1), nil
+	}
+	return math.Exp(logSum / float64(n)), nil
+}
