@@ -273,12 +273,12 @@ func BenchmarkExecutorHashJoin(b *testing.B) {
 // a 256-dim observation, 64 actions, 128→64 hidden layers, and a replay
 // buffer of 4096 samples.
 func benchQAgent(seed int64) (*rl.QAgent, *rl.ReplayBuffer) {
-	return benchQAgentAt(nn.F64, seed)
+	return benchQAgentAt(nn.F64, nn.EngineAuto, seed)
 }
 
-func benchQAgentAt(p nn.Precision, seed int64) (*rl.QAgent, *rl.ReplayBuffer) {
+func benchQAgentAt(p nn.Precision, e nn.Engine, seed int64) (*rl.QAgent, *rl.ReplayBuffer) {
 	const obsDim, actions = 256, 64
-	agent := rl.NewQAgent(obsDim, actions, rl.QAgentConfig{Hidden: []int{128, 64}, Precision: p, Seed: seed})
+	agent := rl.NewQAgent(obsDim, actions, rl.QAgentConfig{Hidden: []int{128, 64}, Precision: p, Engine: e, Seed: seed})
 	buf := rl.NewReplayBuffer(4096)
 	rng := rand.New(rand.NewSource(seed))
 	for i := 0; i < 4096; i++ {
@@ -293,18 +293,45 @@ func benchQAgentAt(p nn.Precision, seed int64) (*rl.QAgent, *rl.ReplayBuffer) {
 
 // BenchmarkBatchedTrain measures QAgent.Train's batched path: one 64-sample
 // minibatch per iteration through a single parallel forward/backward pass,
-// at each tensor-core precision. The f32 sub-benchmark moves half the bytes
-// per matmul, bias add, and Adam step (weights, activations, gradients, and
-// optimizer moments are all float32).
+// at each tensor-core precision × compute engine. The f32 sub-benchmarks
+// move half the bytes per matmul, bias add, and Adam step; the blocked
+// sub-benchmarks run the packed-panel microkernels. Steady state is
+// allocation-free (0 allocs/op — see TestBatchedTrainZeroAlloc).
 func BenchmarkBatchedTrain(b *testing.B) {
 	for _, p := range []nn.Precision{nn.F64, nn.F32} {
-		b.Run(p.String(), func(b *testing.B) {
-			agent, buf := benchQAgentAt(p, 1)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				agent.Train(buf, 64)
-			}
-		})
+		for _, e := range []nn.Engine{nn.EngineReference, nn.EngineBlocked} {
+			b.Run(fmt.Sprintf("%s/%s", p, e), func(b *testing.B) {
+				agent, buf := benchQAgentAt(p, e, 1)
+				agent.Train(buf, 64) // size the layer and batch buffers
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					agent.Train(buf, 64)
+				}
+			})
+		}
+	}
+}
+
+// TestBatchedTrainZeroAlloc pins the hot training path's zero-steady-state
+// allocation property end to end — replay sampling, batch assembly, the
+// forward/backward kernels, and the Adam step — under both compute engines.
+// Serial kernels only: the parallel dispatch path allocates its task
+// closures by design.
+func TestBatchedTrainZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; alloc counts are meaningless under -race")
+	}
+	prev := nn.Workers()
+	nn.SetWorkers(1)
+	defer nn.SetWorkers(prev)
+	for _, e := range []nn.Engine{nn.EngineReference, nn.EngineBlocked} {
+		agent, buf := benchQAgentAt(nn.F64, e, 1)
+		train := func() { agent.Train(buf, 64) }
+		train() // size the layer and batch buffers
+		if allocs := testing.AllocsPerRun(20, train); allocs != 0 {
+			t.Errorf("%v: batched train %.1f allocs/op, want 0", e, allocs)
+		}
 	}
 }
 

@@ -12,6 +12,8 @@
 //	handsfree service      run the Service lifecycle (demonstration →
 //	                       cost training → latency tuning) and serve the
 //	                       workload through the safeguarded Plan path
+//	handsfree env          print the resolved compute configuration
+//	                       (engine, precision, tile sizes, workers)
 //	handsfree all          every experiment in sequence
 //
 // Flags:
@@ -21,6 +23,10 @@
 //	-seed n       experiment seed override
 //	-precision s  tensor-core precision for learned agents: f64 (default,
 //	              bitwise-deterministic) or f32 (half the memory bandwidth)
+//	-engine s     dense-kernel backend for learned agents: reference
+//	              (bitwise-deterministic naive kernels) or blocked
+//	              (cache-blocked register-tiled microkernels; default:
+//	              HANDSFREE_ENGINE, else the build default)
 //	-timeout d    service mode: overall lifecycle deadline, and per-query
 //	              planning deadline on the Plan(ctx) serving path
 package main
@@ -43,6 +49,7 @@ func main() {
 	scale := flag.Float64("scale", 0, "database scale factor override")
 	seed := flag.Int64("seed", 0, "experiment seed override")
 	precision := flag.String("precision", "", "tensor-core precision for learned agents: f64 or f32 (default: HANDSFREE_PRECISION, else f64)")
+	engineFlag := flag.String("engine", "", "dense-kernel backend for learned agents: reference or blocked (default: HANDSFREE_ENGINE, else the build default)")
 	timeout := flag.Duration("timeout", 0, "service mode: lifecycle deadline and per-query planning deadline (0 = none)")
 	flag.Usage = usage
 	flag.Parse()
@@ -59,7 +66,20 @@ func main() {
 		// constructs any network.
 		os.Setenv("HANDSFREE_PRECISION", *precision)
 	}
+	if *engineFlag != "" {
+		if _, err := nn.ParseEngine(*engineFlag); err != nil {
+			fatal(err)
+		}
+		// Same pattern as -precision: agents resolve EngineAuto through this
+		// env var on first use.
+		os.Setenv("HANDSFREE_ENGINE", *engineFlag)
+	}
 	cmd := strings.ToLower(flag.Arg(0))
+
+	if cmd == "env" {
+		printEnv()
+		return
+	}
 
 	if cmd == "service" {
 		runService(*quick, *scale, *seed, *timeout)
@@ -279,6 +299,21 @@ func runService(quick bool, scale float64, seed int64, timeout time.Duration) {
 		final.Plans, final.LearnedServed, final.ExpertServed, final.Fallbacks, svc.FallbackRatio())
 }
 
+// printEnv reports the compute configuration a run with the same flags and
+// environment would resolve to, so perf numbers are reproducible: the
+// dense-kernel engine, the tensor precision, the blocked engine's tile
+// geometry, and the kernel worker-pool width.
+func printEnv() {
+	mr, nr, kc := nn.BlockedTileConfig()
+	fmt.Printf("engine:    %s (HANDSFREE_ENGINE=%q, build default %s)\n",
+		nn.DefaultEngine(), os.Getenv("HANDSFREE_ENGINE"), nn.BuildDefaultEngine())
+	fmt.Printf("precision: %s (HANDSFREE_PRECISION=%q)\n",
+		nn.DefaultPrecision(), os.Getenv("HANDSFREE_PRECISION"))
+	fmt.Printf("blocked kernel: %s (portable tile %dx%d, k-block %d)\n",
+		nn.BlockedKernel(), mr, nr, kc)
+	fmt.Printf("kernel workers: %d\n", nn.Workers())
+}
+
 // renderer is anything that can print itself.
 type renderer interface{ Render() string }
 
@@ -294,7 +329,7 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage: handsfree [-quick] [-scale f] [-seed n] [-precision f64|f32] [-timeout d] <experiment>
+	fmt.Fprint(os.Stderr, `usage: handsfree [-quick] [-scale f] [-seed n] [-precision f64|f32] [-engine reference|blocked] [-timeout d] <experiment>
 
 experiments:
   fig3a        ReJOIN convergence (Figure 3a)
@@ -311,6 +346,8 @@ experiments:
                (demonstration → cost → latency), hot-swap policies, serve
                the workload through the safeguarded Plan(ctx) path
                (-timeout bounds the lifecycle and each planning call)
+  env          print the resolved compute configuration (engine,
+               precision, tile sizes, kernel workers)
   all          run everything
 `)
 }

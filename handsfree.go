@@ -81,6 +81,10 @@ type (
 	// Precision selects the scalar type the learned agents' networks store
 	// and compute in; see Config.Precision.
 	Precision = nn.Precision
+	// ComputeEngine selects the dense-kernel backend the learned agents'
+	// networks run on; see Config.Engine. (Named ComputeEngine because
+	// System.Engine is the query executor.)
+	ComputeEngine = nn.Engine
 )
 
 // Precision values for Config.Precision and ReJOINConfig.Precision.
@@ -95,6 +99,23 @@ const (
 	// parity. Pick it for long training runs where throughput matters more
 	// than bitwise reproducibility; see README.md.
 	F32 = nn.F32
+)
+
+// Compute-engine values for Config.Engine and ReJOINConfig.Engine.
+const (
+	// EngineAuto resolves through the HANDSFREE_ENGINE environment variable
+	// and falls back to the build's compiled-in default (the reference
+	// engine unless built with -tags handsfree_blocked).
+	EngineAuto = nn.EngineAuto
+	// EngineReference is the pure-Go naive-kernel backend: the
+	// bitwise-deterministic reference every other engine is verified
+	// against.
+	EngineReference = nn.EngineReference
+	// EngineBlocked is the cache-blocked, register-tiled GEMM backend:
+	// packed B-panels and 4×4 unrolled microkernels, tolerance-verified
+	// against the reference (f64 rel ≤1e-12, f32 rel ≤1e-4). Pick it for
+	// training throughput; see README.md.
+	EngineBlocked = nn.EngineBlocked
 )
 
 // CacheConfig controls the optional plan cache service.
@@ -137,6 +158,12 @@ type Config struct {
 	// float64 behavior. F32 halves the memory bandwidth of every batched
 	// network kernel at tolerance-bounded (not bitwise) parity.
 	Precision Precision
+	// Engine is the default dense-kernel backend for every learned agent
+	// the system builds (per-agent configs may override it). The default,
+	// EngineAuto, resolves through the HANDSFREE_ENGINE environment
+	// variable and falls back to the build's compiled-in engine —
+	// EngineReference unless built with -tags handsfree_blocked.
+	Engine ComputeEngine
 }
 
 func (c *Config) fill() {
@@ -173,6 +200,9 @@ type System struct {
 	// Precision is the system-wide default for learned agents (resolved
 	// from Config.Precision).
 	Precision Precision
+	// Compute is the system-wide default dense-kernel backend for learned
+	// agents (resolved from Config.Engine; Engine is the query executor).
+	Compute ComputeEngine
 
 	// cacheTag fingerprints the configuration that determines plan
 	// identity (database seed, scale, oracle seed); plan-cache dumps carry
@@ -247,6 +277,7 @@ func openSystem(cfg Config) (*System, error) {
 		Workload:  workload.New(db),
 		PlanCache: cache,
 		Precision: cfg.Precision.Resolve(),
+		Compute:   cfg.Engine.Resolve(),
 		cacheTag:  systemTag(cfg),
 	}, nil
 }
@@ -345,7 +376,10 @@ type ReJOINConfig struct {
 	// Precision overrides the system-wide Config.Precision for this agent's
 	// policy network (PrecisionAuto inherits the system setting).
 	Precision Precision
-	Seed      int64
+	// Engine overrides the system-wide Config.Engine for this agent's
+	// policy network (EngineAuto inherits the system setting).
+	Engine ComputeEngine
+	Seed   int64
 }
 
 // NewReJOINAgent builds a ReJOIN agent over a training workload. Queries
@@ -392,10 +426,14 @@ func newReJOINAgent(sys *System, queries []*Query, cfg ReJOINConfig) (*ReJOINAge
 	if prec == PrecisionAuto {
 		prec = sys.Precision
 	}
+	eng := cfg.Engine
+	if eng == EngineAuto {
+		eng = sys.Compute
+	}
 	space := featurize.NewSpace(cfg.MaxRelations, sys.Est)
 	env := rejoin.NewEnv(space, sys.Planner, queries, cfg.Seed)
 	agent := rejoin.NewAgent(env, rl.ReinforceConfig{
-		Hidden: cfg.Hidden, LR: cfg.LR, BatchSize: 16, Precision: prec, Seed: cfg.Seed,
+		Hidden: cfg.Hidden, LR: cfg.LR, BatchSize: 16, Precision: prec, Engine: eng, Seed: cfg.Seed,
 	})
 	return &ReJOINAgent{agent: agent}, nil
 }

@@ -2,11 +2,20 @@
 // the paper's neural agents consume. The encoding follows ReJOIN (§3): each
 // join subtree is a row vector weighting its relations by 1/2^depth, plus a
 // join-graph adjacency block and a per-relation predicate-selectivity block.
+//
+// Featurization runs once per step of every training episode, so it is a hot
+// path. Two mechanisms keep its steady-state allocation down to the feature
+// vector itself (which episode trajectories retain and therefore must be
+// fresh): PairMask memoizes the per-forest-size action masks on the Space
+// (they are pure functions of the forest size), and Scratch carries the
+// per-episode working maps — alias positions, depth weights, subtree alias
+// sets — that the naive encoding would reallocate at every state.
 package featurize
 
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"handsfree/internal/plan"
 	"handsfree/internal/query"
@@ -15,12 +24,18 @@ import (
 
 // Space is a fixed-size featurization context: it pins the maximum relation
 // count so every query in a workload maps into vectors of identical length
-// (the network input dimension).
+// (the network input dimension). A Space is shared read-only by parallel
+// collection workers; do not copy it after first use.
 type Space struct {
 	// MaxRels bounds the number of relations per query.
 	MaxRels int
 	// Est supplies filter selectivities for the predicate block.
 	Est *stats.Estimator
+
+	// maskOnce guards the lazily built PairMask cache: masks[k] is the
+	// (immutable, shared) mask for a forest of k subtrees.
+	maskOnce sync.Once
+	masks    [][]bool
 }
 
 // NewSpace builds a featurization space.
@@ -51,23 +66,114 @@ func AliasIndex(q *query.Query) []string {
 	return out
 }
 
+// Scratch holds the reusable working state of featurization: the alias→index
+// map of the current query, the depth-weight accumulator, and a memo of
+// subtree alias sets keyed by plan node. One Scratch belongs to one
+// environment (it is not concurrency-safe); call Reset at each episode start
+// so the alias-set memo does not retain the previous episode's plan nodes.
+// The zero value is ready to use.
+type Scratch struct {
+	q       *query.Query
+	names   []string
+	idx     map[string]int
+	weights map[string]float64
+	aliases map[plan.Node]map[string]bool
+}
+
+// Reset drops per-episode state (the subtree alias-set memo). The per-query
+// alias index survives: it is keyed by query pointer and revalidated on use.
+func (sc *Scratch) Reset() {
+	clear(sc.aliases)
+}
+
+// posFor returns the alias→feature-index map for q, rebuilding it only when
+// the query changes.
+func (sc *Scratch) posFor(q *query.Query) map[string]int {
+	if sc.q == q && sc.idx != nil {
+		return sc.idx
+	}
+	sc.names = sc.names[:0]
+	for _, r := range q.Relations {
+		sc.names = append(sc.names, r.Alias)
+	}
+	sort.Strings(sc.names)
+	if sc.idx == nil {
+		sc.idx = make(map[string]int, len(sc.names))
+	} else {
+		clear(sc.idx)
+	}
+	for i, a := range sc.names {
+		sc.idx[a] = i
+	}
+	sc.q = q
+	return sc.idx
+}
+
+// aliasesOf returns the alias set of a subtree, memoized per node. Join trees
+// grow bottom-up during an episode, so the memo turns the naive recursive
+// recomputation (one fresh map per interior node per state) into one map per
+// node per episode, with joined nodes merged from their memoized children.
+func (sc *Scratch) aliasesOf(n plan.Node) map[string]bool {
+	if m, ok := sc.aliases[n]; ok {
+		return m
+	}
+	var m map[string]bool
+	switch t := n.(type) {
+	case *plan.Join:
+		l, r := sc.aliasesOf(t.Left), sc.aliasesOf(t.Right)
+		m = make(map[string]bool, len(l)+len(r))
+		for a := range l {
+			m[a] = true
+		}
+		for a := range r {
+			m[a] = true
+		}
+	default:
+		m = n.Aliases()
+	}
+	if sc.aliases == nil {
+		sc.aliases = make(map[plan.Node]map[string]bool, 16)
+	}
+	sc.aliases[n] = m
+	return m
+}
+
 // JoinState encodes the current forest of join subtrees. The subtree block
 // has one row per current subtree (in forest order); entry (row, i) is
 // 1/2^depth of relation i within that subtree, 0 if absent. The join-graph
 // and selectivity blocks are constant per query.
 func (s *Space) JoinState(q *query.Query, forest []plan.Node) []float64 {
+	return s.JoinStateInto(make([]float64, s.ObsDim()), q, forest, nil)
+}
+
+// JoinStateInto is JoinState writing into caller-owned storage: dst must have
+// length ObsDim() and is fully overwritten. sc carries the reusable working
+// maps; nil falls back to throwaway ones. The returned slice is dst. dst must
+// still be freshly allocated per state when the result is retained (episode
+// trajectories keep feature vectors until the policy update); what the
+// scratch eliminates is every other allocation of the encoding.
+func (s *Space) JoinStateInto(dst []float64, q *query.Query, forest []plan.Node, sc *Scratch) []float64 {
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	n := s.MaxRels
-	features := make([]float64, s.ObsDim())
-	idx := aliasPos(q)
+	features := dst[:s.ObsDim()]
+	for i := range features {
+		features[i] = 0
+	}
+	idx := sc.posFor(q)
 
 	// Subtree block.
+	if sc.weights == nil {
+		sc.weights = make(map[string]float64, n)
+	}
 	for row, tree := range forest {
 		if row >= n {
 			break
 		}
-		weights := map[string]float64{}
-		depthWeights(tree, 0, weights)
-		for alias, w := range weights {
+		clear(sc.weights)
+		depthWeights(tree, 0, sc.weights)
+		for alias, w := range sc.weights {
 			if i, ok := idx[alias]; ok && i < n {
 				features[row*n+i] = w
 			}
@@ -98,15 +204,34 @@ func (s *Space) JoinState(q *query.Query, forest []plan.Node) []float64 {
 		if row >= n {
 			break
 		}
-		card := s.Est.SubsetCard(q, tree.Aliases())
+		card := s.Est.SubsetCard(q, sc.aliasesOf(tree))
 		features[off+row] = math.Log10(card+1) / 10
 	}
 	return features
 }
 
 // PairMask returns the action mask for the current forest: action x·MaxRels+y
-// is valid iff x and y address distinct existing subtrees.
+// is valid iff x and y address distinct existing subtrees. The mask is a
+// pure function of the forest size, so it is computed once per size and the
+// shared cached slice is returned — callers must treat it as read-only.
 func (s *Space) PairMask(forestSize int) []bool {
+	s.maskOnce.Do(func() {
+		s.masks = make([][]bool, s.MaxRels+1)
+		for k := range s.masks {
+			s.masks[k] = s.buildPairMask(k)
+		}
+	})
+	k := forestSize
+	if k > s.MaxRels {
+		k = s.MaxRels
+	}
+	if k < 0 {
+		k = 0
+	}
+	return s.masks[k]
+}
+
+func (s *Space) buildPairMask(forestSize int) []bool {
 	n := s.MaxRels
 	mask := make([]bool, n*n)
 	for x := 0; x < forestSize && x < n; x++ {
@@ -124,15 +249,27 @@ func (s *Space) PairMask(forestSize int) []bool {
 // connected pair exists, it falls back to the unrestricted mask so episodes
 // can always finish.
 func (s *Space) ConnectedPairMask(q *query.Query, forest []plan.Node) []bool {
+	return s.ConnectedPairMaskScratch(q, forest, nil)
+}
+
+// ConnectedPairMaskScratch is ConnectedPairMask reusing a Scratch's subtree
+// alias-set memo. The mask itself is freshly allocated (it varies with join
+// structure and is retained by trajectories); the fallback returns the
+// shared PairMask cache entry, which callers must treat as read-only.
+func (s *Space) ConnectedPairMaskScratch(q *query.Query, forest []plan.Node, sc *Scratch) []bool {
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	n := s.MaxRels
 	mask := make([]bool, n*n)
 	any := false
 	for x := 0; x < len(forest) && x < n; x++ {
+		ax := sc.aliasesOf(forest[x])
 		for y := 0; y < len(forest) && y < n; y++ {
 			if x == y {
 				continue
 			}
-			if len(q.JoinsBetween(forest[x].Aliases(), forest[y].Aliases())) > 0 {
+			if q.HasJoinBetween(ax, sc.aliasesOf(forest[y])) {
 				mask[x*n+y] = true
 				any = true
 			}
@@ -152,14 +289,6 @@ func (s *Space) DecodeAction(a int) (x, y int) {
 // EncodeAction builds the action id of the (x, y) pair.
 func (s *Space) EncodeAction(x, y int) int {
 	return x*s.MaxRels + y
-}
-
-func aliasPos(q *query.Query) map[string]int {
-	idx := map[string]int{}
-	for i, a := range AliasIndex(q) {
-		idx[a] = i
-	}
-	return idx
 }
 
 // depthWeights assigns 1/2^depth to every relation in the subtree.

@@ -16,6 +16,7 @@ import (
 	"math"
 	"math/rand"
 
+	"handsfree/internal/nn"
 	"handsfree/internal/planspace"
 	"handsfree/internal/query"
 	"handsfree/internal/rl"
@@ -41,7 +42,12 @@ type Config struct {
 	// CatastropheFactor defines a catastrophic execution: latency worse than
 	// this multiple of the expert's (default 50).
 	CatastropheFactor float64
-	Seed              int64
+	// Precision and Engine select the reward-prediction network's scalar
+	// type and dense-kernel backend (zero values resolve through the
+	// HANDSFREE_PRECISION / HANDSFREE_ENGINE environment variables).
+	Precision nn.Precision
+	Engine    nn.Engine
+	Seed      int64
 }
 
 func (c *Config) fill() {
@@ -103,10 +109,12 @@ func New(cfg Config) *Agent {
 	cfg.fill()
 	env := cfg.Env
 	q := rl.NewQAgent(env.ObsDim(), env.ActionDim(), rl.QAgentConfig{
-		Hidden:  cfg.Hidden,
-		LR:      cfg.LR,
-		Epsilon: cfg.Epsilon,
-		Seed:    cfg.Seed,
+		Hidden:    cfg.Hidden,
+		LR:        cfg.LR,
+		Epsilon:   cfg.Epsilon,
+		Precision: cfg.Precision,
+		Engine:    cfg.Engine,
+		Seed:      cfg.Seed,
 	})
 	return &Agent{
 		Cfg:       cfg,

@@ -1,0 +1,249 @@
+package nn
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Engine selects the compute backend the dense kernels run on. The seam is
+// deliberately small — three matmul variants plus the fused linear-layer
+// forward/backward — so a backend is a handful of kernels, and everything
+// above the kernels (layers, networks, agents, the service) is untouched by
+// backend choice.
+//
+// The zero value (EngineAuto) resolves through the HANDSFREE_ENGINE
+// environment variable, falling back to the build-tag default (see
+// engine_default.go): EngineReference unless the binary was built with
+// -tags handsfree_blocked. Existing callers that never pick an engine keep
+// the reference kernels' numerics bit for bit, while CI sweeps the whole
+// suite through the blocked kernels with one env var.
+type Engine uint8
+
+const (
+	// EngineAuto defers to DefaultEngine (the HANDSFREE_ENGINE environment
+	// variable, or the build-tag default when unset).
+	EngineAuto Engine = iota
+	// EngineReference is the pure-Go generic kernel set (MatMul/MatMulATB/
+	// MatMulABT as shipped before the engine seam): the bitwise-deterministic
+	// reference every other backend is verified against.
+	EngineReference
+	// EngineBlocked is the cache-blocked backend: packed B-panels, KC-deep
+	// k-blocking, and register-tiled microkernels — runtime-detected AVX2+FMA
+	// vector tiles (4×16 f32, 4×8 f64; see BlockedKernel) with portable 2×4
+	// Go tiles as the fallback — composed with the package worker pool. It
+	// reorders the per-element summation (register accumulation per k-block)
+	// and the vector kernels fuse each multiply-add, so it matches the
+	// reference by tolerance (f64 rel ≤1e-12, f32 rel ≤1e-4) rather than
+	// bitwise — except on single-row and other tiny shapes, which fall back
+	// to the reference kernel and stay bitwise identical (greedy 1×d
+	// inference in particular).
+	EngineBlocked
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineReference:
+		return "reference"
+	case EngineBlocked:
+		return "blocked"
+	default:
+		return "auto"
+	}
+}
+
+// ParseEngine parses an engine name: "reference"/"ref" and "blocked"/"block"
+// (case-insensitive); "" and "auto" are EngineAuto.
+func ParseEngine(s string) (Engine, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return EngineAuto, nil
+	case "reference", "ref":
+		return EngineReference, nil
+	case "blocked", "block":
+		return EngineBlocked, nil
+	}
+	return EngineAuto, fmt.Errorf("nn: unknown engine %q (want reference or blocked)", s)
+}
+
+// defaultEngine caches the HANDSFREE_ENGINE lookup: the env var is a
+// process-wide matrix knob, not something that changes mid-run.
+var defaultEngine = sync.OnceValue(func() Engine {
+	e, err := ParseEngine(os.Getenv("HANDSFREE_ENGINE"))
+	if err != nil || e == EngineAuto {
+		return buildDefaultEngine
+	}
+	return e
+})
+
+// DefaultEngine returns the engine EngineAuto resolves to: the value of the
+// HANDSFREE_ENGINE environment variable at first use, or the build-tag
+// default (EngineReference, or EngineBlocked under -tags handsfree_blocked).
+func DefaultEngine() Engine { return defaultEngine() }
+
+// BuildDefaultEngine returns the compiled-in engine default — what
+// DefaultEngine falls back to when HANDSFREE_ENGINE is unset.
+func BuildDefaultEngine() Engine { return buildDefaultEngine }
+
+// Resolve maps EngineAuto to DefaultEngine and returns concrete engines
+// unchanged.
+func (e Engine) Resolve() Engine {
+	if e == EngineAuto {
+		return DefaultEngine()
+	}
+	return e
+}
+
+// EngineOf is one compute backend at a fixed precision. All methods write
+// into caller-provided, correctly shaped outputs (they panic on shape
+// mismatch) so steady-state training allocates nothing.
+//
+// Numeric contract: MatMul/MatMulATB/MatMulABT accumulate each output
+// element over the shared k index in ascending order within whatever
+// blocking the backend applies; LinearForward is the matmul followed by the
+// bias row-add; LinearBackward accumulates dW += xᵀ·dout and dB += Σrows
+// dout and overwrites dx = dout·wᵀ, in that order. The reference engine's
+// float64 instantiation is bitwise identical to the pre-seam layer code.
+type EngineOf[T Float] interface {
+	// Kind reports which Engine this backend implements.
+	Kind() Engine
+	// MatMul computes out = a·b (out fully overwritten).
+	MatMul(a, b, out *MatOf[T])
+	// MatMulATB computes out = aᵀ·b, or out += aᵀ·b when accum is true.
+	MatMulATB(a, b, out *MatOf[T], accum bool)
+	// MatMulABT computes out = a·bᵀ (out fully overwritten).
+	MatMulABT(a, b, out *MatOf[T])
+	// LinearForward computes out = x·w + bias (bias broadcast over rows).
+	LinearForward(x, w *MatOf[T], bias []T, out *MatOf[T])
+	// LinearBackward accumulates the fused linear-layer gradients:
+	// dW += xᵀ·dout, dB += column sums of dout, dx = dout·wᵀ.
+	LinearBackward(x, dout, w *MatOf[T], dW, dB []T, dx *MatOf[T])
+}
+
+// NewEngineOf returns the backend implementing e at precision T. Backends
+// are stateless (scratch comes from internal pools), so the returned values
+// are freely shareable across goroutines and allocate nothing.
+func NewEngineOf[T Float](e Engine) EngineOf[T] {
+	if e.Resolve() == EngineBlocked {
+		return blockedEngineOf[T]{}
+	}
+	return refEngineOf[T]{}
+}
+
+// refEngineOf is the reference backend: the package's generic i-k-j kernels
+// run through the row-parallel worker pool, exactly as the pre-seam layer
+// code called them.
+type refEngineOf[T Float] struct{}
+
+// Kind reports EngineReference.
+func (refEngineOf[T]) Kind() Engine { return EngineReference }
+
+// matABArgs carries kernel operands through parallelRowsOf, so the serial
+// dispatch path builds no closure and allocates nothing.
+type matABArgs[T Float] struct {
+	a, b, out *MatOf[T]
+}
+
+func checkMatMulShape[T Float](a, b, out *MatOf[T]) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: engine matmul shape mismatch %dx%d · %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+}
+
+func checkMatMulATBShape[T Float](a, b, out *MatOf[T]) {
+	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: engine matmulATB shape mismatch %dx%d ᵀ· %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+}
+
+func checkMatMulABTShape[T Float](a, b, out *MatOf[T]) {
+	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: engine matmulABT shape mismatch %dx%d · %dx%d ᵀ -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+}
+
+// MatMul computes out = a·b with the reference kernel.
+func (refEngineOf[T]) MatMul(a, b, out *MatOf[T]) {
+	checkMatMulShape(a, b, out)
+	out.Zero()
+	if serialKernel(a.Rows, a.Rows*a.Cols*b.Cols) {
+		matMulRows(a, b, out, 0, a.Rows)
+		return
+	}
+	parallelRowsOf(a.Rows, a.Rows*a.Cols*b.Cols, matABArgs[T]{a, b, out},
+		func(g matABArgs[T], lo, hi int) { matMulRows(g.a, g.b, g.out, lo, hi) })
+}
+
+// MatMulATB computes out (+)= aᵀ·b with the reference kernel.
+func (refEngineOf[T]) MatMulATB(a, b, out *MatOf[T], accum bool) {
+	checkMatMulATBShape(a, b, out)
+	if !accum {
+		out.Zero()
+	}
+	if serialKernel(a.Cols, a.Rows*a.Cols*b.Cols) {
+		matMulATBRows(a, b, out, 0, a.Cols)
+		return
+	}
+	parallelRowsOf(a.Cols, a.Rows*a.Cols*b.Cols, matABArgs[T]{a, b, out},
+		func(g matABArgs[T], lo, hi int) { matMulATBRows(g.a, g.b, g.out, lo, hi) })
+}
+
+// MatMulABT computes out = a·bᵀ with the reference kernel.
+func (refEngineOf[T]) MatMulABT(a, b, out *MatOf[T]) {
+	checkMatMulABTShape(a, b, out)
+	if serialKernel(a.Rows, a.Rows*a.Cols*b.Rows) {
+		matMulABTRows(a, b, out, 0, a.Rows)
+		return
+	}
+	parallelRowsOf(a.Rows, a.Rows*a.Cols*b.Rows, matABArgs[T]{a, b, out},
+		func(g matABArgs[T], lo, hi int) { matMulABTRows(g.a, g.b, g.out, lo, hi) })
+}
+
+// LinearForward computes out = x·w + bias — the matmul followed by the
+// batched bias add, in the exact order the pre-seam Linear layer used.
+func (e refEngineOf[T]) LinearForward(x, w *MatOf[T], bias []T, out *MatOf[T]) {
+	e.MatMul(x, w, out)
+	addBiasRows(out, bias)
+}
+
+// LinearBackward accumulates dW += xᵀ·dout and dB += Σrows dout and computes
+// dx = dout·wᵀ, in the pre-seam layer's order. Starting dW from the existing
+// gradient instead of a zeroed temporary is bitwise identical whenever the
+// gradient was just zeroed (every training path calls ZeroGrad first):
+// folding a1…an onto 0 and then adding onto g0=0 rounds exactly like folding
+// a1…an onto g0=0 directly.
+func (e refEngineOf[T]) LinearBackward(x, dout, w *MatOf[T], dW, dB []T, dx *MatOf[T]) {
+	// The dW view comes from the matrix pool: a stack literal would escape
+	// through the kernel call and allocate on every backward pass.
+	dWm := getMat[T]()
+	*dWm = MatOf[T]{Rows: x.Cols, Cols: dout.Cols, Data: dW}
+	e.MatMulATB(x, dout, dWm, true)
+	putMat(dWm)
+	addColSums(dout, dB)
+	e.MatMulABT(dout, w, dx)
+}
+
+// addBiasRows adds bias to every row of out.
+func addBiasRows[T Float](out *MatOf[T], bias []T) {
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] += bias[j]
+		}
+	}
+}
+
+// addColSums accumulates the column sums of m into dst (the bias gradient).
+func addColSums[T Float](m *MatOf[T], dst []T) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			dst[j] += v
+		}
+	}
+}

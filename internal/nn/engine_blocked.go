@@ -1,0 +1,360 @@
+package nn
+
+// The blocked backend: cache-blocked, register-tiled matmul microkernels
+// behind the EngineOf seam.
+//
+// Layout: the k dimension is cut into KC-deep blocks; for each block the
+// needed rows of B are packed into NR-wide column panels (panel-major, so
+// the microkernel streams B contiguously), then the output rows fan out over
+// the package worker pool in MR-row tiles. The a·b path has two microkernel
+// implementations: AVX2+FMA vector tiles (gemm_amd64.go, used when a one-time
+// CPUID check passes) and the portable 2×4 Go tiles below. The 2×4 kernel
+// keeps its 8 partial sums in registers across the whole k block — 6 loads
+// feed 16 flops per k step, versus the reference kernel's two loads and a
+// store per multiply-add — and the packed panel plus MR rows of A fit L1.
+// The tile is 2×4 rather than 4×4 deliberately: 8 accumulators plus 4 packed
+// B values and 2 A values stay within amd64's 16 vector registers, where a
+// 4×4 tile's 21 live floats spill to the stack and forfeit the win.
+//
+// Numerics: register accumulation per k block reorders each output element's
+// summation (reference adds every product straight into memory in k order),
+// so blocked results match the reference by tolerance (f64 rel ≤1e-12, f32
+// rel ≤1e-4), not bitwise. Determinism still holds: the blocking is a pure
+// function of the shapes, never of the worker count, so a blocked product is
+// identical across SetWorkers settings. Tiny shapes — in particular the 1×d
+// products of greedy rollouts and per-sample inference — fall back to the
+// serial reference kernel and stay bitwise identical to EngineReference,
+// which is what makes reference-trained policies plan identically under
+// either engine.
+
+const (
+	// blockedKC is the k-block depth: one packed B panel is KC×NR elements
+	// (8 KB at f64) and each microkernel pass adds MR×KC elements of A, so
+	// the inner loops run from L1-resident data.
+	blockedKC = 256
+	// blockedMR × blockedNR is the register tile: 8 partial sums held in
+	// registers per microkernel invocation (see the register-budget note in
+	// the package comment above).
+	blockedMR = 2
+	blockedNR = 4
+	// blockedMinFlops is the multiply-accumulate count under which blocking
+	// (zeroing, packing, tile bookkeeping) costs more than it saves and the
+	// serial reference kernel runs instead.
+	blockedMinFlops = 1 << 12
+)
+
+// BlockedTileConfig reports the blocked engine's portable tile geometry
+// (register tile MR×NR, k-block depth KC) for reproducible perf reports. When
+// BlockedKernel reports "avx2+fma" the a·b path instead runs 4×16 (f32) or
+// 4×8 (f64) vector tiles; the k-block depth is KC either way.
+func BlockedTileConfig() (mr, nr, kc int) { return blockedMR, blockedNR, blockedKC }
+
+// BlockedKernel names the microkernel implementation behind the blocked
+// engine's a·b path: "avx2+fma" when the runtime-detected vector kernels are
+// active (amd64 with AVX2 and FMA), "portable" for the generic 2×4
+// register-tiled Go kernels.
+func BlockedKernel() string {
+	if asmGemmEnabled {
+		return "avx2+fma"
+	}
+	return "portable"
+}
+
+// blockedEngineOf is the cache-blocked backend.
+type blockedEngineOf[T Float] struct{}
+
+// Kind reports EngineBlocked.
+func (blockedEngineOf[T]) Kind() Engine { return EngineBlocked }
+
+// MatMul computes out = a·b with the blocked kernel.
+func (blockedEngineOf[T]) MatMul(a, b, out *MatOf[T]) {
+	checkMatMulShape(a, b, out)
+	gemmBlocked(a, b, out, false)
+}
+
+// MatMulATB computes out (+)= aᵀ·b by materializing aᵀ into pooled scratch
+// (an O(M·K) copy against the O(M·K·N) product) and running the blocked
+// kernel on it. Tiny products skip the transpose and run the reference
+// kernel directly.
+func (blockedEngineOf[T]) MatMulATB(a, b, out *MatOf[T], accum bool) {
+	checkMatMulATBShape(a, b, out)
+	if a.Cols < blockedMR || a.Rows < 2 || a.Rows*a.Cols*b.Cols < blockedMinFlops {
+		if !accum {
+			out.Zero()
+		}
+		matMulATBRows(a, b, out, 0, a.Cols)
+		return
+	}
+	at := getVec[T](a.Rows * a.Cols)
+	transposeInto(*at, a)
+	atm := getMat[T]()
+	*atm = MatOf[T]{Rows: a.Cols, Cols: a.Rows, Data: *at}
+	gemmBlocked(atm, b, out, accum)
+	putMat(atm)
+	putVec(at)
+}
+
+// MatMulABT computes out = a·bᵀ with 2×4 register-tiled dot kernels. B's
+// rows are already the contiguous reduction vectors, so no packing is
+// needed; each output element is a single ascending-k dot product, making
+// this kernel bitwise identical to the reference one.
+func (blockedEngineOf[T]) MatMulABT(a, b, out *MatOf[T]) {
+	checkMatMulABTShape(a, b, out)
+	if a.Rows < 2 || a.Rows*a.Cols*b.Rows < blockedMinFlops {
+		matMulABTRows(a, b, out, 0, a.Rows)
+		return
+	}
+	if serialKernel(a.Rows, a.Rows*a.Cols*b.Rows) {
+		matMulABTBlockedRows(a, b, out, 0, a.Rows)
+		return
+	}
+	parallelRowsOf(a.Rows, a.Rows*a.Cols*b.Rows, matABArgs[T]{a, b, out},
+		func(g matABArgs[T], lo, hi int) { matMulABTBlockedRows(g.a, g.b, g.out, lo, hi) })
+}
+
+// LinearForward computes out = x·w + bias on the blocked kernel.
+func (blockedEngineOf[T]) LinearForward(x, w *MatOf[T], bias []T, out *MatOf[T]) {
+	checkMatMulShape(x, w, out)
+	gemmBlocked(x, w, out, false)
+	addBiasRows(out, bias)
+}
+
+// LinearBackward accumulates dW += xᵀ·dout and dB += Σrows dout and computes
+// dx = dout·wᵀ, all on the blocked kernels.
+func (e blockedEngineOf[T]) LinearBackward(x, dout, w *MatOf[T], dW, dB []T, dx *MatOf[T]) {
+	// Pooled dW view, as in the reference engine: a stack literal would
+	// escape through the kernel call and allocate on every backward pass.
+	dWm := getMat[T]()
+	*dWm = MatOf[T]{Rows: x.Cols, Cols: dout.Cols, Data: dW}
+	e.MatMulATB(x, dout, dWm, true)
+	putMat(dWm)
+	addColSums(dout, dB)
+	e.MatMulABT(dout, w, dx)
+}
+
+// gemmArgs carries one k-block's operands through parallelRowsOf.
+type gemmArgs[T Float] struct {
+	a, b, out *MatOf[T]
+	bp        []T
+	kc0, kc1  int
+}
+
+// gemmBlocked computes out (+)= a·b with KC-blocking and packed panels.
+// Callers have checked shapes. When accum is false out is zeroed first; the
+// k blocks then accumulate into it in ascending order regardless of how the
+// rows are split across workers, so results are worker-count independent.
+func gemmBlocked[T Float](a, b, out *MatOf[T], accum bool) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	if !accum {
+		out.Zero()
+	}
+	if m < blockedMR || m*k*n < blockedMinFlops {
+		matMulRows(a, b, out, 0, m)
+		return
+	}
+	if gemmBlockedAsm(a, b, out) {
+		return
+	}
+	np := n - n%blockedNR
+	var bpv *[]T
+	var bp []T
+	if np > 0 {
+		bpv = getVec[T](min(blockedKC, k) * np)
+		bp = *bpv
+	}
+	for kc0 := 0; kc0 < k; kc0 += blockedKC {
+		kc1 := min(kc0+blockedKC, k)
+		if np > 0 {
+			packBPanels(b, kc0, kc1, np, bp)
+		}
+		if serialKernel(m, m*(kc1-kc0)*n) {
+			gemmBlockRows(a, b, bp, kc0, kc1, out, 0, m)
+			continue
+		}
+		parallelRowsOf(m, m*(kc1-kc0)*n,
+			gemmArgs[T]{a: a, b: b, out: out, bp: bp, kc0: kc0, kc1: kc1},
+			func(g gemmArgs[T], lo, hi int) {
+				gemmBlockRows(g.a, g.b, g.bp, g.kc0, g.kc1, g.out, lo, hi)
+			})
+	}
+	if bpv != nil {
+		putVec(bpv)
+	}
+}
+
+// packBPanels copies B[kc0:kc1, 0:np] into NR-wide panels: panel jp/NR holds
+// rows kc0..kc1 of columns jp..jp+NR contiguously, so the microkernel reads
+// B with stride 1.
+func packBPanels[T Float](b *MatOf[T], kc0, kc1, np int, bp []T) {
+	idx := 0
+	for jp := 0; jp < np; jp += blockedNR {
+		for k := kc0; k < kc1; k++ {
+			row := b.Row(k)
+			bp[idx] = row[jp]
+			bp[idx+1] = row[jp+1]
+			bp[idx+2] = row[jp+2]
+			bp[idx+3] = row[jp+3]
+			idx += blockedNR
+		}
+	}
+}
+
+// gemmBlockRows accumulates out[lo:hi, :] += A[lo:hi, kc0:kc1]·B[kc0:kc1, :]
+// for one packed k block: 2×4 register tiles over the packed panels, a
+// scalar column edge for n%NR trailing columns, and 1×4 tiles for a trailing
+// odd row. Inner-loop indexing is shaped for bounds-check elimination: the A
+// rows are pre-sliced to exactly kc elements so the range index covers both,
+// and each panel step reads element 3 first so the remaining three loads are
+// provably in bounds.
+func gemmBlockRows[T Float](a, b *MatOf[T], bp []T, kc0, kc1 int, out *MatOf[T], lo, hi int) {
+	kc := kc1 - kc0
+	n := out.Cols
+	np := n - n%blockedNR
+	i := lo
+	for ; i+blockedMR <= hi; i += blockedMR {
+		a0 := a.Row(i)[kc0:kc1]
+		a1 := a.Row(i + 1)[kc0:kc1]
+		o0 := out.Row(i)
+		o1 := out.Row(i + 1)
+		for jp := 0; jp < np; jp += blockedNR {
+			p := bp[(jp/blockedNR)*kc*blockedNR:]
+			var c00, c01, c02, c03 T
+			var c10, c11, c12, c13 T
+			for k, av0 := range a0 {
+				av1 := a1[k]
+				b3 := p[3]
+				b0 := p[0]
+				b1 := p[1]
+				b2 := p[2]
+				p = p[blockedNR:]
+				c00 += av0 * b0
+				c01 += av0 * b1
+				c02 += av0 * b2
+				c03 += av0 * b3
+				c10 += av1 * b0
+				c11 += av1 * b1
+				c12 += av1 * b2
+				c13 += av1 * b3
+			}
+			o0[jp] += c00
+			o0[jp+1] += c01
+			o0[jp+2] += c02
+			o0[jp+3] += c03
+			o1[jp] += c10
+			o1[jp+1] += c11
+			o1[jp+2] += c12
+			o1[jp+3] += c13
+		}
+		for j := np; j < n; j++ {
+			bcol := b.Data[kc0*b.Cols+j:]
+			var s0, s1 T
+			for k, av0 := range a0 {
+				bv := bcol[k*b.Cols]
+				s0 += av0 * bv
+				s1 += a1[k] * bv
+			}
+			o0[j] += s0
+			o1[j] += s1
+		}
+	}
+	for ; i < hi; i++ {
+		arow := a.Row(i)[kc0:kc1]
+		orow := out.Row(i)
+		for jp := 0; jp < np; jp += blockedNR {
+			p := bp[(jp/blockedNR)*kc*blockedNR:]
+			var c0, c1, c2, c3 T
+			for _, av := range arow {
+				b3 := p[3]
+				c0 += av * p[0]
+				c1 += av * p[1]
+				c2 += av * p[2]
+				c3 += av * b3
+				p = p[blockedNR:]
+			}
+			orow[jp] += c0
+			orow[jp+1] += c1
+			orow[jp+2] += c2
+			orow[jp+3] += c3
+		}
+		for j := np; j < n; j++ {
+			bcol := b.Data[kc0*b.Cols+j:]
+			var s T
+			for k := 0; k < kc; k++ {
+				s += arow[k] * bcol[k*b.Cols]
+			}
+			orow[j] += s
+		}
+	}
+}
+
+// transposeInto writes aᵀ into dst (len a.Rows*a.Cols, column-major over a).
+func transposeInto[T Float](dst []T, a *MatOf[T]) {
+	rows := a.Rows
+	for i := 0; i < rows; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			dst[j*rows+i] = v
+		}
+	}
+}
+
+// matMulABTBlockedRows computes out rows [lo, hi) of a·bᵀ with 2×4 register
+// tiles. Each output element is one ascending-k dot product — the same
+// order the reference kernel uses, so the results are bitwise identical to
+// matMulABTRows.
+func matMulABTBlockedRows[T Float](a, b, out *MatOf[T], lo, hi int) {
+	nb := b.Rows
+	nbt := nb - nb%4
+	i := lo
+	for ; i+2 <= hi; i += 2 {
+		a0 := a.Row(i)
+		a1 := a.Row(i + 1)
+		o0 := out.Row(i)
+		o1 := out.Row(i + 1)
+		for j := 0; j < nbt; j += 4 {
+			b0 := b.Row(j)
+			b1 := b.Row(j + 1)
+			b2 := b.Row(j + 2)
+			b3 := b.Row(j + 3)
+			var c00, c01, c02, c03 T
+			var c10, c11, c12, c13 T
+			for k, av0 := range a0 {
+				av1 := a1[k]
+				bv := b0[k]
+				c00 += av0 * bv
+				c10 += av1 * bv
+				bv = b1[k]
+				c01 += av0 * bv
+				c11 += av1 * bv
+				bv = b2[k]
+				c02 += av0 * bv
+				c12 += av1 * bv
+				bv = b3[k]
+				c03 += av0 * bv
+				c13 += av1 * bv
+			}
+			o0[j] = c00
+			o0[j+1] = c01
+			o0[j+2] = c02
+			o0[j+3] = c03
+			o1[j] = c10
+			o1[j+1] = c11
+			o1[j+2] = c12
+			o1[j+3] = c13
+		}
+		for j := nbt; j < nb; j++ {
+			brow := b.Row(j)
+			var s0, s1 T
+			for k, av0 := range a0 {
+				bv := brow[k]
+				s0 += av0 * bv
+				s1 += a1[k] * bv
+			}
+			o0[j] = s0
+			o1[j] = s1
+		}
+	}
+	if i < hi {
+		matMulABTRows(a, b, out, i, hi)
+	}
+}

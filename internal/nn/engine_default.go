@@ -1,0 +1,9 @@
+//go:build !handsfree_blocked
+
+package nn
+
+// buildDefaultEngine is the engine EngineAuto resolves to when
+// HANDSFREE_ENGINE is unset. The default build keeps the reference kernels,
+// preserving the pre-seam numerics bit for bit; build with
+// -tags handsfree_blocked to default to the blocked backend instead.
+const buildDefaultEngine = EngineReference

@@ -1,0 +1,7 @@
+//go:build handsfree_blocked
+
+package nn
+
+// buildDefaultEngine under -tags handsfree_blocked: EngineAuto resolves to
+// the cache-blocked backend unless HANDSFREE_ENGINE overrides it.
+const buildDefaultEngine = EngineBlocked

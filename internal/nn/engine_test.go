@@ -1,0 +1,413 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// engineShapes is the parity sweep: degenerate 1×1, single-row shapes that
+// must take the bitwise reference fallback, shapes below the register tile,
+// ragged shapes that exercise every edge path (trailing rows, trailing
+// columns, both), tall-skinny and k=1 extremes, a k that crosses the KC
+// block boundary, and full multiples of the tile.
+var engineShapes = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{1, 64, 7},    // single row: blocked falls back to the reference kernel
+	{3, 5, 2},     // below the MR×NR register tile
+	{4, 8, 4},     // exact tile multiples
+	{5, 9, 6},     // one trailing row and two trailing columns
+	{37, 53, 29},  // ragged everywhere
+	{200, 3, 2},   // tall-skinny
+	{64, 1, 64},   // k = 1
+	{33, 300, 17}, // k crosses the KC=256 block boundary
+	{64, 64, 64},
+}
+
+// engineTol returns the PR 4 tolerance-parity bound for T: blocked results
+// may differ from the reference only by accumulation-order rounding.
+func engineTol[T Float]() float64 {
+	if _, ok := any(T(0)).(float32); ok {
+		return 1e-4
+	}
+	return 1e-12
+}
+
+func fillUniform[T Float](data []T, rng *rand.Rand) {
+	for i := range data {
+		data[i] = T(rng.Float64()*2 - 1)
+	}
+}
+
+func randMatOf[T Float](r, c int, rng *rand.Rand) *MatOf[T] {
+	m := NewMatOf[T](r, c)
+	fillUniform(m.Data, rng)
+	return m
+}
+
+// checkClose fails unless got matches want element-wise within relative
+// tolerance tol (absolute for magnitudes below 1).
+func checkClose[T Float](t *testing.T, op string, got, want []T, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", op, len(got), len(want))
+	}
+	for i := range want {
+		g, w := float64(got[i]), float64(want[i])
+		if g == w {
+			continue
+		}
+		denom := math.Max(math.Abs(w), 1)
+		if rel := math.Abs(g-w) / denom; rel > tol || math.IsNaN(g) {
+			t.Fatalf("%s: element %d: got %v, want %v (rel err %.3g > %.3g)", op, i, g, w, rel, tol)
+		}
+	}
+}
+
+// forEachBlockedKernel runs f under every blocked microkernel implementation
+// available here: the portable Go tiles always, and the AVX2+FMA vector
+// kernels when the CPU has them (the setting is restored afterwards).
+func forEachBlockedKernel(t *testing.T, f func(t *testing.T)) {
+	t.Run("kernel=portable", func(t *testing.T) {
+		prev := setAsmGemm(false)
+		defer setAsmGemm(prev)
+		f(t)
+	})
+	if cpuAVX2FMA {
+		t.Run("kernel=avx2fma", func(t *testing.T) {
+			prev := setAsmGemm(true)
+			defer setAsmGemm(prev)
+			f(t)
+		})
+	}
+}
+
+// TestEngineMatMulMatchesRef is the engine parity harness: every EngineOf
+// method, over the full shape sweep, at both precisions, under serial and
+// parallel dispatch and both microkernel implementations, comparing the
+// blocked backend against the reference backend within the tolerance-parity
+// bounds.
+func TestEngineMatMulMatchesRef(t *testing.T) {
+	forEachBlockedKernel(t, func(t *testing.T) {
+		t.Run("f64", func(t *testing.T) { testEngineParity[float64](t) })
+		t.Run("f32", func(t *testing.T) { testEngineParity[float32](t) })
+	})
+}
+
+func testEngineParity[T Float](t *testing.T) {
+	old := Workers()
+	defer SetWorkers(old)
+	ref := NewEngineOf[T](EngineReference)
+	blk := NewEngineOf[T](EngineBlocked)
+	if ref.Kind() != EngineReference || blk.Kind() != EngineBlocked {
+		t.Fatalf("engine kinds: ref %v, blocked %v", ref.Kind(), blk.Kind())
+	}
+	tol := engineTol[T]()
+	for _, workers := range []int{1, 4} {
+		SetWorkers(workers)
+		for si, sh := range engineShapes {
+			m, k, n := sh.m, sh.k, sh.n
+			t.Run(fmt.Sprintf("w%d/%dx%dx%d", workers, m, k, n), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(100*workers + si)))
+
+				// MatMul: out = a·b.
+				a, b := randMatOf[T](m, k, rng), randMatOf[T](k, n, rng)
+				want, got := NewMatOf[T](m, n), NewMatOf[T](m, n)
+				ref.MatMul(a, b, want)
+				blk.MatMul(a, b, got)
+				checkClose(t, "MatMul", got.Data, want.Data, tol)
+
+				// MatMulATB: out (+)= aᵀ·b with a (k×m), b (k×n).
+				at, bt := randMatOf[T](k, m, rng), randMatOf[T](k, n, rng)
+				seed := randMatOf[T](m, n, rng)
+				for _, accum := range []bool{false, true} {
+					copy(want.Data, seed.Data)
+					copy(got.Data, seed.Data)
+					ref.MatMulATB(at, bt, want, accum)
+					blk.MatMulATB(at, bt, got, accum)
+					checkClose(t, fmt.Sprintf("MatMulATB(accum=%v)", accum), got.Data, want.Data, tol)
+				}
+
+				// MatMulABT: out = a·bᵀ with b (n×k).
+				bT := randMatOf[T](n, k, rng)
+				ref.MatMulABT(a, bT, want)
+				blk.MatMulABT(a, bT, got)
+				checkClose(t, "MatMulABT", got.Data, want.Data, tol)
+
+				// LinearForward: out = a·b + bias.
+				bias := make([]T, n)
+				fillUniform(bias, rng)
+				ref.LinearForward(a, b, bias, want)
+				blk.LinearForward(a, b, bias, got)
+				checkClose(t, "LinearForward", got.Data, want.Data, tol)
+
+				// LinearBackward: dW += xᵀ·dout, dB += Σrows dout, dx = dout·wᵀ,
+				// starting both engines from the same nonzero accumulators.
+				dout := randMatOf[T](m, n, rng)
+				dW0 := make([]T, k*n)
+				dB0 := make([]T, n)
+				fillUniform(dW0, rng)
+				fillUniform(dB0, rng)
+				dWr, dWb := append([]T(nil), dW0...), append([]T(nil), dW0...)
+				dBr, dBb := append([]T(nil), dB0...), append([]T(nil), dB0...)
+				dxr, dxb := NewMatOf[T](m, k), NewMatOf[T](m, k)
+				ref.LinearBackward(a, dout, b, dWr, dBr, dxr)
+				blk.LinearBackward(a, dout, b, dWb, dBb, dxb)
+				checkClose(t, "LinearBackward dW", dWb, dWr, tol)
+				checkClose(t, "LinearBackward dB", dBb, dBr, tol)
+				checkClose(t, "LinearBackward dx", dxb.Data, dxr.Data, tol)
+			})
+		}
+	}
+}
+
+// TestEngineMatMul512 pins parity on the full 512×512×512 shape — two k
+// blocks deep, every tile path saturated — at both precisions.
+func TestEngineMatMul512(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large shape")
+	}
+	old := Workers()
+	SetWorkers(1)
+	defer SetWorkers(old)
+	forEachBlockedKernel(t, func(t *testing.T) {
+		t.Run("f64", func(t *testing.T) { testEngine512[float64](t) })
+		t.Run("f32", func(t *testing.T) { testEngine512[float32](t) })
+	})
+}
+
+func testEngine512[T Float](t *testing.T) {
+	const d = 512
+	rng := rand.New(rand.NewSource(11))
+	a, b := randMatOf[T](d, d, rng), randMatOf[T](d, d, rng)
+	want, got := NewMatOf[T](d, d), NewMatOf[T](d, d)
+	NewEngineOf[T](EngineReference).MatMul(a, b, want)
+	NewEngineOf[T](EngineBlocked).MatMul(a, b, got)
+	// Relative error scales with the summation length; √k·ε is the usual
+	// random-walk bound and k=512 stays far inside the PR 4 budgets.
+	checkClose(t, "MatMul 512³", got.Data, want.Data, engineTol[T]())
+}
+
+// TestBlockedDeterministicAcrossWorkers: the blocked kernels' k-blocking is a
+// pure function of the shapes, so results are bitwise identical no matter how
+// rows are split across workers.
+func TestBlockedDeterministicAcrossWorkers(t *testing.T) {
+	old := Workers()
+	defer SetWorkers(old)
+	forEachBlockedKernel(t, func(t *testing.T) {
+		eng := NewEngineOf[float64](EngineBlocked)
+		rng := rand.New(rand.NewSource(21))
+		// 37×29 makes worker chunks misalign the 4-row vector tiles (rows
+		// covered by the 4-row kernel in one split run the 1-row kernel in
+		// another) and leaves a scalar column edge — both must round
+		// identically for the split to be invisible.
+		a, b := randMatOf[float64](37, 300, rng), randMatOf[float64](300, 29, rng)
+		serial, parallel := NewMatOf[float64](37, 29), NewMatOf[float64](37, 29)
+		SetWorkers(1)
+		eng.MatMul(a, b, serial)
+		SetWorkers(4)
+		eng.MatMul(a, b, parallel)
+		for i := range serial.Data {
+			if serial.Data[i] != parallel.Data[i] {
+				t.Fatalf("element %d: serial %v != parallel %v", i, serial.Data[i], parallel.Data[i])
+			}
+		}
+	})
+}
+
+// TestEngineSingleRowBitwiseIdentical: 1×d products — the shape of greedy
+// rollouts and per-sample inference — take the blocked engine's reference
+// fallback and must match the reference engine bit for bit. This is the
+// kernel-level fact behind the plan-equivalence property (a reference-trained
+// policy plans identically under either engine).
+func TestEngineSingleRowBitwiseIdentical(t *testing.T) {
+	ref := NewEngineOf[float64](EngineReference)
+	blk := NewEngineOf[float64](EngineBlocked)
+	rng := rand.New(rand.NewSource(31))
+	x, w := randMatOf[float64](1, 384, rng), randMatOf[float64](384, 96, rng)
+	bias := make([]float64, 96)
+	fillUniform(bias, rng)
+	want, got := NewMatOf[float64](1, 96), NewMatOf[float64](1, 96)
+	ref.LinearForward(x, w, bias, want)
+	blk.LinearForward(x, w, bias, got)
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("element %d: reference %v != blocked %v", i, want.Data[i], got.Data[i])
+		}
+	}
+}
+
+// TestNetEngineParity: the same weights forwarded under each engine agree
+// within tolerance at the network level, and engine selection survives
+// Clone/CloneForInference/ConvertTo.
+func TestNetEngineParity(t *testing.T) {
+	net := NewMLPOf[float64](rand.New(rand.NewSource(41)), 24, 48, 32, 10)
+	blkNet := net.Clone()
+	blkNet.SetEngine(EngineBlocked)
+	if got := blkNet.Engine(); got != EngineBlocked {
+		t.Fatalf("SetEngine(blocked) then Engine() = %v", got)
+	}
+	if got := blkNet.Clone().Engine(); got != EngineBlocked {
+		t.Fatalf("Clone dropped the engine: %v", got)
+	}
+	if got := blkNet.CloneForInference().Engine(); got != EngineBlocked {
+		t.Fatalf("CloneForInference dropped the engine: %v", got)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	x := randMatOf[float64](16, 24, rng)
+	want := net.Forward(x).Clone()
+	got := blkNet.Forward(x)
+	checkClose(t, "Forward", got.Data, want.Data, 1e-12)
+
+	out := &MatOf[float64]{}
+	blkNet.InferInto(x, out)
+	checkClose(t, "InferInto", out.Data, got.Data, 0)
+}
+
+// TestEngineKernelsZeroAlloc: every engine kernel is allocation-free in
+// steady state — scratch comes from pools, dispatch builds no closures.
+func TestEngineKernelsZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; alloc counts are meaningless under -race")
+	}
+	old := Workers()
+	SetWorkers(1)
+	defer SetWorkers(old)
+	rng := rand.New(rand.NewSource(51))
+	a, b := randMatOf[float64](64, 80, rng), randMatOf[float64](80, 48, rng)
+	bT := randMatOf[float64](48, 80, rng)
+	at := randMatOf[float64](80, 64, rng)
+	out := NewMatOf[float64](64, 48)
+	forEachBlockedKernel(t, func(t *testing.T) {
+		testEngineKernelsZeroAlloc(t, rng, a, b, bT, at, out)
+	})
+}
+
+func testEngineKernelsZeroAlloc(t *testing.T, rng *rand.Rand, a, b, bT, at, out *MatOf[float64]) {
+	for _, e := range []Engine{EngineReference, EngineBlocked} {
+		eng := NewEngineOf[float64](e)
+		dout := randMatOf[float64](64, 48, rng)
+		dW := make([]float64, 80*48)
+		dB := make([]float64, 48)
+		dxm := NewMatOf[float64](64, 80)
+		bias := make([]float64, 48)
+		run := map[string]func(){
+			"MatMul":         func() { eng.MatMul(a, b, out) },
+			"MatMulATB":      func() { eng.MatMulATB(at, b, out, true) },
+			"MatMulABT":      func() { eng.MatMulABT(a, bT, out) },
+			"LinearForward":  func() { eng.LinearForward(a, b, bias, out) },
+			"LinearBackward": func() { eng.LinearBackward(a, dout, b, dW, dB, dxm) },
+		}
+		for name, f := range run {
+			f() // warm the scratch pools
+			if allocs := testing.AllocsPerRun(50, f); allocs != 0 {
+				t.Errorf("%s/%s: %.1f allocs/op, want 0", e, name, allocs)
+			}
+		}
+	}
+}
+
+// TestForwardBackwardZeroAlloc: a full batched forward/backward pass through
+// an MLP allocates nothing in steady state under either engine.
+func TestForwardBackwardZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; alloc counts are meaningless under -race")
+	}
+	old := Workers()
+	SetWorkers(1)
+	defer SetWorkers(old)
+	rng := rand.New(rand.NewSource(61))
+	for _, e := range []Engine{EngineReference, EngineBlocked} {
+		net := NewMLPOf[float64](rng, 24, 64, 32, 8)
+		net.SetEngine(e)
+		x := randMatOf[float64](16, 24, rng)
+		dout := randMatOf[float64](16, 8, rng)
+		step := func() {
+			net.Forward(x)
+			net.ZeroGrad()
+			net.Backward(dout)
+		}
+		step() // first pass sizes the per-layer buffers
+		if allocs := testing.AllocsPerRun(20, step); allocs != 0 {
+			t.Errorf("%s: forward/backward %.1f allocs/op, want 0", e, allocs)
+		}
+	}
+}
+
+// TestInferIntoZeroAlloc: the pooled inference path allocates nothing in
+// steady state.
+func TestInferIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; alloc counts are meaningless under -race")
+	}
+	old := Workers()
+	SetWorkers(1)
+	defer SetWorkers(old)
+	rng := rand.New(rand.NewSource(71))
+	for _, e := range []Engine{EngineReference, EngineBlocked} {
+		net := NewMLPOf[float64](rng, 24, 64, 8)
+		net.SetEngine(e)
+		x := randMatOf[float64](1, 24, rng)
+		out := &MatOf[float64]{}
+		net.InferInto(x, out) // warm the infer scratch pool
+		if allocs := testing.AllocsPerRun(100, func() { net.InferInto(x, out) }); allocs != 0 {
+			t.Errorf("%s: InferInto %.1f allocs/op, want 0", e, allocs)
+		}
+	}
+}
+
+// BenchmarkEngineMatMul sweeps both engines over square matmuls at both
+// precisions, single-threaded (the acceptance metric is per-core kernel
+// throughput, not pool scaling), reporting GFLOP/s and allocs. On CPUs with
+// the vector kernels, "blocked" is the AVX2+FMA path and an extra
+// "blocked-portable" variant pins the generic Go tiles' throughput.
+func BenchmarkEngineMatMul(b *testing.B) {
+	variants := []struct {
+		name string
+		e    Engine
+		asm  bool
+	}{
+		{"reference", EngineReference, cpuAVX2FMA},
+		{"blocked", EngineBlocked, cpuAVX2FMA},
+	}
+	if cpuAVX2FMA {
+		variants = append(variants, struct {
+			name string
+			e    Engine
+			asm  bool
+		}{"blocked-portable", EngineBlocked, false})
+	}
+	shapes := []int{64, 128, 256, 512}
+	for _, d := range shapes {
+		for _, v := range variants {
+			b.Run(fmt.Sprintf("f64/%dx%dx%d/%s", d, d, d, v.name), func(b *testing.B) {
+				benchEngineMatMul[float64](b, v.e, v.asm, d)
+			})
+			b.Run(fmt.Sprintf("f32/%dx%dx%d/%s", d, d, d, v.name), func(b *testing.B) {
+				benchEngineMatMul[float32](b, v.e, v.asm, d)
+			})
+		}
+	}
+}
+
+func benchEngineMatMul[T Float](b *testing.B, e Engine, asm bool, d int) {
+	old := Workers()
+	SetWorkers(1)
+	defer SetWorkers(old)
+	prevAsm := setAsmGemm(asm)
+	defer setAsmGemm(prevAsm)
+	eng := NewEngineOf[T](e)
+	rng := rand.New(rand.NewSource(81))
+	a, x := randMatOf[T](d, d, rng), randMatOf[T](d, d, rng)
+	out := NewMatOf[T](d, d)
+	eng.MatMul(a, x, out)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.MatMul(a, x, out)
+	}
+	flops := 2 * float64(d) * float64(d) * float64(d)
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}

@@ -1,0 +1,256 @@
+//go:build amd64
+
+package nn
+
+// AVX2+FMA microkernels for the blocked engine's a·b path. The scalar Go
+// kernels top out at the core's two FP ports — roughly two flops per cycle no
+// matter how the loop is tiled — so the only way past the reference kernel's
+// throughput on wide shapes is vector arithmetic. GOAMD64 defaults to v1, so
+// the kernels are hand-written assembly (gemm_amd64.s) gated by a one-time
+// CPUID check rather than compiler-emitted VEX code.
+//
+// Kernel shape: 4 output rows × two 8-lane ymm columns — 16 f32 or 8 f64
+// columns per tile — with the 8 accumulator registers live across the whole
+// k block, fed by the same packed panels the portable kernel uses (just NR=16
+// or 8 instead of 4). Each output element still accumulates in ascending k
+// order, one fused multiply-add per step; fusion skips the intermediate
+// product rounding, so results match the reference kernels within the blocked
+// engine's tolerance contract, and every element's arithmetic is a pure
+// function of the shapes — the 1-row kernel and the 4-row kernel round
+// identically, so worker-count independence survives any row split. The
+// n%NR column edge always runs the same scalar Go loop for every row, keeping
+// that property there too.
+
+const (
+	// asmMR is the microkernel row count; row remainders run the 1-row kernel.
+	asmMR = 4
+	// asmNRF32 and asmNRF64 are the packed-panel widths: two ymm registers of
+	// columns per k step at each precision.
+	asmNRF32 = 16
+	asmNRF64 = 8
+)
+
+// cpuid and xgetbv are implemented in gemm_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// cpuAVX2FMA reports whether the CPU and OS support the vector kernels:
+// FMA and AVX2 instruction sets, with OS-managed ymm state (OSXSAVE set and
+// XCR0 enabling both XMM and YMM saves).
+var cpuAVX2FMA = detectAVX2FMA()
+
+// asmGemmEnabled routes gemmBlocked through the vector kernels. It starts at
+// the detected capability; tests flip it through setAsmGemm to cover the
+// portable kernels on hardware that would never otherwise run them.
+var asmGemmEnabled = cpuAVX2FMA
+
+func detectAVX2FMA() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c, _ := cpuid(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if c&fma == 0 || c&osxsave == 0 || c&avx == 0 {
+		return false
+	}
+	if lo, _ := xgetbv(); lo&6 != 6 {
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	return b&(1<<5) != 0 // AVX2
+}
+
+// setAsmGemm is a test hook: it enables or disables the vector kernels
+// (enabling is a no-op on CPUs without them) and returns the previous
+// setting so tests can restore it.
+func setAsmGemm(on bool) bool {
+	prev := asmGemmEnabled
+	asmGemmEnabled = on && cpuAVX2FMA
+	return prev
+}
+
+// Microkernels (gemm_amd64.s). Each accumulates
+// out[r][0:NR] += Σ_k a_r[k]·bp[k·NR : k·NR+NR] for kc steps of one packed
+// panel, in ascending k order with one FMA per element per step.
+//
+//go:noescape
+func gemm4x16f32(kc int, a0, a1, a2, a3, bp, o0, o1, o2, o3 *float32)
+
+//go:noescape
+func gemm1x16f32(kc int, a0, bp, o0 *float32)
+
+//go:noescape
+func gemm4x8f64(kc int, a0, a1, a2, a3, bp, o0, o1, o2, o3 *float64)
+
+//go:noescape
+func gemm1x8f64(kc int, a0, bp, o0 *float64)
+
+// gemmBlockedAsm routes out += a·b through the vector kernels, returning
+// false (having written nothing) when they are unavailable or unprofitable:
+// detection failed, tests forced the portable path, the precision has no
+// kernel, or the output is too narrow for even one vector panel. Callers have
+// zeroed (or deliberately kept) out and filtered tiny shapes.
+func gemmBlockedAsm[T Float](a, b, out *MatOf[T]) bool {
+	if !asmGemmEnabled {
+		return false
+	}
+	switch am := any(a).(type) {
+	case *MatOf[float32]:
+		if b.Cols < asmNRF32 {
+			return false
+		}
+		gemmBlockedF32(am, any(b).(*MatOf[float32]), any(out).(*MatOf[float32]))
+	case *MatOf[float64]:
+		if b.Cols < asmNRF64 {
+			return false
+		}
+		gemmBlockedF64(am, any(b).(*MatOf[float64]), any(out).(*MatOf[float64]))
+	default:
+		return false
+	}
+	return true
+}
+
+// packBPanelsN is packBPanels for an arbitrary panel width: B[kc0:kc1, 0:np]
+// copied into nr-wide k-major panels.
+func packBPanelsN[T Float](b *MatOf[T], kc0, kc1, np, nr int, bp []T) {
+	idx := 0
+	for jp := 0; jp < np; jp += nr {
+		for k := kc0; k < kc1; k++ {
+			copy(bp[idx:idx+nr], b.Row(k)[jp:jp+nr])
+			idx += nr
+		}
+	}
+}
+
+// gemmColEdgeRow accumulates the n%NR trailing columns of one output row as
+// plain ascending-k dot products over unpacked B. Every row takes this path
+// for these columns regardless of which microkernel covered the panels, so
+// the arithmetic per element never depends on the row split.
+func gemmColEdgeRow[T Float](a, b *MatOf[T], kc0, kc1 int, out *MatOf[T], i, np int) {
+	arow := a.Row(i)[kc0:kc1]
+	orow := out.Row(i)
+	for j := np; j < out.Cols; j++ {
+		bcol := b.Data[kc0*b.Cols+j:]
+		var s T
+		for k, av := range arow {
+			s += av * bcol[k*b.Cols]
+		}
+		orow[j] += s
+	}
+}
+
+// gemmAsmArgsF32 carries one k-block's operands through parallelRowsOf.
+type gemmAsmArgsF32 struct {
+	a, b, out *MatOf[float32]
+	bp        []float32
+	kc0, kc1  int
+}
+
+type gemmAsmArgsF64 struct {
+	a, b, out *MatOf[float64]
+	bp        []float64
+	kc0, kc1  int
+}
+
+func gemmBlockedF32(a, b, out *MatOf[float32]) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	np := n - n%asmNRF32
+	bpv := getVec[float32](min(blockedKC, k) * np)
+	bp := *bpv
+	for kc0 := 0; kc0 < k; kc0 += blockedKC {
+		kc1 := min(kc0+blockedKC, k)
+		packBPanelsN(b, kc0, kc1, np, asmNRF32, bp)
+		g := gemmAsmArgsF32{a: a, b: b, out: out, bp: bp, kc0: kc0, kc1: kc1}
+		if serialKernel(m, m*(kc1-kc0)*n) {
+			gemmAsmRowsF32(g, 0, m)
+			continue
+		}
+		parallelRowsOf(m, m*(kc1-kc0)*n, g, gemmAsmRowsF32)
+	}
+	putVec(bpv)
+}
+
+func gemmBlockedF64(a, b, out *MatOf[float64]) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	np := n - n%asmNRF64
+	bpv := getVec[float64](min(blockedKC, k) * np)
+	bp := *bpv
+	for kc0 := 0; kc0 < k; kc0 += blockedKC {
+		kc1 := min(kc0+blockedKC, k)
+		packBPanelsN(b, kc0, kc1, np, asmNRF64, bp)
+		g := gemmAsmArgsF64{a: a, b: b, out: out, bp: bp, kc0: kc0, kc1: kc1}
+		if serialKernel(m, m*(kc1-kc0)*n) {
+			gemmAsmRowsF64(g, 0, m)
+			continue
+		}
+		parallelRowsOf(m, m*(kc1-kc0)*n, g, gemmAsmRowsF64)
+	}
+	putVec(bpv)
+}
+
+// gemmAsmRowsF32 runs rows [lo, hi) of one packed k block: 4-row vector
+// tiles, the 1-row kernel for the row remainder, and the shared scalar column
+// edge.
+func gemmAsmRowsF32(g gemmAsmArgsF32, lo, hi int) {
+	kc := g.kc1 - g.kc0
+	np := g.out.Cols - g.out.Cols%asmNRF32
+	i := lo
+	for ; i+asmMR <= hi; i += asmMR {
+		a0 := g.a.Row(i)[g.kc0:g.kc1]
+		a1 := g.a.Row(i + 1)[g.kc0:g.kc1]
+		a2 := g.a.Row(i + 2)[g.kc0:g.kc1]
+		a3 := g.a.Row(i + 3)[g.kc0:g.kc1]
+		o0, o1 := g.out.Row(i), g.out.Row(i+1)
+		o2, o3 := g.out.Row(i+2), g.out.Row(i+3)
+		for jp := 0; jp < np; jp += asmNRF32 {
+			gemm4x16f32(kc, &a0[0], &a1[0], &a2[0], &a3[0],
+				&g.bp[(jp/asmNRF32)*kc*asmNRF32],
+				&o0[jp], &o1[jp], &o2[jp], &o3[jp])
+		}
+	}
+	for ; i < hi; i++ {
+		arow := g.a.Row(i)[g.kc0:g.kc1]
+		orow := g.out.Row(i)
+		for jp := 0; jp < np; jp += asmNRF32 {
+			gemm1x16f32(kc, &arow[0], &g.bp[(jp/asmNRF32)*kc*asmNRF32], &orow[jp])
+		}
+	}
+	for i = lo; i < hi; i++ {
+		gemmColEdgeRow(g.a, g.b, g.kc0, g.kc1, g.out, i, np)
+	}
+}
+
+func gemmAsmRowsF64(g gemmAsmArgsF64, lo, hi int) {
+	kc := g.kc1 - g.kc0
+	np := g.out.Cols - g.out.Cols%asmNRF64
+	i := lo
+	for ; i+asmMR <= hi; i += asmMR {
+		a0 := g.a.Row(i)[g.kc0:g.kc1]
+		a1 := g.a.Row(i + 1)[g.kc0:g.kc1]
+		a2 := g.a.Row(i + 2)[g.kc0:g.kc1]
+		a3 := g.a.Row(i + 3)[g.kc0:g.kc1]
+		o0, o1 := g.out.Row(i), g.out.Row(i+1)
+		o2, o3 := g.out.Row(i+2), g.out.Row(i+3)
+		for jp := 0; jp < np; jp += asmNRF64 {
+			gemm4x8f64(kc, &a0[0], &a1[0], &a2[0], &a3[0],
+				&g.bp[(jp/asmNRF64)*kc*asmNRF64],
+				&o0[jp], &o1[jp], &o2[jp], &o3[jp])
+		}
+	}
+	for ; i < hi; i++ {
+		arow := g.a.Row(i)[g.kc0:g.kc1]
+		orow := g.out.Row(i)
+		for jp := 0; jp < np; jp += asmNRF64 {
+			gemm1x8f64(kc, &arow[0], &g.bp[(jp/asmNRF64)*kc*asmNRF64], &orow[jp])
+		}
+	}
+	for i = lo; i < hi; i++ {
+		gemmColEdgeRow(g.a, g.b, g.kc0, g.kc1, g.out, i, np)
+	}
+}

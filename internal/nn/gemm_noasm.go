@@ -1,0 +1,17 @@
+//go:build !amd64
+
+package nn
+
+// Non-amd64 builds have no vector microkernels: the blocked engine always
+// runs the portable 2×4 register-tiled Go kernels.
+
+const cpuAVX2FMA = false
+
+var asmGemmEnabled = false
+
+// setAsmGemm is the test hook for toggling the vector kernels; without them
+// it reports the (permanently false) setting unchanged.
+func setAsmGemm(bool) bool { return false }
+
+// gemmBlockedAsm reports that no vector kernel path exists.
+func gemmBlockedAsm[T Float](a, b, out *MatOf[T]) bool { return false }

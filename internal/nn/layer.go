@@ -30,11 +30,25 @@ func (p *ParamOf[T]) ZeroGrad() {
 // parameter gradients. Infer must compute exactly what Forward computes while
 // writing no layer state, so concurrent Infer calls on a shared layer are
 // safe as long as the parameters are not mutated.
+//
+// Buffer ownership: Forward and Backward return per-layer scratch matrices
+// that are overwritten by the layer's next Forward/Backward call — callers
+// that retain a result across calls must Clone it. Infer allocates a fresh
+// output every call (the concurrency contract above requires it).
+//
+// The unexported methods bind a layer to a compute engine and to the pooled
+// zero-allocation inference path; layer implementations live in this
+// package.
 type LayerOf[T Float] interface {
 	Forward(x *MatOf[T]) *MatOf[T]
 	Infer(x *MatOf[T]) *MatOf[T]
 	Backward(dout *MatOf[T]) *MatOf[T]
 	Params() []*ParamOf[T]
+	// setEngine binds the compute backend used by the dense kernels.
+	setEngine(e EngineOf[T])
+	// inferTo computes exactly what Infer computes into out (resized by the
+	// layer), writing no layer state. out must not alias x.
+	inferTo(x, out *MatOf[T])
 }
 
 // Layer is the float64 layer interface.
@@ -46,7 +60,19 @@ type LinearOf[T Float] struct {
 	W       *ParamOf[T] // In*Out, row-major (in × out)
 	B       *ParamOf[T] // Out
 
-	x *MatOf[T] // cached input for backward
+	eng EngineOf[T] // compute backend; nil means the resolved default
+	ps  [2]*ParamOf[T]
+
+	// wview is the cached matrix view over W.Value, bound once at
+	// construction (see bindViews). The optimizer mutates W.Value in place
+	// but never reassigns the slice, so the view stays valid for the layer's
+	// lifetime and Forward/Infer never build (and heap-allocate) one per
+	// call. Read-only after binding — concurrent Infer callers share it.
+	wview MatOf[T]
+
+	x   *MatOf[T] // cached input for backward
+	out *MatOf[T] // reusable Forward output
+	dx  *MatOf[T] // reusable Backward output
 }
 
 // Linear is the float64 fully connected layer.
@@ -57,12 +83,12 @@ type Linear = LinearOf[float64]
 func NewLinearOf[T Float](in, out int, rng *rand.Rand) *LinearOf[T] {
 	w := NewMatOf[T](in, out)
 	Xavier(w, in, out, rng)
-	return &LinearOf[T]{
+	return (&LinearOf[T]{
 		In:  in,
 		Out: out,
 		W:   &ParamOf[T]{Name: "W", Value: w.Data, Grad: make([]T, in*out)},
 		B:   &ParamOf[T]{Name: "b", Value: make([]T, out), Grad: make([]T, out)},
-	}
+	}).bindViews()
 }
 
 // NewLinear returns a Glorot-initialized float64 fully connected layer.
@@ -70,57 +96,95 @@ func NewLinear(in, out int, rng *rand.Rand) *Linear {
 	return NewLinearOf[float64](in, out, rng)
 }
 
-func (l *LinearOf[T]) weight() *MatOf[T] {
-	return &MatOf[T]{Rows: l.In, Cols: l.Out, Data: l.W.Value}
+// bindViews caches the weight view over W.Value and returns the layer.
+// Every construction path (NewLinearOf, clone, convert, gob load) calls it
+// exactly once, before the layer is shared.
+func (l *LinearOf[T]) bindViews() *LinearOf[T] {
+	l.wview = MatOf[T]{Rows: l.In, Cols: l.Out, Data: l.W.Value}
+	return l
 }
 
-// Forward computes x·W + b for a batch.
+func (l *LinearOf[T]) weight() *MatOf[T] {
+	if l.wview.Data == nil {
+		// Hand-assembled layer (tests): bind lazily. Constructor-built
+		// networks — the only ones the concurrent-inference contract covers —
+		// never take this branch.
+		l.bindViews()
+	}
+	return &l.wview
+}
+
+func (l *LinearOf[T]) setEngine(e EngineOf[T]) { l.eng = e }
+
+// engine returns the bound backend, lazily resolving the process default for
+// layers that never had one set (standalone layers, gob-loaded networks).
+func (l *LinearOf[T]) engine() EngineOf[T] {
+	if l.eng == nil {
+		l.eng = NewEngineOf[T](EngineAuto)
+	}
+	return l.eng
+}
+
+// Forward computes x·W + b for a batch into the layer's reusable output
+// (overwritten by the next Forward call).
 func (l *LinearOf[T]) Forward(x *MatOf[T]) *MatOf[T] {
 	l.x = x
-	return l.Infer(x)
+	if l.out == nil {
+		l.out = &MatOf[T]{}
+	}
+	l.out.Resize(x.Rows, l.Out)
+	l.engine().LinearForward(x, l.weight(), l.B.Value, l.out)
+	return l.out
 }
 
-// Infer computes x·W + b without caching the input for backward.
+// Infer computes x·W + b into a fresh matrix without caching the input for
+// backward.
 func (l *LinearOf[T]) Infer(x *MatOf[T]) *MatOf[T] {
-	out := MatMul(x, l.weight())
-	for i := 0; i < out.Rows; i++ {
-		row := out.Row(i)
-		for j := range row {
-			row[j] += l.B.Value[j]
-		}
-	}
+	out := NewMatOf[T](x.Rows, l.Out)
+	l.engine().LinearForward(x, l.weight(), l.B.Value, out)
 	return out
 }
 
-// Backward accumulates dW = xᵀ·dout and db = Σ dout, and returns dx = dout·Wᵀ.
+func (l *LinearOf[T]) inferTo(x, out *MatOf[T]) {
+	out.Resize(x.Rows, l.Out)
+	l.engine().LinearForward(x, l.weight(), l.B.Value, out)
+}
+
+// Backward accumulates dW = xᵀ·dout and db = Σ dout, and returns dx = dout·Wᵀ
+// in the layer's reusable buffer (overwritten by the next Backward call).
 func (l *LinearOf[T]) Backward(dout *MatOf[T]) *MatOf[T] {
-	dw := MatMulATB(l.x, dout)
-	for i, v := range dw.Data {
-		l.W.Grad[i] += v
+	if l.dx == nil {
+		l.dx = &MatOf[T]{}
 	}
-	for i := 0; i < dout.Rows; i++ {
-		row := dout.Row(i)
-		for j, v := range row {
-			l.B.Grad[j] += v
-		}
-	}
-	return MatMulABT(dout, l.weight())
+	l.dx.Resize(dout.Rows, l.In)
+	l.engine().LinearBackward(l.x, dout, l.weight(), l.W.Grad, l.B.Grad, l.dx)
+	return l.dx
 }
 
 // Params returns the weight and bias parameters.
-func (l *LinearOf[T]) Params() []*ParamOf[T] { return []*ParamOf[T]{l.W, l.B} }
+func (l *LinearOf[T]) Params() []*ParamOf[T] {
+	if l.ps[0] == nil {
+		l.ps = [2]*ParamOf[T]{l.W, l.B}
+	}
+	return l.ps[:]
+}
 
 // ReLUOf is the rectified-linear activation, applied element-wise.
 type ReLUOf[T Float] struct {
 	mask []bool
+	out  *MatOf[T] // reusable Forward output
+	dx   *MatOf[T] // reusable Backward output
 }
 
 // ReLU is the float64 rectified-linear activation.
 type ReLU = ReLUOf[float64]
 
-// Forward zeroes negative inputs.
+// Forward zeroes negative inputs into the layer's reusable output.
 func (r *ReLUOf[T]) Forward(x *MatOf[T]) *MatOf[T] {
-	out := x.Clone()
+	if r.out == nil {
+		r.out = &MatOf[T]{}
+	}
+	r.out.Resize(x.Rows, x.Cols)
 	if cap(r.mask) < len(x.Data) {
 		r.mask = make([]bool, len(x.Data))
 	}
@@ -128,73 +192,110 @@ func (r *ReLUOf[T]) Forward(x *MatOf[T]) *MatOf[T] {
 	for i, v := range x.Data {
 		if v > 0 {
 			r.mask[i] = true
+			r.out.Data[i] = v
 		} else {
 			r.mask[i] = false
-			out.Data[i] = 0
+			r.out.Data[i] = 0
 		}
 	}
-	return out
+	return r.out
 }
 
 // Infer zeroes everything not strictly positive — including NaN, exactly as
 // Forward does — without touching the backward mask.
 func (r *ReLUOf[T]) Infer(x *MatOf[T]) *MatOf[T] {
-	out := x.Clone()
-	for i, v := range x.Data {
-		if !(v > 0) {
-			out.Data[i] = 0
+	out := NewMatOf[T](x.Rows, x.Cols)
+	reluInto(out.Data, x.Data)
+	return out
+}
+
+func (r *ReLUOf[T]) inferTo(x, out *MatOf[T]) {
+	out.Resize(x.Rows, x.Cols)
+	reluInto(out.Data, x.Data)
+}
+
+func reluInto[T Float](dst, src []T) {
+	for i, v := range src {
+		if v > 0 {
+			dst[i] = v
+		} else {
+			dst[i] = 0
 		}
 	}
-	return out
 }
 
 // Backward passes gradient only where the input was positive.
 func (r *ReLUOf[T]) Backward(dout *MatOf[T]) *MatOf[T] {
-	dx := dout.Clone()
-	for i := range dx.Data {
-		if !r.mask[i] {
-			dx.Data[i] = 0
+	if r.dx == nil {
+		r.dx = &MatOf[T]{}
+	}
+	r.dx.Resize(dout.Rows, dout.Cols)
+	for i, v := range dout.Data {
+		if r.mask[i] {
+			r.dx.Data[i] = v
+		} else {
+			r.dx.Data[i] = 0
 		}
 	}
-	return dx
+	return r.dx
 }
 
 // Params returns nil; ReLU has no learnable parameters.
 func (r *ReLUOf[T]) Params() []*ParamOf[T] { return nil }
 
+func (r *ReLUOf[T]) setEngine(EngineOf[T]) {}
+
 // TanhOf is the hyperbolic-tangent activation, applied element-wise.
 type TanhOf[T Float] struct {
-	y *MatOf[T]
+	y  *MatOf[T] // reusable Forward output, cached for Backward
+	dx *MatOf[T] // reusable Backward output
 }
 
 // Tanh is the float64 hyperbolic-tangent activation.
 type Tanh = TanhOf[float64]
 
-// Forward applies tanh element-wise.
+// Forward applies tanh element-wise into the layer's reusable output.
 func (t *TanhOf[T]) Forward(x *MatOf[T]) *MatOf[T] {
-	out := t.Infer(x)
-	t.y = out
-	return out
+	if t.y == nil {
+		t.y = &MatOf[T]{}
+	}
+	t.y.Resize(x.Rows, x.Cols)
+	tanhInto(t.y.Data, x.Data)
+	return t.y
 }
 
 // Infer applies tanh element-wise without caching the activation.
 func (t *TanhOf[T]) Infer(x *MatOf[T]) *MatOf[T] {
-	out := x.Clone()
-	for i, v := range out.Data {
-		out.Data[i] = T(math.Tanh(float64(v)))
-	}
+	out := NewMatOf[T](x.Rows, x.Cols)
+	tanhInto(out.Data, x.Data)
 	return out
+}
+
+func (t *TanhOf[T]) inferTo(x, out *MatOf[T]) {
+	out.Resize(x.Rows, x.Cols)
+	tanhInto(out.Data, x.Data)
+}
+
+func tanhInto[T Float](dst, src []T) {
+	for i, v := range src {
+		dst[i] = T(math.Tanh(float64(v)))
+	}
 }
 
 // Backward multiplies by 1 − tanh².
 func (t *TanhOf[T]) Backward(dout *MatOf[T]) *MatOf[T] {
-	dx := dout.Clone()
-	for i := range dx.Data {
-		y := t.y.Data[i]
-		dx.Data[i] *= 1 - y*y
+	if t.dx == nil {
+		t.dx = &MatOf[T]{}
 	}
-	return dx
+	t.dx.Resize(dout.Rows, dout.Cols)
+	for i, v := range dout.Data {
+		y := t.y.Data[i]
+		t.dx.Data[i] = v * (1 - y*y)
+	}
+	return t.dx
 }
 
 // Params returns nil; Tanh has no learnable parameters.
 func (t *TanhOf[T]) Params() []*ParamOf[T] { return nil }
+
+func (t *TanhOf[T]) setEngine(EngineOf[T]) {}

@@ -33,6 +33,14 @@ func Softmax[T Float](logits []T) []T {
 // is valid the result is all zeros.
 func MaskedSoftmax[T Float](logits []T, mask []bool) []T {
 	out := make([]T, len(logits))
+	MaskedSoftmaxInto(out, logits, mask)
+	return out
+}
+
+// MaskedSoftmaxInto is MaskedSoftmax writing into caller-owned storage (the
+// allocation-free form used by the training hot path). out and logits must
+// have equal length; out is fully overwritten.
+func MaskedSoftmaxInto[T Float](out, logits []T, mask []bool) {
 	maxv := T(math.Inf(-1))
 	any := false
 	for i, v := range logits {
@@ -42,11 +50,15 @@ func MaskedSoftmax[T Float](logits []T, mask []bool) []T {
 		}
 	}
 	if !any {
-		return out
+		for i := range out {
+			out[i] = 0
+		}
+		return
 	}
 	var sum T
 	for i, v := range logits {
 		if !mask[i] {
+			out[i] = 0
 			continue
 		}
 		e := T(math.Exp(float64(v - maxv)))
@@ -56,7 +68,6 @@ func MaskedSoftmax[T Float](logits []T, mask []bool) []T {
 	for i := range out {
 		out[i] /= sum
 	}
-	return out
 }
 
 // SoftmaxRows applies Softmax independently to every row of a batch of
@@ -72,14 +83,22 @@ func SoftmaxRows[T Float](logits *MatOf[T]) *MatOf[T] {
 // MaskedSoftmaxRows applies MaskedSoftmax to every row of a batch of logits
 // under the corresponding per-row mask. len(masks) must equal logits.Rows.
 func MaskedSoftmaxRows[T Float](logits *MatOf[T], masks [][]bool) *MatOf[T] {
+	out := NewMatOf[T](logits.Rows, logits.Cols)
+	MaskedSoftmaxRowsInto(out, logits, masks)
+	return out
+}
+
+// MaskedSoftmaxRowsInto is MaskedSoftmaxRows writing into a caller-owned
+// matrix, which is resized to logits' shape (the allocation-free form used by
+// the training hot path).
+func MaskedSoftmaxRowsInto[T Float](out, logits *MatOf[T], masks [][]bool) {
 	if len(masks) != logits.Rows {
 		panic("nn: MaskedSoftmaxRows mask count does not match batch size")
 	}
-	out := NewMatOf[T](logits.Rows, logits.Cols)
+	out.Resize(logits.Rows, logits.Cols)
 	for i := 0; i < logits.Rows; i++ {
-		copy(out.Row(i), MaskedSoftmax(logits.Row(i), masks[i]))
+		MaskedSoftmaxInto(out.Row(i), logits.Row(i), masks[i])
 	}
-	return out
 }
 
 // MSEBatch returns the mean squared error over a whole k×d batch (each row
@@ -174,9 +193,18 @@ func absT[T Float](x T) T { return T(math.Abs(float64(x))) }
 // masked softmax of the logits. The returned slice is ∂loss/∂logits.
 func PolicyGradient[T Float](probs []T, mask []bool, action int, advantage, entropyCoef float64) []T {
 	grad := make([]T, len(probs))
+	PolicyGradientInto(grad, probs, mask, action, advantage, entropyCoef)
+	return grad
+}
+
+// PolicyGradientInto is PolicyGradient writing into caller-owned storage (the
+// allocation-free form used by the training hot path). grad must have the
+// same length as probs; it is fully overwritten, masked positions to 0.
+func PolicyGradientInto[T Float](grad, probs []T, mask []bool, action int, advantage, entropyCoef float64) {
 	// d(−A·log p_a)/dlogit_i = A·(p_i − 1{i==a}) restricted to the mask.
 	for i, p := range probs {
 		if !mask[i] {
+			grad[i] = 0
 			continue
 		}
 		g := advantage * float64(p)
@@ -203,7 +231,6 @@ func PolicyGradient[T Float](probs []T, mask []bool, action int, advantage, entr
 			grad[i] -= T(entropyCoef * dh)
 		}
 	}
-	return grad
 }
 
 // Entropy returns the Shannon entropy of a distribution (0·log0 taken as 0).

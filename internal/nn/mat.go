@@ -79,10 +79,17 @@ func FromVec[T Float](v []T) *MatOf[T] {
 // element. Converting f64→f32 rounds to nearest; f32→f64 is exact.
 func ConvertMat[U, T Float](m *MatOf[T]) *MatOf[U] {
 	out := NewMatOf[U](m.Rows, m.Cols)
-	for i, v := range m.Data {
-		out.Data[i] = U(v)
-	}
+	convertMatInto(out, m)
 	return out
+}
+
+// convertMatInto converts src into dst, resizing dst (the allocation-free
+// form of ConvertMat used by the erased Network's precision boundary).
+func convertMatInto[U, T Float](dst *MatOf[U], src *MatOf[T]) {
+	dst.Resize(src.Rows, src.Cols)
+	for i, v := range src.Data {
+		dst.Data[i] = U(v)
+	}
 }
 
 // Row returns a view of row i (no copy).
@@ -101,6 +108,19 @@ func (m *MatOf[T]) Clone() *MatOf[T] {
 	out := NewMatOf[T](m.Rows, m.Cols)
 	copy(out.Data, m.Data)
 	return out
+}
+
+// Resize reshapes m to r×c in place, reusing the existing allocation when it
+// is large enough. The element contents after a Resize are unspecified;
+// follow with Zero when zeroed data is required. This is the reuse primitive
+// behind the zero-allocation training hot path: per-net scratch matrices are
+// Resized to each batch's shape instead of reallocated.
+func (m *MatOf[T]) Resize(r, c int) {
+	n := r * c
+	if cap(m.Data) < n {
+		m.Data = make([]T, n)
+	}
+	m.Rows, m.Cols, m.Data = r, c, m.Data[:n]
 }
 
 // Zero sets every element to 0 in place.

@@ -13,6 +13,9 @@ import (
 // performs weight surgery, such as planspace.TransferPolicy.
 type NetOf[T Float] struct {
 	Layers []LayerOf[T]
+
+	engKind Engine        // engine the layers were bound to (EngineAuto = default)
+	params  []*ParamOf[T] // cached Params() result (hot: optimizer + ZeroGrad per step)
 }
 
 // NewMLPOf builds Linear→ReLU→…→Linear with the given layer sizes at the
@@ -32,7 +35,31 @@ func NewMLPOf[T Float](rng *rand.Rand, sizes ...int) *NetOf[T] {
 	return &NetOf[T]{Layers: layers}
 }
 
-// Forward runs the batch through every layer.
+// SetEngine binds every layer's dense kernels to the given compute backend
+// (EngineAuto resolves through DefaultEngine). Engine choice is runtime
+// state, not model state: it is preserved by Clone/CloneForInference and by
+// precision conversion, but never serialized — a checkpoint loads onto the
+// loading process's default engine until SetEngine is called.
+func (n *NetOf[T]) SetEngine(e Engine) {
+	e = e.Resolve()
+	n.engKind = e
+	impl := NewEngineOf[T](e)
+	for _, l := range n.Layers {
+		l.setEngine(impl)
+	}
+}
+
+// Engine reports the compute backend the network's kernels run on.
+func (n *NetOf[T]) Engine() Engine {
+	if n.engKind == EngineAuto {
+		return DefaultEngine()
+	}
+	return n.engKind
+}
+
+// Forward runs the batch through every layer. The result lives in the last
+// layer's reusable buffer: it is valid until the network's next
+// Forward/Backward call, and callers that retain it longer must Clone it.
 func (n *NetOf[T]) Forward(x *MatOf[T]) *MatOf[T] {
 	for _, l := range n.Layers {
 		x = l.Forward(x)
@@ -41,7 +68,8 @@ func (n *NetOf[T]) Forward(x *MatOf[T]) *MatOf[T] {
 }
 
 // Backward propagates the loss gradient back through every layer,
-// accumulating parameter gradients.
+// accumulating parameter gradients. The returned input gradient lives in the
+// first layer's reusable buffer (valid until the next Forward/Backward).
 func (n *NetOf[T]) Backward(dout *MatOf[T]) *MatOf[T] {
 	for i := len(n.Layers) - 1; i >= 0; i-- {
 		dout = n.Layers[i].Backward(dout)
@@ -58,13 +86,41 @@ func (n *NetOf[T]) Infer(x *MatOf[T]) *MatOf[T] {
 	return x
 }
 
-// Params returns every learnable parameter in the network.
-func (n *NetOf[T]) Params() []*ParamOf[T] {
-	var ps []*ParamOf[T]
-	for _, l := range n.Layers {
-		ps = append(ps, l.Params()...)
+// InferInto is Infer with caller-owned output and pooled intermediates: out
+// is resized to the result shape and overwritten, and the layer
+// intermediates ping-pong through per-call pooled scratch, so steady-state
+// inference allocates nothing. Like Infer it writes no layer state and is
+// safe for any number of concurrent callers on an immutable network. out
+// must not alias x.
+func (n *NetOf[T]) InferInto(x, out *MatOf[T]) {
+	if len(n.Layers) == 0 {
+		out.Resize(x.Rows, x.Cols)
+		copy(out.Data, x.Data)
+		return
 	}
-	return ps
+	sc := getInferScratch[T]()
+	cur := x
+	for i, l := range n.Layers {
+		dst := out
+		if i < len(n.Layers)-1 {
+			dst = sc.next()
+		}
+		l.inferTo(cur, dst)
+		cur = dst
+	}
+	putInferScratch(sc)
+}
+
+// Params returns every learnable parameter in the network. The slice is
+// cached (the optimizer walks it every training step); layer-replacing
+// surgery (ResizeOutput/ReinitOutput) invalidates the cache.
+func (n *NetOf[T]) Params() []*ParamOf[T] {
+	if n.params == nil {
+		for _, l := range n.Layers {
+			n.params = append(n.params, l.Params()...)
+		}
+	}
+	return n.params
 }
 
 // ZeroGrad clears every parameter gradient.
@@ -130,12 +186,14 @@ func (n *NetOf[T]) ResizeOutput(newOut int, rng *rand.Rand) {
 			continue
 		}
 		repl := NewLinearOf[T](lin.In, newOut, rng)
+		repl.eng = lin.eng
 		keep := min(lin.Out, newOut)
 		for r := 0; r < lin.In; r++ {
 			copy(repl.W.Value[r*newOut:r*newOut+keep], lin.W.Value[r*lin.Out:r*lin.Out+keep])
 		}
 		copy(repl.B.Value[:keep], lin.B.Value[:keep])
 		n.Layers[i] = repl
+		n.params = nil
 		return
 	}
 	panic("nn: ResizeOutput on a network without a Linear layer")
@@ -149,7 +207,10 @@ func (n *NetOf[T]) ResizeOutput(newOut int, rng *rand.Rand) {
 func (n *NetOf[T]) ReinitOutput(rng *rand.Rand) {
 	for i := len(n.Layers) - 1; i >= 0; i-- {
 		if lin, ok := n.Layers[i].(*LinearOf[T]); ok {
-			n.Layers[i] = NewLinearOf[T](lin.In, lin.Out, rng)
+			repl := NewLinearOf[T](lin.In, lin.Out, rng)
+			repl.eng = lin.eng
+			n.Layers[i] = repl
+			n.params = nil
 			return
 		}
 	}
@@ -175,7 +236,7 @@ func (n *NetOf[T]) CloneForInference() *NetOf[T] {
 }
 
 func (n *NetOf[T]) clone(grads bool) *NetOf[T] {
-	out := &NetOf[T]{Layers: make([]LayerOf[T], 0, len(n.Layers))}
+	out := &NetOf[T]{Layers: make([]LayerOf[T], 0, len(n.Layers)), engKind: n.engKind}
 	for _, l := range n.Layers {
 		switch l := l.(type) {
 		case *LinearOf[T]:
@@ -184,12 +245,13 @@ func (n *NetOf[T]) clone(grads bool) *NetOf[T] {
 				Out: l.Out,
 				W:   &ParamOf[T]{Name: "W", Value: append([]T(nil), l.W.Value...)},
 				B:   &ParamOf[T]{Name: "b", Value: append([]T(nil), l.B.Value...)},
+				eng: l.eng,
 			}
 			if grads {
 				cl.W.Grad = make([]T, len(l.W.Value))
 				cl.B.Grad = make([]T, len(l.B.Value))
 			}
-			out.Layers = append(out.Layers, cl)
+			out.Layers = append(out.Layers, cl.bindViews())
 		case *ReLUOf[T]:
 			out.Layers = append(out.Layers, &ReLUOf[T]{})
 		case *TanhOf[T]:
@@ -204,7 +266,7 @@ func (n *NetOf[T]) clone(grads bool) *NetOf[T] {
 // convertNet rebuilds a core at element type U from a core at element type T,
 // converting every parameter value and allocating fresh gradients.
 func convertNet[U, T Float](n *NetOf[T]) *NetOf[U] {
-	out := &NetOf[U]{Layers: make([]LayerOf[U], 0, len(n.Layers))}
+	out := &NetOf[U]{Layers: make([]LayerOf[U], 0, len(n.Layers)), engKind: n.engKind}
 	for _, l := range n.Layers {
 		switch l := l.(type) {
 		case *LinearOf[T]:
@@ -214,13 +276,16 @@ func convertNet[U, T Float](n *NetOf[T]) *NetOf[U] {
 				W:   &ParamOf[U]{Name: "W", Value: make([]U, len(l.W.Value)), Grad: make([]U, len(l.W.Value))},
 				B:   &ParamOf[U]{Name: "b", Value: make([]U, len(l.B.Value)), Grad: make([]U, len(l.B.Value))},
 			}
+			if l.eng != nil {
+				cl.eng = NewEngineOf[U](l.eng.Kind())
+			}
 			for i, v := range l.W.Value {
 				cl.W.Value[i] = U(v)
 			}
 			for i, v := range l.B.Value {
 				cl.B.Value[i] = U(v)
 			}
-			out.Layers = append(out.Layers, cl)
+			out.Layers = append(out.Layers, cl.bindViews())
 		case *ReLUOf[T]:
 			out.Layers = append(out.Layers, &ReLUOf[U]{})
 		case *TanhOf[T]:
@@ -244,6 +309,12 @@ type Network struct {
 	prec Precision // F64 or F32, never PrecisionAuto
 	n64  *NetOf[float64]
 	n32  *NetOf[float32]
+
+	// Reusable F32 boundary-conversion buffers for the single-goroutine
+	// Forward/Backward paths (Infer allocates fresh conversions to keep its
+	// concurrency contract).
+	x32, d32 *Mat32
+	y64, g64 *Mat
 }
 
 // WrapNet64 wraps a float64 core in an erased handle.
@@ -303,22 +374,60 @@ func (n *Network) ConvertTo(p Precision) *Network {
 	return WrapNet32(convertNet[float32](n.n64))
 }
 
+// SetEngine binds the network's dense kernels to the given compute backend
+// (EngineAuto resolves through DefaultEngine). Engine choice is runtime
+// state: Clone/CloneForInference/ConvertTo preserve it, serialization does
+// not (a loaded checkpoint runs on the process default until SetEngine).
+func (n *Network) SetEngine(e Engine) {
+	if n.prec == F32 {
+		n.n32.SetEngine(e)
+		return
+	}
+	n.n64.SetEngine(e)
+}
+
+// Engine reports the compute backend the network's kernels run on. The
+// zero-value Network reports the process default.
+func (n *Network) Engine() Engine {
+	if n.prec == F32 && n.n32 != nil {
+		return n.n32.Engine()
+	}
+	if n.n64 != nil {
+		return n.n64.Engine()
+	}
+	return DefaultEngine()
+}
+
 // Forward runs the batch through every layer. For an F32 network the batch
 // is converted to float32 once on entry and the logits back to float64 once
-// on exit; the layer chain itself runs entirely in float32.
+// on exit; the layer chain itself runs entirely in float32, and both
+// conversions land in reusable buffers. Like NetOf.Forward, the result is
+// valid until the network's next Forward/Backward call — Clone it to retain
+// it longer.
 func (n *Network) Forward(x *Mat) *Mat {
 	if n.prec == F32 {
-		return ConvertMat[float64](n.n32.Forward(ConvertMat[float32](x)))
+		if n.x32 == nil {
+			n.x32, n.y64 = &Mat32{}, &Mat{}
+		}
+		convertMatInto(n.x32, x)
+		convertMatInto(n.y64, n.n32.Forward(n.x32))
+		return n.y64
 	}
 	return n.n64.Forward(x)
 }
 
 // Backward propagates the (float64) loss gradient back through every layer,
 // accumulating parameter gradients in the network's own precision, and
-// returns the gradient with respect to the input.
+// returns the gradient with respect to the input (valid until the next
+// Forward/Backward call).
 func (n *Network) Backward(dout *Mat) *Mat {
 	if n.prec == F32 {
-		return ConvertMat[float64](n.n32.Backward(ConvertMat[float32](dout)))
+		if n.d32 == nil {
+			n.d32, n.g64 = &Mat32{}, &Mat{}
+		}
+		convertMatInto(n.d32, dout)
+		convertMatInto(n.g64, n.n32.Backward(n.d32))
+		return n.g64
 	}
 	return n.n64.Backward(dout)
 }
@@ -340,6 +449,26 @@ func (n *Network) Infer(x *Mat) *Mat {
 		return ConvertMat[float64](n.n32.Infer(ConvertMat[float32](x)))
 	}
 	return n.n64.Infer(x)
+}
+
+// InferInto is Infer with caller-owned output: out is resized and
+// overwritten with the logits, all intermediates (and, for an F32 network,
+// the boundary conversions) come from per-call pooled scratch, and no layer
+// state is written — so steady-state inference allocates nothing while
+// keeping Infer's any-number-of-goroutines concurrency contract. out must
+// not alias x.
+func (n *Network) InferInto(x, out *Mat) {
+	if n.prec == F32 {
+		x32 := getMat[float32]()
+		y32 := getMat[float32]()
+		convertMatInto(x32, x)
+		n.n32.InferInto(x32, y32)
+		convertMatInto(out, y32)
+		putMat(x32)
+		putMat(y32)
+		return
+	}
+	n.n64.InferInto(x, out)
 }
 
 // Params returns every learnable parameter of a float64 network. It panics
@@ -504,7 +633,7 @@ func coreFromState[T Float](kinds []string, ins, outs []int, vals [][]T) (*NetOf
 				B:   &ParamOf[T]{Name: "b", Value: vals[vi+1], Grad: make([]T, out)},
 			}
 			vi += 2
-			n.Layers = append(n.Layers, l)
+			n.Layers = append(n.Layers, l.bindViews())
 		case "relu":
 			n.Layers = append(n.Layers, &ReLUOf[T]{})
 		case "tanh":

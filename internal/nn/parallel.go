@@ -65,9 +65,32 @@ func ensurePool() {
 // per-row accumulation order is internal to f) produces results identical
 // to a single f(0, rows) call.
 func parallelRows(rows, flops int, f func(lo, hi int)) {
+	parallelRowsOf(rows, flops, f, func(f func(lo, hi int), lo, hi int) { f(lo, hi) })
+}
+
+// serialKernel reports whether a kernel over this many rows and
+// multiply-accumulates runs entirely on the calling goroutine (the same
+// split rule parallelRowsOf applies). Kernel call sites check it BEFORE
+// constructing the dispatch func literal: inside a generic function such a
+// literal captures its dictionary, and because parallelRowsOf's task
+// closures make it escape, building one per call would heap-allocate even
+// when the kernel never leaves the calling goroutine. Branching first keeps
+// the serial path — the zero-alloc contract the engine tests pin — free of
+// any closure construction.
+func serialKernel(rows, flops int) bool {
+	return Workers() <= 1 || rows < minParallelRows || flops < parallelThreshold
+}
+
+// parallelRowsOf is parallelRows with the kernel's operands threaded through
+// an explicit argument instead of a closure. Because f can be a plain
+// top-level function, the serial dispatch path (small work, or Workers() ≤ 1)
+// performs no allocation at all — the property the zero-alloc training
+// benchmarks assert. The parallel path still builds one task closure per
+// block.
+func parallelRowsOf[A any](rows, flops int, arg A, f func(arg A, lo, hi int)) {
 	workers := Workers()
 	if workers <= 1 || rows < minParallelRows || flops < parallelThreshold {
-		f(0, rows)
+		f(arg, 0, rows)
 		return
 	}
 	if workers > rows {
@@ -84,14 +107,14 @@ func parallelRows(rows, flops int, f func(lo, hi int)) {
 		if hi == rows {
 			// Run the final block on the calling goroutine so the caller
 			// contributes instead of idling on the WaitGroup.
-			f(lo, hi)
+			f(arg, lo, hi)
 			break
 		}
 		wg.Add(1)
 		task := func(lo, hi int) func() {
 			return func() {
 				defer wg.Done()
-				f(lo, hi)
+				f(arg, lo, hi)
 			}
 		}(lo, hi)
 		select {

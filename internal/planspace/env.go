@@ -104,6 +104,9 @@ type Env struct {
 	// episode share it, so a skeleton costed under two aggregation
 	// algorithms is hashed once and no completion allocates a map.
 	memo map[plan.Node]uint64
+	// scratch carries the reusable featurization maps (alias index, depth
+	// weights, subtree alias sets); Reset per episode.
+	scratch featurize.Scratch
 
 	// Executions counts how many episodes were actually executed (latency
 	// measured); TimedOutCount counts executions that hit the budget.
@@ -167,6 +170,7 @@ func (e *Env) ResetTo(q *query.Query) rl.State {
 	}
 	e.Last = Outcome{}
 	clear(e.memo)
+	e.scratch.Reset()
 	return e.state()
 }
 
@@ -195,32 +199,32 @@ func (e *Env) cursor() int {
 
 func (e *Env) state() rl.State {
 	n := e.Cfg.Space.MaxRels
-	base := e.Cfg.Space.JoinState(e.cur, e.forest)
-	features := make([]float64, 0, e.ObsDim())
-	features = append(features, base...)
+	// One fresh vector per state (trajectories retain it); the join-state
+	// prefix and the phase/cursor/access one-hot blocks are written directly
+	// at their offsets instead of composed from temporary slices, and the
+	// episode scratch carries the featurization working maps.
+	features := make([]float64, e.ObsDim())
+	e.Cfg.Space.JoinStateInto(features[:e.Cfg.Space.ObsDim()], e.cur, e.forest, &e.scratch)
 
-	phaseOH := make([]float64, 3)
-	cursorOH := make([]float64, n)
-	accessOH := make([]float64, n*numAccessChoices)
+	phaseOff := e.Cfg.Space.ObsDim()
+	cursorOff := phaseOff + 3
+	accessOff := cursorOff + n
 	switch e.ph {
 	case phaseAccess:
-		phaseOH[0] = 1
+		features[phaseOff] = 1
 		if c := e.cursor(); c >= 0 && c < n {
-			cursorOH[c] = 1
+			features[cursorOff+c] = 1
 		}
 	case phaseJoin:
-		phaseOH[1] = 1
+		features[phaseOff+1] = 1
 	case phaseAgg:
-		phaseOH[2] = 1
+		features[phaseOff+2] = 1
 	}
 	for i, c := range e.chosen {
 		if c >= 0 && i < n {
-			accessOH[i*numAccessChoices+c] = 1
+			features[accessOff+i*numAccessChoices+c] = 1
 		}
 	}
-	features = append(features, phaseOH...)
-	features = append(features, cursorOH...)
-	features = append(features, accessOH...)
 
 	return rl.State{
 		Features: features,

@@ -1,0 +1,56 @@
+package rejoin
+
+import (
+	"testing"
+
+	"handsfree/internal/featurize"
+	"handsfree/internal/nn"
+	"handsfree/internal/plan"
+	"handsfree/internal/rl"
+)
+
+// TestEnginePlanEquivalence is the plan-level engine property: one trained
+// policy, loaded into agents running the reference and the blocked compute
+// engines, must emit identical greedy join orders at identical costs on the
+// seed workload. Greedy rollouts are 1×d products, which the blocked engine
+// routes through its bitwise reference fallback, so the comparison is exact
+// equality, not tolerance. This is the in-process counterpart of the CI
+// matrix leg that re-runs the whole suite under HANDSFREE_ENGINE=blocked.
+func TestEnginePlanEquivalence(t *testing.T) {
+	fx := fixture(t, 6, 4, 6)
+	space := featurize.NewSpace(fx.maxRels, fx.est)
+	env := NewEnv(space, fx.planner, fx.queries, 1)
+	trainer := NewAgent(env, rl.ReinforceConfig{Hidden: []int{32}, Engine: nn.EngineReference, Seed: 5})
+	for ep := 0; ep < 120; ep++ {
+		trainer.TrainEpisode()
+	}
+	data, err := trainer.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	load := func(e nn.Engine, seed int64) *Agent {
+		env := NewEnv(space, fx.planner, fx.queries, 1)
+		ag := NewAgent(env, rl.ReinforceConfig{Hidden: []int{32}, Engine: e, Seed: seed})
+		if err := ag.Load(data); err != nil {
+			t.Fatal(err)
+		}
+		return ag
+	}
+	ref := load(nn.EngineReference, 8)
+	blk := load(nn.EngineBlocked, 9)
+	if got := blk.RL.Policy.Engine(); got != nn.EngineBlocked {
+		t.Fatalf("loaded policy engine = %v, want blocked", got)
+	}
+
+	for _, q := range fx.queries {
+		pr, cr := ref.GreedyPlan(q)
+		pb, cb := blk.GreedyPlan(q)
+		if cr != cb {
+			t.Fatalf("query %s: reference cost %v, blocked cost %v", q.Name, cr, cb)
+		}
+		if fr, fb := plan.Format(pr), plan.Format(pb); fr != fb {
+			t.Fatalf("query %s: plans diverge across engines\nreference:\n%s\nblocked:\n%s", q.Name, fr, fb)
+		}
+	}
+}

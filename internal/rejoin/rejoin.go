@@ -56,6 +56,9 @@ type Env struct {
 	curIdx int
 	cur    *query.Query
 	forest []plan.Node
+	// scratch carries the reusable featurization maps (alias index, depth
+	// weights, subtree alias sets); Reset per episode.
+	scratch featurize.Scratch
 	// memo is the per-episode skeleton-hash memo (allocated lazily, only
 	// when a plan cache is attached): the terminal completion reuses it so
 	// each episode hashes each skeleton node once and allocates no map.
@@ -128,6 +131,7 @@ func (e *Env) ResetTo(q *query.Query) rl.State {
 	e.LastPlan = nil
 	e.LastCost = 0
 	clear(e.memo)
+	e.scratch.Reset()
 	return e.state()
 }
 
@@ -147,12 +151,15 @@ func (e *Env) hashMemo() map[plan.Node]uint64 {
 func (e *Env) state() rl.State {
 	var mask []bool
 	if e.DisallowCross {
-		mask = e.Space.ConnectedPairMask(e.cur, e.forest)
+		mask = e.Space.ConnectedPairMaskScratch(e.cur, e.forest, &e.scratch)
 	} else {
 		mask = e.Space.PairMask(len(e.forest))
 	}
+	// The feature vector is freshly allocated (trajectories retain it); the
+	// scratch eliminates every other per-state allocation of the encoding.
+	features := e.Space.JoinStateInto(make([]float64, e.Space.ObsDim()), e.cur, e.forest, &e.scratch)
 	return rl.State{
-		Features: e.Space.JoinState(e.cur, e.forest),
+		Features: features,
 		Mask:     mask,
 		Terminal: len(e.forest) <= 1,
 	}

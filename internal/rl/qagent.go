@@ -73,7 +73,13 @@ type QAgentConfig struct {
 	// batched kernel, tolerance-verified against f64), or nn.PrecisionAuto
 	// (the HANDSFREE_PRECISION environment variable, defaulting to f64).
 	Precision nn.Precision
-	Seed      int64
+	// Engine selects the dense-kernel backend: nn.EngineReference (the
+	// bitwise-deterministic naive kernels), nn.EngineBlocked (cache-blocked,
+	// register-tiled microkernels, tolerance-verified against reference), or
+	// nn.EngineAuto (the HANDSFREE_ENGINE environment variable, defaulting
+	// to the build's compiled-in engine).
+	Engine nn.Engine
+	Seed   int64
 }
 
 func (c *QAgentConfig) fill() {
@@ -107,6 +113,8 @@ type QAgent struct {
 
 	rng     *rand.Rand
 	scratch []Sample // reused minibatch backing for Train/TrainMargin
+	xbuf    nn.Mat   // reused minibatch input matrix
+	gradbuf nn.Mat   // reused output-gradient matrix
 
 	// bestFallbacks counts Best() calls where every valid prediction was
 	// NaN or +Inf and the first valid action was returned instead of the
@@ -124,7 +132,9 @@ func NewQAgent(obsDim, actionDim int, cfg QAgentConfig) *QAgent {
 	sizes := append(append([]int{obsDim}, cfg.Hidden...), actionDim)
 	opt := nn.NewAdam(cfg.LR)
 	opt.Clip = cfg.Clip
-	return &QAgent{Net: nn.NewMLPAt(cfg.Precision, rng, sizes...), Opt: opt, Cfg: cfg, rng: rng}
+	net := nn.NewMLPAt(cfg.Precision, rng, sizes...)
+	net.SetEngine(cfg.Engine)
+	return &QAgent{Net: net, Opt: opt, Cfg: cfg, rng: rng}
 }
 
 // Predict returns the predicted log-latency for every action at a state.
@@ -135,7 +145,9 @@ func (q *QAgent) Predict(s State) []float64 {
 // PredictBatch evaluates the network once for a whole batch of states,
 // returning a len(states)×ActionDim matrix whose row i is Predict(states[i]).
 // One batched forward replaces len(states) 1×d passes; the per-row numbers
-// are identical to the per-state path.
+// are identical to the per-state path. The result lives in the network's
+// reusable forward buffer: it is valid until the agent's next
+// predict/train call, and callers that retain it longer must Clone it.
 func (q *QAgent) PredictBatch(states []State) *nn.Mat {
 	x := nn.NewMat(len(states), q.Net.InDim())
 	for i, s := range states {
@@ -192,10 +204,12 @@ func (q *QAgent) Best(s State) int {
 // diagnosing training anomalies.
 func (q *QAgent) BestFallbacks() int64 { return q.bestFallbacks.Load() }
 
-// assembleBatch copies the sampled features into one batchSize×obsDim
-// matrix so the whole minibatch runs through a single forward pass.
+// assembleBatch copies the sampled features into the agent's reused
+// batchSize×obsDim scratch matrix so the whole minibatch runs through a
+// single forward pass without allocating.
 func (q *QAgent) assembleBatch(batch []Sample) *nn.Mat {
-	x := nn.NewMat(len(batch), q.Net.InDim())
+	x := &q.xbuf
+	x.Resize(len(batch), q.Net.InDim())
 	for i, s := range batch {
 		if len(s.Features) != x.Cols {
 			panic("rl: sample dimension does not match network input")
@@ -218,7 +232,9 @@ func (q *QAgent) Train(buf *ReplayBuffer, batchSize int) float64 {
 	q.scratch = buf.SampleInto(q.scratch[:0], batchSize, q.rng)
 	batch := q.scratch
 	out := q.Net.Forward(q.assembleBatch(batch))
-	grad := nn.NewMat(out.Rows, out.Cols)
+	grad := &q.gradbuf
+	grad.Resize(out.Rows, out.Cols)
+	grad.Zero()
 	var total float64
 	for i, s := range batch {
 		pred := out.Row(i)
@@ -260,7 +276,9 @@ func (q *QAgent) TrainMargin(buf *ReplayBuffer, batchSize int, margin, marginWei
 	q.scratch = buf.SampleInto(q.scratch[:0], batchSize, q.rng)
 	batch := q.scratch
 	out := q.Net.Forward(q.assembleBatch(batch))
-	grad := nn.NewMat(out.Rows, out.Cols)
+	grad := &q.gradbuf
+	grad.Resize(out.Rows, out.Cols)
+	grad.Zero()
 	var total float64
 	for i, s := range batch {
 		pred := out.Row(i)

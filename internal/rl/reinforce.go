@@ -49,7 +49,13 @@ type ReinforceConfig struct {
 	// batched kernel, tolerance-verified against f64), or nn.PrecisionAuto
 	// (the HANDSFREE_PRECISION environment variable, defaulting to f64).
 	Precision nn.Precision
-	Seed      int64
+	// Engine selects the dense-kernel backend: nn.EngineReference (the
+	// bitwise-deterministic naive kernels), nn.EngineBlocked (cache-blocked,
+	// register-tiled microkernels, tolerance-verified against reference), or
+	// nn.EngineAuto (the HANDSFREE_ENGINE environment variable, defaulting
+	// to the build's compiled-in engine).
+	Engine nn.Engine
+	Seed   int64
 }
 
 func (c *ReinforceConfig) fill() {
@@ -93,6 +99,15 @@ type Reinforce struct {
 	ema     float64
 	emaOK   bool
 	entCoef float64
+
+	// update() scratch, reused across policy updates so steady-state
+	// training does not allocate.
+	xbuf    nn.Mat
+	gradbuf nn.Mat
+	probbuf nn.Mat
+	masks   [][]bool
+	actions []int
+	advs    []float64
 	// Updates counts completed policy updates.
 	Updates int
 }
@@ -111,8 +126,10 @@ func NewReinforce(obsDim, actionDim int, cfg ReinforceConfig) *Reinforce {
 		adam.Clip = cfg.Clip
 		opt = adam
 	}
+	net := nn.NewMLPAt(cfg.Precision, rng, sizes...)
+	net.SetEngine(cfg.Engine)
 	return &Reinforce{
-		Policy:  nn.NewMLPAt(cfg.Precision, rng, sizes...),
+		Policy:  net,
 		Opt:     opt,
 		Cfg:     cfg,
 		rng:     rng,
@@ -193,7 +210,10 @@ func (a *Reinforce) UnmarshalPolicy(data []byte) error {
 		return fmt.Errorf("rl: checkpoint dims %dx%d do not match agent %dx%d",
 			net.InDim(), net.OutDim(), a.Policy.InDim(), a.Policy.OutDim())
 	}
-	a.Policy = net.ConvertTo(a.Policy.Precision())
+	conv := net.ConvertTo(a.Policy.Precision())
+	// Checkpoints do not carry an engine selection; keep the agent's.
+	conv.SetEngine(a.Policy.Engine())
+	a.Policy = conv
 	a.ResetBatch()
 	return nil
 }
@@ -274,10 +294,11 @@ func (a *Reinforce) update() {
 	for _, t := range a.batch {
 		steps += len(t.Steps)
 	}
-	x := nn.NewMat(steps, a.Policy.InDim())
-	masks := make([][]bool, steps)
-	actions := make([]int, steps)
-	advs := make([]float64, steps)
+	x := &a.xbuf
+	x.Resize(steps, a.Policy.InDim())
+	masks := resizeSlice(&a.masks, steps)
+	actions := resizeSlice(&a.actions, steps)
+	advs := resizeSlice(&a.advs, steps)
 	r := 0
 	for _, t := range a.batch {
 		var adv float64
@@ -296,10 +317,12 @@ func (a *Reinforce) update() {
 	}
 
 	logits := a.Policy.Forward(x)
-	probs := nn.MaskedSoftmaxRows(logits, masks)
-	grad := nn.NewMat(steps, logits.Cols)
+	probs := &a.probbuf
+	nn.MaskedSoftmaxRowsInto(probs, logits, masks)
+	grad := &a.gradbuf
+	grad.Resize(steps, logits.Cols)
 	for i := 0; i < steps; i++ {
-		copy(grad.Row(i), nn.PolicyGradient(probs.Row(i), masks[i], actions[i], advs[i], a.entCoef))
+		nn.PolicyGradientInto(grad.Row(i), probs.Row(i), masks[i], actions[i], advs[i], a.entCoef)
 	}
 	a.Policy.ZeroGrad()
 	a.Policy.Backward(grad)
@@ -313,6 +336,17 @@ func (a *Reinforce) update() {
 			a.entCoef = a.Cfg.EntropyMin
 		}
 	}
+}
+
+// resizeSlice grows *s to length n in place, reusing the existing backing
+// array when it is large enough, and returns the resized slice. Every element
+// is overwritten by the caller, so stale contents are fine.
+func resizeSlice[E any](s *[]E, n int) []E {
+	if cap(*s) < n {
+		*s = make([]E, n)
+	}
+	*s = (*s)[:n]
+	return *s
 }
 
 // sampleFrom draws an index from a (possibly unnormalized-by-epsilon)

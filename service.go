@@ -89,6 +89,12 @@ func WithPrecision(p Precision) Option {
 	return func(o *serviceOptions) { o.cfg.Precision = p }
 }
 
+// WithEngine sets the default dense-kernel backend for every learned agent
+// the service builds (EngineReference, EngineBlocked, or EngineAuto).
+func WithEngine(e ComputeEngine) Option {
+	return func(o *serviceOptions) { o.cfg.Engine = e }
+}
+
 // WithCache enables and sizes the plan cache service.
 func WithCache(cc CacheConfig) Option {
 	return func(o *serviceOptions) {
@@ -426,12 +432,14 @@ type LifecycleConfig struct {
 	// Stages selects the pipeline prefix the learned policy controls
 	// (default: join ordering only, the §3 setup).
 	Stages Stages
-	// Hidden, LR, BatchSize, Precision, Seed configure the learners
-	// (defaults: 128/64, 1e-3, 16, the service precision, 1).
+	// Hidden, LR, BatchSize, Precision, Engine, Seed configure the learners
+	// (defaults: 128/64, 1e-3, 16, the service precision, the service
+	// compute engine, 1).
 	Hidden    []int
 	LR        float64
 	BatchSize int
 	Precision Precision
+	Engine    ComputeEngine
 	Seed      int64
 
 	// DemoSweeps is how many times the expert's demonstrated trajectories
@@ -479,6 +487,9 @@ func (c *LifecycleConfig) fill(s *Service) {
 	}
 	if c.Precision == PrecisionAuto {
 		c.Precision = s.sys.Precision
+	}
+	if c.Engine == EngineAuto {
+		c.Engine = s.sys.Compute
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -683,7 +694,10 @@ func (s *Service) runLifecycle(ctx context.Context, cfg LifecycleConfig, space *
 		Cache:           s.sys.PlanCache,
 		Seed:            cfg.Seed,
 	})
-	demo := lfd.New(lfd.Config{Env: demoEnv, Hidden: cfg.Hidden, LR: cfg.LR, Seed: cfg.Seed})
+	demo := lfd.New(lfd.Config{
+		Env: demoEnv, Hidden: cfg.Hidden, LR: cfg.LR,
+		Precision: cfg.Precision, Engine: cfg.Engine, Seed: cfg.Seed,
+	})
 	if err := demo.CollectDemonstrationsCtx(ctx); err != nil {
 		return s.stopped(err)
 	}
@@ -724,6 +738,7 @@ func (s *Service) runLifecycle(ctx context.Context, cfg LifecycleConfig, space *
 			LR:        cfg.LR,
 			BatchSize: cfg.BatchSize,
 			Precision: cfg.Precision,
+			Engine:    cfg.Engine,
 			Seed:      cfg.Seed,
 		},
 	})
