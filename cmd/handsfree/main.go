@@ -12,8 +12,11 @@
 //	handsfree service      run the Service lifecycle (demonstration →
 //	                       cost training → latency tuning) and serve the
 //	                       workload through the safeguarded Plan path
-//	handsfree env          print the resolved compute configuration
-//	                       (engine, precision, tile sizes, workers)
+//	handsfree serve        multi-tenant JSON-over-HTTP optimizer server
+//	                       with admission control and graceful drain
+//	handsfree env          print the resolved compute and serving
+//	                       configuration (engine, precision, tile sizes,
+//	                       workers, address, tenants, queue, SLO)
 //	handsfree all          every experiment in sequence
 //
 // Flags:
@@ -29,19 +32,35 @@
 //	              HANDSFREE_ENGINE, else the build default)
 //	-timeout d    service mode: overall lifecycle deadline, and per-query
 //	              planning deadline on the Plan(ctx) serving path
+//
+// Serve-mode flags (see `handsfree env` for the resolved values):
+//
+//	-addr s             listen address (default :8080)
+//	-tenants n          independent tenants to mount (default 1)
+//	-concurrency n      concurrent planning slots (default GOMAXPROCS)
+//	-queue n            admission queue depth (default 4×concurrency)
+//	-slo d              queue-wait SLO before load shedding (default 500ms)
+//	-request-timeout d  default per-request planning deadline (default 30s)
+//	-max-timeout d      cap on client-requested timeout_ms (default 2m)
+//	-drain d            graceful-drain budget on shutdown (default 30s)
+//	-train              start the learning lifecycle on every tenant
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"handsfree"
 	"handsfree/internal/experiment"
 	"handsfree/internal/nn"
+	"handsfree/internal/server"
 )
 
 func main() {
@@ -51,6 +70,15 @@ func main() {
 	precision := flag.String("precision", "", "tensor-core precision for learned agents: f64 or f32 (default: HANDSFREE_PRECISION, else f64)")
 	engineFlag := flag.String("engine", "", "dense-kernel backend for learned agents: reference or blocked (default: HANDSFREE_ENGINE, else the build default)")
 	timeout := flag.Duration("timeout", 0, "service mode: lifecycle deadline and per-query planning deadline (0 = none)")
+	addr := flag.String("addr", "", "serve mode: listen address (default :8080)")
+	tenants := flag.Int("tenants", 1, "serve mode: number of independent tenants to mount")
+	concurrency := flag.Int("concurrency", 0, "serve mode: concurrent planning slots (default GOMAXPROCS)")
+	queueDepth := flag.Int("queue", 0, "serve mode: admission queue depth (default 4×concurrency)")
+	slo := flag.Duration("slo", 0, "serve mode: queue-wait SLO before load shedding (default 500ms)")
+	reqTimeout := flag.Duration("request-timeout", 0, "serve mode: default per-request planning deadline (default 30s)")
+	maxTimeout := flag.Duration("max-timeout", 0, "serve mode: cap on client-requested timeout_ms (default 2m)")
+	drain := flag.Duration("drain", 0, "serve mode: graceful-drain budget on shutdown (default 30s)")
+	train := flag.Bool("train", false, "serve mode: start the learning lifecycle on every tenant")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -76,13 +104,28 @@ func main() {
 	}
 	cmd := strings.ToLower(flag.Arg(0))
 
+	serveCfg := server.Config{
+		Addr:           *addr,
+		Concurrency:    *concurrency,
+		QueueDepth:     *queueDepth,
+		SLO:            *slo,
+		DefaultTimeout: *reqTimeout,
+		MaxTimeout:     *maxTimeout,
+		DrainTimeout:   *drain,
+	}
+
 	if cmd == "env" {
-		printEnv()
+		printEnv(serveCfg, *tenants)
 		return
 	}
 
 	if cmd == "service" {
 		runService(*quick, *scale, *seed, *timeout)
+		return
+	}
+
+	if cmd == "serve" {
+		runServe(serveCfg, *tenants, *train, *quick, *scale, *seed)
 		return
 	}
 
@@ -299,11 +342,93 @@ func runService(quick bool, scale float64, seed int64, timeout time.Duration) {
 		final.Plans, final.LearnedServed, final.ExpertServed, final.Fallbacks, svc.FallbackRatio())
 }
 
-// printEnv reports the compute configuration a run with the same flags and
-// environment would resolve to, so perf numbers are reproducible: the
-// dense-kernel engine, the tensor precision, the blocked engine's tile
-// geometry, and the kernel worker-pool width.
-func printEnv() {
+// runServe mounts N independent tenants — each its own handsfree.Service
+// with its own substrate, plan cache, and lifecycle — behind one HTTP
+// listener with admission control, then serves until SIGINT/SIGTERM, at
+// which point it drains gracefully: in-flight plans complete, training
+// stops at an episode boundary, new requests bounce with 503.
+func runServe(cfg server.Config, tenantCount int, train, quick bool, scale float64, seed int64) {
+	if tenantCount < 1 {
+		fatal(fmt.Errorf("-tenants must be at least 1, got %d", tenantCount))
+	}
+	if scale == 0 {
+		scale = 0.25
+		if quick {
+			scale = 0.05
+		}
+	}
+	if seed == 0 {
+		seed = 3
+	}
+
+	reg := server.NewRegistry()
+	services := make([]*handsfree.Service, 0, tenantCount)
+	for i := 0; i < tenantCount; i++ {
+		name := fmt.Sprintf("tenant-%d", i)
+		fmt.Fprintf(os.Stderr, "building %s (scale %.2f, seed %d)…\n", name, scale, seed+int64(i))
+		svc, err := handsfree.New(
+			handsfree.WithScale(scale),
+			handsfree.WithWorkload(8, 4, 6, seed+int64(i)),
+			handsfree.WithCache(handsfree.CacheConfig{Capacity: 1 << 14}),
+		)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := reg.Add(name, svc); err != nil {
+			fatal(err)
+		}
+		services = append(services, svc)
+	}
+
+	if train {
+		for i, svc := range services {
+			lc := handsfree.LifecycleConfig{Seed: seed + int64(i)}
+			if quick {
+				lc.PretrainBatches = 12
+				lc.CostEpisodes = 96
+				lc.EvalEvery = 48
+				lc.LatencyEpisodes = 32
+			}
+			if err := svc.StartTraining(context.Background(), lc); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "learning lifecycle started on %d tenant(s)\n", tenantCount)
+	}
+
+	srv := server.New(cfg, reg)
+	fmt.Fprint(os.Stderr, srv.Config().Describe(tenantCount))
+	httpSrv := &http.Server{Addr: srv.Config().Addr, Handler: srv.Handler()}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "listening on %s\n", srv.Config().Addr)
+
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "\n%s: draining (budget %s)…\n", sig, srv.Config().DrainTimeout)
+		drainCtx, cancel := context.WithTimeout(context.Background(), srv.Config().DrainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "drain: %v\n", err)
+		}
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "listener shutdown: %v\n", err)
+		}
+		fmt.Fprintln(os.Stderr, "drained")
+	case err := <-errCh:
+		fatal(err)
+	}
+}
+
+// printEnv reports the configuration a run with the same flags and
+// environment would resolve to, so perf numbers and deployments are
+// reproducible: the dense-kernel engine, the tensor precision, the blocked
+// engine's tile geometry, the kernel worker-pool width, and the serving
+// layer's resolved admission/timeout settings.
+func printEnv(serveCfg server.Config, tenants int) {
 	mr, nr, kc := nn.BlockedTileConfig()
 	fmt.Printf("engine:    %s (HANDSFREE_ENGINE=%q, build default %s)\n",
 		nn.DefaultEngine(), os.Getenv("HANDSFREE_ENGINE"), nn.BuildDefaultEngine())
@@ -312,6 +437,7 @@ func printEnv() {
 	fmt.Printf("blocked kernel: %s (portable tile %dx%d, k-block %d)\n",
 		nn.BlockedKernel(), mr, nr, kc)
 	fmt.Printf("kernel workers: %d\n", nn.Workers())
+	fmt.Print(serveCfg.Describe(tenants))
 }
 
 // renderer is anything that can print itself.
@@ -346,8 +472,14 @@ experiments:
                (demonstration → cost → latency), hot-swap policies, serve
                the workload through the safeguarded Plan(ctx) path
                (-timeout bounds the lifecycle and each planning call)
-  env          print the resolved compute configuration (engine,
-               precision, tile sizes, kernel workers)
+  serve        multi-tenant JSON-over-HTTP optimizer server: POST /plan,
+               POST /plansql, GET /phase /stats /cache /healthz, with
+               admission control, load shedding, and graceful drain
+               (-addr -tenants -concurrency -queue -slo -request-timeout
+               -max-timeout -drain -train)
+  env          print the resolved compute and serving configuration
+               (engine, precision, tile sizes, kernel workers, plus the
+               serve-mode address, tenants, queue depth, SLO, timeouts)
   all          run everything
 `)
 }

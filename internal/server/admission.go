@@ -1,0 +1,122 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// admission is the bounded request queue in front of the planning endpoints:
+// at most `concurrency` plans run at once, at most `queueDepth` requests
+// wait for a slot, and no request waits longer than the SLO — a request that
+// would have to is shed immediately with 429 + Retry-After, because a queue
+// wait riding the SLO means the server is saturated and the honest answer
+// is "come back later", not a response that blows the latency budget before
+// planning even starts. Admitted requests are never dropped: once a slot is
+// held, the request runs to completion (or to its own deadline).
+type admission struct {
+	slots      chan struct{}
+	queueDepth int64
+	slo        time.Duration
+
+	queued        atomic.Int64
+	admitted      atomic.Uint64
+	shedQueueFull atomic.Uint64
+	shedSLO       atomic.Uint64
+
+	// ewmaNs tracks recent plan service time (exponentially weighted) to
+	// estimate Retry-After for shed clients.
+	ewmaNs atomic.Int64
+}
+
+func newAdmission(concurrency, queueDepth int, slo time.Duration) *admission {
+	return &admission{
+		slots:      make(chan struct{}, concurrency),
+		queueDepth: int64(queueDepth),
+		slo:        slo,
+	}
+}
+
+// admit blocks until a slot is free (returning a release func and the queue
+// wait), or sheds: queue at capacity or queue wait reaching the SLO yield a
+// 429 apiError with Retry-After; a context cancelled while queued yields the
+// context error through the canceled apiError.
+func (a *admission) admit(ctx context.Context) (release func(), wait time.Duration, apiErr *apiError) {
+	// Fast path: a slot is free, no queueing at all.
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return a.releaseFunc(time.Now()), 0, nil
+	default:
+	}
+	if a.queued.Add(1) > a.queueDepth {
+		a.queued.Add(-1)
+		a.shedQueueFull.Add(1)
+		return nil, 0, &apiError{
+			status: http.StatusTooManyRequests, code: "queue_full",
+			message:       "admission queue at capacity",
+			retryAfterSec: a.retryAfterSec(),
+		}
+	}
+	defer a.queued.Add(-1)
+	start := time.Now()
+	timer := time.NewTimer(a.slo)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return a.releaseFunc(time.Now()), time.Since(start), nil
+	case <-timer.C:
+		a.shedSLO.Add(1)
+		return nil, time.Since(start), &apiError{
+			status: http.StatusTooManyRequests, code: "slo_shed",
+			message:       "queue wait reached the latency SLO; server saturated",
+			retryAfterSec: a.retryAfterSec(),
+		}
+	case <-ctx.Done():
+		return nil, time.Since(start), &apiError{
+			status: 499, code: "canceled",
+			message: "client went away while queued",
+		}
+	}
+}
+
+// releaseFunc frees the slot and folds the observed service time into the
+// EWMA that prices Retry-After for shed clients.
+func (a *admission) releaseFunc(start time.Time) func() {
+	return func() {
+		served := time.Since(start).Nanoseconds()
+		for {
+			old := a.ewmaNs.Load()
+			next := served
+			if old > 0 {
+				next = old + (served-old)/4 // EWMA, alpha 1/4
+			}
+			if a.ewmaNs.CompareAndSwap(old, next) {
+				break
+			}
+		}
+		<-a.slots
+	}
+}
+
+// retryAfterSec estimates how long a shed client should back off: the work
+// already queued ahead of it, priced at the recent per-plan service time,
+// divided across the slots — at least 1s, at most 60s.
+func (a *admission) retryAfterSec() int {
+	ewma := time.Duration(a.ewmaNs.Load())
+	if ewma <= 0 {
+		ewma = a.slo
+	}
+	backlog := a.queued.Load() + int64(len(a.slots))
+	est := time.Duration(backlog) * ewma / time.Duration(cap(a.slots))
+	sec := int((est + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}

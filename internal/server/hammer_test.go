@@ -1,0 +1,127 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"handsfree"
+)
+
+// TestHammer100ClientsDuringTraining is the -race twin of the integration
+// harness: 100 concurrent HTTP clients plan against a tenant that is live
+// training and hot-swapping policies the whole time. Every response must be
+// a complete decision (positive finite cost, a valid source, the safeguard
+// bound respected) and each client's policy versions must be monotone
+// non-decreasing across its sequential requests.
+func TestHammer100ClientsDuringTraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hammer test skipped in -short mode")
+	}
+	svc := newTestTenant(t, 3, handsfree.WithCache(handsfree.CacheConfig{Capacity: 1 << 14}))
+	ratio := svc.FallbackRatio()
+	if ratio <= 0 {
+		t.Fatalf("test needs an active safeguard, got ratio %v", ratio)
+	}
+	// Queue generously: this test is about correctness under concurrency,
+	// not shedding, so nothing should bounce.
+	_, ts := newTestServer(t, Config{
+		QueueDepth: 4096,
+		SLO:        30 * time.Second,
+	}, map[string]*handsfree.Service{"solo": svc})
+
+	client := ts.Client()
+	if tr, ok := client.Transport.(*http.Transport); ok {
+		tr.MaxIdleConnsPerHost = 128
+	}
+
+	ctx := context.Background()
+	if err := svc.StartTraining(ctx, liveTraining()); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		clients     = 100
+		reqsPerConn = 6
+	)
+	queries := svc.Queries()
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var lastVersion uint64
+			for i := 0; i < reqsPerConn; i++ {
+				q := queries[(c+i)%len(queries)]
+				status, _, raw, err := rawPost(client, ts.URL+"/plansql",
+					PlanRequest{SQL: q.SQL(), TimeoutMs: 60_000})
+				if err != nil {
+					errCh <- fmt.Errorf("client %d: %v", c, err)
+					return
+				}
+				if status != http.StatusOK {
+					errCh <- fmt.Errorf("client %d: status %d: %s", c, status, raw)
+					return
+				}
+				var plan PlanResponse
+				if err := json.Unmarshal(raw, &plan); err != nil {
+					errCh <- fmt.Errorf("client %d: %v", c, err)
+					return
+				}
+				if plan.Cost <= 0 || math.IsNaN(plan.Cost) || math.IsInf(plan.Cost, 0) ||
+					plan.ExpertCost <= 0 {
+					errCh <- fmt.Errorf("client %d: torn decision %+v", c, plan)
+					return
+				}
+				switch plan.Source {
+				case "expert", "learned", "fallback":
+				default:
+					errCh <- fmt.Errorf("client %d: unknown source %q", c, plan.Source)
+					return
+				}
+				if plan.Cost > ratio*plan.ExpertCost*(1+1e-12) {
+					errCh <- fmt.Errorf("client %d: safeguard breached: cost %v > %v×%v",
+						c, plan.Cost, ratio, plan.ExpertCost)
+					return
+				}
+				if plan.PolicyVersion < lastVersion {
+					errCh <- fmt.Errorf("client %d: policy version went backwards (%d → %d)",
+						c, lastVersion, plan.PolicyVersion)
+					return
+				}
+				lastVersion = plan.PolicyVersion
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Training was genuinely live throughout; stop it and sanity-check the
+	// server saw every request.
+	if !svc.TrainingActive() {
+		t.Fatal("lifecycle ended before the hammer finished: the test lost its live-training premise")
+	}
+	if err := svc.StopTraining(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	getJSON(t, client, ts.URL+"/stats", &stats)
+	if got := stats.Server.Admitted; got != clients*reqsPerConn {
+		t.Fatalf("admitted %d, want %d", got, clients*reqsPerConn)
+	}
+	if stats.Server.ShedQueueFull+stats.Server.ShedSLO != 0 {
+		t.Fatalf("hammer shed requests despite generous queue: %+v", stats.Server)
+	}
+	if st := stats.Tenants[0]; st.Plans != clients*reqsPerConn {
+		t.Fatalf("tenant planned %d, want %d", st.Plans, clients*reqsPerConn)
+	}
+}

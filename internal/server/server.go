@@ -1,0 +1,510 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"handsfree"
+	"handsfree/internal/catalog"
+)
+
+// Config sizes the front end. The zero value resolves to serving defaults;
+// Describe renders the resolved configuration for operator diffs.
+type Config struct {
+	// Addr is the listen address (used by cmd/handsfree serve; a Server
+	// mounted under httptest ignores it). Default ":8080".
+	Addr string
+	// Concurrency is how many plans may run at once (default GOMAXPROCS).
+	Concurrency int
+	// QueueDepth bounds how many admitted-but-waiting requests may queue
+	// for a slot; the excess is shed with 429 (default 4 × Concurrency).
+	QueueDepth int
+	// SLO is the longest a request may wait in the admission queue before
+	// it is shed with 429 + Retry-After (default 500ms).
+	SLO time.Duration
+	// DefaultTimeout is the per-request planning deadline applied when the
+	// client sends no timeout_ms (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines (default 2m).
+	MaxTimeout time.Duration
+	// DrainTimeout bounds Shutdown's graceful drain (default 30s).
+	DrainTimeout time.Duration
+}
+
+func (c *Config) fill() {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Concurrency
+	}
+	if c.SLO <= 0 {
+		c.SLO = 500 * time.Millisecond
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+}
+
+// Describe renders the resolved serving configuration, one knob per line,
+// so operators can diff deployments (`handsfree env` prints it). The output
+// is stable: it is covered by a golden test.
+func (c Config) Describe(tenants int) string {
+	c.fill()
+	var b strings.Builder
+	fmt.Fprintf(&b, "serving:\n")
+	fmt.Fprintf(&b, "  addr:            %s\n", c.Addr)
+	fmt.Fprintf(&b, "  tenants:         %d\n", tenants)
+	fmt.Fprintf(&b, "  concurrency:     %d\n", c.Concurrency)
+	fmt.Fprintf(&b, "  queue depth:     %d\n", c.QueueDepth)
+	fmt.Fprintf(&b, "  queue-wait SLO:  %s\n", c.SLO)
+	fmt.Fprintf(&b, "  default timeout: %s\n", c.DefaultTimeout)
+	fmt.Fprintf(&b, "  max timeout:     %s\n", c.MaxTimeout)
+	fmt.Fprintf(&b, "  drain timeout:   %s\n", c.DrainTimeout)
+	return b.String()
+}
+
+// Server is the multi-tenant HTTP front end. Create one with New, mount
+// Handler() on a listener (or httptest), and Shutdown to drain.
+type Server struct {
+	cfg Config
+	reg *Registry
+	adm *admission
+	mux *http.ServeMux
+
+	requests      atomic.Uint64
+	timeouts      atomic.Uint64
+	clientCancels atomic.Uint64
+	drainRejects  atomic.Uint64
+
+	// drain state: once draining, new requests are rejected with 503 while
+	// in-flight handlers (counted under mu) run to completion. idle is
+	// created by Shutdown when handlers are still in flight and closed by
+	// the last one to leave.
+	mu        sync.Mutex
+	draining  bool
+	inflightN int64
+	idle      chan struct{}
+}
+
+// New builds a Server over a tenant registry.
+func New(cfg Config, reg *Registry) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg: cfg,
+		reg: reg,
+		adm: newAdmission(cfg.Concurrency, cfg.QueueDepth, cfg.SLO),
+		mux: http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /plan", func(w http.ResponseWriter, r *http.Request) { s.handlePlan(w, r, false) })
+	s.mux.HandleFunc("POST /plansql", func(w http.ResponseWriter, r *http.Request) { s.handlePlan(w, r, true) })
+	s.mux.HandleFunc("GET /phase", s.handlePhase)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /cache", s.handleCache)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Config returns the resolved configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Registry returns the tenant registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the HTTP handler: the route mux wrapped in the
+// drain/accounting middleware.
+func (s *Server) Handler() http.Handler { return s }
+
+// enter admits a request past the drain gate, counting it in flight.
+func (s *Server) enter() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflightN++
+	return true
+}
+
+// leave uncounts a finished request and, when the drain is waiting on the
+// last one, signals it.
+func (s *Server) leave() {
+	s.mu.Lock()
+	s.inflightN--
+	if s.inflightN == 0 && s.idle != nil {
+		close(s.idle)
+		s.idle = nil
+	}
+	s.mu.Unlock()
+}
+
+// ServeHTTP implements http.Handler with the drain gate: while draining,
+// every endpoint except /healthz answers 503 so load balancers and clients
+// move on, and in-flight requests are counted so Shutdown can wait for them.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !s.enter() {
+		if r.URL.Path == "/healthz" {
+			s.handleHealthz(w, r)
+			return
+		}
+		s.drainRejects.Add(1)
+		writeError(w, &apiError{
+			status: http.StatusServiceUnavailable, code: "draining",
+			message: "server is draining; no new requests accepted",
+		})
+		return
+	}
+	defer s.leave()
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the server gracefully: it stops admitting new requests
+// (503 + "draining"), cancels every tenant's learning lifecycle and waits
+// for the lifecycle goroutines to exit, then waits for in-flight plans to
+// complete — they run under their own request contexts, so a shutdown
+// mid-training still returns every admitted response. Returns ctx.Err() if
+// the drain outlives ctx (cfg.DrainTimeout is the caller's conventional
+// bound). Safe to call once; later calls return immediately.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	var idle chan struct{}
+	if s.inflightN > 0 {
+		idle = make(chan struct{})
+		s.idle = idle
+	}
+	s.mu.Unlock()
+	// Stop every lifecycle first: training holds goroutines (actors,
+	// learner) that must exit cleanly; in-flight serving is untouched — Plan
+	// calls run under their own request contexts.
+	var firstErr error
+	for _, t := range s.reg.All() {
+		if err := t.svc.StopTraining(ctx); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("server: stopping tenant %q lifecycle: %w", t.name, err)
+		}
+	}
+	if idle != nil {
+		select {
+		case <-idle:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return firstErr
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// tenantFor resolves the request's tenant from the "tenant" query parameter
+// or the X-Tenant header.
+func (s *Server) tenantFor(r *http.Request) (*Tenant, *apiError) {
+	name := r.URL.Query().Get("tenant")
+	if name == "" {
+		name = r.Header.Get("X-Tenant")
+	}
+	t, ok := s.reg.Get(name)
+	if !ok {
+		if name == "" {
+			return nil, &apiError{
+				status: http.StatusBadRequest, code: "unknown_tenant",
+				message: fmt.Sprintf("no tenant named; pass ?tenant= or X-Tenant (registered: %s)", strings.Join(s.reg.Names(), ", ")),
+			}
+		}
+		return nil, &apiError{
+			status: http.StatusNotFound, code: "unknown_tenant",
+			message: fmt.Sprintf("unknown tenant %q (registered: %s)", name, strings.Join(s.reg.Names(), ", ")),
+		}
+	}
+	return t, nil
+}
+
+// timeoutFor resolves the effective planning deadline for a request.
+func (s *Server) timeoutFor(req *PlanRequest) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		d = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// validateAgainstCatalog rejects queries referencing tables or columns the
+// tenant's schema does not have — the planner is deliberately lenient about
+// unknown names (it costs what it can), but over the wire that leniency
+// would turn client typos into confusing plans instead of 400s.
+func validateAgainstCatalog(tenant *Tenant, q *handsfree.Query) *apiError {
+	cat := tenant.svc.System().DB.Catalog
+	tables := make(map[string]*catalog.Table, len(q.Relations))
+	for _, r := range q.Relations {
+		tbl, err := cat.Table(r.Table)
+		if err != nil {
+			return badRequest("tenant %q has no table %q", tenant.name, r.Table)
+		}
+		tables[r.Alias] = tbl
+	}
+	checkCol := func(alias, col, what string) *apiError {
+		tbl, ok := tables[alias]
+		if !ok {
+			return badRequest("%s references undeclared alias %q", what, alias)
+		}
+		if !tbl.HasColumn(col) {
+			return badRequest("%s: table %q has no column %q", what, tbl.Name, col)
+		}
+		return nil
+	}
+	for _, j := range q.Joins {
+		if e := checkCol(j.LeftAlias, j.LeftCol, "join"); e != nil {
+			return e
+		}
+		if e := checkCol(j.RightAlias, j.RightCol, "join"); e != nil {
+			return e
+		}
+	}
+	for _, f := range q.Filters {
+		if e := checkCol(f.Alias, f.Column, "filter"); e != nil {
+			return e
+		}
+	}
+	for _, g := range q.GroupBys {
+		if e := checkCol(g.Alias, g.Column, "group by"); e != nil {
+			return e
+		}
+	}
+	for _, a := range q.Aggregates {
+		if a.Column == "" {
+			continue // COUNT(*)
+		}
+		if e := checkCol(a.Alias, a.Column, "aggregate"); e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// handlePlan serves POST /plan (structured IR) and POST /plansql (SQL text):
+// resolve the tenant, decode, pass admission, then run the tenant's
+// safeguarded Plan under the per-request deadline.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request, wantSQL bool) {
+	s.requests.Add(1)
+	tenant, apiErr := s.tenantFor(r)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	req, apiErr := decodePlanRequest(r.Body, wantSQL)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	var q *handsfree.Query
+	var label string
+	if wantSQL {
+		parsed, err := handsfree.ParseSQL(req.SQL)
+		if err != nil {
+			writeError(w, badRequest("parsing SQL: %v", err))
+			return
+		}
+		q, label = parsed, req.SQL
+	} else {
+		var wireErr *apiError
+		q, wireErr = req.Query.toQuery()
+		if wireErr != nil {
+			writeError(w, wireErr)
+			return
+		}
+		label = q.Name
+		if label == "" {
+			label = q.SQL()
+		}
+	}
+	if apiErr := validateAgainstCatalog(tenant, q); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+
+	release, queueWait, apiErr := s.adm.admit(r.Context())
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req))
+	defer cancel()
+	start := time.Now()
+	res, err := tenant.svc.Plan(ctx, q)
+	planTime := time.Since(start)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.timeouts.Add(1)
+			writeError(w, &apiError{
+				status: http.StatusGatewayTimeout, code: "deadline_exceeded",
+				message: fmt.Sprintf("planning exceeded the %s deadline", s.timeoutFor(req)),
+			})
+		case errors.Is(err, context.Canceled):
+			// The client went away mid-plan; nobody reads this response, but
+			// count it and answer coherently for proxies that still do.
+			s.clientCancels.Add(1)
+			writeError(w, &apiError{status: 499, code: "canceled", message: "client closed the request"})
+		default:
+			writeError(w, &apiError{status: http.StatusUnprocessableEntity, code: "plan_error", message: err.Error()})
+		}
+		return
+	}
+	resp := PlanResponse{
+		Tenant:        tenant.name,
+		Query:         label,
+		Source:        res.Source.String(),
+		Cost:          res.Cost,
+		ExpertCost:    res.ExpertCost,
+		PolicyVersion: res.PolicyVersion,
+		Phase:         tenant.svc.Phase().String(),
+		QueueMs:       float64(queueWait) / float64(time.Millisecond),
+		PlanMs:        float64(planTime) / float64(time.Millisecond),
+	}
+	if !math.IsNaN(res.LearnedCost) {
+		lc := res.LearnedCost
+		resp.LearnedCost = &lc
+	}
+	if req.Explain {
+		resp.Plan = handsfree.ExplainPlan(res.Plan)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePhase serves GET /phase: one tenant's lifecycle state.
+func (s *Server) handlePhase(w http.ResponseWriter, r *http.Request) {
+	tenant, apiErr := s.tenantFor(r)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	st := tenant.svc.LifecycleStats()
+	resp := PhaseResponse{
+		Tenant:         tenant.name,
+		Phase:          st.Phase.String(),
+		TrainingActive: tenant.svc.TrainingActive(),
+		PolicyVersion:  st.PolicyVersion,
+	}
+	for _, tr := range st.Transitions {
+		resp.Transitions = append(resp.Transitions, TransitionInfo{
+			From: tr.From.String(), To: tr.To.String(), Reason: tr.Reason,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStats serves GET /stats: the admission counters plus every tenant's
+// lifecycle/serving snapshot (or one tenant's with ?tenant=).
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	inflight, draining := s.inflightN, s.draining
+	s.mu.Unlock()
+	resp := StatsResponse{
+		Server: ServerStats{
+			Requests:      s.requests.Load(),
+			Admitted:      s.adm.admitted.Load(),
+			ShedQueueFull: s.adm.shedQueueFull.Load(),
+			ShedSLO:       s.adm.shedSLO.Load(),
+			Timeouts:      s.timeouts.Load(),
+			ClientCancels: s.clientCancels.Load(),
+			DrainRejects:  s.drainRejects.Load(),
+			Inflight:      inflight,
+			Queued:        s.adm.queued.Load(),
+			Tenants:       s.reg.Len(),
+			Draining:      draining,
+		},
+		Tenants: []TenantStats{},
+	}
+	tenants := s.reg.All()
+	if name := r.URL.Query().Get("tenant"); name != "" {
+		t, ok := s.reg.Get(name)
+		if !ok {
+			writeError(w, &apiError{status: http.StatusNotFound, code: "unknown_tenant", message: fmt.Sprintf("unknown tenant %q", name)})
+			return
+		}
+		tenants = []*Tenant{t}
+	}
+	for _, t := range tenants {
+		st := t.svc.LifecycleStats()
+		ts := TenantStats{
+			Name:          t.name,
+			Phase:         st.Phase.String(),
+			PolicyVersion: st.PolicyVersion,
+			Plans:         st.Plans,
+			LearnedServed: st.LearnedServed,
+			ExpertServed:  st.ExpertServed,
+			Fallbacks:     st.Fallbacks,
+			CostEpisodes:  st.CostEpisodes,
+			LatencyEps:    st.LatencyEpisodes,
+		}
+		if !math.IsInf(st.CostRatio, 0) && st.CostRatio > 0 {
+			ts.CostRatio = st.CostRatio
+		}
+		resp.Tenants = append(resp.Tenants, ts)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCache serves GET /cache: one tenant's plan cache counters.
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	tenant, apiErr := s.tenantFor(r)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	st := tenant.svc.CacheStats()
+	writeJSON(w, http.StatusOK, CacheResponse{
+		Tenant:         tenant.name,
+		Hits:           st.Hits,
+		Misses:         st.Misses,
+		Puts:           st.Puts,
+		Evictions:      st.Evictions,
+		EpochBumps:     st.EpochBumps,
+		AdmissionSkips: st.AdmissionSkips,
+		Size:           st.Size,
+		Epoch:          st.Epoch,
+		HitRate:        st.HitRate(),
+	})
+}
+
+// handleHealthz serves GET /healthz: 200 "ok" while serving, 503 "draining"
+// once Shutdown begins (so load balancers rotate the instance out).
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	resp := HealthResponse{Status: "ok", Tenants: s.reg.Len()}
+	status := http.StatusOK
+	if s.Draining() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}

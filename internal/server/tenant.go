@@ -1,0 +1,101 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"handsfree"
+)
+
+// Tenant is one workload/schema behind the listener: an independent
+// handsfree.Service with its own substrate, plan cache, learning lifecycle,
+// policy versions, and fallback counters. Tenants share nothing but the
+// listener and the admission queue.
+type Tenant struct {
+	name string
+	svc  *handsfree.Service
+}
+
+// Name returns the tenant's registry name.
+func (t *Tenant) Name() string { return t.name }
+
+// Service returns the tenant's optimizer service.
+func (t *Tenant) Service() *handsfree.Service { return t.svc }
+
+// Registry is the tenant directory: name → Service, concurrency-safe.
+type Registry struct {
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+}
+
+// NewRegistry returns an empty tenant registry.
+func NewRegistry() *Registry {
+	return &Registry{tenants: map[string]*Tenant{}}
+}
+
+// Add registers a tenant. Names must be unique and non-empty.
+func (r *Registry) Add(name string, svc *handsfree.Service) (*Tenant, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: tenant name must be non-empty")
+	}
+	if svc == nil {
+		return nil, fmt.Errorf("server: tenant %q has a nil service", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.tenants[name]; ok {
+		return nil, fmt.Errorf("server: tenant %q already registered", name)
+	}
+	t := &Tenant{name: name, svc: svc}
+	r.tenants[name] = t
+	return t, nil
+}
+
+// Get looks a tenant up by name. An empty name resolves iff exactly one
+// tenant is registered (the single-tenant convenience).
+func (r *Registry) Get(name string) (*Tenant, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if name == "" {
+		if len(r.tenants) == 1 {
+			for _, t := range r.tenants {
+				return t, true
+			}
+		}
+		return nil, false
+	}
+	t, ok := r.tenants[name]
+	return t, ok
+}
+
+// Names returns the registered tenant names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.tenants))
+	for n := range r.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns the tenants in name order.
+func (r *Registry) All() []*Tenant {
+	names := r.Names()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Tenant, 0, len(names))
+	for _, n := range names {
+		out = append(out, r.tenants[n])
+	}
+	return out
+}
+
+// Len returns the registered tenant count.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tenants)
+}

@@ -1,0 +1,372 @@
+// Package server is the network-facing front end of the hands-free
+// optimizer: a JSON-over-HTTP surface that multiplexes N independent
+// handsfree.Services — one per tenant, each with its own plan cache,
+// learning lifecycle, policy versions, and fallback counters — behind one
+// listener, with admission control (bounded queue, SLO-based load shedding),
+// per-request deadlines mapped onto the Plan(ctx) cancellation path, and
+// graceful drain that completes in-flight plans even mid-training.
+//
+// Endpoints:
+//
+//	POST /plan      plan a structured query (JSON IR)
+//	POST /plansql   plan a SQL string
+//	GET  /phase     lifecycle phase + transition history for one tenant
+//	GET  /stats     server admission counters + per-tenant serving stats
+//	GET  /cache     per-tenant plan cache counters
+//	GET  /healthz   liveness (503 while draining)
+//
+// Planning endpoints take the tenant from the "tenant" query parameter or
+// the X-Tenant header; a single-tenant server accepts requests with no
+// tenant named. See ARCHITECTURE.md, "Serving layer".
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"handsfree/internal/query"
+)
+
+// maxBodyBytes bounds a planning request body; anything larger is a 400.
+const maxBodyBytes = 1 << 20
+
+// PlanRequest is the body of POST /plan and POST /plansql. Exactly one of
+// SQL (for /plansql) or Query (for /plan) carries the query.
+type PlanRequest struct {
+	// SQL is the query text (/plansql).
+	SQL string `json:"sql,omitempty"`
+	// Query is the structured logical query IR (/plan).
+	Query *WireQuery `json:"query,omitempty"`
+	// TimeoutMs is the per-request planning deadline in milliseconds. It is
+	// mapped onto the context handed to Service.Plan, so an expiring
+	// deadline cancels the search mid-flight and surfaces as a 504. Zero
+	// uses the server's default; values above the server cap are clamped.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Explain asks for the served plan tree in EXPLAIN format.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// WireQuery is the JSON form of the logical query IR.
+type WireQuery struct {
+	Name       string          `json:"name,omitempty"`
+	Relations  []WireRelation  `json:"relations"`
+	Joins      []WireJoin      `json:"joins,omitempty"`
+	Filters    []WireFilter    `json:"filters,omitempty"`
+	Aggregates []WireAggregate `json:"aggregates,omitempty"`
+	GroupBys   []WireGroupBy   `json:"group_bys,omitempty"`
+}
+
+// WireRelation is one FROM-clause entry. An empty alias defaults to the
+// table name.
+type WireRelation struct {
+	Table string `json:"table"`
+	Alias string `json:"alias,omitempty"`
+}
+
+// WireJoin is an equality join predicate.
+type WireJoin struct {
+	LeftAlias  string `json:"left_alias"`
+	LeftCol    string `json:"left_col"`
+	RightAlias string `json:"right_alias"`
+	RightCol   string `json:"right_col"`
+}
+
+// WireFilter is a single-column comparison predicate. Op is one of
+// "=", "<", "<=", ">", ">=", "<>".
+type WireFilter struct {
+	Alias  string `json:"alias"`
+	Column string `json:"column"`
+	Op     string `json:"op"`
+	Value  int64  `json:"value"`
+}
+
+// WireAggregate is one SELECT-list aggregate. Kind is one of "COUNT",
+// "MIN", "MAX", "SUM"; COUNT with empty alias/column is COUNT(*).
+type WireAggregate struct {
+	Kind   string `json:"kind"`
+	Alias  string `json:"alias,omitempty"`
+	Column string `json:"column,omitempty"`
+}
+
+// WireGroupBy is one grouping column.
+type WireGroupBy struct {
+	Alias  string `json:"alias"`
+	Column string `json:"column"`
+}
+
+// PlanResponse is the body of a successful planning request.
+type PlanResponse struct {
+	Tenant string `json:"tenant"`
+	// Query names what was planned (the query's Name, else its SQL).
+	Query string `json:"query,omitempty"`
+	// Source is which planner produced the served plan: "expert",
+	// "learned", or "fallback" (learned plan regressed past the safeguard).
+	Source string `json:"source"`
+	// Cost is the served plan's cost-model estimate; ExpertCost the
+	// traditional optimizer's (the safeguard reference).
+	Cost       float64 `json:"cost"`
+	ExpertCost float64 `json:"expert_cost"`
+	// LearnedCost is present only when a learned rollout ran.
+	LearnedCost *float64 `json:"learned_cost,omitempty"`
+	// PolicyVersion is the policy snapshot consulted (0 = none yet).
+	// Within one client connection it is monotone non-decreasing.
+	PolicyVersion uint64 `json:"policy_version"`
+	// Phase is the tenant's lifecycle phase at serving time.
+	Phase string `json:"phase"`
+	// Plan is the EXPLAIN rendering (only with "explain": true).
+	Plan string `json:"plan,omitempty"`
+	// QueueMs is time spent waiting in the admission queue; PlanMs is the
+	// planning time proper.
+	QueueMs float64 `json:"queue_ms"`
+	PlanMs  float64 `json:"plan_ms"`
+}
+
+// PhaseResponse is the body of GET /phase.
+type PhaseResponse struct {
+	Tenant         string           `json:"tenant"`
+	Phase          string           `json:"phase"`
+	TrainingActive bool             `json:"training_active"`
+	PolicyVersion  uint64           `json:"policy_version"`
+	Transitions    []TransitionInfo `json:"transitions,omitempty"`
+}
+
+// TransitionInfo is one lifecycle state-machine transition.
+type TransitionInfo struct {
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Reason string `json:"reason"`
+}
+
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	Server  ServerStats   `json:"server"`
+	Tenants []TenantStats `json:"tenants"`
+}
+
+// ServerStats are the listener-wide admission and serving counters.
+type ServerStats struct {
+	// Requests counts every planning request that reached admission;
+	// Admitted the ones that got a slot. ShedQueueFull and ShedSLO split
+	// the 429s: queue at capacity vs queue wait riding the SLO.
+	Requests      uint64 `json:"requests"`
+	Admitted      uint64 `json:"admitted"`
+	ShedQueueFull uint64 `json:"shed_queue_full"`
+	ShedSLO       uint64 `json:"shed_slo"`
+	// Timeouts counts 504s (per-request deadline expired mid-search);
+	// ClientCancels requests whose client went away mid-plan; DrainRejects
+	// 503s sent while draining.
+	Timeouts      uint64 `json:"timeouts"`
+	ClientCancels uint64 `json:"client_cancels"`
+	DrainRejects  uint64 `json:"drain_rejects"`
+	// Inflight and Queued are point-in-time gauges.
+	Inflight int64 `json:"inflight"`
+	Queued   int64 `json:"queued"`
+	Tenants  int   `json:"tenants"`
+	Draining bool  `json:"draining"`
+}
+
+// TenantStats is one tenant's lifecycle and serving snapshot.
+type TenantStats struct {
+	Name          string  `json:"name"`
+	Phase         string  `json:"phase"`
+	PolicyVersion uint64  `json:"policy_version"`
+	Plans         uint64  `json:"plans"`
+	LearnedServed uint64  `json:"learned_served"`
+	ExpertServed  uint64  `json:"expert_served"`
+	Fallbacks     uint64  `json:"fallbacks"`
+	CostEpisodes  int     `json:"cost_episodes"`
+	LatencyEps    int     `json:"latency_episodes"`
+	CostRatio     float64 `json:"cost_ratio,omitempty"`
+}
+
+// CacheResponse is the body of GET /cache: one tenant's plan cache counters.
+type CacheResponse struct {
+	Tenant         string  `json:"tenant"`
+	Hits           uint64  `json:"hits"`
+	Misses         uint64  `json:"misses"`
+	Puts           uint64  `json:"puts"`
+	Evictions      uint64  `json:"evictions"`
+	EpochBumps     uint64  `json:"epoch_bumps"`
+	AdmissionSkips uint64  `json:"admission_skips"`
+	Size           int     `json:"size"`
+	Epoch          uint64  `json:"epoch"`
+	HitRate        float64 `json:"hit_rate"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status  string `json:"status"` // "ok" or "draining"
+	Tenants int    `json:"tenants"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail is a machine-readable error: a stable code plus a message.
+type ErrorDetail struct {
+	// Code is one of: bad_request, unknown_tenant, plan_error,
+	// deadline_exceeded, canceled, queue_full, slo_shed, draining,
+	// method_not_allowed, not_found.
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// apiError carries an HTTP status + wire error through the handler layers.
+type apiError struct {
+	status  int
+	code    string
+	message string
+	// retryAfterSec sets the Retry-After header on 429s.
+	retryAfterSec int
+}
+
+func (e *apiError) Error() string { return e.message }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: "bad_request", message: fmt.Sprintf(format, args...)}
+}
+
+// decodePlanRequest strictly decodes a planning request body. It never
+// panics on arbitrary input (fuzz-tested); every malformed body yields a
+// *apiError with status 400 and a structured code/message.
+func decodePlanRequest(body io.Reader, wantSQL bool) (*PlanRequest, *apiError) {
+	data, err := io.ReadAll(io.LimitReader(body, maxBodyBytes+1))
+	if err != nil {
+		return nil, badRequest("reading request body: %v", err)
+	}
+	if len(data) > maxBodyBytes {
+		return nil, badRequest("request body exceeds %d bytes", maxBodyBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var req PlanRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, badRequest("invalid JSON: %v", err)
+	}
+	// Reject trailing garbage after the JSON object.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, badRequest("trailing data after JSON body")
+	}
+	if req.TimeoutMs < 0 {
+		return nil, badRequest("timeout_ms must be non-negative, got %d", req.TimeoutMs)
+	}
+	if wantSQL {
+		if req.SQL == "" {
+			return nil, badRequest(`missing "sql" field`)
+		}
+		if req.Query != nil {
+			return nil, badRequest(`/plansql takes "sql", not "query"`)
+		}
+	} else {
+		if req.Query == nil {
+			return nil, badRequest(`missing "query" field`)
+		}
+		if req.SQL != "" {
+			return nil, badRequest(`/plan takes "query", not "sql" (use /plansql)`)
+		}
+	}
+	return &req, nil
+}
+
+// parseOp maps a wire comparison operator to the IR.
+func parseOp(s string) (query.CmpOp, error) {
+	switch s {
+	case "=":
+		return query.Eq, nil
+	case "<":
+		return query.Lt, nil
+	case "<=":
+		return query.Le, nil
+	case ">":
+		return query.Gt, nil
+	case ">=":
+		return query.Ge, nil
+	case "<>", "!=":
+		return query.Ne, nil
+	default:
+		return 0, fmt.Errorf("unknown comparison operator %q", s)
+	}
+}
+
+// toQuery converts the wire form into a validated logical query.
+func (w *WireQuery) toQuery() (*query.Query, *apiError) {
+	if len(w.Relations) == 0 {
+		return nil, badRequest("query has no relations")
+	}
+	q := &query.Query{Name: w.Name}
+	for _, r := range w.Relations {
+		if r.Table == "" {
+			return nil, badRequest("relation with empty table name")
+		}
+		alias := r.Alias
+		if alias == "" {
+			alias = r.Table
+		}
+		q.Relations = append(q.Relations, query.Relation{Table: r.Table, Alias: alias})
+	}
+	for _, j := range w.Joins {
+		q.Joins = append(q.Joins, query.Join{
+			LeftAlias: j.LeftAlias, LeftCol: j.LeftCol,
+			RightAlias: j.RightAlias, RightCol: j.RightCol,
+		})
+	}
+	for _, f := range w.Filters {
+		op, err := parseOp(f.Op)
+		if err != nil {
+			return nil, badRequest("filter %s.%s: %v", f.Alias, f.Column, err)
+		}
+		q.Filters = append(q.Filters, query.Filter{Alias: f.Alias, Column: f.Column, Op: op, Value: f.Value})
+	}
+	for _, a := range w.Aggregates {
+		kind, err := parseAgg(a.Kind)
+		if err != nil {
+			return nil, badRequest("aggregate: %v", err)
+		}
+		q.Aggregates = append(q.Aggregates, query.Aggregate{Kind: kind, Alias: a.Alias, Column: a.Column})
+	}
+	for _, g := range w.GroupBys {
+		q.GroupBys = append(q.GroupBys, query.GroupBy{Alias: g.Alias, Column: g.Column})
+	}
+	if err := q.Validate(); err != nil {
+		return nil, badRequest("invalid query: %v", err)
+	}
+	return q, nil
+}
+
+// parseAgg maps a wire aggregate function name to the IR.
+func parseAgg(s string) (query.AggKind, error) {
+	switch s {
+	case "COUNT":
+		return query.AggCount, nil
+	case "MIN":
+		return query.AggMin, nil
+	case "MAX":
+		return query.AggMax, nil
+	case "SUM":
+		return query.AggSum, nil
+	default:
+		return 0, fmt.Errorf("unknown aggregate function %q", s)
+	}
+}
+
+// writeJSON writes a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client may have gone away; nothing to do
+}
+
+// writeError writes the structured error envelope (and Retry-After on 429s).
+func writeError(w http.ResponseWriter, e *apiError) {
+	if e.retryAfterSec > 0 {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", e.retryAfterSec))
+	}
+	writeJSON(w, e.status, ErrorResponse{Error: ErrorDetail{Code: e.code, Message: e.message}})
+}

@@ -2,6 +2,7 @@ package handsfree
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -140,12 +141,13 @@ type Service struct {
 
 	phase atomic.Int32
 
-	mu          sync.Mutex
-	running     bool
-	done        chan struct{}
-	trainErr    error
-	transitions []PhaseChange
-	progress    lifecycleProgress
+	mu           sync.Mutex
+	running      bool
+	done         chan struct{}
+	stopTraining context.CancelFunc
+	trainErr     error
+	transitions  []PhaseChange
+	progress     lifecycleProgress
 
 	plans, learnedServed, expertServed, fallbacks atomic.Uint64
 }
@@ -596,13 +598,16 @@ func (s *Service) StartTraining(ctx context.Context, cfg LifecycleConfig) error 
 	if len(cfg.Queries) == 0 {
 		return fmt.Errorf("handsfree: no training workload: set LifecycleConfig.Queries or configure WithWorkload")
 	}
+	ctx, cancel := context.WithCancel(ctx)
 	s.mu.Lock()
 	if s.running {
 		s.mu.Unlock()
+		cancel()
 		return fmt.Errorf("handsfree: a training lifecycle is already running")
 	}
 	s.running = true
 	s.done = make(chan struct{})
+	s.stopTraining = cancel
 	s.trainErr = nil
 	s.mu.Unlock()
 
@@ -619,6 +624,7 @@ func (s *Service) StartTraining(ctx context.Context, cfg LifecycleConfig) error 
 
 	done := s.done
 	go func() {
+		defer cancel()
 		err := s.runLifecycle(ctx, cfg, space)
 		s.mu.Lock()
 		s.trainErr = err
@@ -627,6 +633,33 @@ func (s *Service) StartTraining(ctx context.Context, cfg LifecycleConfig) error 
 		close(done)
 	}()
 	return nil
+}
+
+// StopTraining cancels the running lifecycle, if any, and waits for its
+// goroutine to exit (the phase becomes PhaseStopped and the lifecycle error
+// is context.Canceled, which StopTraining swallows as the expected clean
+// stop). In-flight Plan calls are unaffected: they run under their own
+// request contexts. Returns nil when no lifecycle is running; returns
+// ctx.Err() if ctx expires before the lifecycle goroutine exits. It is the
+// drain hook for network front ends shutting down mid-training.
+func (s *Service) StopTraining(ctx context.Context) error {
+	s.mu.Lock()
+	cancel := s.stopTraining
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	err := s.WaitTraining(ctx)
+	if errors.Is(err, context.Canceled) && ctx.Err() == nil {
+		return nil
+	}
+	return err
+}
+
+// CacheStats snapshots the plan cache counters (zeros when the cache is
+// disabled). It is the stats hook behind a front end's /cache endpoint.
+func (s *Service) CacheStats() PlanCacheStats {
+	return s.sys.CacheStats()
 }
 
 // WaitTraining blocks until the running lifecycle finishes (returning its
