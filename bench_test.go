@@ -6,10 +6,12 @@
 package handsfree
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"handsfree/internal/experiment"
@@ -681,5 +683,73 @@ func BenchmarkPolicyInference(b *testing.B) {
 		if node, _ := agent.GreedyPlan(q); node == nil {
 			b.Fatal("no plan")
 		}
+	}
+}
+
+// benchExecService builds a small service for Execute-path benchmarks.
+func benchExecService(b *testing.B, opts ...Option) *Service {
+	b.Helper()
+	svc, err := New(append([]Option{
+		WithScale(0.05),
+		WithWorkload(4, 4, 5, 3),
+	}, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return svc
+}
+
+// BenchmarkServiceExecute measures the full execution feedback path — the
+// safeguarded serving decision, the engine run, the per-fingerprint history
+// record, and the drift check — against the same path with the feedback
+// machinery (latency guard, expert probes, drift detector) disabled, so the
+// delta is the drift-detection overhead per execution. Metric: executions/sec.
+func BenchmarkServiceExecute(b *testing.B) {
+	cases := []struct {
+		name string
+		exec ExecutionConfig
+	}{
+		{"feedback-on", ExecutionConfig{}},
+		{"feedback-off", ExecutionConfig{GuardRatio: -1, ProbeEvery: -1, DriftRatio: -1}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			svc := benchExecService(b, WithExecution(tc.exec))
+			qs := svc.Queries()
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.Execute(ctx, qs[i%len(qs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "executions/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkServiceExecuteParallel hammers Execute from all procs — the
+// serving-path contention profile (shared engine caches, history store
+// mutex, atomic counters). Metric: executions/sec aggregate.
+func BenchmarkServiceExecuteParallel(b *testing.B) {
+	svc := benchExecService(b)
+	qs := svc.Queries()
+	ctx := context.Background()
+	var idx atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			q := qs[idx.Add(1)%uint64(len(qs))]
+			if _, err := svc.Execute(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "executions/sec")
 	}
 }

@@ -325,21 +325,31 @@ func runService(quick bool, scale float64, seed int64, timeout time.Duration) {
 	fmt.Printf("demonstrations: %d, pretrain batches: %d, cost episodes: %d (ratio %.3f), latency episodes: %d\n",
 		st.Demonstrations, st.PretrainBatches, st.CostEpisodes, st.CostRatio, st.LatencyEpisodes)
 
-	fmt.Println("\nserving the workload through the safeguarded path:")
+	fmt.Println("\nexecuting the workload through the safeguarded path:")
 	for _, q := range svc.Queries() {
 		ctx, done := planCtx()
-		res, err := svc.Plan(ctx, q)
+		res, err := svc.Execute(ctx, q)
 		done()
 		if err != nil {
 			fmt.Printf("  %-24s aborted: %v\n", q.Name, err)
 			continue
 		}
-		fmt.Printf("  %-24s source %-8s cost %12.1f  (expert %12.1f, policy v%d)\n",
-			q.Name, res.Source, res.Cost, res.ExpertCost, res.PolicyVersion)
+		note := ""
+		switch {
+		case res.Failed:
+			note = " [exec-failed→expert]"
+		case res.LatencyGuarded:
+			note = " [latency-guard]"
+		}
+		fmt.Printf("  %-24s source %-8s cost %12.1f  observed %8.2f ms  (expert %12.1f, policy v%d)%s\n",
+			q.Name, res.Source, res.Cost, res.LatencyMs, res.ExpertCost, res.PolicyVersion, note)
 	}
 	final := svc.LifecycleStats()
 	fmt.Printf("\nserving counters: %d plans, %d learned, %d expert, %d fallbacks (guard ratio %.2f)\n",
 		final.Plans, final.LearnedServed, final.ExpertServed, final.Fallbacks, svc.FallbackRatio())
+	es := svc.ExecStats()
+	fmt.Printf("execution feedback: %d executions, %d timed out, %d failures, %d latency-guarded, %d drift events, %d retrains (%d fingerprints tracked)\n",
+		es.Executions, es.TimedOut, es.Failures, es.LatencyGuarded, es.DriftEvents, es.Retrains, es.History.Fingerprints)
 }
 
 // runServe mounts N independent tenants — each its own handsfree.Service

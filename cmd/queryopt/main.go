@@ -1,7 +1,10 @@
 // Command queryopt optimizes a single SQL query against the synthetic
-// database with every available planner and reports plans, costs, and
-// simulated latencies, then serves the query through the handsfree.Service
-// decision path (expert plan + safeguard).
+// database with every available planner and reports plans, costs, and the
+// cost model's latency predictions, then serves the query through the
+// handsfree.Service decision path (expert plan + safeguards). With -execute
+// the served plan actually runs on the columnar engine and the observed
+// latency — the signal the service's latency guard and drift detector feed
+// on — is reported next to the decision.
 //
 //	queryopt -sql "SELECT COUNT(*) FROM title t, movie_companies mc WHERE mc.movie_id = t.id AND t.production_year > 80"
 //	queryopt -named 8c
@@ -70,36 +73,52 @@ func main() {
 			fmt.Printf("— %s: aborted (%v)\n\n", strat, err)
 			continue
 		}
-		lat := sys.SimulateLatency(q, planned.Root)
-		fmt.Printf("— %s: cost %.1f, est rows %.0f, planning time %s, simulated latency %.2f ms\n%s\n",
+		lat := sys.Latency.Latency(q, planned.Root)
+		fmt.Printf("— %s: cost %.1f, est rows %.0f, planning time %s, predicted latency %.2f ms\n%s\n",
 			strat, planned.Cost, planned.Rows, planned.Duration.Round(0), lat, handsfree.ExplainPlan(planned.Root))
 	}
 
-	// The service decision: what a hands-free deployment would actually
-	// serve (expert until trained, learned within the safeguard after).
-	ctx, cancel := planCtx()
-	res, err := svc.Plan(ctx, q)
-	cancel()
-	if err != nil {
-		fmt.Printf("— service: aborted (%v)\n", err)
-	} else {
-		fmt.Printf("— service decision: source %s, cost %.1f (expert %.1f, policy v%d)\n",
-			res.Source, res.Cost, res.ExpertCost, res.PolicyVersion)
-	}
-
-	if *execute {
+	if !*execute {
+		// The service decision: what a hands-free deployment would actually
+		// serve (expert until trained, learned within the safeguards after).
 		ctx, cancel := planCtx()
 		res, err := svc.Plan(ctx, q)
 		cancel()
 		if err != nil {
-			fatal(err)
+			fmt.Printf("— service: aborted (%v)\n", err)
+		} else {
+			fmt.Printf("— service decision: source %s, cost %.1f (expert %.1f, policy v%d)\n",
+				res.Source, res.Cost, res.ExpertCost, res.PolicyVersion)
 		}
-		out, work, err := sys.Execute(q, res.Plan)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("executed: %d result rows, work: %d tuples read, %d emitted, %d comparisons, %d hash ops\n",
-			out.N, work.TuplesRead, work.TuplesEmitted, work.Comparisons, work.HashOps)
+		return
+	}
+
+	// Execute runs the served decision on the engine and feeds the observed
+	// latency back into the service's latency guard and drift detector.
+	ctx, cancel := planCtx()
+	res, err := svc.Execute(ctx, q)
+	cancel()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("— service decision: source %s%s, cost %.1f (expert %.1f, policy v%d)\n",
+		res.Source, guardNote(res), res.Cost, res.ExpertCost, res.PolicyVersion)
+	fmt.Printf("executed: %d result rows in %.2f ms observed (%d work units)\n",
+		res.Rows, res.LatencyMs, res.WorkUnits)
+	if res.TimedOut {
+		fmt.Println("execution was censored at the latency budget")
+	}
+}
+
+// guardNote annotates a decision's source with which safeguard forced it.
+func guardNote(res handsfree.ExecResult) string {
+	switch {
+	case res.Failed:
+		return " (learned execution failed; expert served)"
+	case res.LatencyGuarded:
+		return " (observed-latency guard)"
+	default:
+		return ""
 	}
 }
 

@@ -1,7 +1,8 @@
-// Quickstart: build the hands-free optimizer service, plan a SQL query
-// under a request deadline, inspect the decision, execute the plan on the
-// columnar engine, and compare the cost model's opinion with simulated
-// latency.
+// Quickstart: build the hands-free optimizer service, execute a SQL query
+// under a request deadline — one call plans it through the safeguarded
+// decision path AND runs the served plan on the columnar engine — then
+// inspect the decision, its observed latency, and the execution feedback
+// the service accumulates for its latency guard and drift detector.
 package main
 
 import (
@@ -26,29 +27,37 @@ func main() {
 		WHERE mc.movie_id = t.id AND mc.company_id = cn.id
 		  AND t.production_year > 40 AND cn.country_code < 40;`
 
-	// Every planning request is context-scoped: a deadline cuts the search
-	// off mid-enumeration instead of blocking the caller.
+	// Every request is context-scoped: a deadline cuts the plan search off
+	// mid-enumeration instead of blocking the caller. ExecuteSQL both makes
+	// the safeguarded serving decision and runs the served plan, so the
+	// latency below is *observed* on the engine, not predicted by a model.
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
-	res, err := svc.PlanSQL(ctx, sql)
+	res, err := svc.ExecuteSQL(ctx, sql)
 	if err != nil {
 		log.Fatal(err)
 	}
 	q, _ := handsfree.ParseSQL(sql)
 
 	fmt.Println("SQL:", q.SQL())
-	fmt.Printf("\nserved by %s planner: cost %.1f (untrained service always serves the expert)\n",
-		res.Source, res.Cost)
+	guard := ""
+	switch {
+	case res.Failed:
+		guard = " — learned execution failed, expert served"
+	case res.LatencyGuarded:
+		guard = " — observed-latency guard"
+	}
+	fmt.Printf("\nserved by %s planner%s: cost %.1f (untrained service always serves the expert)\n",
+		res.Source, guard, res.Cost)
 	fmt.Println("\nplan:")
 	fmt.Print(handsfree.ExplainPlan(res.Plan))
 
-	// The cost model plans with *estimated* cardinalities; the simulator
-	// reflects the true ones. This gap is what the paper's learned
-	// optimizers exploit — and what Service.StartTraining learns away in the
-	// background (see examples/service).
-	sys := svc.System()
-	fmt.Printf("\nsimulated execution latency: %.2f ms\n", sys.SimulateLatency(q, res.Plan))
+	fmt.Printf("\nobserved execution latency: %.2f ms (%d rows, %d work units)\n",
+		res.LatencyMs, res.Rows, res.WorkUnits)
 
+	// The result columns come from the raw engine API; the service already
+	// executed the decision above, so this is the same plan re-run directly.
+	sys := svc.System()
 	out, work, err := sys.Execute(q, res.Plan)
 	if err != nil {
 		log.Fatal(err)
@@ -57,7 +66,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nexecuted for real: COUNT(*) = %d\n", count[0])
+	fmt.Printf("\nCOUNT(*) = %d\n", count[0])
 	fmt.Printf("engine work: %d tuples read, %d comparisons, %d hash ops\n",
 		work.TuplesRead, work.Comparisons, work.HashOps)
+
+	// Every Execute feeds the per-fingerprint execution history that drives
+	// the service's observed-latency guard and drift detector (see
+	// ARCHITECTURE.md, "Execution feedback loop").
+	st := svc.ExecStats()
+	fmt.Printf("\nexecution feedback: %d execution(s) recorded, %d fingerprint(s) tracked\n",
+		st.Executions, st.History.Fingerprints)
 }

@@ -1,0 +1,339 @@
+package handsfree
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"handsfree/internal/engine"
+	"handsfree/internal/exechistory"
+	"handsfree/internal/plan"
+	"handsfree/internal/query"
+)
+
+// This file closes the paper's feedback loop: Service.Execute runs the served
+// plan on the columnar engine, observes its true latency, and feeds the
+// observation back into (a) the latency-tuning reward, (b) a latency-based
+// regression guard on the serving path, and (c) a drift detector that sends
+// the lifecycle back to CostTraining when a learned plan's observed latency
+// sustainedly regresses against the expert baseline on the same query
+// fingerprint. The execution history behind all three lives in the bounded
+// internal/exechistory store; the deterministic fault seam (Service.Faults)
+// makes production incidents reproducible in tests.
+//
+// See ARCHITECTURE.md, "Execution feedback loop", for the data flow.
+
+// Execution-feedback re-exports.
+type (
+	// Faults is the deterministic fault-injection seam over observed
+	// execution: per-table and per-plan latency inflation, periodic spikes,
+	// and injected failures, all reproducible. Reach it via Service.Faults.
+	Faults = engine.Faults
+	// FaultStats counts what the fault seam has injected.
+	FaultStats = engine.FaultStats
+	// ExecHistoryStats snapshots the execution-history store's counters.
+	ExecHistoryStats = exechistory.Stats
+)
+
+// Defaults for ExecutionConfig.
+const (
+	// DefaultLatencyGuardRatio is the observed-latency regression guard: a
+	// learned plan is served only while its rolling observed latency stays
+	// within this multiple of the expert's on the same query fingerprint.
+	DefaultLatencyGuardRatio = 1.5
+	// DefaultExecBudgetMs is the per-execution latency budget (censoring
+	// timeout) used by Execute and, by default, latency-phase training.
+	DefaultExecBudgetMs = 1000.0
+	// DefaultExpertProbeEvery is how many learned executions of a
+	// fingerprint elapse between expert shadow probes that keep the
+	// fingerprint's expert baseline fresh.
+	DefaultExpertProbeEvery = 8
+)
+
+// ExecutionConfig tunes the execution feedback loop. The zero value selects
+// the defaults; a Service always has the loop on (Execute works untrained —
+// it just observes expert plans).
+type ExecutionConfig struct {
+	// Window, MaxFingerprints, MinLearned, MinExpert bound the execution
+	// history store (see exechistory.Config; defaults 32, 4096, 4, 2).
+	Window          int
+	MaxFingerprints int
+	MinLearned      int
+	MinExpert       int
+	// GuardRatio is the latency regression guard: when a fingerprint's
+	// rolling learned/expert observed-latency ratio exceeds it, Plan serves
+	// the expert plan (SourceFallback, LatencyGuarded) until the ratio
+	// recovers or the history is flushed by re-training. Negative disables;
+	// default DefaultLatencyGuardRatio.
+	GuardRatio float64
+	// ProbeEvery schedules expert shadow probes: after this many learned
+	// executions of a fingerprint, Execute also runs the expert plan once to
+	// refresh the baseline the ratio compares against. Negative disables;
+	// default DefaultExpertProbeEvery.
+	ProbeEvery int
+	// BudgetMs censors every Execute at this observed latency (the recorded
+	// latency of a timed-out run is the budget itself). Negative disables;
+	// default DefaultExecBudgetMs. Zero-valued LifecycleConfig.LatencyBudgetMs
+	// inherits it, so training and serving censor alike.
+	BudgetMs float64
+	// MsPerWork calibrates work units → observed milliseconds (default
+	// engine.DefaultMsPerWork).
+	MsPerWork float64
+	// DriftRatio / DriftSustain tune the drift detector: DriftSustain
+	// consecutive post-execution ratios above DriftRatio on one fingerprint
+	// trip a drift event (defaults 2.0 and 6; negative DriftRatio disables).
+	// A lifecycle started with LifecycleConfig.DriftRetrain reacts to trips
+	// by re-entering CostTraining.
+	DriftRatio   float64
+	DriftSustain int
+}
+
+func (c *ExecutionConfig) fill() {
+	if c.GuardRatio == 0 {
+		c.GuardRatio = DefaultLatencyGuardRatio
+	}
+	if c.ProbeEvery == 0 {
+		c.ProbeEvery = DefaultExpertProbeEvery
+	}
+	if c.BudgetMs == 0 {
+		c.BudgetMs = DefaultExecBudgetMs
+	}
+	if c.MsPerWork <= 0 {
+		c.MsPerWork = engine.DefaultMsPerWork
+	}
+}
+
+// WithExecution tunes the execution feedback loop (history bounds, latency
+// guard, expert probing, execution budget, drift thresholds).
+func WithExecution(ec ExecutionConfig) Option {
+	return func(o *serviceOptions) { o.exec = ec }
+}
+
+// ExecResult is one executed planning decision: the serving decision plus
+// what actually happened when the plan ran.
+type ExecResult struct {
+	PlanResult
+	// LatencyMs is the observed execution latency of the served plan (the
+	// budget itself when TimedOut).
+	LatencyMs float64
+	// TimedOut marks a budget-censored execution.
+	TimedOut bool
+	// Failed reports that the learned plan's execution failed and the expert
+	// plan was executed and served in its place (the execution-level
+	// safeguard; the decision's Source becomes SourceFallback).
+	Failed bool
+	// Rows is the served result's row count; WorkUnits the executor's
+	// deterministic effort accounting for it.
+	Rows      int
+	WorkUnits int64
+}
+
+// execBudget resolves the per-execution censoring budget (0 = none).
+func (s *Service) execBudget() float64 {
+	if s.execCfg.BudgetMs > 0 {
+		return s.execCfg.BudgetMs
+	}
+	return 0
+}
+
+// Execute serves a plan for q (exactly Plan's safeguarded decision), runs it
+// on the engine, and returns the decision together with its observed latency.
+// Every execution is recorded in the per-fingerprint history that drives the
+// latency guard and the drift detector:
+//
+//   - A served learned plan's latency lands in the fingerprint's learned
+//     window; expert and fallback executions land in the expert window
+//     (they executed the expert plan, so they refresh the baseline).
+//   - When a fingerprint's expert baseline goes stale (ProbeEvery learned
+//     executions since the last expert one), the expert plan is additionally
+//     shadow-executed once and recorded, so the ratio never compares fresh
+//     learned latencies against a fossilized baseline.
+//   - If the learned plan's execution fails outright, the expert plan is
+//     executed and served instead (Failed; counted as a fallback at
+//     execution level), so Execute degrades, never breaks, under faults.
+//   - After recording, the fingerprint's rolling learned/expert ratio feeds
+//     the drift detector; once the lifecycle is PhaseDone, a sustained
+//     degradation signals the (DriftRetrain-enabled) lifecycle to re-enter
+//     CostTraining.
+//
+// Execute is safe for any number of concurrent callers, during training and
+// drift re-training included.
+func (s *Service) Execute(ctx context.Context, q *Query) (ExecResult, error) {
+	pr, err := s.Plan(ctx, q)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	res := ExecResult{PlanResult: pr}
+	s.executions.Add(1)
+	kind := exechistory.Expert
+	if pr.Source == SourceLearned {
+		kind = exechistory.Learned
+	}
+	budget := s.execBudget()
+	run, w, lat, timedOut, rerr := s.observed.Run(q, res.Plan, budget)
+	if rerr != nil {
+		s.execFailures.Add(1)
+		s.history.RecordFailure(pr.Fingerprint)
+		if pr.Source != SourceLearned || pr.expertPlan == nil {
+			return res, fmt.Errorf("handsfree: execution failed: %w", rerr)
+		}
+		// Execution-level safeguard: the learned plan failed, so execute and
+		// serve the expert plan instead of surfacing the failure.
+		res.Failed = true
+		res.Plan, res.Cost, res.Source = pr.expertPlan, pr.ExpertCost, SourceFallback
+		s.fallbacks.Add(1)
+		kind = exechistory.Expert
+		run, w, lat, timedOut, rerr = s.observed.Run(q, res.Plan, budget)
+		if rerr != nil {
+			s.execFailures.Add(1)
+			s.history.RecordFailure(pr.Fingerprint)
+			return res, fmt.Errorf("handsfree: fallback execution failed: %w", rerr)
+		}
+	}
+	res.LatencyMs, res.TimedOut = lat, timedOut
+	if run != nil {
+		res.Rows = run.N
+	}
+	if w != nil {
+		res.WorkUnits = w.Total()
+	}
+	if timedOut {
+		s.execTimeouts.Add(1)
+	}
+	s.history.Record(pr.Fingerprint, exechistory.Record{
+		Kind:          kind,
+		LatencyMs:     lat,
+		PolicyVersion: pr.PolicyVersion,
+		TimedOut:      timedOut,
+	})
+	if kind == exechistory.Learned && s.execCfg.ProbeEvery > 0 &&
+		s.history.NeedExpertProbe(pr.Fingerprint, s.execCfg.ProbeEvery) {
+		s.probeExpert(q, pr.Fingerprint, pr.expertPlan, budget)
+	}
+	ratio, _, _ := s.history.Ratio(pr.Fingerprint)
+	// Drift only means something once a trained policy is the steady state:
+	// during training phases the policy is in flux by design, and before any
+	// lifecycle there is nothing to retrain.
+	if s.Phase() == PhaseDone && s.drift.Observe(pr.Fingerprint, ratio) {
+		s.driftEvents.Add(1)
+		s.signalDrift(fmt.Sprintf(
+			"observed latency drift: fingerprint %016x sustained ratio %.2f > %.2f for %d executions",
+			pr.Fingerprint, ratio, s.drift.Config().Ratio, s.drift.Config().Sustain))
+	}
+	return res, nil
+}
+
+// ExecuteSQL parses SQL text and executes a served plan for it; see Execute.
+func (s *Service) ExecuteSQL(ctx context.Context, sql string) (ExecResult, error) {
+	q, err := ParseSQL(sql)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	return s.Execute(ctx, q)
+}
+
+// probeExpert shadow-executes the expert plan to refresh a fingerprint's
+// expert latency baseline. Probe failures are counted, never surfaced: the
+// caller's own execution already succeeded.
+func (s *Service) probeExpert(q *Query, fp uint64, expert PlanNode, budget float64) {
+	if expert == nil {
+		return
+	}
+	_, _, lat, timedOut, err := s.observed.Run(q, expert, budget)
+	if err != nil {
+		s.execFailures.Add(1)
+		s.history.RecordFailure(fp)
+		return
+	}
+	s.history.Record(fp, exechistory.Record{
+		Kind: exechistory.Expert, LatencyMs: lat, TimedOut: timedOut,
+	})
+}
+
+// signalDrift hands a drift event to the resident lifecycle without ever
+// blocking the serving path: the channel holds one pending signal, and a
+// signal arriving while one is pending (or while no lifecycle listens)
+// is redundant and dropped.
+func (s *Service) signalDrift(reason string) {
+	select {
+	case s.driftCh <- reason:
+	default:
+	}
+}
+
+// ObservedRatio returns a query's current rolling learned/expert
+// observed-latency ratio and the window sizes behind it (ratio is NaN until
+// both windows hold their configured minimum samples). It is the
+// post-execution view; PlanResult.LatencyRatio is the same ratio as of
+// decision time.
+func (s *Service) ObservedRatio(q *Query) (ratio float64, learnedN, expertN int) {
+	return s.history.Ratio(s.sys.PlanCache.FingerprintOf(q))
+}
+
+// Faults exposes the deterministic fault-injection seam on the execution
+// path, for tests and chaos drills: inflate a table's or plan shape's
+// observed latency, add periodic spikes, or fail executions — reproducibly.
+func (s *Service) Faults() *Faults { return s.observed.Faults }
+
+// ExecutionConfig returns the resolved execution feedback configuration
+// (every default filled in, including the drift detector's).
+func (s *Service) ExecutionConfig() ExecutionConfig {
+	ec := s.execCfg
+	hc := s.history.Config()
+	ec.Window, ec.MaxFingerprints = hc.Window, hc.MaxFingerprints
+	ec.MinLearned, ec.MinExpert = hc.MinLearned, hc.MinExpert
+	dc := s.drift.Config()
+	ec.DriftRatio, ec.DriftSustain = dc.Ratio, dc.Sustain
+	return ec
+}
+
+// ExecStats is a point-in-time snapshot of the execution feedback loop.
+type ExecStats struct {
+	// Executions counts Execute decisions; Failures injected/failed plan
+	// executions (including failed shadow probes); TimedOut budget-censored
+	// executions.
+	Executions, Failures, TimedOut uint64
+	// LatencyGuarded counts serving decisions where the observed-latency
+	// guard (not the cost guard) forced the expert plan.
+	LatencyGuarded uint64
+	// DriftEvents counts drift-detector trips; Retrains counts completed
+	// drift-triggered re-training rounds.
+	DriftEvents, Retrains uint64
+	// DriftWorstRatio is the worst finite learned/expert ratio the detector
+	// has seen since the last re-training round (NaN when none).
+	DriftWorstRatio float64
+	// History snapshots the bounded execution-history store.
+	History ExecHistoryStats
+}
+
+// ExecStats snapshots the execution feedback loop's counters (O(1)).
+func (s *Service) ExecStats() ExecStats {
+	return ExecStats{
+		Executions:      s.executions.Load(),
+		Failures:        s.execFailures.Load(),
+		TimedOut:        s.execTimeouts.Load(),
+		LatencyGuarded:  s.latencyGuarded.Load(),
+		DriftEvents:     s.driftEvents.Load(),
+		Retrains:        s.retrains.Load(),
+		DriftWorstRatio: s.drift.WorstRatio(),
+		History:         s.history.Stats(),
+	}
+}
+
+// recordingExecutor is the lifecycle's demonstration-phase executor: it
+// derives latency from real observed execution (like the serving path) and
+// records each expert demonstration into the execution history, so query
+// fingerprints enter serving with a warm expert baseline.
+type recordingExecutor struct {
+	svc *Service
+}
+
+func (r recordingExecutor) Execute(q *query.Query, n plan.Node, budgetMs float64) (float64, bool) {
+	lat, timedOut := r.svc.observed.Execute(q, n, budgetMs)
+	if !math.IsNaN(lat) {
+		r.svc.history.Record(r.svc.sys.PlanCache.FingerprintOf(q), exechistory.Record{
+			Kind: exechistory.Expert, LatencyMs: lat, TimedOut: timedOut,
+		})
+	}
+	return lat, timedOut
+}

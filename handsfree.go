@@ -351,6 +351,12 @@ func (s *System) Execute(q *Query, root PlanNode) (*Result, *Work, error) {
 // SimulateLatency returns the simulated execution latency (milliseconds) of
 // a plan on the "production" system — true cardinalities, hardware-truth
 // constants, seeded noise.
+//
+// Deprecated: SimulateLatency is the analytic simulator; it predicts, it
+// does not observe, so injected faults and real engine behavior never reach
+// it. Use Service.Execute, which runs the plan and feeds the observed
+// latency into the guard and drift machinery. Retained for the
+// simulator-driven experiments.
 func (s *System) SimulateLatency(q *Query, root PlanNode) float64 {
 	return s.Latency.Latency(q, root)
 }

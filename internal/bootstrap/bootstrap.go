@@ -207,6 +207,19 @@ func (a *Agent) SwitchToLatency() {
 	}
 }
 
+// SwitchToCost returns the agent to cost-model reward (Phase 1), used when
+// drift-triggered re-training restarts the learning lifecycle from the cost
+// phase. The trailing cost window is cleared so the calibration range is
+// re-learned from post-drift conditions. Only supported for Robust agents,
+// whose scale-free learner needs no surgery at phase switches.
+func (a *Agent) SwitchToCost() {
+	a.mu.Lock()
+	a.phase2 = false
+	a.recentCosts = a.recentCosts[:0]
+	a.mu.Unlock()
+	a.Cfg.Env.Cfg.RewardNeedsLatency = false
+}
+
 // InPhase2 reports whether the latency phase is active.
 func (a *Agent) InPhase2() bool {
 	a.mu.Lock()

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"handsfree/internal/plan"
 	"handsfree/internal/query"
@@ -31,6 +32,10 @@ type Work struct {
 	HashOps          int64 // hash-table inserts + probes
 	Comparisons      int64 // predicate/merge comparisons
 	RowsMaterialized int64 // rows copied into intermediate results
+
+	// budget, when > 0, bounds Total() for this call (set by ExecuteBudget;
+	// kept here so concurrent executions each carry their own bound).
+	budget int64
 }
 
 // Total returns a single scalar summary of the work performed.
@@ -54,12 +59,17 @@ func (r *Result) Column(key string) ([]int64, error) {
 	return c, nil
 }
 
-// Engine executes physical plans against a storage.DB.
+// Engine executes physical plans against a storage.DB. Execute and
+// ExecuteBudget are safe for concurrent use: per-call state lives in the
+// Work accounting and the lazily built index caches are mutex-guarded.
 type Engine struct {
 	db *storage.DB
 	// Budget bounds Work.Total() during one Execute call; 0 means unlimited.
+	// It is the engine-wide default — set it before serving begins;
+	// ExecuteBudget carries a per-call bound instead.
 	Budget int64
 
+	mu    sync.Mutex
 	btree map[string]*btreeIndex
 	hash  map[string]*hashIndex
 }
@@ -77,13 +87,23 @@ func New(db *storage.DB) *Engine {
 // performed. If the engine's budget is exceeded, it returns ErrBudget along
 // with the partial work counts.
 func (e *Engine) Execute(q *query.Query, root plan.Node) (*Result, *Work, error) {
-	w := &Work{}
+	return e.ExecuteBudget(q, root, 0)
+}
+
+// ExecuteBudget is Execute under a per-call work budget (0 falls back to the
+// engine-wide Budget). Concurrent calls may each carry a different budget.
+func (e *Engine) ExecuteBudget(q *query.Query, root plan.Node, budget int64) (*Result, *Work, error) {
+	w := &Work{budget: budget}
 	res, err := e.exec(root, w)
 	return res, w, err
 }
 
 func (e *Engine) check(w *Work) error {
-	if e.Budget > 0 && w.Total() > e.Budget {
+	limit := e.Budget
+	if w.budget > 0 {
+		limit = w.budget
+	}
+	if limit > 0 && w.Total() > limit {
 		return ErrBudget
 	}
 	return nil

@@ -143,9 +143,13 @@ const (
 )
 
 // btreeIndexFor returns (building and caching on first use) the B-tree index
-// for a table column.
+// for a table column. The cache is mutex-guarded so concurrent executions
+// share one build; holding the lock across the build means a cold index is
+// built exactly once.
 func (e *Engine) btreeIndexFor(t *storage.Table, column string) (*btreeIndex, error) {
 	key := t.Name + "." + column
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if ix, ok := e.btree[key]; ok {
 		return ix, nil
 	}
@@ -159,9 +163,11 @@ func (e *Engine) btreeIndexFor(t *storage.Table, column string) (*btreeIndex, er
 }
 
 // hashIndexFor returns (building and caching on first use) the hash index
-// for a table column.
+// for a table column; see btreeIndexFor for the concurrency contract.
 func (e *Engine) hashIndexFor(t *storage.Table, column string) (*hashIndex, error) {
 	key := t.Name + "." + column
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if ix, ok := e.hash[key]; ok {
 		return ix, nil
 	}

@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"errors"
+	"math"
+
+	"handsfree/internal/plan"
+	"handsfree/internal/query"
+)
+
+// ErrInjected is returned when the fault seam fails an execution.
+var ErrInjected = errors.New("engine: injected execution failure")
+
+// DefaultMsPerWork converts executor work units into observed milliseconds.
+// Calibrated so the generated workloads at small scale factors land in the
+// 1–100 ms range a production OLAP query would.
+const DefaultMsPerWork = 1e-4
+
+// Observed is the "run it on the production system" executor: it executes
+// plans for real on the columnar Engine and derives an observed wall-clock
+// latency from the deterministic work accounting (work units × MsPerWork),
+// optionally transformed by the fault seam. Unlike LatencyModel — an
+// analytic simulator over estimated costs — Observed latencies reflect what
+// the engine actually did, so they respond to injected faults, and they are
+// exactly reproducible per (database, plan).
+//
+// Observed is safe for concurrent use: the Engine's index caches are
+// mutex-guarded, per-call state lives in the Work accounting, and the fault
+// seam serializes its counter internally.
+type Observed struct {
+	Eng *Engine
+	// MsPerWork converts work units to milliseconds (DefaultMsPerWork when
+	// built by NewObserved).
+	MsPerWork float64
+	// Faults is the fault-injection seam (never nil from NewObserved; an
+	// empty seam injects nothing).
+	Faults *Faults
+}
+
+// NewObserved wraps the engine with the default calibration and a fresh
+// (inject-nothing) fault seam.
+func NewObserved(eng *Engine) *Observed {
+	return &Observed{Eng: eng, MsPerWork: DefaultMsPerWork, Faults: NewFaults()}
+}
+
+// Run executes root for q under a latency budget (milliseconds; 0 = none)
+// and returns the result, the work performed, and the observed latency.
+// A budget-exhausted execution is not an error: it returns timedOut=true
+// with the budget as the censored latency, mirroring LatencyModel.Execute.
+// An injected failure returns ErrInjected with a NaN latency.
+func (o *Observed) Run(q *query.Query, root plan.Node, budgetMs float64) (res *Result, w *Work, latencyMs float64, timedOut bool, err error) {
+	factor := 1.0
+	fail := false
+	if o.Faults != nil {
+		factor, fail = o.Faults.apply(q, root)
+	}
+	if fail {
+		return nil, nil, math.NaN(), false, ErrInjected
+	}
+	var budget int64
+	if budgetMs > 0 {
+		// The budget censors observed (post-inflation) latency, so an
+		// inflated execution times out proportionally earlier — exactly how a
+		// wall-clock timeout behaves on a degraded system.
+		budget = int64(budgetMs / (o.MsPerWork * factor))
+		if budget < 1 {
+			budget = 1
+		}
+	}
+	res, w, err = o.Eng.ExecuteBudget(q, root, budget)
+	if err != nil {
+		if errors.Is(err, ErrBudget) {
+			return nil, w, budgetMs, true, nil
+		}
+		return nil, w, math.NaN(), false, err
+	}
+	return res, w, float64(w.Total()) * o.MsPerWork * factor, false, nil
+}
+
+// Execute satisfies the planspace executor contract (latency and timeout
+// only): training environments use it to reward episodes with observed
+// execution latency. Failed executions report NaN (the reward functions'
+// worst-case path).
+func (o *Observed) Execute(q *query.Query, n plan.Node, budgetMs float64) (latencyMs float64, timedOut bool) {
+	_, _, lat, timedOut, err := o.Run(q, n, budgetMs)
+	if err != nil {
+		return math.NaN(), false
+	}
+	return lat, timedOut
+}

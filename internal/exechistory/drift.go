@@ -1,0 +1,106 @@
+package exechistory
+
+import (
+	"math"
+	"sync"
+)
+
+// DriftConfig tunes the drift detector. The zero value selects the defaults.
+type DriftConfig struct {
+	// Ratio is the degradation threshold on the rolling learned/expert
+	// latency ratio (default 2.0). Negative disables detection.
+	Ratio float64
+	// Sustain is how many consecutive degraded observations one fingerprint
+	// must accumulate before drift trips (default 6): a lone spike is noise,
+	// a sustained regression is drift.
+	Sustain int
+}
+
+func (c *DriftConfig) fill() {
+	if c.Ratio == 0 {
+		c.Ratio = 2.0
+	}
+	if c.Sustain <= 0 {
+		c.Sustain = 6
+	}
+}
+
+// Detector turns per-execution rolling ratios into a drift verdict: when any
+// single fingerprint's ratio stays above the threshold for Sustain
+// consecutive observations, Observe reports a trip. Degenerate ratios
+// (NaN/Inf — empty, under-sampled, or just-flushed windows) never advance a
+// streak, so drift can never trigger off missing evidence.
+type Detector struct {
+	cfg DriftConfig
+
+	mu      sync.Mutex
+	streaks map[uint64]int
+	trips   uint64
+	// worst is the highest finite ratio observed since the last Reset.
+	worst float64
+}
+
+// NewDetector builds a detector.
+func NewDetector(cfg DriftConfig) *Detector {
+	cfg.fill()
+	return &Detector{cfg: cfg, streaks: make(map[uint64]int), worst: math.NaN()}
+}
+
+// Config returns the thresholds in force.
+func (d *Detector) Config() DriftConfig { return d.cfg }
+
+// Observe feeds one post-execution rolling ratio for a fingerprint and
+// reports whether that fingerprint's degradation just became sustained. A
+// healthy or degenerate observation resets the fingerprint's streak (healthy
+// evidence and no-evidence both break "consecutive"). A trip resets the
+// streak too, so one incident reports once until degradation re-accumulates.
+func (d *Detector) Observe(fp uint64, ratio float64) bool {
+	if d.cfg.Ratio < 0 {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if math.IsNaN(ratio) || math.IsInf(ratio, 0) {
+		delete(d.streaks, fp)
+		return false
+	}
+	if math.IsNaN(d.worst) || ratio > d.worst {
+		d.worst = ratio
+	}
+	if ratio <= d.cfg.Ratio {
+		delete(d.streaks, fp)
+		return false
+	}
+	d.streaks[fp]++
+	if d.streaks[fp] < d.cfg.Sustain {
+		return false
+	}
+	delete(d.streaks, fp)
+	d.trips++
+	return true
+}
+
+// Trips returns how many times drift has tripped since construction
+// (Reset does not clear it).
+func (d *Detector) Trips() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.trips
+}
+
+// WorstRatio returns the highest finite ratio observed since the last Reset
+// (NaN when none has been).
+func (d *Detector) WorstRatio() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.worst
+}
+
+// Reset clears every streak and the worst-ratio watermark — the drift
+// re-entry step paired with Store.FlushLearned.
+func (d *Detector) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	clear(d.streaks)
+	d.worst = math.NaN()
+}

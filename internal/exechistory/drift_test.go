@@ -1,0 +1,136 @@
+package exechistory
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDriftNeverTriggersFromDegenerateWindows is the satellite edge-table:
+// drift must never trip off empty, single-sample, NaN/Inf, or expert-only
+// history — only a sustained, well-evidenced degraded ratio trips it.
+func TestDriftNeverTriggersFromDegenerateWindows(t *testing.T) {
+	mkStore := func() *Store { return New(Config{Window: 8, MinLearned: 3, MinExpert: 2}) }
+	cases := []struct {
+		name string
+		feed func(s *Store, fp uint64)
+	}{
+		{"no history", func(s *Store, fp uint64) {}},
+		{"single learned sample", func(s *Store, fp uint64) {
+			s.Record(fp, rec(Learned, 1e9))
+		}},
+		{"single sample each side", func(s *Store, fp uint64) {
+			s.Record(fp, rec(Learned, 1e9))
+			s.Record(fp, rec(Expert, 1))
+		}},
+		{"NaN and Inf latencies", func(s *Store, fp uint64) {
+			for i := 0; i < 16; i++ {
+				s.Record(fp, rec(Learned, math.NaN()))
+				s.Record(fp, rec(Learned, math.Inf(1)))
+				s.Record(fp, rec(Expert, math.NaN()))
+			}
+		}},
+		{"expert-only history", func(s *Store, fp uint64) {
+			for i := 0; i < 16; i++ {
+				s.Record(fp, rec(Expert, 10))
+			}
+		}},
+		{"learned-only history", func(s *Store, fp uint64) {
+			for i := 0; i < 16; i++ {
+				s.Record(fp, rec(Learned, 1e9))
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := mkStore()
+			d := NewDetector(DriftConfig{Ratio: 1.5, Sustain: 2})
+			const fp = 11
+			tc.feed(s, fp)
+			for i := 0; i < 32; i++ {
+				r, _, _ := s.Ratio(fp)
+				if d.Observe(fp, r) {
+					t.Fatalf("drift tripped on observation %d with ratio %v", i, r)
+				}
+			}
+			if d.Trips() != 0 {
+				t.Fatalf("trips = %d, want 0", d.Trips())
+			}
+		})
+	}
+}
+
+func TestDriftRequiresSustainedDegradation(t *testing.T) {
+	d := NewDetector(DriftConfig{Ratio: 1.5, Sustain: 3})
+	const fp = 5
+
+	// Threshold crossings interrupted by healthy observations never trip.
+	for i := 0; i < 10; i++ {
+		if d.Observe(fp, 9.0) {
+			t.Fatal("tripped on first degraded observation")
+		}
+		if d.Observe(fp, 9.0) {
+			t.Fatal("tripped below Sustain")
+		}
+		if d.Observe(fp, 1.0) { // healthy: streak resets
+			t.Fatal("tripped on a healthy observation")
+		}
+	}
+	// A degenerate observation mid-streak also breaks "consecutive".
+	d.Observe(fp, 9.0)
+	d.Observe(fp, 9.0)
+	d.Observe(fp, math.NaN())
+	if d.Observe(fp, 9.0) || d.Observe(fp, 9.0) {
+		t.Fatal("NaN should have reset the streak")
+	}
+	// Sustained degradation trips exactly once, then re-arms.
+	if !d.Observe(fp, 9.0) {
+		t.Fatal("third consecutive degraded observation should trip")
+	}
+	if d.Observe(fp, 9.0) || d.Observe(fp, 9.0) {
+		t.Fatal("trip should reset the streak")
+	}
+	if !d.Observe(fp, 9.0) {
+		t.Fatal("degradation re-accumulated to Sustain should re-trip")
+	}
+	if d.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2", d.Trips())
+	}
+	if w := d.WorstRatio(); w != 9.0 {
+		t.Fatalf("worst ratio = %v, want 9", w)
+	}
+}
+
+func TestDriftStreaksArePerFingerprint(t *testing.T) {
+	d := NewDetector(DriftConfig{Ratio: 1.5, Sustain: 2})
+	// Interleaved traffic on a healthy fingerprint must not break the
+	// degraded one's streak.
+	if d.Observe(1, 5.0) {
+		t.Fatal("early trip")
+	}
+	d.Observe(2, 1.0)
+	if !d.Observe(1, 5.0) {
+		t.Fatal("fingerprint 1 should trip despite fingerprint 2's health")
+	}
+}
+
+func TestDriftDisabled(t *testing.T) {
+	d := NewDetector(DriftConfig{Ratio: -1})
+	for i := 0; i < 100; i++ {
+		if d.Observe(1, 1e9) {
+			t.Fatal("disabled detector tripped")
+		}
+	}
+}
+
+func TestDriftReset(t *testing.T) {
+	d := NewDetector(DriftConfig{Ratio: 1.5, Sustain: 3})
+	d.Observe(1, 9.0)
+	d.Observe(1, 9.0)
+	d.Reset()
+	if !math.IsNaN(d.WorstRatio()) {
+		t.Fatalf("worst ratio after reset = %v, want NaN", d.WorstRatio())
+	}
+	if d.Observe(1, 9.0) || d.Observe(1, 9.0) {
+		t.Fatal("Reset should clear streaks")
+	}
+}

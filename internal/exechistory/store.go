@@ -1,0 +1,312 @@
+// Package exechistory is the execution-feedback memory of the hands-free
+// optimizer: a bounded, concurrency-safe store of observed execution
+// latencies keyed by query fingerprint, split per fingerprint into a learned
+// window and an expert window (ring buffers), from which it derives the
+// rolling learned/expert latency ratio behind the service's latency guard
+// and drift detector.
+//
+// Bounds: at most MaxFingerprints fingerprints are tracked (LRU eviction),
+// each holding at most Window samples per side — so memory is O(Window ×
+// MaxFingerprints) regardless of traffic. Global snapshot stats are
+// maintained as running counters and cost O(1) to read.
+package exechistory
+
+import (
+	"container/list"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Kind classifies which plan produced a recorded latency.
+type Kind int
+
+const (
+	// Expert: the traditional optimizer's plan (served, fallback, or a
+	// shadow probe keeping the baseline fresh).
+	Expert Kind = iota
+	// Learned: the learned policy's plan.
+	Learned
+)
+
+// Record is one observed execution.
+type Record struct {
+	Kind Kind
+	// LatencyMs is the observed latency. Non-finite or non-positive values
+	// are rejected (counted, never stored): a degenerate observation must
+	// never move a rolling ratio.
+	LatencyMs float64
+	// PolicyVersion is the policy snapshot that produced the plan (0 for
+	// expert plans).
+	PolicyVersion uint64
+	// TimedOut marks a budget-censored latency.
+	TimedOut bool
+}
+
+// Config bounds and tunes a Store. The zero value selects the defaults.
+type Config struct {
+	// Window is the per-(fingerprint, kind) ring capacity (default 32).
+	Window int
+	// MaxFingerprints bounds tracked fingerprints; the least recently
+	// recorded fingerprint is evicted at the bound (default 4096).
+	MaxFingerprints int
+	// MinLearned / MinExpert are how many samples each window needs before
+	// Ratio is defined (defaults 4 and 2): a single lucky or unlucky sample
+	// must never trip a guard.
+	MinLearned int
+	MinExpert  int
+}
+
+func (c *Config) fill() {
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.MaxFingerprints <= 0 {
+		c.MaxFingerprints = 4096
+	}
+	if c.MinLearned <= 0 {
+		c.MinLearned = 4
+	}
+	if c.MinExpert <= 0 {
+		c.MinExpert = 2
+	}
+}
+
+// ring is a fixed-capacity latency window.
+type ring struct {
+	vals []float64
+	vers []uint64
+	next int
+	full bool
+}
+
+func (r *ring) push(capacity int, v float64, ver uint64) {
+	if r.vals == nil {
+		r.vals = make([]float64, capacity)
+		r.vers = make([]uint64, capacity)
+	}
+	r.vals[r.next] = v
+	r.vers[r.next] = ver
+	r.next++
+	if r.next == len(r.vals) {
+		r.next, r.full = 0, true
+	}
+}
+
+func (r *ring) n() int {
+	if r.full {
+		return len(r.vals)
+	}
+	return r.next
+}
+
+// mean sums the window in sorted order, so the value is a pure function of
+// the sample multiset: as long as a fingerprint has not wrapped its window,
+// the ratio is exactly permutation-invariant over insertion order.
+func (r *ring) mean(scratch []float64) (float64, []float64) {
+	n := r.n()
+	if n == 0 {
+		return math.NaN(), scratch
+	}
+	scratch = append(scratch[:0], r.vals[:n]...)
+	sort.Float64s(scratch)
+	sum := 0.0
+	for _, v := range scratch {
+		sum += v
+	}
+	return sum / float64(n), scratch
+}
+
+func (r *ring) reset() {
+	r.next, r.full = 0, false
+}
+
+type entry struct {
+	fp      uint64
+	elem    *list.Element
+	learned ring
+	expert  ring
+	// sinceExpert counts learned records since the last expert one — the
+	// clock for shadow expert probes.
+	sinceExpert int
+}
+
+// Store is the bounded execution-history store.
+type Store struct {
+	cfg Config
+
+	mu      sync.Mutex
+	m       map[uint64]*entry
+	order   *list.List // front = most recently recorded
+	scratch []float64
+
+	// O(1) global counters.
+	records, learned, expert   uint64
+	rejected, timedOut, failed uint64
+	evictions, learnedFlushes  uint64
+	learnedHeld, expertHeld    int // samples currently held across all rings
+}
+
+// New builds a store.
+func New(cfg Config) *Store {
+	cfg.fill()
+	return &Store{cfg: cfg, m: make(map[uint64]*entry), order: list.New()}
+}
+
+// Config returns the bounds in force.
+func (s *Store) Config() Config { return s.cfg }
+
+func (s *Store) entryFor(fp uint64) *entry {
+	e, ok := s.m[fp]
+	if ok {
+		s.order.MoveToFront(e.elem)
+		return e
+	}
+	if len(s.m) >= s.cfg.MaxFingerprints {
+		oldest := s.order.Back()
+		old := oldest.Value.(*entry)
+		s.learnedHeld -= old.learned.n()
+		s.expertHeld -= old.expert.n()
+		s.order.Remove(oldest)
+		delete(s.m, old.fp)
+		s.evictions++
+	}
+	e = &entry{fp: fp}
+	e.elem = s.order.PushFront(e)
+	s.m[fp] = e
+	return e
+}
+
+// Record stores one observation, returning false when the latency is
+// degenerate (NaN/Inf/≤0) and was rejected.
+func (s *Store) Record(fp uint64, r Record) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if math.IsNaN(r.LatencyMs) || math.IsInf(r.LatencyMs, 0) || r.LatencyMs <= 0 {
+		s.rejected++
+		return false
+	}
+	e := s.entryFor(fp)
+	s.records++
+	if r.TimedOut {
+		s.timedOut++
+	}
+	switch r.Kind {
+	case Learned:
+		if e.learned.n() < s.cfg.Window {
+			s.learnedHeld++
+		}
+		e.learned.push(s.cfg.Window, r.LatencyMs, r.PolicyVersion)
+		e.sinceExpert++
+		s.learned++
+	default:
+		if e.expert.n() < s.cfg.Window {
+			s.expertHeld++
+		}
+		e.expert.push(s.cfg.Window, r.LatencyMs, r.PolicyVersion)
+		e.sinceExpert = 0
+		s.expert++
+	}
+	return true
+}
+
+// RecordFailure counts a failed execution (no latency to store).
+func (s *Store) RecordFailure(fp uint64) {
+	s.mu.Lock()
+	s.failed++
+	s.mu.Unlock()
+}
+
+// Ratio returns the fingerprint's rolling learned/expert mean-latency ratio
+// and the window sizes it was computed from. The ratio is NaN — "no
+// verdict" — until both windows hold their configured minimum samples, so
+// empty, single-sample, or expert-only histories can never trip a guard.
+func (s *Store) Ratio(fp uint64) (ratio float64, learnedN, expertN int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[fp]
+	if !ok {
+		return math.NaN(), 0, 0
+	}
+	learnedN, expertN = e.learned.n(), e.expert.n()
+	if learnedN < s.cfg.MinLearned || expertN < s.cfg.MinExpert {
+		return math.NaN(), learnedN, expertN
+	}
+	var lm, em float64
+	lm, s.scratch = e.learned.mean(s.scratch)
+	em, s.scratch = e.expert.mean(s.scratch)
+	if !(em > 0) {
+		return math.NaN(), learnedN, expertN
+	}
+	return lm / em, learnedN, expertN
+}
+
+// NeedExpertProbe reports whether the fingerprint's expert baseline is stale:
+// no expert sample is held, or `every` learned executions have been recorded
+// since the last expert one. Unknown fingerprints need no probe (the first
+// recorded execution will seed them).
+func (s *Store) NeedExpertProbe(fp uint64, every int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[fp]
+	if !ok {
+		return false
+	}
+	if e.expert.n() == 0 {
+		return true
+	}
+	return every > 0 && e.sinceExpert >= every
+}
+
+// FlushLearned clears every learned window (the expert baselines survive).
+// It is the drift re-entry "probation" step: after a policy retrains, the
+// latencies its predecessor observed say nothing about the new policy, so
+// the guard and detector restart from no-verdict instead of holding the
+// incident against the fresh policy.
+func (s *Store) FlushLearned() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.m {
+		e.learned.reset()
+		e.sinceExpert = 0
+	}
+	s.learnedHeld = 0
+	s.learnedFlushes++
+}
+
+// Stats is an O(1) snapshot of the store's global counters.
+type Stats struct {
+	// Fingerprints is how many fingerprints are currently tracked;
+	// Evictions counts fingerprints dropped at the bound.
+	Fingerprints int
+	Evictions    uint64
+	// Records splits into Learned + Expert; Rejected counts degenerate
+	// latencies turned away; TimedOut counts budget-censored records;
+	// Failures counts RecordFailure calls.
+	Records, Learned, Expert uint64
+	Rejected, TimedOut       uint64
+	Failures                 uint64
+	// LearnedHeld / ExpertHeld are the samples currently held across all
+	// windows; LearnedFlushes counts FlushLearned calls.
+	LearnedHeld, ExpertHeld int
+	LearnedFlushes          uint64
+}
+
+// Stats snapshots the global counters (O(1): no window is walked).
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Fingerprints:   len(s.m),
+		Evictions:      s.evictions,
+		Records:        s.records,
+		Learned:        s.learned,
+		Expert:         s.expert,
+		Rejected:       s.rejected,
+		TimedOut:       s.timedOut,
+		Failures:       s.failed,
+		LearnedHeld:    s.learnedHeld,
+		ExpertHeld:     s.expertHeld,
+		LearnedFlushes: s.learnedFlushes,
+	}
+}

@@ -1,0 +1,211 @@
+package exechistory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func rec(k Kind, lat float64) Record { return Record{Kind: k, LatencyMs: lat} }
+
+// TestStoreBoundProperty drives random traffic far past every bound and
+// asserts the store never exceeds them: the property half of the
+// "bounded, concurrency-safe" contract.
+func TestStoreBoundProperty(t *testing.T) {
+	cfg := Config{Window: 8, MaxFingerprints: 16, MinLearned: 2, MinExpert: 1}
+	s := New(cfg)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		fp := uint64(rng.Intn(200)) // 200 fingerprints into a 16-slot store
+		k := Expert
+		if rng.Intn(2) == 0 {
+			k = Learned
+		}
+		s.Record(fp, rec(k, 1+rng.Float64()*100))
+		if i%997 == 0 {
+			st := s.Stats()
+			if st.Fingerprints > cfg.MaxFingerprints {
+				t.Fatalf("fingerprints %d exceeds bound %d", st.Fingerprints, cfg.MaxFingerprints)
+			}
+			if st.LearnedHeld > cfg.MaxFingerprints*cfg.Window || st.ExpertHeld > cfg.MaxFingerprints*cfg.Window {
+				t.Fatalf("held samples (%d learned, %d expert) exceed %d", st.LearnedHeld, st.ExpertHeld, cfg.MaxFingerprints*cfg.Window)
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Fingerprints != cfg.MaxFingerprints {
+		t.Fatalf("expected store full at %d fingerprints, got %d", cfg.MaxFingerprints, st.Fingerprints)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions under 200 fingerprints of traffic")
+	}
+	if st.Records != st.Learned+st.Expert {
+		t.Fatalf("records %d != learned %d + expert %d", st.Records, st.Learned, st.Expert)
+	}
+}
+
+// TestRatioPermutationInvariant asserts the rolling ratio is exactly (not
+// approximately) a function of the sample multiset: any insertion order of
+// the same latencies yields the bitwise-identical ratio.
+func TestRatioPermutationInvariant(t *testing.T) {
+	learned := []float64{12.5, 3.75, 99.125, 41.0, 7.25, 18.5}
+	expert := []float64{10.0, 11.5, 9.25, 13.75}
+	const fp = uint64(7)
+
+	ratioFor := func(perm []int, eperm []int) float64 {
+		s := New(Config{Window: 16, MinLearned: 1, MinExpert: 1})
+		for _, i := range perm {
+			s.Record(fp, rec(Learned, learned[i]))
+		}
+		for _, i := range eperm {
+			s.Record(fp, rec(Expert, expert[i]))
+		}
+		r, _, _ := s.Ratio(fp)
+		return r
+	}
+
+	base := ratioFor([]int{0, 1, 2, 3, 4, 5}, []int{0, 1, 2, 3})
+	if math.IsNaN(base) {
+		t.Fatal("base ratio undefined")
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		lp := rng.Perm(len(learned))
+		ep := rng.Perm(len(expert))
+		if got := ratioFor(lp, ep); got != base {
+			t.Fatalf("permutation %v/%v ratio %v != base %v", lp, ep, got, base)
+		}
+	}
+	// Interleaving kinds must not matter either.
+	s := New(Config{Window: 16, MinLearned: 1, MinExpert: 1})
+	for i := 0; i < 6 || i < 4; i++ {
+		if i < 4 {
+			s.Record(fp, rec(Expert, expert[i]))
+		}
+		if i < 6 {
+			s.Record(fp, rec(Learned, learned[i]))
+		}
+	}
+	if got, _, _ := s.Ratio(fp); got != base {
+		t.Fatalf("interleaved ratio %v != base %v", got, base)
+	}
+}
+
+func TestRecordRejectsDegenerateLatencies(t *testing.T) {
+	s := New(Config{MinLearned: 1, MinExpert: 1})
+	const fp = 1
+	for _, lat := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, -5} {
+		if s.Record(fp, rec(Learned, lat)) {
+			t.Fatalf("latency %v accepted", lat)
+		}
+		if s.Record(fp, rec(Expert, lat)) {
+			t.Fatalf("expert latency %v accepted", lat)
+		}
+	}
+	st := s.Stats()
+	if st.Rejected != 10 || st.Records != 0 {
+		t.Fatalf("stats = %+v, want 10 rejected / 0 records", st)
+	}
+	if r, ln, en := s.Ratio(fp); !math.IsNaN(r) || ln != 0 || en != 0 {
+		t.Fatalf("ratio after rejects = %v (%d/%d), want NaN (0/0)", r, ln, en)
+	}
+}
+
+func TestRatioUndefinedBelowMinimums(t *testing.T) {
+	s := New(Config{Window: 8, MinLearned: 3, MinExpert: 2})
+	const fp = 9
+	// Unknown fingerprint.
+	if r, _, _ := s.Ratio(fp); !math.IsNaN(r) {
+		t.Fatalf("unknown fingerprint ratio = %v, want NaN", r)
+	}
+	// Expert-only history.
+	for i := 0; i < 8; i++ {
+		s.Record(fp, rec(Expert, 10))
+	}
+	if r, _, _ := s.Ratio(fp); !math.IsNaN(r) {
+		t.Fatalf("expert-only ratio = %v, want NaN", r)
+	}
+	// Learned side below minimum.
+	s.Record(fp, rec(Learned, 1000))
+	s.Record(fp, rec(Learned, 1000))
+	if r, _, _ := s.Ratio(fp); !math.IsNaN(r) {
+		t.Fatalf("under-sampled ratio = %v, want NaN", r)
+	}
+	s.Record(fp, rec(Learned, 1000))
+	if r, _, _ := s.Ratio(fp); r != 100 {
+		t.Fatalf("ratio = %v, want 100", r)
+	}
+}
+
+func TestFlushLearnedKeepsExpertBaseline(t *testing.T) {
+	s := New(Config{Window: 8, MinLearned: 1, MinExpert: 1})
+	const fp = 4
+	for i := 0; i < 4; i++ {
+		s.Record(fp, rec(Learned, 50))
+		s.Record(fp, rec(Expert, 10))
+	}
+	if r, _, _ := s.Ratio(fp); r != 5 {
+		t.Fatalf("pre-flush ratio = %v, want 5", r)
+	}
+	s.FlushLearned()
+	r, ln, en := s.Ratio(fp)
+	if !math.IsNaN(r) || ln != 0 || en != 4 {
+		t.Fatalf("post-flush ratio = %v (%d/%d), want NaN (0/4)", r, ln, en)
+	}
+	st := s.Stats()
+	if st.LearnedHeld != 0 || st.ExpertHeld != 4 || st.LearnedFlushes != 1 {
+		t.Fatalf("post-flush stats = %+v", st)
+	}
+	// The next learned samples rebuild a fresh (healthy) verdict.
+	for i := 0; i < 2; i++ {
+		s.Record(fp, rec(Learned, 10))
+	}
+	if r, _, _ := s.Ratio(fp); r != 1 {
+		t.Fatalf("recovered ratio = %v, want 1", r)
+	}
+}
+
+func TestNeedExpertProbe(t *testing.T) {
+	s := New(Config{Window: 8})
+	const fp = 2
+	if s.NeedExpertProbe(fp, 4) {
+		t.Fatal("unknown fingerprint should not demand a probe")
+	}
+	s.Record(fp, rec(Learned, 5))
+	if !s.NeedExpertProbe(fp, 4) {
+		t.Fatal("learned-only history needs an expert baseline")
+	}
+	s.Record(fp, rec(Expert, 5))
+	if s.NeedExpertProbe(fp, 4) {
+		t.Fatal("fresh baseline should not demand a probe")
+	}
+	for i := 0; i < 4; i++ {
+		s.Record(fp, rec(Learned, 5))
+	}
+	if !s.NeedExpertProbe(fp, 4) {
+		t.Fatal("baseline stale after `every` learned records")
+	}
+}
+
+func TestRingWrapEvictsOldest(t *testing.T) {
+	s := New(Config{Window: 4, MinLearned: 1, MinExpert: 1})
+	const fp = 3
+	s.Record(fp, rec(Expert, 10))
+	// Fill the learned window with 100s, then wrap it with 10s: the ratio
+	// must converge to the fresh window.
+	for i := 0; i < 4; i++ {
+		s.Record(fp, rec(Learned, 100))
+	}
+	if r, _, _ := s.Ratio(fp); r != 10 {
+		t.Fatalf("full-window ratio = %v, want 10", r)
+	}
+	for i := 0; i < 4; i++ {
+		s.Record(fp, rec(Learned, 10))
+	}
+	if r, _, _ := s.Ratio(fp); r != 1 {
+		t.Fatalf("wrapped-window ratio = %v, want 1", r)
+	}
+	if st := s.Stats(); st.LearnedHeld != 4 {
+		t.Fatalf("learned held = %d, want 4 (window)", st.LearnedHeld)
+	}
+}

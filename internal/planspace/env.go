@@ -5,7 +5,6 @@ import (
 	"math"
 	"math/rand"
 
-	"handsfree/internal/engine"
 	"handsfree/internal/featurize"
 	"handsfree/internal/optimizer"
 	"handsfree/internal/plan"
@@ -48,6 +47,16 @@ func LatencyReward(o Outcome) float64 {
 	return -math.Log(o.LatencyMs)
 }
 
+// Executor abstracts "run this plan and observe a latency" for episode
+// evaluation. Both the analytic simulator (engine.LatencyModel) and the
+// real observed executor (engine.Observed) satisfy it, so a training
+// environment's reward can come from simulated or genuinely executed
+// latencies without the env knowing which. Implementations must be safe for
+// concurrent use: environment replicas share the configured value.
+type Executor interface {
+	Execute(q *query.Query, n plan.Node, budgetMs float64) (latencyMs float64, timedOut bool)
+}
+
 // Config assembles an Env.
 type Config struct {
 	Space   *featurize.Space
@@ -55,7 +64,7 @@ type Config struct {
 	Planner *optimizer.Planner
 	// Latency is required when Reward reads LatencyMs or ExecuteAlways is
 	// set; otherwise episodes are not executed.
-	Latency *engine.LatencyModel
+	Latency Executor
 	Queries []*query.Query
 	// Reward defaults to CostReward.
 	Reward RewardFunc

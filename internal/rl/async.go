@@ -2,6 +2,7 @@ package rl
 
 import (
 	"context"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -47,6 +48,16 @@ type AsyncConfig struct {
 	// the episode budget and are still reported to the episode callback
 	// (with Dropped set).
 	DropStale bool
+	// WeightStale importance-weights over-stale trajectories instead of
+	// discarding them: a trajectory consumed L > Staleness versions behind
+	// the server has its advantage scaled by StaleDecay^(L−Staleness) before
+	// the policy update, so re-training under live serving traffic wastes no
+	// collected experience while trusting stale experience less. When both
+	// are set, WeightStale wins over DropStale.
+	WeightStale bool
+	// StaleDecay is the per-excess-version weight decay for WeightStale
+	// (default 0.7).
+	StaleDecay float64
 	// AdaptStaleness turns the fixed bound K into a ceiling for an adaptive
 	// bound: every AdaptWindow consumed episodes the learner compares the
 	// observed actor lag against the current bound and tightens it by one
@@ -95,6 +106,9 @@ func (c *AsyncConfig) fill() {
 	if c.AdaptWindow < 1 {
 		c.AdaptWindow = 16
 	}
+	if c.StaleDecay <= 0 || c.StaleDecay >= 1 {
+		c.StaleDecay = 0.7
+	}
 }
 
 // AsyncEpisode is one episode delivered from an actor to the learner.
@@ -115,6 +129,9 @@ type AsyncEpisode struct {
 	Out any
 	// Dropped marks episodes the learner discarded under DropStale.
 	Dropped bool
+	// Weighted marks episodes that were importance-weighted under
+	// WeightStale; Traj.Weight carries the applied weight.
+	Weighted bool
 }
 
 // AsyncStats summarizes one TrainAsync run.
@@ -129,6 +146,8 @@ type AsyncStats struct {
 	Publishes uint64
 	// Dropped counts episodes discarded under DropStale.
 	Dropped int
+	// Weighted counts episodes importance-weighted under WeightStale.
+	Weighted int
 	// MaxLag is the largest staleness any actor acted on; the staleness
 	// bound guarantees MaxLag ≤ K.
 	MaxLag uint64
@@ -251,11 +270,21 @@ learn:
 		// aging) — the direct measure of the learner outpacing the actors,
 		// and the quantity the DropStale check bounds.
 		consumeLag := srv.Version() - e.Version
-		if cfg.DropStale && consumeLag > uint64(cfg.Staleness) {
+		switch {
+		case consumeLag > uint64(cfg.Staleness) && cfg.WeightStale:
+			e.Traj.Weight = math.Pow(cfg.StaleDecay, float64(consumeLag-uint64(cfg.Staleness)))
+			e.Weighted = true
+			stats.Weighted++
+			if learner.Observe(e.Traj) {
+				srv.Publish(learner.Policy.CloneForInference(), learner.Updates)
+			}
+		case consumeLag > uint64(cfg.Staleness) && cfg.DropStale:
 			e.Dropped = true
 			stats.Dropped++
-		} else if learner.Observe(e.Traj) {
-			srv.Publish(learner.Policy.CloneForInference(), learner.Updates)
+		default:
+			if learner.Observe(e.Traj) {
+				srv.Publish(learner.Policy.CloneForInference(), learner.Updates)
+			}
 		}
 		if cfg.AdaptStaleness {
 			winLag += consumeLag

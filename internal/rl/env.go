@@ -79,6 +79,12 @@ type Trajectory struct {
 	Steps []Step
 	// Return is the undiscounted sum of rewards over the episode.
 	Return float64
+	// Weight scales this trajectory's advantage in the policy update; 0
+	// means the default weight of 1. TrainAsync sets it below 1 for
+	// over-stale trajectories when importance weighting is enabled, so
+	// experience collected under an old policy still teaches, just with
+	// discounted trust.
+	Weight float64
 }
 
 // RunEpisode drives env with the given action-selection policy until the

@@ -307,6 +307,11 @@ func (a *Reinforce) update() {
 		} else {
 			adv = (t.Return - mean) / std
 		}
+		if t.Weight > 0 {
+			// Importance weight: stale (off-policy) trajectories contribute a
+			// proportionally smaller gradient instead of being dropped.
+			adv *= t.Weight
+		}
 		for _, st := range t.Steps {
 			copy(x.Row(r), st.Features)
 			masks[r] = st.Mask

@@ -115,7 +115,10 @@ func New(cfg Config, reg *Registry) *Server {
 	}
 	s.mux.HandleFunc("POST /plan", func(w http.ResponseWriter, r *http.Request) { s.handlePlan(w, r, false) })
 	s.mux.HandleFunc("POST /plansql", func(w http.ResponseWriter, r *http.Request) { s.handlePlan(w, r, true) })
+	s.mux.HandleFunc("POST /execute", func(w http.ResponseWriter, r *http.Request) { s.handleExecute(w, r, false) })
+	s.mux.HandleFunc("POST /executesql", func(w http.ResponseWriter, r *http.Request) { s.handleExecute(w, r, true) })
 	s.mux.HandleFunc("GET /phase", s.handlePhase)
+	s.mux.HandleFunc("GET /drift", s.handleDrift)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /cache", s.handleCache)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -309,36 +312,31 @@ func validateAgainstCatalog(tenant *Tenant, q *handsfree.Query) *apiError {
 	return nil
 }
 
-// handlePlan serves POST /plan (structured IR) and POST /plansql (SQL text):
-// resolve the tenant, decode, pass admission, then run the tenant's
-// safeguarded Plan under the per-request deadline.
-func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request, wantSQL bool) {
-	s.requests.Add(1)
+// resolvePlanShaped resolves the tenant, decodes the body, and validates the
+// query for a planning-shaped request — the front half shared by /plan,
+// /plansql, /execute, and /executesql.
+func (s *Server) resolvePlanShaped(r *http.Request, wantSQL bool) (*Tenant, *PlanRequest, *handsfree.Query, string, *apiError) {
 	tenant, apiErr := s.tenantFor(r)
 	if apiErr != nil {
-		writeError(w, apiErr)
-		return
+		return nil, nil, nil, "", apiErr
 	}
 	req, apiErr := decodePlanRequest(r.Body, wantSQL)
 	if apiErr != nil {
-		writeError(w, apiErr)
-		return
+		return nil, nil, nil, "", apiErr
 	}
 	var q *handsfree.Query
 	var label string
 	if wantSQL {
 		parsed, err := handsfree.ParseSQL(req.SQL)
 		if err != nil {
-			writeError(w, badRequest("parsing SQL: %v", err))
-			return
+			return nil, nil, nil, "", badRequest("parsing SQL: %v", err)
 		}
 		q, label = parsed, req.SQL
 	} else {
 		var wireErr *apiError
 		q, wireErr = req.Query.toQuery()
 		if wireErr != nil {
-			writeError(w, wireErr)
-			return
+			return nil, nil, nil, "", wireErr
 		}
 		label = q.Name
 		if label == "" {
@@ -346,6 +344,38 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request, wantSQL bool
 		}
 	}
 	if apiErr := validateAgainstCatalog(tenant, q); apiErr != nil {
+		return nil, nil, nil, "", apiErr
+	}
+	return tenant, req, q, label, nil
+}
+
+// planError maps a Plan/Execute error onto the wire: deadline → 504, client
+// cancel → 499, anything else → 422 with the given code.
+func (s *Server) planError(w http.ResponseWriter, err error, deadline time.Duration, code string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
+		writeError(w, &apiError{
+			status: http.StatusGatewayTimeout, code: "deadline_exceeded",
+			message: fmt.Sprintf("planning exceeded the %s deadline", deadline),
+		})
+	case errors.Is(err, context.Canceled):
+		// The client went away mid-plan; nobody reads this response, but
+		// count it and answer coherently for proxies that still do.
+		s.clientCancels.Add(1)
+		writeError(w, &apiError{status: 499, code: "canceled", message: "client closed the request"})
+	default:
+		writeError(w, &apiError{status: http.StatusUnprocessableEntity, code: code, message: err.Error()})
+	}
+}
+
+// handlePlan serves POST /plan (structured IR) and POST /plansql (SQL text):
+// resolve the tenant, decode, pass admission, then run the tenant's
+// safeguarded Plan under the per-request deadline.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request, wantSQL bool) {
+	s.requests.Add(1)
+	tenant, req, q, label, apiErr := s.resolvePlanShaped(r, wantSQL)
+	if apiErr != nil {
 		writeError(w, apiErr)
 		return
 	}
@@ -363,21 +393,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request, wantSQL bool
 	res, err := tenant.svc.Plan(ctx, q)
 	planTime := time.Since(start)
 	if err != nil {
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			s.timeouts.Add(1)
-			writeError(w, &apiError{
-				status: http.StatusGatewayTimeout, code: "deadline_exceeded",
-				message: fmt.Sprintf("planning exceeded the %s deadline", s.timeoutFor(req)),
-			})
-		case errors.Is(err, context.Canceled):
-			// The client went away mid-plan; nobody reads this response, but
-			// count it and answer coherently for proxies that still do.
-			s.clientCancels.Add(1)
-			writeError(w, &apiError{status: 499, code: "canceled", message: "client closed the request"})
-		default:
-			writeError(w, &apiError{status: http.StatusUnprocessableEntity, code: "plan_error", message: err.Error()})
-		}
+		s.planError(w, err, s.timeoutFor(req), "plan_error")
 		return
 	}
 	resp := PlanResponse{
@@ -397,6 +413,112 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request, wantSQL bool
 	}
 	if req.Explain {
 		resp.Plan = handsfree.ExplainPlan(res.Plan)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleExecute serves POST /execute (structured IR) and POST /executesql
+// (SQL text): the same safeguarded serving decision as /plan, but the served
+// plan is then run on the tenant's engine and its observed latency returned —
+// and recorded, so every call feeds the tenant's latency guard and drift
+// detector. The per-request deadline covers planning and execution together.
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request, wantSQL bool) {
+	s.requests.Add(1)
+	tenant, req, q, label, apiErr := s.resolvePlanShaped(r, wantSQL)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+
+	release, queueWait, apiErr := s.adm.admit(r.Context())
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req))
+	defer cancel()
+	start := time.Now()
+	res, err := tenant.svc.Execute(ctx, q)
+	total := time.Since(start)
+	if err != nil {
+		s.planError(w, err, s.timeoutFor(req), "execute_error")
+		return
+	}
+	resp := ExecuteResponse{
+		Tenant:         tenant.name,
+		Query:          label,
+		Source:         res.Source.String(),
+		LatencyGuarded: res.LatencyGuarded,
+		Failed:         res.Failed,
+		Cost:           res.Cost,
+		ExpertCost:     res.ExpertCost,
+		PolicyVersion:  res.PolicyVersion,
+		Phase:          tenant.svc.Phase().String(),
+		Fingerprint:    fmt.Sprintf("%016x", res.Fingerprint),
+		LatencyMs:      res.LatencyMs,
+		TimedOut:       res.TimedOut,
+		Rows:           res.Rows,
+		WorkUnits:      res.WorkUnits,
+		QueueMs:        float64(queueWait) / float64(time.Millisecond),
+		TotalMs:        float64(total) / float64(time.Millisecond),
+	}
+	if !math.IsNaN(res.LearnedCost) {
+		lc := res.LearnedCost
+		resp.LearnedCost = &lc
+	}
+	if !math.IsNaN(res.LatencyRatio) {
+		lr := res.LatencyRatio
+		resp.LatencyRatio = &lr
+	}
+	if req.Explain {
+		resp.Plan = handsfree.ExplainPlan(res.Plan)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDrift serves GET /drift: one tenant's execution feedback snapshot —
+// resolved guard/drift thresholds, the loop's counters, and the history
+// store behind them. Tenants share nothing here: one tenant's drift never
+// shows in another's response.
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	tenant, apiErr := s.tenantFor(r)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	st := tenant.svc.ExecStats()
+	ec := tenant.svc.ExecutionConfig()
+	resp := DriftResponse{
+		Tenant:         tenant.name,
+		Phase:          tenant.svc.Phase().String(),
+		GuardRatio:     ec.GuardRatio,
+		DriftRatio:     ec.DriftRatio,
+		DriftSustain:   ec.DriftSustain,
+		Executions:     st.Executions,
+		Failures:       st.Failures,
+		TimedOut:       st.TimedOut,
+		LatencyGuarded: st.LatencyGuarded,
+		DriftEvents:    st.DriftEvents,
+		Retrains:       st.Retrains,
+		History: ExecHistoryInfo{
+			Fingerprints:   st.History.Fingerprints,
+			Evictions:      st.History.Evictions,
+			Records:        st.History.Records,
+			Learned:        st.History.Learned,
+			Expert:         st.History.Expert,
+			Rejected:       st.History.Rejected,
+			TimedOut:       st.History.TimedOut,
+			Failures:       st.History.Failures,
+			LearnedHeld:    st.History.LearnedHeld,
+			ExpertHeld:     st.History.ExpertHeld,
+			LearnedFlushes: st.History.LearnedFlushes,
+		},
+	}
+	if !math.IsNaN(st.DriftWorstRatio) {
+		wr := st.DriftWorstRatio
+		resp.WorstRatio = &wr
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -8,12 +8,17 @@
 //
 // Endpoints:
 //
-//	POST /plan      plan a structured query (JSON IR)
-//	POST /plansql   plan a SQL string
-//	GET  /phase     lifecycle phase + transition history for one tenant
-//	GET  /stats     server admission counters + per-tenant serving stats
-//	GET  /cache     per-tenant plan cache counters
-//	GET  /healthz   liveness (503 while draining)
+//	POST /plan        plan a structured query (JSON IR)
+//	POST /plansql     plan a SQL string
+//	POST /execute     plan a structured query AND run the served plan,
+//	                  returning its observed latency (feeds the tenant's
+//	                  latency guard and drift detector)
+//	POST /executesql  same, from a SQL string
+//	GET  /phase       lifecycle phase + transition history for one tenant
+//	GET  /drift       one tenant's execution-feedback/drift snapshot
+//	GET  /stats       server admission counters + per-tenant serving stats
+//	GET  /cache       per-tenant plan cache counters
+//	GET  /healthz     liveness (503 while draining)
 //
 // Planning endpoints take the tenant from the "tenant" query parameter or
 // the X-Tenant header; a single-tenant server accepts requests with no
@@ -124,6 +129,89 @@ type PlanResponse struct {
 	PlanMs  float64 `json:"plan_ms"`
 }
 
+// ExecuteResponse is the body of a successful POST /execute or
+// POST /executesql: the safeguarded serving decision (as in PlanResponse)
+// plus what actually happened when the served plan ran.
+type ExecuteResponse struct {
+	Tenant string `json:"tenant"`
+	Query  string `json:"query,omitempty"`
+	// Source is "expert", "learned", or "fallback"; LatencyGuarded marks a
+	// fallback forced by the observed-latency guard rather than the cost
+	// guard, and Failed one forced at execution time (the learned plan's
+	// execution failed and the expert plan was run and served instead).
+	Source         string `json:"source"`
+	LatencyGuarded bool   `json:"latency_guarded,omitempty"`
+	Failed         bool   `json:"failed,omitempty"`
+	// Cost/ExpertCost/LearnedCost are the cost-model estimates, as in
+	// PlanResponse.
+	Cost          float64  `json:"cost"`
+	ExpertCost    float64  `json:"expert_cost"`
+	LearnedCost   *float64 `json:"learned_cost,omitempty"`
+	PolicyVersion uint64   `json:"policy_version"`
+	Phase         string   `json:"phase"`
+	// Fingerprint is the query's canonical fingerprint (zero-padded hex —
+	// uint64 would lose precision in JavaScript clients), the key its
+	// execution history is tracked under.
+	Fingerprint string `json:"fingerprint"`
+	// LatencyMs is the served plan's observed execution latency (the budget
+	// itself when TimedOut). Rows and WorkUnits describe the result.
+	LatencyMs float64 `json:"latency_ms"`
+	TimedOut  bool    `json:"timed_out,omitempty"`
+	Rows      int     `json:"rows"`
+	WorkUnits int64   `json:"work_units"`
+	// LatencyRatio is the fingerprint's rolling learned/expert observed
+	// latency ratio at decision time (absent until both windows hold their
+	// minimum samples).
+	LatencyRatio *float64 `json:"latency_ratio,omitempty"`
+	// Plan is the EXPLAIN rendering (only with "explain": true).
+	Plan string `json:"plan,omitempty"`
+	// QueueMs is admission-queue wait; TotalMs is planning + execution.
+	QueueMs float64 `json:"queue_ms"`
+	TotalMs float64 `json:"total_ms"`
+}
+
+// DriftResponse is the body of GET /drift: one tenant's execution feedback
+// loop — the guard/drift thresholds in force, the loop's counters, and the
+// bounded history store behind them.
+type DriftResponse struct {
+	Tenant string `json:"tenant"`
+	Phase  string `json:"phase"`
+	// GuardRatio, DriftRatio, DriftSustain are the resolved thresholds
+	// (negative ratio = that mechanism disabled).
+	GuardRatio   float64 `json:"guard_ratio"`
+	DriftRatio   float64 `json:"drift_ratio"`
+	DriftSustain int     `json:"drift_sustain"`
+	// Executions counts /execute-path runs; Failures injected or failed
+	// executions; TimedOut budget-censored ones; LatencyGuarded serving
+	// decisions forced to the expert by the observed-latency guard.
+	Executions     uint64 `json:"executions"`
+	Failures       uint64 `json:"failures"`
+	TimedOut       uint64 `json:"timed_out"`
+	LatencyGuarded uint64 `json:"latency_guarded"`
+	// DriftEvents counts drift-detector trips; Retrains completed
+	// drift-triggered re-training rounds; WorstRatio the worst finite
+	// learned/expert ratio seen since the last round (absent when none).
+	DriftEvents uint64          `json:"drift_events"`
+	Retrains    uint64          `json:"retrains"`
+	WorstRatio  *float64        `json:"worst_ratio,omitempty"`
+	History     ExecHistoryInfo `json:"history"`
+}
+
+// ExecHistoryInfo snapshots the bounded per-fingerprint execution history.
+type ExecHistoryInfo struct {
+	Fingerprints   int    `json:"fingerprints"`
+	Evictions      uint64 `json:"evictions"`
+	Records        uint64 `json:"records"`
+	Learned        uint64 `json:"learned"`
+	Expert         uint64 `json:"expert"`
+	Rejected       uint64 `json:"rejected"`
+	TimedOut       uint64 `json:"timed_out"`
+	Failures       uint64 `json:"failures"`
+	LearnedHeld    int    `json:"learned_held"`
+	ExpertHeld     int    `json:"expert_held"`
+	LearnedFlushes uint64 `json:"learned_flushes"`
+}
+
 // PhaseResponse is the body of GET /phase.
 type PhaseResponse struct {
 	Tenant         string           `json:"tenant"`
@@ -210,8 +298,8 @@ type ErrorResponse struct {
 // ErrorDetail is a machine-readable error: a stable code plus a message.
 type ErrorDetail struct {
 	// Code is one of: bad_request, unknown_tenant, plan_error,
-	// deadline_exceeded, canceled, queue_full, slo_shed, draining,
-	// method_not_allowed, not_found.
+	// execute_error, deadline_exceeded, canceled, queue_full, slo_shed,
+	// draining, method_not_allowed, not_found.
 	Code    string `json:"code"`
 	Message string `json:"message"`
 }

@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 
 	"handsfree/internal/bootstrap"
+	"handsfree/internal/engine"
+	"handsfree/internal/exechistory"
 	"handsfree/internal/featurize"
 	"handsfree/internal/lfd"
 	"handsfree/internal/nn"
@@ -48,6 +50,7 @@ type serviceOptions struct {
 	cfg           Config
 	fallbackRatio float64
 	workload      *workloadSpec
+	exec          ExecutionConfig
 }
 
 type workloadSpec struct {
@@ -141,15 +144,30 @@ type Service struct {
 
 	phase atomic.Int32
 
+	// Execution feedback loop (see execute.go): real execution with
+	// fault-injectable observed latency, the bounded per-fingerprint latency
+	// history, and the drift detector over its rolling ratios. driftCh hands
+	// drift events to the resident lifecycle (one pending signal, never
+	// blocking the serving path).
+	execCfg  ExecutionConfig
+	observed *engine.Observed
+	history  *exechistory.Store
+	drift    *exechistory.Detector
+	driftCh  chan string
+
 	mu           sync.Mutex
 	running      bool
 	done         chan struct{}
+	exited       chan struct{}
 	stopTraining context.CancelFunc
 	trainErr     error
 	transitions  []PhaseChange
 	progress     lifecycleProgress
 
 	plans, learnedServed, expertServed, fallbacks atomic.Uint64
+
+	executions, execFailures, execTimeouts atomic.Uint64
+	latencyGuarded, driftEvents, retrains  atomic.Uint64
 }
 
 // New assembles the synthetic substrate and wraps it in a Service.
@@ -162,11 +180,26 @@ func New(opts ...Option) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	o.exec.fill()
 	svc := &Service{
 		sys:           sys,
 		fallbackRatio: o.fallbackRatio,
 		policies:      paramserver.New(nil),
+		execCfg:       o.exec,
+		history: exechistory.New(exechistory.Config{
+			Window:          o.exec.Window,
+			MaxFingerprints: o.exec.MaxFingerprints,
+			MinLearned:      o.exec.MinLearned,
+			MinExpert:       o.exec.MinExpert,
+		}),
+		drift: exechistory.NewDetector(exechistory.DriftConfig{
+			Ratio:   o.exec.DriftRatio,
+			Sustain: o.exec.DriftSustain,
+		}),
+		driftCh: make(chan string, 1),
 	}
+	svc.observed = engine.NewObserved(sys.Engine)
+	svc.observed.MsPerWork = o.exec.MsPerWork
 	sys.svc = svc
 	if o.workload != nil {
 		qs, err := sys.Workload.Training(o.workload.count, o.workload.minRel, o.workload.maxRel, o.workload.seed)
@@ -236,6 +269,23 @@ type PlanResult struct {
 	// LearnedCost is the learned plan's cost (NaN when no learned rollout
 	// ran).
 	LearnedCost float64
+	// Fingerprint is the query's canonical fingerprint — the key its
+	// execution history (and therefore the latency guard and drift detector)
+	// is tracked under.
+	Fingerprint uint64
+	// LatencyRatio is the fingerprint's rolling observed learned/expert
+	// latency ratio at decision time (NaN until both windows hold their
+	// minimum samples); Service.ObservedRatio reads the live value.
+	LatencyRatio float64
+	// LatencyGuarded reports that the observed-latency guard (not the cost
+	// guard) forced this decision to the expert plan: the learned plan's
+	// rolling observed latency had regressed past ExecutionConfig.GuardRatio
+	// × the expert's on this fingerprint.
+	LatencyGuarded bool
+
+	// expertPlan is the expert's plan, kept for Execute's failure fallback
+	// and expert shadow probes even when the learned plan is served.
+	expertPlan PlanNode
 }
 
 // Plan serves a plan for q under a request-scoped context. The expert plan
@@ -255,12 +305,17 @@ func (s *Service) Plan(ctx context.Context, q *Query) (PlanResult, error) {
 	if err != nil {
 		return PlanResult{}, err
 	}
+	fp := s.sys.PlanCache.FingerprintOf(q)
+	ratio, _, _ := s.history.Ratio(fp)
 	res := PlanResult{
-		Plan:        expert.Root,
-		Cost:        expert.Cost,
-		Source:      SourceExpert,
-		ExpertCost:  expert.Cost,
-		LearnedCost: math.NaN(),
+		Plan:         expert.Root,
+		Cost:         expert.Cost,
+		Source:       SourceExpert,
+		ExpertCost:   expert.Cost,
+		LearnedCost:  math.NaN(),
+		Fingerprint:  fp,
+		LatencyRatio: ratio,
+		expertPlan:   expert.Root,
 	}
 	sp := s.serve.Load()
 	if sp == nil || len(q.Relations) > sp.maxRels {
@@ -291,13 +346,24 @@ func (s *Service) Plan(ctx context.Context, q *Query) (PlanResult, error) {
 	// counter, so Plans == LearnedServed + ExpertServed + Fallbacks holds
 	// even when a deadline aborts a rollout mid-episode.
 	s.plans.Add(1)
-	if out.Plan != nil && !math.IsInf(out.Cost, 1) &&
-		(s.fallbackRatio <= 0 || out.Cost <= s.fallbackRatio*expert.Cost) {
-		res.Plan, res.Cost, res.Source = out.Plan, out.Cost, SourceLearned
-		s.learnedServed.Add(1)
-	} else {
+	switch {
+	case out.Plan == nil || math.IsInf(out.Cost, 1) ||
+		(s.fallbackRatio > 0 && out.Cost > s.fallbackRatio*expert.Cost):
 		res.Source = SourceFallback
 		s.fallbacks.Add(1)
+	case s.execCfg.GuardRatio > 0 && ratio > s.execCfg.GuardRatio:
+		// The observed-latency guard: the cost model still likes the learned
+		// plan, but executions of this fingerprint's learned plans have been
+		// measurably slower than the expert's — serve the expert until the
+		// ratio recovers (or re-training flushes the learned windows). A NaN
+		// ratio (no verdict yet) never trips this branch.
+		res.Source = SourceFallback
+		res.LatencyGuarded = true
+		s.fallbacks.Add(1)
+		s.latencyGuarded.Add(1)
+	default:
+		res.Plan, res.Cost, res.Source = out.Plan, out.Cost, SourceLearned
+		s.learnedServed.Add(1)
 	}
 	return res, nil
 }
@@ -395,10 +461,19 @@ const (
 	// PhaseLatencyTuning: the reward switches to simulated execution
 	// latency (§5.2 Phase 2) and training continues asynchronously.
 	PhaseLatencyTuning
-	// PhaseDone: the lifecycle completed its budgets.
+	// PhaseDone: the lifecycle completed its budgets. With
+	// LifecycleConfig.DriftRetrain the lifecycle stays resident here,
+	// watching for drift events from the execution feedback loop.
 	PhaseDone
 	// PhaseStopped: the lifecycle's context was cancelled mid-run.
 	PhaseStopped
+	// PhaseDriftRetraining: the drift detector observed a served learned
+	// plan's latency sustainedly regressing against the expert baseline, so
+	// the lifecycle flushed the stale learned history and re-entered
+	// cost-then-latency training. Serving continues throughout (the latency
+	// guard holds regressed fingerprints on the expert plan meanwhile), and
+	// the retrained policy hot-swaps in on the way back to PhaseDone.
+	PhaseDriftRetraining
 )
 
 // String names the phase.
@@ -414,6 +489,8 @@ func (p LifecyclePhase) String() string {
 		return "done"
 	case PhaseStopped:
 		return "stopped"
+	case PhaseDriftRetraining:
+		return "drift-retraining"
 	default:
 		return "idle"
 	}
@@ -475,6 +552,21 @@ type LifecycleConfig struct {
 	// used by the training phases (defaults: GOMAXPROCS actors, bound 4).
 	Actors    int
 	Staleness int
+
+	// DriftRetrain keeps the lifecycle resident after PhaseDone, watching
+	// the execution feedback loop: when the drift detector trips on a served
+	// fingerprint, the lifecycle transitions to PhaseDriftRetraining, flushes
+	// the stale learned latency history, and re-runs CostTraining +
+	// LatencyTuning before returning to PhaseDone (default off — without it
+	// the lifecycle goroutine exits at PhaseDone exactly as before).
+	// Re-training runs under live serving traffic, so its async learner
+	// importance-weights over-stale trajectories (rl.AsyncConfig.WeightStale)
+	// instead of dropping them.
+	DriftRetrain bool
+	// RetrainCostEpisodes / RetrainLatencyEpisodes budget each drift
+	// re-training round (defaults: CostEpisodes and LatencyEpisodes).
+	RetrainCostEpisodes    int
+	RetrainLatencyEpisodes int
 }
 
 func (c *LifecycleConfig) fill(s *Service) {
@@ -513,6 +605,16 @@ func (c *LifecycleConfig) fill(s *Service) {
 	}
 	if c.LatencyEpisodes == 0 {
 		c.LatencyEpisodes = 96
+	}
+	if c.LatencyBudgetMs == 0 && s.execCfg.BudgetMs > 0 {
+		// Training censors executions exactly like serving does.
+		c.LatencyBudgetMs = s.execCfg.BudgetMs
+	}
+	if c.RetrainCostEpisodes == 0 {
+		c.RetrainCostEpisodes = c.CostEpisodes
+	}
+	if c.RetrainLatencyEpisodes == 0 {
+		c.RetrainLatencyEpisodes = c.LatencyEpisodes
 	}
 }
 
@@ -607,6 +709,7 @@ func (s *Service) StartTraining(ctx context.Context, cfg LifecycleConfig) error 
 	}
 	s.running = true
 	s.done = make(chan struct{})
+	s.exited = make(chan struct{})
 	s.stopTraining = cancel
 	s.trainErr = nil
 	s.mu.Unlock()
@@ -622,15 +725,21 @@ func (s *Service) StartTraining(ctx context.Context, cfg LifecycleConfig) error 
 	space := featurize.NewSpace(maxRels, s.sys.Est)
 	s.serve.Store(newServePool(s, space, cfg.Stages, maxRels))
 
-	done := s.done
+	done, exited := s.done, s.exited
+	// trained fires at the first PhaseDone, releasing WaitTraining; with
+	// DriftRetrain the goroutine then stays resident, so exited (the
+	// StopTraining barrier) closes separately at goroutine exit.
+	var once sync.Once
+	trained := func() { once.Do(func() { close(done) }) }
 	go func() {
 		defer cancel()
-		err := s.runLifecycle(ctx, cfg, space)
+		err := s.runLifecycle(ctx, cfg, space, trained)
 		s.mu.Lock()
 		s.trainErr = err
 		s.running = false
 		s.mu.Unlock()
-		close(done)
+		trained()
+		close(exited)
 	}()
 	return nil
 }
@@ -645,15 +754,25 @@ func (s *Service) StartTraining(ctx context.Context, cfg LifecycleConfig) error 
 func (s *Service) StopTraining(ctx context.Context) error {
 	s.mu.Lock()
 	cancel := s.stopTraining
+	exited := s.exited
 	s.mu.Unlock()
 	if cancel != nil {
 		cancel()
 	}
-	err := s.WaitTraining(ctx)
-	if errors.Is(err, context.Canceled) && ctx.Err() == nil {
+	if exited == nil {
 		return nil
 	}
-	return err
+	select {
+	case <-exited:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if errors.Is(s.trainErr, context.Canceled) && ctx.Err() == nil {
+			return nil
+		}
+		return s.trainErr
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // CacheStats snapshots the plan cache counters (zeros when the cache is
@@ -662,9 +781,12 @@ func (s *Service) CacheStats() PlanCacheStats {
 	return s.sys.CacheStats()
 }
 
-// WaitTraining blocks until the running lifecycle finishes (returning its
-// error, nil on success) or ctx expires (returning ctx.Err()). Returns nil
-// immediately if no lifecycle was ever started.
+// WaitTraining blocks until the running lifecycle first reaches PhaseDone
+// (returning nil) or stops with an error, or until ctx expires (returning
+// ctx.Err()). Under LifecycleConfig.DriftRetrain the lifecycle goroutine
+// stays resident after PhaseDone to watch for drift; WaitTraining still
+// returns at the first PhaseDone — use StopTraining to retire the resident
+// watcher. Returns nil immediately if no lifecycle was ever started.
 func (s *Service) WaitTraining(ctx context.Context) error {
 	s.mu.Lock()
 	done := s.done
@@ -711,16 +833,20 @@ func (s *Service) stopped(err error) error {
 }
 
 // runLifecycle is the learning state machine (one background goroutine).
-func (s *Service) runLifecycle(ctx context.Context, cfg LifecycleConfig, space *featurize.Space) error {
+// trained fires at the first transition to PhaseDone.
+func (s *Service) runLifecycle(ctx context.Context, cfg LifecycleConfig, space *featurize.Space, trained func()) error {
 	planner := s.sys.Planner
 
 	// --- Demonstration (§5.1 steps 1–3) -------------------------------
+	// Demonstrated episodes execute for real through the observed executor
+	// and are recorded as expert baselines, so the execution feedback loop
+	// starts warm for every workload fingerprint.
 	s.transition(PhaseDemonstration, "lifecycle started: observe the expert")
 	demoEnv := planspace.NewEnv(planspace.Config{
 		Space:           space,
 		Stages:          cfg.Stages,
 		Planner:         planner,
-		Latency:         s.sys.Latency,
+		Latency:         recordingExecutor{svc: s},
 		Queries:         cfg.Queries,
 		ExecuteAlways:   true,
 		LatencyBudgetMs: cfg.LatencyBudgetMs,
@@ -753,11 +879,15 @@ func (s *Service) runLifecycle(ctx context.Context, cfg LifecycleConfig, space *
 
 	// Build the cost→latency learner (robust bootstrap agent: Adam,
 	// scale-free baseline; the §5.2 reward-range hazard does not apply).
+	// Training rewards come from the same observed executor serving does —
+	// true latency feedback, not the analytic simulator — but exploratory
+	// rollouts are NOT recorded per fingerprint: only served decisions and
+	// expert baselines may move the guard and drift ratios.
 	trainEnv := planspace.NewEnv(planspace.Config{
 		Space:           space,
 		Stages:          cfg.Stages,
 		Planner:         planner,
-		Latency:         s.sys.Latency,
+		Latency:         s.observed,
 		Queries:         cfg.Queries,
 		LatencyBudgetMs: cfg.LatencyBudgetMs,
 		Cache:           s.sys.PlanCache,
@@ -790,53 +920,115 @@ func (s *Service) runLifecycle(ctx context.Context, cfg LifecycleConfig, space *
 	s.transition(PhaseCostTraining, demoReason+"; policy primed on expert trajectories")
 
 	// --- CostTraining (§5.2 Phase 1, async actor-learner) --------------
+	// Drift re-training runs under live serving traffic, so over-stale
+	// trajectories are importance-weighted rather than dropped or consumed
+	// at full weight.
 	async := rl.AsyncConfig{
-		Actors:    cfg.Actors,
-		Staleness: cfg.Staleness,
-		OnPublish: func(uint64) { s.publish(boot.RL) },
+		Actors:      cfg.Actors,
+		Staleness:   cfg.Staleness,
+		WeightStale: cfg.DriftRetrain,
+		OnPublish:   func(uint64) { s.publish(boot.RL) },
 	}
 	seed := cfg.Seed + 100
-	remaining := cfg.CostEpisodes
-	ratio := math.Inf(1)
-	costReason := fmt.Sprintf("cost budget exhausted (%d episodes)", cfg.CostEpisodes)
-	for remaining > 0 {
-		if err := ctx.Err(); err != nil {
-			return s.stopped(err)
+
+	// costPhase runs one CostTraining round (the initial one and every
+	// drift re-entry) and returns the transition reason for what ended it.
+	costPhase := func(episodes int) (string, error) {
+		remaining := episodes
+		ratio := math.Inf(1)
+		reason := fmt.Sprintf("cost budget exhausted (%d episodes)", episodes)
+		for remaining > 0 {
+			if err := ctx.Err(); err != nil {
+				return "", err
+			}
+			chunk := min(cfg.EvalEvery, remaining)
+			seed++
+			async.Seed = seed
+			st := planspace.TrainAsyncCtx(ctx, trainEnv, boot.RL, chunk, async, nil)
+			remaining -= chunk
+			s.setProgress(func(p *lifecycleProgress) { p.costEpisodes += st.Episodes })
+			if err := ctx.Err(); err != nil {
+				return "", err
+			}
+			r, err := s.greedyRatio(trainEnv, boot.RL, cfg.Queries)
+			if err == nil {
+				ratio = r
+				s.setProgress(func(p *lifecycleProgress) { p.costRatio = r })
+			}
+			if cfg.CostRatioTarget > 0 && ratio <= cfg.CostRatioTarget {
+				reason = fmt.Sprintf("greedy cost ratio %.3f ≤ target %.3f", ratio, cfg.CostRatioTarget)
+				break
+			}
 		}
-		chunk := min(cfg.EvalEvery, remaining)
+		s.publish(boot.RL)
+		return reason, nil
+	}
+	// latencyPhase runs one LatencyTuning round and publishes the result.
+	latencyPhase := func(episodes int) error {
+		boot.SwitchToLatency()
 		seed++
 		async.Seed = seed
-		st := planspace.TrainAsyncCtx(ctx, trainEnv, boot.RL, chunk, async, nil)
-		remaining -= chunk
-		s.setProgress(func(p *lifecycleProgress) { p.costEpisodes += st.Episodes })
+		st := planspace.TrainAsyncCtx(ctx, trainEnv, boot.RL, episodes, async, nil)
+		s.setProgress(func(p *lifecycleProgress) { p.latencyEpisodes += st.Episodes })
 		if err := ctx.Err(); err != nil {
-			return s.stopped(err)
+			return err
 		}
-		r, err := s.greedyRatio(trainEnv, boot.RL, cfg.Queries)
-		if err == nil {
-			ratio = r
-			s.setProgress(func(p *lifecycleProgress) { p.costRatio = r })
-		}
-		if cfg.CostRatioTarget > 0 && ratio <= cfg.CostRatioTarget {
-			costReason = fmt.Sprintf("greedy cost ratio %.3f ≤ target %.3f", ratio, cfg.CostRatioTarget)
-			break
-		}
+		s.publish(boot.RL)
+		return nil
 	}
-	s.publish(boot.RL)
+
+	costReason, err := costPhase(cfg.CostEpisodes)
+	if err != nil {
+		return s.stopped(err)
+	}
 	s.transition(PhaseLatencyTuning, costReason)
 
 	// --- LatencyTuning (§5.2 Phase 2, async actor-learner) -------------
-	boot.SwitchToLatency()
-	seed++
-	async.Seed = seed
-	st := planspace.TrainAsyncCtx(ctx, trainEnv, boot.RL, cfg.LatencyEpisodes, async, nil)
-	s.setProgress(func(p *lifecycleProgress) { p.latencyEpisodes = st.Episodes })
-	if err := ctx.Err(); err != nil {
+	if err := latencyPhase(cfg.LatencyEpisodes); err != nil {
 		return s.stopped(err)
 	}
-	s.publish(boot.RL)
 	s.transition(PhaseDone, fmt.Sprintf("latency budget exhausted (%d episodes)", cfg.LatencyEpisodes))
-	return nil
+	trained()
+	if !cfg.DriftRetrain {
+		return nil
+	}
+
+	// --- Resident drift watcher ---------------------------------------
+	// The lifecycle stays alive after Done, waiting on the execution
+	// feedback loop. A drift trip re-enters training: the stale learned
+	// latency history is flushed (expert baselines survive — the regressed
+	// policy's observations must not be held against its successor), the
+	// detector resets, the reward drops back to the cost model, and the
+	// CostTraining → LatencyTuning → Done path re-runs with the retrain
+	// budgets, hot-swapping policies the whole way.
+	for {
+		select {
+		case <-ctx.Done():
+			return s.stopped(ctx.Err())
+		case reason := <-s.driftCh:
+			s.transition(PhaseDriftRetraining, reason)
+			s.history.FlushLearned()
+			s.drift.Reset()
+			boot.SwitchToCost()
+			s.transition(PhaseCostTraining, "drift re-training: reward back on the cost model")
+			costReason, err := costPhase(cfg.RetrainCostEpisodes)
+			if err != nil {
+				return s.stopped(err)
+			}
+			s.transition(PhaseLatencyTuning, costReason)
+			if err := latencyPhase(cfg.RetrainLatencyEpisodes); err != nil {
+				return s.stopped(err)
+			}
+			s.retrains.Add(1)
+			s.transition(PhaseDone, fmt.Sprintf("drift re-training round %d complete", s.retrains.Load()))
+			// Drop any drift signal that queued up while re-training: it
+			// indicted the policy that was just replaced.
+			select {
+			case <-s.driftCh:
+			default:
+			}
+		}
+	}
 }
 
 // greedyRatio is the CostTraining transition predicate's measurement: the
