@@ -444,6 +444,12 @@ func printEnv(serveCfg server.Config, tenants int) {
 		nn.DefaultEngine(), os.Getenv("HANDSFREE_ENGINE"), nn.BuildDefaultEngine())
 	fmt.Printf("precision: %s (HANDSFREE_PRECISION=%q)\n",
 		nn.DefaultPrecision(), os.Getenv("HANDSFREE_PRECISION"))
+	cpu := nn.DetectCPU()
+	fmt.Printf("cpu features: avx2=%v fma=%v avx512f=%v (HANDSFREE_AVX512=%q)\n",
+		cpu.AVX2, cpu.FMA, cpu.AVX512F, os.Getenv("HANDSFREE_AVX512"))
+	d := nn.Dispatch()
+	fmt.Printf("kernel dispatch: gemm=%s gemv=%s softmax=%s adam=%s\n",
+		d.Gemm, d.Gemv, d.Softmax, d.Adam)
 	fmt.Printf("blocked kernel: %s (portable tile %dx%d, k-block %d)\n",
 		nn.BlockedKernel(), mr, nr, kc)
 	fmt.Printf("kernel workers: %d\n", nn.Workers())

@@ -200,11 +200,16 @@ func (s *Service) Execute(ctx context.Context, q *Query) (ExecResult, error) {
 	if timedOut {
 		s.execTimeouts.Add(1)
 	}
+	source := res.Source.String()
+	if res.LatencyGuarded {
+		source = "latency-guard"
+	}
 	s.history.Record(pr.Fingerprint, exechistory.Record{
 		Kind:          kind,
 		LatencyMs:     lat,
 		PolicyVersion: pr.PolicyVersion,
 		TimedOut:      timedOut,
+		Source:        source,
 	})
 	if kind == exechistory.Learned && s.execCfg.ProbeEvery > 0 &&
 		s.history.NeedExpertProbe(pr.Fingerprint, s.execCfg.ProbeEvery) {
@@ -306,6 +311,38 @@ type ExecStats struct {
 	History ExecHistoryStats
 }
 
+// DriftEntry is one fingerprint's execution-feedback state: its rolling
+// latency ratio, the window sizes behind it, the drift detector's current
+// consecutive-degradation streak, and the serving decision that last touched
+// it ("learned", "expert", "fallback", "latency-guard", "demonstration").
+type DriftEntry struct {
+	Fingerprint       uint64
+	Ratio             float64 // NaN until both windows hold their minimums
+	LearnedN, ExpertN int
+	Streak            int
+	LastSource        string
+}
+
+// DriftEntries snapshots up to max tracked fingerprints (all when max ≤ 0),
+// most recently executed first — the per-fingerprint view behind ExecStats,
+// served by GET /drift. The ratio/streak pair says where each fingerprint
+// stands relative to the guard and drift thresholds in ExecutionConfig.
+func (s *Service) DriftEntries(max int) []DriftEntry {
+	hist := s.history.Entries(max)
+	out := make([]DriftEntry, len(hist))
+	for i, e := range hist {
+		out[i] = DriftEntry{
+			Fingerprint: e.Fingerprint,
+			Ratio:       e.Ratio,
+			LearnedN:    e.LearnedN,
+			ExpertN:     e.ExpertN,
+			Streak:      s.drift.Streak(e.Fingerprint),
+			LastSource:  e.LastSource,
+		}
+	}
+	return out
+}
+
 // ExecStats snapshots the execution feedback loop's counters (O(1)).
 func (s *Service) ExecStats() ExecStats {
 	return ExecStats{
@@ -333,6 +370,7 @@ func (r recordingExecutor) Execute(q *query.Query, n plan.Node, budgetMs float64
 	if !math.IsNaN(lat) {
 		r.svc.history.Record(r.svc.sys.PlanCache.FingerprintOf(q), exechistory.Record{
 			Kind: exechistory.Expert, LatencyMs: lat, TimedOut: timedOut,
+			Source: "demonstration",
 		})
 	}
 	return lat, timedOut

@@ -80,6 +80,14 @@ func (d *Detector) Observe(fp uint64, ratio float64) bool {
 	return true
 }
 
+// Streak returns a fingerprint's current consecutive-degradation count
+// (0 when healthy, unknown, or just tripped — a trip resets the streak).
+func (d *Detector) Streak(fp uint64) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.streaks[fp]
+}
+
 // Trips returns how many times drift has tripped since construction
 // (Reset does not clear it).
 func (d *Detector) Trips() uint64 {

@@ -134,3 +134,34 @@ func TestDriftReset(t *testing.T) {
 		t.Fatal("Reset should clear streaks")
 	}
 }
+
+// TestStreakAccessor: the live streak count rises with sustained degraded
+// observations, resets on healthy or degenerate ones, and returns to zero
+// the moment a trip fires (one incident reports once).
+func TestStreakAccessor(t *testing.T) {
+	d := NewDetector(DriftConfig{Ratio: 2.0, Sustain: 3})
+	const fp = uint64(9)
+	if d.Streak(fp) != 0 {
+		t.Fatalf("unknown fingerprint streak %d", d.Streak(fp))
+	}
+	d.Observe(fp, 5.0)
+	d.Observe(fp, 5.0)
+	if d.Streak(fp) != 2 {
+		t.Fatalf("streak after two degraded observations: %d", d.Streak(fp))
+	}
+	d.Observe(fp, 1.0) // healthy resets
+	if d.Streak(fp) != 0 {
+		t.Fatalf("streak after recovery: %d", d.Streak(fp))
+	}
+	d.Observe(fp, 5.0)
+	d.Observe(fp, math.NaN()) // no-evidence resets too
+	if d.Streak(fp) != 0 {
+		t.Fatalf("streak after degenerate observation: %d", d.Streak(fp))
+	}
+	if d.Observe(fp, 5.0) || d.Observe(fp, 5.0) || !d.Observe(fp, 5.0) {
+		t.Fatal("expected a trip on the third consecutive degraded observation")
+	}
+	if d.Streak(fp) != 0 {
+		t.Fatalf("streak after trip: %d", d.Streak(fp))
+	}
+}

@@ -41,6 +41,12 @@ type Record struct {
 	PolicyVersion uint64
 	// TimedOut marks a budget-censored latency.
 	TimedOut bool
+	// Source, when non-empty, names the serving decision behind this
+	// execution ("learned", "expert", "fallback", "latency-guard",
+	// "demonstration") and becomes the fingerprint's last recorded source.
+	// Records that are not serving decisions (expert shadow probes) leave it
+	// empty and do not disturb the remembered source.
+	Source string
 }
 
 // Config bounds and tunes a Store. The zero value selects the defaults.
@@ -129,6 +135,9 @@ type entry struct {
 	// sinceExpert counts learned records since the last expert one — the
 	// clock for shadow expert probes.
 	sinceExpert int
+	// lastSource is the most recent non-empty Record.Source — the serving
+	// decision that last touched this fingerprint.
+	lastSource string
 }
 
 // Store is the bounded execution-history store.
@@ -188,6 +197,9 @@ func (s *Store) Record(fp uint64, r Record) bool {
 	}
 	e := s.entryFor(fp)
 	s.records++
+	if r.Source != "" {
+		e.lastSource = r.Source
+	}
 	if r.TimedOut {
 		s.timedOut++
 	}
@@ -290,6 +302,54 @@ type Stats struct {
 	// windows; LearnedFlushes counts FlushLearned calls.
 	LearnedHeld, ExpertHeld int
 	LearnedFlushes          uint64
+}
+
+// Entry is one fingerprint's point-in-time history snapshot.
+type Entry struct {
+	// Fingerprint is the query fingerprint the entry is tracked under.
+	Fingerprint uint64
+	// Ratio is the rolling learned/expert mean-latency ratio, NaN until both
+	// windows hold their configured minimums (exactly Ratio's semantics).
+	Ratio float64
+	// LearnedN / ExpertN are the current window sizes.
+	LearnedN, ExpertN int
+	// LastSource is the serving decision that last touched the fingerprint
+	// ("" when only sourceless records — e.g. shadow probes — have landed).
+	LastSource string
+}
+
+// Entries snapshots up to max tracked fingerprints (all of them when max
+// ≤ 0), most recently recorded first — the per-fingerprint view behind the
+// aggregate Stats. Cost is O(returned × Window log Window) for the ratio
+// means; callers on a serving path should bound max.
+func (s *Store) Entries(max int) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.m)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]Entry, 0, n)
+	for el := s.order.Front(); el != nil && len(out) < n; el = el.Next() {
+		e := el.Value.(*entry)
+		ent := Entry{
+			Fingerprint: e.fp,
+			Ratio:       math.NaN(),
+			LearnedN:    e.learned.n(),
+			ExpertN:     e.expert.n(),
+			LastSource:  e.lastSource,
+		}
+		if ent.LearnedN >= s.cfg.MinLearned && ent.ExpertN >= s.cfg.MinExpert {
+			var lm, em float64
+			lm, s.scratch = e.learned.mean(s.scratch)
+			em, s.scratch = e.expert.mean(s.scratch)
+			if em > 0 {
+				ent.Ratio = lm / em
+			}
+		}
+		out = append(out, ent)
+	}
+	return out
 }
 
 // Stats snapshots the global counters (O(1): no window is walked).

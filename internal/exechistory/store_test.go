@@ -209,3 +209,56 @@ func TestRingWrapEvictsOldest(t *testing.T) {
 		t.Fatalf("learned held = %d, want 4 (window)", st.LearnedHeld)
 	}
 }
+
+// TestEntries pins the per-fingerprint snapshot: recency ordering, the max
+// bound, Ratio following exactly Ratio()'s no-verdict rules, and LastSource
+// remembering the latest non-empty source while sourceless records (shadow
+// probes) leave it untouched.
+func TestEntries(t *testing.T) {
+	s := New(Config{Window: 8, MinLearned: 2, MinExpert: 1})
+
+	s.Record(1, Record{Kind: Expert, LatencyMs: 10, Source: "expert"})
+	s.Record(2, Record{Kind: Learned, LatencyMs: 5, Source: "learned"})
+	s.Record(2, Record{Kind: Learned, LatencyMs: 15, Source: "learned"})
+	s.Record(2, Record{Kind: Expert, LatencyMs: 10}) // sourceless probe
+	s.Record(3, Record{Kind: Expert, LatencyMs: 1, Source: "demonstration"})
+
+	all := s.Entries(0)
+	if len(all) != 3 {
+		t.Fatalf("entries: %+v", all)
+	}
+	// Most recently recorded first: 3, 2, 1.
+	if all[0].Fingerprint != 3 || all[1].Fingerprint != 2 || all[2].Fingerprint != 1 {
+		t.Fatalf("recency order: %+v", all)
+	}
+	if got := s.Entries(2); len(got) != 2 || got[0].Fingerprint != 3 || got[1].Fingerprint != 2 {
+		t.Fatalf("bounded entries: %+v", got)
+	}
+
+	e2 := all[1]
+	if e2.LearnedN != 2 || e2.ExpertN != 1 {
+		t.Fatalf("fp 2 windows: %+v", e2)
+	}
+	if e2.LastSource != "learned" {
+		t.Fatalf("fp 2 last source %q: a sourceless probe must not overwrite it", e2.LastSource)
+	}
+	if want := (5.0 + 15.0) / 2 / 10.0; e2.Ratio != want {
+		t.Fatalf("fp 2 ratio %v, want %v", e2.Ratio, want)
+	}
+	// fp 1 and 3 hold no learned samples: no verdict.
+	if !math.IsNaN(all[0].Ratio) || !math.IsNaN(all[2].Ratio) {
+		t.Fatalf("underfilled windows must have NaN ratios: %+v", all)
+	}
+	if all[2].LastSource != "expert" || all[0].LastSource != "demonstration" {
+		t.Fatalf("last sources: %+v", all)
+	}
+
+	// Entries and Ratio must agree exactly for every fingerprint.
+	for _, e := range all {
+		r, ln, en := s.Ratio(e.Fingerprint)
+		sameNaN := math.IsNaN(r) && math.IsNaN(e.Ratio)
+		if (r != e.Ratio && !sameNaN) || ln != e.LearnedN || en != e.ExpertN {
+			t.Fatalf("Entries %+v disagrees with Ratio (%v, %d, %d)", e, r, ln, en)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"strings"
 	"sync"
@@ -104,8 +105,11 @@ func (e Engine) Resolve() Engine {
 // element over the shared k index in ascending order within whatever
 // blocking the backend applies; LinearForward is the matmul followed by the
 // bias row-add; LinearBackward accumulates dW += xᵀ·dout and dB += Σrows
-// dout and overwrites dx = dout·wᵀ, in that order. The reference engine's
-// float64 instantiation is bitwise identical to the pre-seam layer code.
+// dout and overwrites dx = dout·wᵀ, in that order. SoftmaxXent and AdamStep
+// round every element exactly as the composed reference helpers do (see the
+// method comments), so both are bitwise identical across backends. The
+// reference engine's float64 instantiation is bitwise identical to the
+// pre-seam layer code.
 type EngineOf[T Float] interface {
 	// Kind reports which Engine this backend implements.
 	Kind() Engine
@@ -120,6 +124,56 @@ type EngineOf[T Float] interface {
 	// LinearBackward accumulates the fused linear-layer gradients:
 	// dW += xᵀ·dout, dB += column sums of dout, dx = dout·wᵀ.
 	LinearBackward(x, dout, w *MatOf[T], dW, dB []T, dx *MatOf[T])
+	// SoftmaxXent computes, per batch row i, the masked softmax of the
+	// logits into probs and the REINFORCE policy gradient
+	// ∂(−advs[i]·log π(actions[i]) − entropyCoef·H(π))/∂logits into grad
+	// (both resized to logits' shape). Every element rounds exactly as
+	// MaskedSoftmaxRowsInto followed by per-row PolicyGradientInto does, so
+	// all backends agree bitwise at both precisions; backends only differ
+	// in how many passes they take over the row.
+	SoftmaxXent(logits *MatOf[T], masks [][]bool, actions []int, advs []float64, entropyCoef float64, probs, grad *MatOf[T])
+	// AdamStep applies one fused Adam update to a parameter slice: for each
+	// element, g = Scale·grad[i]; m[i] = B1·m[i] + NB1·g;
+	// v[i] = B2·v[i] + NB2·g·g; p[i] -= LR·(m[i]/C1)/(sqrt(v[i]/C2) + Eps),
+	// with every intermediate rounded to T in exactly that order. The
+	// vector backends use separate multiply and add instructions (no FMA
+	// contraction) plus correctly rounded sqrt/divide, so AdamStep is
+	// bitwise identical across backends at both precisions.
+	AdamStep(p, grad, m, v []T, a AdamArgs[T])
+}
+
+// AdamArgs carries one Adam step's per-step constants, pre-converted to the
+// parameter precision exactly as the reference update does: the conversions
+// (T of β, 1−β, the bias-correction denominators, the clip scale) happen
+// once per step in float64, never per element, so the constants an f32
+// update sees are the rounded-once values. Field order is load-bearing: the
+// assembly kernels broadcast each field by its struct offset.
+type AdamArgs[T Float] struct {
+	// Scale is the gradient clip multiplier (1 when clipping is off).
+	Scale T
+	// B1, NB1, B2, NB2 are β₁, 1−β₁, β₂, 1−β₂.
+	B1, NB1, B2, NB2 T
+	// C1, C2 are the bias-correction denominators 1−β₁ᵗ and 1−β₂ᵗ.
+	C1, C2 T
+	// LR and Eps are the learning rate and ε.
+	LR, Eps T
+}
+
+// NewAdamArgs converts one step's Adam hyperparameters to precision T,
+// rounding each float64 constant exactly once — the same conversions, in the
+// same places, as the pre-seam update loop.
+func NewAdamArgs[T Float](t int, lr, beta1, beta2, eps, clipScale float64) AdamArgs[T] {
+	return AdamArgs[T]{
+		Scale: T(clipScale),
+		B1:    T(beta1),
+		NB1:   T(1 - beta1),
+		B2:    T(beta2),
+		NB2:   T(1 - beta2),
+		C1:    T(1 - math.Pow(beta1, float64(t))),
+		C2:    T(1 - math.Pow(beta2, float64(t))),
+		LR:    T(lr),
+		Eps:   T(eps),
+	}
 }
 
 // NewEngineOf returns the backend implementing e at precision T. Backends
@@ -226,6 +280,53 @@ func (e refEngineOf[T]) LinearBackward(x, dout, w *MatOf[T], dW, dB []T, dx *Mat
 	putMat(dWm)
 	addColSums(dout, dB)
 	e.MatMulABT(dout, w, dx)
+}
+
+// SoftmaxXent runs the composed reference helpers: the masked row softmax
+// into probs, then the per-row policy gradient into grad — the exact
+// pre-seam sequence of the REINFORCE update, element for element.
+func (refEngineOf[T]) SoftmaxXent(logits *MatOf[T], masks [][]bool, actions []int, advs []float64, entropyCoef float64, probs, grad *MatOf[T]) {
+	checkSoftmaxXentShape(logits, masks, actions, advs)
+	MaskedSoftmaxRowsInto(probs, logits, masks)
+	grad.Resize(logits.Rows, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		PolicyGradientInto(grad.Row(i), probs.Row(i), masks[i], actions[i], advs[i], entropyCoef)
+	}
+}
+
+// AdamStep runs the scalar update loop — the reference rounding every other
+// backend must reproduce bitwise.
+func (refEngineOf[T]) AdamStep(p, grad, m, v []T, a AdamArgs[T]) {
+	checkAdamShape(p, grad, m, v)
+	adamStepRows(p, grad, m, v, a, 0, len(p))
+}
+
+func checkSoftmaxXentShape[T Float](logits *MatOf[T], masks [][]bool, actions []int, advs []float64) {
+	if len(masks) != logits.Rows || len(actions) != logits.Rows || len(advs) != logits.Rows {
+		panic(fmt.Sprintf("nn: engine SoftmaxXent batch mismatch: %d rows, %d masks, %d actions, %d advantages",
+			logits.Rows, len(masks), len(actions), len(advs)))
+	}
+}
+
+func checkAdamShape[T Float](p, grad, m, v []T) {
+	if len(grad) != len(p) || len(m) != len(p) || len(v) != len(p) {
+		panic(fmt.Sprintf("nn: engine AdamStep length mismatch: %d params, %d grads, %d m, %d v",
+			len(p), len(grad), len(m), len(v)))
+	}
+}
+
+// adamStepRows is the scalar Adam update over elements [lo, hi): the exact
+// arithmetic of the pre-seam optimizer loop, shared by the reference engine,
+// the blocked engine's portable path, and the vector kernels' tails.
+func adamStepRows[T Float](p, grad, m, v []T, a AdamArgs[T], lo, hi int) {
+	for i := lo; i < hi; i++ {
+		g := a.Scale * grad[i]
+		m[i] = a.B1*m[i] + a.NB1*g
+		v[i] = a.B2*v[i] + a.NB2*g*g
+		mhat := m[i] / a.C1
+		vhat := v[i] / a.C2
+		p[i] -= a.LR * mhat / (sqrtT(vhat) + a.Eps)
+	}
 }
 
 // addBiasRows adds bias to every row of out.

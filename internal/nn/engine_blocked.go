@@ -1,5 +1,7 @@
 package nn
 
+import "math"
+
 // The blocked backend: cache-blocked, register-tiled matmul microkernels
 // behind the EngineOf seam.
 //
@@ -50,11 +52,18 @@ const (
 func BlockedTileConfig() (mr, nr, kc int) { return blockedMR, blockedNR, blockedKC }
 
 // BlockedKernel names the microkernel implementation behind the blocked
-// engine's a·b path: "avx2+fma" when the runtime-detected vector kernels are
-// active (amd64 with AVX2 and FMA), "portable" for the generic 2×4
-// register-tiled Go kernels.
+// engine's a·b path: "avx512" when the opt-in zmm kernels are active
+// (HANDSFREE_AVX512 on AVX512F hardware), "avx2+fma" when the
+// runtime-detected ymm kernels are active (amd64 with AVX2 and FMA),
+// "portable" for the generic 2×4 register-tiled Go kernels. The avx512 and
+// avx2+fma paths produce bitwise-identical results (same FMA-covered column
+// region, same per-element fold order); the portable kernels match by the
+// engine tolerance contract.
 func BlockedKernel() string {
-	if asmGemmEnabled {
+	switch {
+	case asmGemmEnabled && asmGemm512Enabled:
+		return "avx512"
+	case asmGemmEnabled:
 		return "avx2+fma"
 	}
 	return "portable"
@@ -132,6 +141,104 @@ func (e blockedEngineOf[T]) LinearBackward(x, dout, w *MatOf[T], dW, dB []T, dx 
 	e.MatMulABT(dout, w, dx)
 }
 
+// SoftmaxXent is the fused form: where the reference path makes five passes
+// over each row (max, exp+sum, normalize, entropy, gradient), the fused
+// kernel folds the entropy accumulation into the normalize pass and the
+// entropy gradient into the gradient write, leaving three. Every element
+// still rounds in the reference order — pf is the same e/sum the normalize
+// pass stored, and grad[i] = T(g) − T(ent·dh) is exactly the reference's
+// store-then-subtract — so the result is bitwise identical to the reference
+// engine at both precisions.
+func (blockedEngineOf[T]) SoftmaxXent(logits *MatOf[T], masks [][]bool, actions []int, advs []float64, entropyCoef float64, probs, grad *MatOf[T]) {
+	checkSoftmaxXentShape(logits, masks, actions, advs)
+	probs.Resize(logits.Rows, logits.Cols)
+	grad.Resize(logits.Rows, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		softmaxXentRow(probs.Row(i), grad.Row(i), logits.Row(i), masks[i], actions[i], advs[i], entropyCoef)
+	}
+}
+
+// softmaxXentRow fuses one row's masked softmax, entropy, and policy
+// gradient. See the blockedEngineOf.SoftmaxXent comment for the bitwise
+// argument.
+func softmaxXentRow[T Float](probs, grad, logits []T, mask []bool, action int, advantage, entropyCoef float64) {
+	maxv := T(math.Inf(-1))
+	any := false
+	for i, v := range logits {
+		if mask[i] && v > maxv {
+			maxv = v
+			any = true
+		}
+	}
+	var h float64
+	if !any {
+		// No finite masked logit: all-zero probabilities, but the gradient
+		// loop below still runs — the reference path evaluates
+		// advantage·0 (±0, advantage's sign) and the action term against
+		// zero probabilities, and bitwise parity includes those signs.
+		for i := range probs {
+			probs[i] = 0
+		}
+	} else {
+		var sum T
+		for i, v := range logits {
+			if !mask[i] {
+				probs[i] = 0
+				continue
+			}
+			e := T(math.Exp(float64(v - maxv)))
+			probs[i] = e
+			sum += e
+		}
+		// Normalize and accumulate the entropy in one pass: pf is the final
+		// probability the reference entropy loop would read.
+		if entropyCoef != 0 {
+			for i, e := range probs {
+				if !mask[i] {
+					continue
+				}
+				p := e / sum
+				probs[i] = p
+				if p > 0 {
+					pf := float64(p)
+					h -= pf * math.Log(pf)
+				}
+			}
+		} else {
+			for i := range probs {
+				probs[i] /= sum
+			}
+		}
+	}
+	for i, p := range probs {
+		if !mask[i] {
+			grad[i] = 0
+			continue
+		}
+		g := advantage * float64(p)
+		if i == action {
+			g -= advantage
+		}
+		t := T(g)
+		if entropyCoef != 0 && p > 0 {
+			pf := float64(p)
+			dh := -pf * (math.Log(pf) + h)
+			t -= T(entropyCoef * dh)
+		}
+		grad[i] = t
+	}
+}
+
+// AdamStep routes through the vector kernels when the CPUID gate passed
+// (non-FMA multiply/add plus correctly rounded sqrt and divide, so the
+// vector lanes round exactly like the scalar loop), with the scalar loop
+// covering the lane remainder and every CPU without the kernels.
+func (blockedEngineOf[T]) AdamStep(p, grad, m, v []T, a AdamArgs[T]) {
+	checkAdamShape(p, grad, m, v)
+	done := adamStepAsm(p, grad, m, v, &a)
+	adamStepRows(p, grad, m, v, a, done, len(p))
+}
+
 // gemmArgs carries one k-block's operands through parallelRowsOf.
 type gemmArgs[T Float] struct {
 	a, b, out *MatOf[T]
@@ -185,6 +292,19 @@ func gemmBlocked[T Float](a, b, out *MatOf[T], accum bool) {
 // packBPanels copies B[kc0:kc1, 0:np] into NR-wide panels: panel jp/NR holds
 // rows kc0..kc1 of columns jp..jp+NR contiguously, so the microkernel reads
 // B with stride 1.
+// packBPanelsN is packBPanels for an arbitrary panel width: B[kc0:kc1, 0:np]
+// copied into nr-wide k-major panels. Shared by the vector GEMM paths and
+// the per-snapshot inference packer.
+func packBPanelsN[T Float](b *MatOf[T], kc0, kc1, np, nr int, bp []T) {
+	idx := 0
+	for jp := 0; jp < np; jp += nr {
+		for k := kc0; k < kc1; k++ {
+			copy(bp[idx:idx+nr], b.Row(k)[jp:jp+nr])
+			idx += nr
+		}
+	}
+}
+
 func packBPanels[T Float](b *MatOf[T], kc0, kc1, np int, bp []T) {
 	idx := 0
 	for jp := 0; jp < np; jp += blockedNR {

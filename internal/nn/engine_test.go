@@ -362,42 +362,47 @@ func TestInferIntoZeroAlloc(t *testing.T) {
 // precisions, single-threaded (the acceptance metric is per-core kernel
 // throughput, not pool scaling), reporting GFLOP/s and allocs. On CPUs with
 // the vector kernels, "blocked" is the AVX2+FMA path and an extra
-// "blocked-portable" variant pins the generic Go tiles' throughput.
+// "blocked-portable" variant pins the generic Go tiles' throughput; on CPUs
+// with AVX512F a "blocked-avx512" variant runs the zmm tiles (bitwise
+// identical to "blocked", so the GFLOP/s delta is the whole story).
 func BenchmarkEngineMatMul(b *testing.B) {
-	variants := []struct {
-		name string
-		e    Engine
-		asm  bool
-	}{
-		{"reference", EngineReference, cpuAVX2FMA},
-		{"blocked", EngineBlocked, cpuAVX2FMA},
+	type variant struct {
+		name   string
+		e      Engine
+		asm    bool
+		asm512 bool
+	}
+	variants := []variant{
+		{"reference", EngineReference, cpuAVX2FMA, false},
+		{"blocked", EngineBlocked, cpuAVX2FMA, false},
 	}
 	if cpuAVX2FMA {
-		variants = append(variants, struct {
-			name string
-			e    Engine
-			asm  bool
-		}{"blocked-portable", EngineBlocked, false})
+		variants = append(variants, variant{"blocked-portable", EngineBlocked, false, false})
+	}
+	if cpuAVX512F {
+		variants = append(variants, variant{"blocked-avx512", EngineBlocked, true, true})
 	}
 	shapes := []int{64, 128, 256, 512}
 	for _, d := range shapes {
 		for _, v := range variants {
 			b.Run(fmt.Sprintf("f64/%dx%dx%d/%s", d, d, d, v.name), func(b *testing.B) {
-				benchEngineMatMul[float64](b, v.e, v.asm, d)
+				benchEngineMatMul[float64](b, v.e, v.asm, v.asm512, d)
 			})
 			b.Run(fmt.Sprintf("f32/%dx%dx%d/%s", d, d, d, v.name), func(b *testing.B) {
-				benchEngineMatMul[float32](b, v.e, v.asm, d)
+				benchEngineMatMul[float32](b, v.e, v.asm, v.asm512, d)
 			})
 		}
 	}
 }
 
-func benchEngineMatMul[T Float](b *testing.B, e Engine, asm bool, d int) {
+func benchEngineMatMul[T Float](b *testing.B, e Engine, asm, asm512 bool, d int) {
 	old := Workers()
 	SetWorkers(1)
 	defer SetWorkers(old)
 	prevAsm := setAsmGemm(asm)
 	defer setAsmGemm(prevAsm)
+	prev512 := setAsmGemm512(asm512)
+	defer setAsmGemm512(prev512)
 	eng := NewEngineOf[T](e)
 	rng := rand.New(rand.NewSource(81))
 	a, x := randMatOf[T](d, d, rng), randMatOf[T](d, d, rng)

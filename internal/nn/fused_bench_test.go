@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkAdamStep pins the fused-optimizer acceptance number: one Adam
+// update over a 128Ki-element parameter tensor, as the legacy unfused scalar
+// loop (adamStepT — map lookups, per-element bias correction recomputed
+// inline) versus the fused engine kernel (one constants conversion, one pass
+// over p/g/m/v) in its portable and vector forms. Metric: steps/sec.
+func BenchmarkAdamStep(b *testing.B) {
+	b.Run("f64", func(b *testing.B) { benchAdamStep[float64](b) })
+	b.Run("f32", func(b *testing.B) { benchAdamStep[float32](b) })
+}
+
+func benchAdamStep[T Float](b *testing.B) {
+	const n = 128 * 1024
+	newState := func() (p *ParamOf[T], m, v map[*ParamOf[T]][]T) {
+		rng := rand.New(rand.NewSource(5))
+		p = &ParamOf[T]{Value: make([]T, n), Grad: make([]T, n)}
+		fillUniform(p.Value, rng)
+		fillUniform(p.Grad, rng)
+		return p, map[*ParamOf[T]][]T{}, map[*ParamOf[T]][]T{}
+	}
+
+	b.Run("unfused", func(b *testing.B) {
+		p, m, v := newState()
+		params := []*ParamOf[T]{p}
+		adamStepT(m, v, params, 1, 1e-3, 0.9, 0.999, 1e-8, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			adamStepT(m, v, params, i+2, 1e-3, 0.9, 0.999, 1e-8, 0)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
+	})
+
+	fused := func(b *testing.B, asm bool) {
+		prev := setAsmAdam(asm)
+		defer setAsmAdam(prev)
+		e := NewEngineOf[T](EngineBlocked)
+		p, _, _ := newState()
+		m, v := make([]T, n), make([]T, n)
+		e.AdamStep(p.Value, p.Grad, m, v, NewAdamArgs[T](1, 1e-3, 0.9, 0.999, 1e-8, 1))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.AdamStep(p.Value, p.Grad, m, v, NewAdamArgs[T](i+2, 1e-3, 0.9, 0.999, 1e-8, 1))
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
+	}
+	b.Run("fused-portable", func(b *testing.B) { fused(b, false) })
+	if cpuAVX2FMA {
+		b.Run("fused-avx2fma", func(b *testing.B) { fused(b, true) })
+	}
+}
+
+// BenchmarkSoftmaxXent compares the composed policy-loss sequence (masked
+// row softmax, then the per-row policy-gradient fill — the reference
+// engine's path) against the blocked engine's fused three-pass kernel on the
+// REINFORCE batch shape. Both are bitwise identical; the metric is rows/sec.
+func BenchmarkSoftmaxXent(b *testing.B) {
+	b.Run("f64", func(b *testing.B) { benchSoftmaxXent[float64](b) })
+	b.Run("f32", func(b *testing.B) { benchSoftmaxXent[float32](b) })
+}
+
+func benchSoftmaxXent[T Float](b *testing.B) {
+	const rows, cols = 256, 64
+	rng := rand.New(rand.NewSource(11))
+	logits, masks, actions, advs := softmaxXentCase[T](rows, cols, rng)
+	probs, grad := NewMatOf[T](rows, cols), NewMatOf[T](rows, cols)
+	for _, eng := range []struct {
+		name string
+		e    Engine
+	}{{"composed-reference", EngineReference}, {"fused-blocked", EngineBlocked}} {
+		b.Run(eng.name, func(b *testing.B) {
+			e := NewEngineOf[T](eng.e)
+			e.SoftmaxXent(logits, masks, actions, advs, 0.01, probs, grad)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.SoftmaxXent(logits, masks, actions, advs, 0.01, probs, grad)
+			}
+			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/sec")
+		})
+	}
+}
+
+// BenchmarkPackedInfer measures the serving-shape inference path — one
+// feature vector through a policy-sized MLP — unpacked (per-call reference
+// kernels over the raw weight matrices) versus the shared pack (per-publish
+// panels, vector gemv). Bitwise-identical outputs; metrics: infers/sec and
+// GFLOP/s over the matmul work.
+func BenchmarkPackedInfer(b *testing.B) {
+	b.Run("f64", func(b *testing.B) { benchPackedInfer[float64](b) })
+	b.Run("f32", func(b *testing.B) { benchPackedInfer[float32](b) })
+}
+
+func benchPackedInfer[T Float](b *testing.B) {
+	old := Workers()
+	SetWorkers(1)
+	defer SetWorkers(old)
+	sizes := []int{256, 128, 64}
+	rng := rand.New(rand.NewSource(21))
+	net := NewMLPOf[T](rng, sizes...)
+	flops := 0.0
+	for i := 0; i+1 < len(sizes); i++ {
+		flops += 2 * float64(sizes[i]) * float64(sizes[i+1])
+	}
+	x := randMatOf[T](1, sizes[0], rng)
+	var out MatOf[T]
+
+	b.Run("unpacked", func(b *testing.B) {
+		net.InferInto(x, &out)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net.InferInto(x, &out)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "infers/sec")
+		b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+	})
+	b.Run("packed", func(b *testing.B) {
+		p := net.Pack()
+		p.InferInto(x, &out)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.InferInto(x, &out)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "infers/sec")
+		b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+	})
+}

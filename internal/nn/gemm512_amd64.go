@@ -1,0 +1,224 @@
+//go:build amd64
+
+package nn
+
+import "os"
+
+// AVX-512 microkernels for the blocked engine's a·b path: 4×32 f32 and 4×16
+// f64 register tiles (gemm512_amd64.s), doubling the column width of the
+// AVX2 kernels. They are bitwise identical to the AVX2 path by construction:
+// each output element still folds its products in ascending k order with one
+// FMA per step, and the FMA-covered column region is kept EXACTLY the AVX2
+// path's (n − n%16 for f32, n − n%8 for f64) by cascading zmm panels → one
+// ymm mid panel → the shared scalar column edge. A column that the AVX2 path
+// computes with FMA is never demoted to the scalar edge and vice versa, so
+// flipping the knob never changes a single bit of any result, and worker-row
+// splits stay invisible exactly as before.
+//
+// Wide vectors can downclock some server parts, so the kernels are
+// frequency-gated: runtime detection (AVX512F with OS-managed zmm/opmask
+// state) arms them, but they only run when HANDSFREE_AVX512=1/on opts in.
+// Default is off even on capable hardware.
+
+const (
+	// asmNR512F32 and asmNR512F64 are the zmm panel widths: two zmm registers
+	// of columns per k step at each precision.
+	asmNR512F32 = 32
+	asmNR512F64 = 16
+)
+
+// cpuAVX512F reports whether the CPU and OS support the zmm kernels:
+// AVX512F on top of the AVX2+FMA baseline, with XCR0 enabling opmask, upper
+// zmm, and hi16-zmm state alongside XMM/YMM.
+var cpuAVX512F = detectAVX512F()
+
+func detectAVX512F() bool {
+	if !cpuAVX2FMA {
+		return false
+	}
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	if b&(1<<16) == 0 { // AVX512F
+		return false
+	}
+	lo, _ := xgetbv()
+	return lo&0xE6 == 0xE6
+}
+
+// asmGemm512Enabled routes gemmBlockedAsm through the zmm kernels. Unlike
+// the AVX2 gate it defaults off — detection only arms it; the
+// HANDSFREE_AVX512 knob pulls the trigger.
+var asmGemm512Enabled = cpuAVX512F && avx512Requested()
+
+func avx512Requested() bool {
+	switch os.Getenv("HANDSFREE_AVX512") {
+	case "1", "on", "true":
+		return true
+	}
+	return false
+}
+
+// setAsmGemm512 is a test hook mirroring setAsmGemm for the zmm kernels
+// (enabling is a no-op on CPUs without AVX512F).
+func setAsmGemm512(on bool) bool {
+	prev := asmGemm512Enabled
+	asmGemm512Enabled = on && cpuAVX512F
+	return prev
+}
+
+// Microkernels (gemm512_amd64.s), the zmm analogues of the AVX2 set: each
+// accumulates out[r][0:NR] += Σ_k a_r[k]·bp[k·NR : k·NR+NR] for kc steps of
+// one packed panel, ascending k, one FMA per element per step.
+//
+//go:noescape
+func gemm4x32f32(kc int, a0, a1, a2, a3, bp, o0, o1, o2, o3 *float32)
+
+//go:noescape
+func gemm1x32f32(kc int, a0, bp, o0 *float32)
+
+//go:noescape
+func gemm4x16f64(kc int, a0, a1, a2, a3, bp, o0, o1, o2, o3 *float64)
+
+//go:noescape
+func gemm1x16f64(kc int, a0, bp, o0 *float64)
+
+// packBMid packs the single ymm-width mid panel — columns [np512, np) of
+// B[kc0:kc1] — after the zmm panels, at offset np512·kc in bp. np−np512 is 0
+// or one AVX2 panel width by construction.
+func packBMid[T Float](b *MatOf[T], kc0, kc1, np512, np int, bp []T) {
+	w := np - np512
+	idx := np512 * (kc1 - kc0)
+	for k := kc0; k < kc1; k++ {
+		copy(bp[idx:idx+w], b.Row(k)[np512:np])
+		idx += w
+	}
+}
+
+func gemmBlocked512F32(a, b, out *MatOf[float32]) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	np := n - n%asmNRF32
+	bpv := getVec[float32](min(blockedKC, k) * np)
+	bp := *bpv
+	for kc0 := 0; kc0 < k; kc0 += blockedKC {
+		kc1 := min(kc0+blockedKC, k)
+		np512 := n - n%asmNR512F32
+		packBPanelsN(b, kc0, kc1, np512, asmNR512F32, bp)
+		if np > np512 {
+			packBMid(b, kc0, kc1, np512, np, bp)
+		}
+		g := gemmAsmArgsF32{a: a, b: b, out: out, bp: bp, kc0: kc0, kc1: kc1}
+		if serialKernel(m, m*(kc1-kc0)*n) {
+			gemmAsm512RowsF32(g, 0, m)
+			continue
+		}
+		parallelRowsOf(m, m*(kc1-kc0)*n, g, gemmAsm512RowsF32)
+	}
+	putVec(bpv)
+}
+
+func gemmBlocked512F64(a, b, out *MatOf[float64]) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	np := n - n%asmNRF64
+	bpv := getVec[float64](min(blockedKC, k) * np)
+	bp := *bpv
+	for kc0 := 0; kc0 < k; kc0 += blockedKC {
+		kc1 := min(kc0+blockedKC, k)
+		np512 := n - n%asmNR512F64
+		packBPanelsN(b, kc0, kc1, np512, asmNR512F64, bp)
+		if np > np512 {
+			packBMid(b, kc0, kc1, np512, np, bp)
+		}
+		g := gemmAsmArgsF64{a: a, b: b, out: out, bp: bp, kc0: kc0, kc1: kc1}
+		if serialKernel(m, m*(kc1-kc0)*n) {
+			gemmAsm512RowsF64(g, 0, m)
+			continue
+		}
+		parallelRowsOf(m, m*(kc1-kc0)*n, g, gemmAsm512RowsF64)
+	}
+	putVec(bpv)
+}
+
+// gemmAsm512RowsF32 runs rows [lo, hi) of one packed k block: 4-row zmm
+// tiles over the 32-wide panels, the AVX2 4×16 kernel for the one mid panel
+// (columns the AVX2 path also covers with FMA), the 1-row variants for the
+// row remainder, and the shared scalar column edge.
+func gemmAsm512RowsF32(g gemmAsmArgsF32, lo, hi int) {
+	kc := g.kc1 - g.kc0
+	n := g.out.Cols
+	np := n - n%asmNRF32
+	np512 := n - n%asmNR512F32
+	mid := np512 * kc
+	i := lo
+	for ; i+asmMR <= hi; i += asmMR {
+		a0 := g.a.Row(i)[g.kc0:g.kc1]
+		a1 := g.a.Row(i + 1)[g.kc0:g.kc1]
+		a2 := g.a.Row(i + 2)[g.kc0:g.kc1]
+		a3 := g.a.Row(i + 3)[g.kc0:g.kc1]
+		o0, o1 := g.out.Row(i), g.out.Row(i+1)
+		o2, o3 := g.out.Row(i+2), g.out.Row(i+3)
+		for jp := 0; jp < np512; jp += asmNR512F32 {
+			gemm4x32f32(kc, &a0[0], &a1[0], &a2[0], &a3[0],
+				&g.bp[(jp/asmNR512F32)*kc*asmNR512F32],
+				&o0[jp], &o1[jp], &o2[jp], &o3[jp])
+		}
+		if np > np512 {
+			gemm4x16f32(kc, &a0[0], &a1[0], &a2[0], &a3[0], &g.bp[mid],
+				&o0[np512], &o1[np512], &o2[np512], &o3[np512])
+		}
+	}
+	for ; i < hi; i++ {
+		arow := g.a.Row(i)[g.kc0:g.kc1]
+		orow := g.out.Row(i)
+		for jp := 0; jp < np512; jp += asmNR512F32 {
+			gemm1x32f32(kc, &arow[0], &g.bp[(jp/asmNR512F32)*kc*asmNR512F32], &orow[jp])
+		}
+		if np > np512 {
+			gemm1x16f32(kc, &arow[0], &g.bp[mid], &orow[np512])
+		}
+	}
+	for i = lo; i < hi; i++ {
+		gemmColEdgeRow(g.a, g.b, g.kc0, g.kc1, g.out, i, np)
+	}
+}
+
+func gemmAsm512RowsF64(g gemmAsmArgsF64, lo, hi int) {
+	kc := g.kc1 - g.kc0
+	n := g.out.Cols
+	np := n - n%asmNRF64
+	np512 := n - n%asmNR512F64
+	mid := np512 * kc
+	i := lo
+	for ; i+asmMR <= hi; i += asmMR {
+		a0 := g.a.Row(i)[g.kc0:g.kc1]
+		a1 := g.a.Row(i + 1)[g.kc0:g.kc1]
+		a2 := g.a.Row(i + 2)[g.kc0:g.kc1]
+		a3 := g.a.Row(i + 3)[g.kc0:g.kc1]
+		o0, o1 := g.out.Row(i), g.out.Row(i+1)
+		o2, o3 := g.out.Row(i+2), g.out.Row(i+3)
+		for jp := 0; jp < np512; jp += asmNR512F64 {
+			gemm4x16f64(kc, &a0[0], &a1[0], &a2[0], &a3[0],
+				&g.bp[(jp/asmNR512F64)*kc*asmNR512F64],
+				&o0[jp], &o1[jp], &o2[jp], &o3[jp])
+		}
+		if np > np512 {
+			gemm4x8f64(kc, &a0[0], &a1[0], &a2[0], &a3[0], &g.bp[mid],
+				&o0[np512], &o1[np512], &o2[np512], &o3[np512])
+		}
+	}
+	for ; i < hi; i++ {
+		arow := g.a.Row(i)[g.kc0:g.kc1]
+		orow := g.out.Row(i)
+		for jp := 0; jp < np512; jp += asmNR512F64 {
+			gemm1x16f64(kc, &arow[0], &g.bp[(jp/asmNR512F64)*kc*asmNR512F64], &orow[jp])
+		}
+		if np > np512 {
+			gemm1x8f64(kc, &arow[0], &g.bp[mid], &orow[np512])
+		}
+	}
+	for i = lo; i < hi; i++ {
+		gemmColEdgeRow(g.a, g.b, g.kc0, g.kc1, g.out, i, np)
+	}
+}

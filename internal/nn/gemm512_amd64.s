@@ -1,0 +1,208 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX-512 microkernels for the blocked engine (see gemm512_amd64.go for the
+// contract). The zmm analogue of the AVX2 register plan:
+//
+//	Z0–Z7   accumulators (row r uses Z(2r) for the first 16/8 columns,
+//	        Z(2r+1) for the second zmm of columns)
+//	Z8, Z9  the current k step's packed B panel row
+//	Z10,Z11 broadcast A values
+//	DX      kc (loop bound)   BX  k index
+//	R8–R11  A row pointers    SI  packed panel pointer, advanced per k
+//	DI      output row pointer during the epilogue
+//
+// Each k step issues one FMA per live accumulator, so every output element
+// folds its products in ascending k order — per-lane arithmetic identical to
+// the AVX2 kernels, just twice as many lanes per instruction.
+
+// func gemm4x32f32(kc int, a0, a1, a2, a3, bp, o0, o1, o2, o3 *float32)
+TEXT ·gemm4x32f32(SB), NOSPLIT, $0-80
+	MOVQ   kc+0(FP), DX
+	MOVQ   a0+8(FP), R8
+	MOVQ   a1+16(FP), R9
+	MOVQ   a2+24(FP), R10
+	MOVQ   a3+32(FP), R11
+	MOVQ   bp+40(FP), SI
+	VXORPS X0, X0, X0
+	VXORPS X1, X1, X1
+	VXORPS X2, X2, X2
+	VXORPS X3, X3, X3
+	VXORPS X4, X4, X4
+	VXORPS X5, X5, X5
+	VXORPS X6, X6, X6
+	VXORPS X7, X7, X7
+	XORQ   BX, BX
+	CMPQ   BX, DX
+	JGE    done4x32
+
+loop4x32:
+	VMOVUPS      (SI), Z8
+	VMOVUPS      64(SI), Z9
+	VBROADCASTSS (R8)(BX*4), Z10
+	VBROADCASTSS (R9)(BX*4), Z11
+	VFMADD231PS  Z8, Z10, Z0
+	VFMADD231PS  Z9, Z10, Z1
+	VFMADD231PS  Z8, Z11, Z2
+	VFMADD231PS  Z9, Z11, Z3
+	VBROADCASTSS (R10)(BX*4), Z10
+	VBROADCASTSS (R11)(BX*4), Z11
+	VFMADD231PS  Z8, Z10, Z4
+	VFMADD231PS  Z9, Z10, Z5
+	VFMADD231PS  Z8, Z11, Z6
+	VFMADD231PS  Z9, Z11, Z7
+	ADDQ         $128, SI
+	INCQ         BX
+	CMPQ         BX, DX
+	JLT          loop4x32
+
+done4x32:
+	MOVQ       o0+48(FP), DI
+	VADDPS     (DI), Z0, Z0
+	VMOVUPS    Z0, (DI)
+	VADDPS     64(DI), Z1, Z1
+	VMOVUPS    Z1, 64(DI)
+	MOVQ       o1+56(FP), DI
+	VADDPS     (DI), Z2, Z2
+	VMOVUPS    Z2, (DI)
+	VADDPS     64(DI), Z3, Z3
+	VMOVUPS    Z3, 64(DI)
+	MOVQ       o2+64(FP), DI
+	VADDPS     (DI), Z4, Z4
+	VMOVUPS    Z4, (DI)
+	VADDPS     64(DI), Z5, Z5
+	VMOVUPS    Z5, 64(DI)
+	MOVQ       o3+72(FP), DI
+	VADDPS     (DI), Z6, Z6
+	VMOVUPS    Z6, (DI)
+	VADDPS     64(DI), Z7, Z7
+	VMOVUPS    Z7, 64(DI)
+	VZEROUPPER
+	RET
+
+// func gemm1x32f32(kc int, a0, bp, o0 *float32)
+TEXT ·gemm1x32f32(SB), NOSPLIT, $0-32
+	MOVQ   kc+0(FP), DX
+	MOVQ   a0+8(FP), R8
+	MOVQ   bp+16(FP), SI
+	VXORPS X0, X0, X0
+	VXORPS X1, X1, X1
+	XORQ   BX, BX
+	CMPQ   BX, DX
+	JGE    done1x32
+
+loop1x32:
+	VMOVUPS      (SI), Z8
+	VMOVUPS      64(SI), Z9
+	VBROADCASTSS (R8)(BX*4), Z10
+	VFMADD231PS  Z8, Z10, Z0
+	VFMADD231PS  Z9, Z10, Z1
+	ADDQ         $128, SI
+	INCQ         BX
+	CMPQ         BX, DX
+	JLT          loop1x32
+
+done1x32:
+	MOVQ       o0+24(FP), DI
+	VADDPS     (DI), Z0, Z0
+	VMOVUPS    Z0, (DI)
+	VADDPS     64(DI), Z1, Z1
+	VMOVUPS    Z1, 64(DI)
+	VZEROUPPER
+	RET
+
+// func gemm4x16f64(kc int, a0, a1, a2, a3, bp, o0, o1, o2, o3 *float64)
+TEXT ·gemm4x16f64(SB), NOSPLIT, $0-80
+	MOVQ   kc+0(FP), DX
+	MOVQ   a0+8(FP), R8
+	MOVQ   a1+16(FP), R9
+	MOVQ   a2+24(FP), R10
+	MOVQ   a3+32(FP), R11
+	MOVQ   bp+40(FP), SI
+	VXORPS X0, X0, X0
+	VXORPS X1, X1, X1
+	VXORPS X2, X2, X2
+	VXORPS X3, X3, X3
+	VXORPS X4, X4, X4
+	VXORPS X5, X5, X5
+	VXORPS X6, X6, X6
+	VXORPS X7, X7, X7
+	XORQ   BX, BX
+	CMPQ   BX, DX
+	JGE    done4x16d
+
+loop4x16d:
+	VMOVUPD      (SI), Z8
+	VMOVUPD      64(SI), Z9
+	VBROADCASTSD (R8)(BX*8), Z10
+	VBROADCASTSD (R9)(BX*8), Z11
+	VFMADD231PD  Z8, Z10, Z0
+	VFMADD231PD  Z9, Z10, Z1
+	VFMADD231PD  Z8, Z11, Z2
+	VFMADD231PD  Z9, Z11, Z3
+	VBROADCASTSD (R10)(BX*8), Z10
+	VBROADCASTSD (R11)(BX*8), Z11
+	VFMADD231PD  Z8, Z10, Z4
+	VFMADD231PD  Z9, Z10, Z5
+	VFMADD231PD  Z8, Z11, Z6
+	VFMADD231PD  Z9, Z11, Z7
+	ADDQ         $128, SI
+	INCQ         BX
+	CMPQ         BX, DX
+	JLT          loop4x16d
+
+done4x16d:
+	MOVQ       o0+48(FP), DI
+	VADDPD     (DI), Z0, Z0
+	VMOVUPD    Z0, (DI)
+	VADDPD     64(DI), Z1, Z1
+	VMOVUPD    Z1, 64(DI)
+	MOVQ       o1+56(FP), DI
+	VADDPD     (DI), Z2, Z2
+	VMOVUPD    Z2, (DI)
+	VADDPD     64(DI), Z3, Z3
+	VMOVUPD    Z3, 64(DI)
+	MOVQ       o2+64(FP), DI
+	VADDPD     (DI), Z4, Z4
+	VMOVUPD    Z4, (DI)
+	VADDPD     64(DI), Z5, Z5
+	VMOVUPD    Z5, 64(DI)
+	MOVQ       o3+72(FP), DI
+	VADDPD     (DI), Z6, Z6
+	VMOVUPD    Z6, (DI)
+	VADDPD     64(DI), Z7, Z7
+	VMOVUPD    Z7, 64(DI)
+	VZEROUPPER
+	RET
+
+// func gemm1x16f64(kc int, a0, bp, o0 *float64)
+TEXT ·gemm1x16f64(SB), NOSPLIT, $0-32
+	MOVQ   kc+0(FP), DX
+	MOVQ   a0+8(FP), R8
+	MOVQ   bp+16(FP), SI
+	VXORPS X0, X0, X0
+	VXORPS X1, X1, X1
+	XORQ   BX, BX
+	CMPQ   BX, DX
+	JGE    done1x16d
+
+loop1x16d:
+	VMOVUPD      (SI), Z8
+	VMOVUPD      64(SI), Z9
+	VBROADCASTSD (R8)(BX*8), Z10
+	VFMADD231PD  Z8, Z10, Z0
+	VFMADD231PD  Z9, Z10, Z1
+	ADDQ         $128, SI
+	INCQ         BX
+	CMPQ         BX, DX
+	JLT          loop1x16d
+
+done1x16d:
+	MOVQ       o0+24(FP), DI
+	VADDPD     (DI), Z0, Z0
+	VMOVUPD    Z0, (DI)
+	VADDPD     64(DI), Z1, Z1
+	VMOVUPD    Z1, 64(DI)
+	VZEROUPPER
+	RET

@@ -1,0 +1,50 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestAVX512BitwiseIdentity pins the zmm kernels' numeric contract: with the
+// knob on, every blocked a·b result is bit-identical to the AVX2 path —
+// panel cascade (zmm → ymm mid → scalar edge) included — so enabling
+// HANDSFREE_AVX512 can never change a policy's outputs. Skips cleanly on
+// hardware without AVX512F.
+func TestAVX512BitwiseIdentity(t *testing.T) {
+	if !cpuAVX512F {
+		t.Skip("no AVX512F on this CPU")
+	}
+	t.Run("f64", func(t *testing.T) { testAVX512Bitwise[float64](t) })
+	t.Run("f32", func(t *testing.T) { testAVX512Bitwise[float32](t) })
+}
+
+func testAVX512Bitwise[T Float](t *testing.T) {
+	prevGemm := setAsmGemm(true)
+	defer setAsmGemm(prevGemm)
+	e := NewEngineOf[T](EngineBlocked)
+	// Shapes chosen to hit every panel-cascade case: multiple zmm panels,
+	// a zmm panel plus the ymm mid panel, the mid panel alone, scalar column
+	// edges of both parities, row remainders, and k crossing a KC boundary.
+	shapes := []struct{ m, k, n int }{
+		{4, 8, 32}, {4, 8, 33}, {4, 8, 48}, {5, 9, 47},
+		{7, 300, 96}, {33, 64, 80}, {64, 64, 64}, {3, 5, 100},
+		{17, 257, 40}, {1, 64, 72},
+	}
+	for _, sh := range shapes {
+		t.Run(fmt.Sprintf("%dx%dx%d", sh.m, sh.k, sh.n), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(sh.m*1000 + sh.n)))
+			a := randMatOf[T](sh.m, sh.k, rng)
+			b := randMatOf[T](sh.k, sh.n, rng)
+			var want, got MatOf[T]
+			want.Resize(sh.m, sh.n)
+			got.Resize(sh.m, sh.n)
+			prev := setAsmGemm512(false)
+			e.MatMul(a, b, &want)
+			setAsmGemm512(true)
+			e.MatMul(a, b, &got)
+			setAsmGemm512(prev)
+			checkBitwise(t, "MatMul", got.Data, want.Data)
+		})
+	}
+}

@@ -104,28 +104,24 @@ func gemmBlockedAsm[T Float](a, b, out *MatOf[T]) bool {
 		if b.Cols < asmNRF32 {
 			return false
 		}
+		if asmGemm512Enabled && b.Cols >= asmNR512F32 {
+			gemmBlocked512F32(am, any(b).(*MatOf[float32]), any(out).(*MatOf[float32]))
+			return true
+		}
 		gemmBlockedF32(am, any(b).(*MatOf[float32]), any(out).(*MatOf[float32]))
 	case *MatOf[float64]:
 		if b.Cols < asmNRF64 {
 			return false
+		}
+		if asmGemm512Enabled && b.Cols >= asmNR512F64 {
+			gemmBlocked512F64(am, any(b).(*MatOf[float64]), any(out).(*MatOf[float64]))
+			return true
 		}
 		gemmBlockedF64(am, any(b).(*MatOf[float64]), any(out).(*MatOf[float64]))
 	default:
 		return false
 	}
 	return true
-}
-
-// packBPanelsN is packBPanels for an arbitrary panel width: B[kc0:kc1, 0:np]
-// copied into nr-wide k-major panels.
-func packBPanelsN[T Float](b *MatOf[T], kc0, kc1, np, nr int, bp []T) {
-	idx := 0
-	for jp := 0; jp < np; jp += nr {
-		for k := kc0; k < kc1; k++ {
-			copy(bp[idx:idx+nr], b.Row(k)[jp:jp+nr])
-			idx += nr
-		}
-	}
 }
 
 // gemmColEdgeRow accumulates the n%NR trailing columns of one output row as

@@ -7,11 +7,43 @@ package nn
 
 const cpuAVX2FMA = false
 
+// The asm panel widths exist on every platform (packed.go sizes its stack
+// accumulator with the widest one); without the kernels they are never
+// selected as a pack's layout.
+const (
+	asmNRF32 = 16
+	asmNRF64 = 8
+)
+
+const cpuAVX512F = false
+
 var asmGemmEnabled = false
+
+var asmGemm512Enabled = false
 
 // setAsmGemm is the test hook for toggling the vector kernels; without them
 // it reports the (permanently false) setting unchanged.
 func setAsmGemm(bool) bool { return false }
 
+// setAsmGemm512 is the test hook for the zmm kernels; permanently false.
+func setAsmGemm512(bool) bool { return false }
+
 // gemmBlockedAsm reports that no vector kernel path exists.
 func gemmBlockedAsm[T Float](a, b, out *MatOf[T]) bool { return false }
+
+var asmGemvEnabled = false
+
+// setAsmGemv is the test hook for the gemv kernels; permanently false.
+func setAsmGemv(bool) bool { return false }
+
+// gemvAsm reports that no vector gemv kernel exists (nothing written).
+func gemvAsm[T Float](x, panels, out []T, nr int) bool { return false }
+
+var asmAdamEnabled = false
+
+// setAsmAdam is the test hook for the Adam vector kernels; without them it
+// reports the (permanently false) setting unchanged.
+func setAsmAdam(bool) bool { return false }
+
+// adamStepAsm reports that no vector Adam kernel exists: zero elements done.
+func adamStepAsm[T Float](p, grad, m, v []T, a *AdamArgs[T]) int { return 0 }

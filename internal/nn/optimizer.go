@@ -120,20 +120,48 @@ func (o *Adam) Step(params []*Param) {
 	adamStepT(o.m, o.v, params, o.t, o.LR, o.Beta1, o.Beta2, o.Eps, o.Clip)
 }
 
-// StepNet applies one Adam update in the network's precision. The moment
-// buffers live in the same precision as the weights, so the f32 path moves
-// half the optimizer-state bytes per step as well.
+// StepNet applies one Adam update in the network's precision, routed through
+// the network's compute engine: the constants are converted once per step
+// (NewAdamArgs — the same roundings the scalar loop performs) and each
+// parameter takes one fused EngineOf.AdamStep pass over its weights,
+// gradients, and both moment buffers. On the reference engine this is
+// bitwise identical to the historical Step loop; the blocked engine's vector
+// kernels round identically by construction (see AdamArgs), so engine choice
+// never changes the trained weights. The moment buffers live in the same
+// precision as the weights, so the f32 path moves half the optimizer-state
+// bytes per step as well.
 func (o *Adam) StepNet(net *Network) {
+	o.t++
 	if net.Precision() == F32 {
-		o.t++
 		if o.m32 == nil {
 			o.m32 = make(map[*ParamOf[float32]][]float32)
 			o.v32 = make(map[*ParamOf[float32]][]float32)
 		}
-		adamStepT(o.m32, o.v32, net.F32().Params(), o.t, o.LR, o.Beta1, o.Beta2, o.Eps, o.Clip)
+		core := net.F32()
+		adamStepEngT(NewEngineOf[float32](core.Engine()), o.m32, o.v32, core.Params(),
+			o.t, o.LR, o.Beta1, o.Beta2, o.Eps, o.Clip)
 		return
 	}
-	o.Step(net.F64().Params())
+	core := net.F64()
+	adamStepEngT(NewEngineOf[float64](core.Engine()), o.m, o.v, core.Params(),
+		o.t, o.LR, o.Beta1, o.Beta2, o.Eps, o.Clip)
+}
+
+// adamStepEngT is the engine-routed Adam update: one clip-scale reduction,
+// one constants conversion, then one fused kernel pass per parameter tensor.
+func adamStepEngT[T Float](e EngineOf[T], m, v map[*ParamOf[T]][]T, params []*ParamOf[T], t int, lr, beta1, beta2, eps, clip float64) {
+	a := NewAdamArgs[T](t, lr, beta1, beta2, eps, clipScaleT(params, clip))
+	for _, p := range params {
+		mm := m[p]
+		vv := v[p]
+		if mm == nil {
+			mm = make([]T, len(p.Value))
+			vv = make([]T, len(p.Value))
+			m[p] = mm
+			v[p] = vv
+		}
+		e.AdamStep(p.Value, p.Grad, mm, vv, a)
+	}
 }
 
 func adamStepT[T Float](m, v map[*ParamOf[T]][]T, params []*ParamOf[T], t int, lr, beta1, beta2, eps, clip float64) {

@@ -1,0 +1,263 @@
+package nn
+
+import "fmt"
+
+// Shared-packing inference: the per-publish packed form of a policy network.
+//
+// Serving evaluates the same immutable snapshot thousands of times with 1×d
+// inputs (one greedy rollout decision per call). The blocked engine's GEMM
+// path deliberately routes single-row products to the scalar reference
+// kernel to stay bitwise deterministic, so per-call inference never benefits
+// from the microkernels — and even if it did, it would re-pack each layer's
+// weight panels on every call. PackedNetOf moves the packing to snapshot
+// construction: each Linear's weight matrix is copied once into k-major
+// nr-wide column panels (the same layout the GEMM kernels stream), and every
+// subsequent inference runs a panel-at-a-time gemv against the shared,
+// immutable pack. Packing cost is paid once per Publish instead of once per
+// call, and concurrent Plan/Execute evaluations all read the same panels.
+//
+// Numerics: the gemv kernels are bitwise identical to the reference scalar
+// path. Each output element folds x[k]·w[k][j] in ascending k with a
+// separate multiply and add per step (no FMA), which rounds exactly like the
+// reference i-k-j loop; the reference's av==0 skip is immaterial for finite
+// weights because a ±0 product can never flip a running IEEE sum (the
+// accumulator starts at +0 and +0 + ±0 = +0). So a packed inference result
+// matches NetOf.InferInto bit for bit on every engine, and swapping shared
+// packing on or off can never change a served plan. Weights must be finite
+// (a non-finite weight times a zero feature would produce NaN where the
+// skipping loop produces none) — true of every trainable policy.
+type PackedNetOf[T Float] struct {
+	layers []packedLayer[T]
+	in     int
+	out    int
+}
+
+type packedKind uint8
+
+const (
+	packLinear packedKind = iota
+	packReLU
+	packTanh
+)
+
+// packedLayer is one layer of the packed form. For packLinear, panels holds
+// np/nr column panels of the weight matrix, each in×nr and k-major (panel p
+// starts at p·in·nr and its k-th row is the nr weights w[k][p·nr : p·nr+nr]);
+// the out%nr trailing columns read the original weight view. nr is captured
+// at Pack time — the asm gemv width when the vector kernels are enabled, the
+// portable tile width otherwise — and asm records which kernel the pack was
+// laid out for, so a pack outlives later toggles of the test hooks.
+type packedLayer[T Float] struct {
+	kind    packedKind
+	in, out int
+	nr      int
+	np      int // panel-covered columns: out − out%nr
+	panels  []T
+	bias    []T
+	w       *MatOf[T]
+	asm     bool
+}
+
+// packedNR returns the panel width the current kernel configuration wants.
+func packedNR[T Float]() (nr int, asm bool) {
+	if asmGemvEnabled {
+		if _, ok := any(T(0)).(float32); ok {
+			return asmNRF32, true
+		}
+		return asmNRF64, true
+	}
+	return blockedNR, false
+}
+
+// Pack builds the immutable inference-only form of the network. The receiver
+// must not be mutated afterwards (the pack aliases the weight and bias
+// slices for the column edges); this is exactly the published-snapshot
+// contract. Layers the packer does not recognize panic, mirroring clone.
+func (n *NetOf[T]) Pack() *PackedNetOf[T] {
+	p := &PackedNetOf[T]{in: n.InDim(), out: n.OutDim()}
+	nr, asm := packedNR[T]()
+	for _, l := range n.Layers {
+		switch l := l.(type) {
+		case *LinearOf[T]:
+			pl := packedLayer[T]{
+				kind: packLinear,
+				in:   l.In,
+				out:  l.Out,
+				nr:   nr,
+				np:   l.Out - l.Out%nr,
+				bias: l.B.Value,
+				w:    l.weight(),
+				asm:  asm,
+			}
+			if pl.np > 0 {
+				pl.panels = make([]T, l.In*pl.np)
+				packBPanelsN(pl.w, 0, l.In, pl.np, nr, pl.panels)
+			}
+			p.layers = append(p.layers, pl)
+		case *ReLUOf[T]:
+			p.layers = append(p.layers, packedLayer[T]{kind: packReLU})
+		case *TanhOf[T]:
+			p.layers = append(p.layers, packedLayer[T]{kind: packTanh})
+		default:
+			panic(fmt.Sprintf("nn: cannot pack layer %T", l))
+		}
+	}
+	return p
+}
+
+// InDim reports the input dimension of the first Linear layer.
+func (p *PackedNetOf[T]) InDim() int { return p.in }
+
+// OutDim reports the output dimension of the last Linear layer.
+func (p *PackedNetOf[T]) OutDim() int { return p.out }
+
+// InferInto runs the batch through the packed network: out is resized and
+// overwritten, intermediates ping-pong through pooled scratch, and no state
+// is written — any number of goroutines may call it on one pack at once.
+// Results are bitwise identical to NetOf.InferInto on the reference engine
+// for any batch, and to every engine for single-row inputs (the blocked
+// engine routes 1×d products to the reference kernel, so the serving hot
+// path sees one answer no matter how inference is dispatched). out must not
+// alias x.
+func (p *PackedNetOf[T]) InferInto(x, out *MatOf[T]) {
+	if len(p.layers) == 0 {
+		out.Resize(x.Rows, x.Cols)
+		copy(out.Data, x.Data)
+		return
+	}
+	sc := getInferScratch[T]()
+	cur := x
+	for i := range p.layers {
+		dst := out
+		if i < len(p.layers)-1 {
+			dst = sc.next()
+		}
+		p.layers[i].inferTo(cur, dst)
+		cur = dst
+	}
+	putInferScratch(sc)
+}
+
+// InferVec is InferInto for the serving hot path's single feature vector: v
+// is viewed as a 1×len(v) matrix without copying or allocating.
+func (p *PackedNetOf[T]) InferVec(v []T, out *MatOf[T]) {
+	x := MatOf[T]{Rows: 1, Cols: len(v), Data: v}
+	p.InferInto(&x, out)
+}
+
+func (l *packedLayer[T]) inferTo(x, out *MatOf[T]) {
+	switch l.kind {
+	case packReLU:
+		out.Resize(x.Rows, x.Cols)
+		reluInto(out.Data, x.Data)
+		return
+	case packTanh:
+		out.Resize(x.Rows, x.Cols)
+		tanhInto(out.Data, x.Data)
+		return
+	}
+	out.Resize(x.Rows, l.out)
+	for r := 0; r < x.Rows; r++ {
+		l.gemvRow(x.Row(r), out.Row(r))
+	}
+}
+
+// gemvRow computes orow = xrow·W + b for one input row: the vector kernel
+// (or the portable panel loop) over the packed panels, the scalar loop over
+// the out%nr column edge, then the bias add — the reference LinearForward's
+// matmul-then-bias order, element for element.
+func (l *packedLayer[T]) gemvRow(xrow, orow []T) {
+	if l.np > 0 {
+		if !(l.asm && gemvAsm(xrow, l.panels, orow[:l.np], l.nr)) {
+			gemvPortable(xrow, l.panels, orow[:l.np], l.nr)
+		}
+	}
+	for j := l.np; j < l.out; j++ {
+		var s T
+		wcol := l.w.Data[j:]
+		for k, av := range xrow {
+			s += av * wcol[k*l.out]
+		}
+		orow[j] = s
+	}
+	for j, b := range l.bias {
+		orow[j] += b
+	}
+}
+
+// gemvPortable runs the panel gemv in pure Go for an arbitrary panel width
+// (≤ the widest asm layout, so the accumulator tile stays on the stack).
+func gemvPortable[T Float](x, panels, out []T, nr int) {
+	var accBuf [asmNRF32]T
+	acc := accBuf[:nr]
+	for jp := 0; jp < len(out); jp += nr {
+		for j := range acc {
+			acc[j] = 0
+		}
+		panel := panels[jp*len(x):]
+		idx := 0
+		for _, av := range x {
+			for j := range acc {
+				acc[j] += av * panel[idx+j]
+			}
+			idx += nr
+		}
+		copy(out[jp:jp+nr], acc)
+	}
+}
+
+// PackedNetwork is the precision-erased packed form, keeping the float64
+// interchange boundary of Network: float64 vectors in, float64 logits out,
+// with pooled conversions for an f32 core so concurrent serving stays
+// allocation-free.
+type PackedNetwork struct {
+	prec Precision
+	p64  *PackedNetOf[float64]
+	p32  *PackedNetOf[float32]
+}
+
+// Pack builds the immutable packed inference form of the network (see
+// PackedNetOf); the receiver must not be mutated afterwards.
+func (n *Network) Pack() *PackedNetwork {
+	if n.prec == F32 {
+		return &PackedNetwork{prec: F32, p32: n.n32.Pack()}
+	}
+	return &PackedNetwork{prec: F64, p64: n.n64.Pack()}
+}
+
+// InDim reports the input dimension of the first Linear layer.
+func (p *PackedNetwork) InDim() int {
+	if p.prec == F32 {
+		return p.p32.InDim()
+	}
+	return p.p64.InDim()
+}
+
+// OutDim reports the output dimension of the last Linear layer.
+func (p *PackedNetwork) OutDim() int {
+	if p.prec == F32 {
+		return p.p32.OutDim()
+	}
+	return p.p64.OutDim()
+}
+
+// InferVec runs one float64 feature vector through the pack into out
+// (resized and overwritten), with the same concurrency contract and bitwise
+// guarantee as PackedNetOf.InferInto: identical to Network.InferInto on a
+// 1×d input, at either precision, allocating nothing in steady state.
+func (p *PackedNetwork) InferVec(v []float64, out *Mat) {
+	if p.prec == F32 {
+		x32 := getMat[float32]()
+		y32 := getMat[float32]()
+		x32.Resize(1, len(v))
+		for i, f := range v {
+			x32.Data[i] = float32(f)
+		}
+		p.p32.InferInto(x32, y32)
+		convertMatInto(out, y32)
+		putMat(x32)
+		putMat(y32)
+		return
+	}
+	p.p64.InferVec(v, out)
+}

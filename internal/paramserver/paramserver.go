@@ -31,7 +31,8 @@ import (
 
 // Snapshot is one immutable published policy version. Net must never be
 // mutated or trained; evaluate it with nn.Infer (Forward caches layer state
-// and is not safe for concurrent use on a shared network).
+// and is not safe for concurrent use on a shared network) or through
+// Packed's shared-packing form.
 type Snapshot struct {
 	// Version counts publishes: the initial snapshot is version 0 and each
 	// Publish increments it by exactly one.
@@ -41,6 +42,33 @@ type Snapshot struct {
 	// Updates is the learner's update counter when the snapshot was
 	// published (metadata for staleness accounting and cache keys).
 	Updates int
+
+	// packed caches the shared packed-inference form, built lazily on first
+	// Packed call. Tying the pack's lifetime to the snapshot is what makes
+	// invalidation automatic: a Publish installs a new Snapshot, so a hot
+	// policy swap can never serve stale panels.
+	packed atomic.Pointer[nn.PackedNetwork]
+}
+
+// Packed returns the snapshot's shared packed-inference form, packing Net's
+// weight panels once on first use (nil when the snapshot has no network).
+// The pack is immutable and safe for any number of concurrent inference
+// callers; every evaluation of this snapshot shares the same panels instead
+// of re-reading the unpacked weights per call. A losing racer on first use
+// packs redundantly and discards — packing is idempotent, so callers always
+// observe one consistent pack.
+func (s *Snapshot) Packed() *nn.PackedNetwork {
+	if s.Net == nil {
+		return nil
+	}
+	if p := s.packed.Load(); p != nil {
+		return p
+	}
+	p := s.Net.Pack()
+	if s.packed.CompareAndSwap(nil, p) {
+		return p
+	}
+	return s.packed.Load()
 }
 
 // Server is the lock-free parameter server. The zero value is not usable;

@@ -77,7 +77,7 @@ func TestPublishFetchLinearizable(t *testing.T) {
 
 	srv := New(tagNet(0))
 	published := make([]map[uint64]float64, publishers) // version → tag
-	readerSeen := make([][]Snapshot, readers)
+	readerSeen := make([][]*Snapshot, readers)
 
 	var start, wg sync.WaitGroup
 	start.Add(1)
@@ -101,7 +101,7 @@ func TestPublishFetchLinearizable(t *testing.T) {
 			start.Wait()
 			for i := 0; i < 2000; i++ {
 				snap := srv.Latest()
-				readerSeen[r] = append(readerSeen[r], Snapshot{Version: snap.Version, Net: snap.Net})
+				readerSeen[r] = append(readerSeen[r], &Snapshot{Version: snap.Version, Net: snap.Net})
 			}
 		}(r)
 	}
@@ -281,4 +281,58 @@ func TestSnapshotsPreservePrecision(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestSnapshotPacked pins the shared-pack lifetime contract: one pack per
+// snapshot (built lazily, stable across calls and callers), a fresh pack
+// after every Publish (hot-swap invalidation for free), and nil when the
+// snapshot carries no network.
+func TestSnapshotPacked(t *testing.T) {
+	srv := New(tagNet(1))
+	snap := srv.Latest()
+
+	p := snap.Packed()
+	if p == nil {
+		t.Fatal("Packed returned nil for a snapshot with a network")
+	}
+	if again := snap.Packed(); again != p {
+		t.Fatal("second Packed call returned a different pack")
+	}
+
+	// Concurrent first-use racers on a fresh snapshot must all converge on
+	// one pack (the losing CAS racer discards its redundant pack).
+	srv.Publish(tagNet(2), 1)
+	snap2 := srv.Latest()
+	const racers = 8
+	packs := make([]*nn.PackedNetwork, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			packs[i] = snap2.Packed()
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range packs {
+		if got == nil || got != packs[0] {
+			t.Fatalf("racer %d observed pack %p, racer 0 observed %p", i, got, packs[0])
+		}
+	}
+	if packs[0] == p {
+		t.Fatal("new snapshot reused the previous snapshot's pack")
+	}
+
+	// The pack evaluates the snapshot's own weights: tag 2 through a 1×1
+	// identity-shaped net gives logit 2·x.
+	var out nn.Mat
+	packs[0].InferVec([]float64{3}, &out)
+	if out.Data[0] != 6 {
+		t.Fatalf("packed inference = %v, want 6", out.Data[0])
+	}
+
+	nilSnap := &Snapshot{Version: 99}
+	if got := nilSnap.Packed(); got != nil {
+		t.Fatalf("Packed on a netless snapshot = %v, want nil", got)
+	}
 }

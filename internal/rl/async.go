@@ -223,6 +223,11 @@ func TrainAsyncCtx(ctx context.Context, learner *Reinforce, envs []Env, episodes
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + 1000*int64(w+1)))
+			// Per-actor logits buffer for packed inference: snapshots pack
+			// their weight panels once per publish (paramserver.Snapshot.Packed)
+			// and every actor episode reuses this one output buffer, so the
+			// sampling hot path allocates nothing in steady state.
+			var logits nn.Mat
 			var client *paramserver.Client
 			if cfg.AdaptStaleness {
 				client = srv.NewClientDyn(bound)
@@ -237,8 +242,9 @@ func TrainAsyncCtx(ctx context.Context, learner *Reinforce, envs []Env, episodes
 					return
 				}
 				snap, lag := client.Snapshot()
+				packed := snap.Packed()
 				choose := func(s State) int {
-					logits := snap.Net.Infer(nn.FromVec(s.Features))
+					packed.InferVec(s.Features, &logits)
 					return sampleFrom(nn.MaskedSoftmax(logits.Data, s.Mask), rng)
 				}
 				traj := RunEpisode(envs[w], choose, cfg.MaxSteps)

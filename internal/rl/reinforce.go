@@ -323,12 +323,14 @@ func (a *Reinforce) update() {
 
 	logits := a.Policy.Forward(x)
 	probs := &a.probbuf
-	nn.MaskedSoftmaxRowsInto(probs, logits, masks)
 	grad := &a.gradbuf
-	grad.Resize(steps, logits.Cols)
-	for i := 0; i < steps; i++ {
-		nn.PolicyGradientInto(grad.Row(i), probs.Row(i), masks[i], actions[i], advs[i], a.entCoef)
-	}
+	// The fused softmax + cross-entropy engine kernel replaces the separate
+	// MaskedSoftmaxRowsInto + per-row PolicyGradientInto passes. The REINFORCE
+	// interchange math is float64 at every network precision (logits arrive
+	// converted), so the kernel instantiates at f64 on the policy's engine;
+	// both backends are bitwise identical to the composed helpers.
+	nn.NewEngineOf[float64](a.Policy.Engine()).SoftmaxXent(
+		logits, masks, actions, advs, a.entCoef, probs, grad)
 	a.Policy.ZeroGrad()
 	a.Policy.Backward(grad)
 	// Scale by batch size so the step magnitude is independent of B.

@@ -62,6 +62,22 @@ func TestExecuteEndpoint(t *testing.T) {
 	if dr.DriftRatio <= 0 || dr.DriftSustain <= 0 {
 		t.Fatalf("drift thresholds unresolved: %+v", dr)
 	}
+	// The per-fingerprint view: one expert execution ⇒ one entry keyed by
+	// the decision's fingerprint, an expert-only window, no ratio verdict
+	// yet, no drift streak.
+	if len(dr.Entries) != 1 {
+		t.Fatalf("drift entries after one execute: %+v", dr.Entries)
+	}
+	ent := dr.Entries[0]
+	if ent.Fingerprint != er.Fingerprint {
+		t.Fatalf("entry fingerprint %q, decision fingerprint %q", ent.Fingerprint, er.Fingerprint)
+	}
+	if ent.Expert != 1 || ent.Learned != 0 || ent.Ratio != nil || ent.Streak != 0 {
+		t.Fatalf("entry after one expert execute: %+v", ent)
+	}
+	if ent.LastSource != "expert" {
+		t.Fatalf("entry last_source %q, want expert", ent.LastSource)
+	}
 
 	// The structured endpoint rejects a SQL body and vice versa, like /plan.
 	resp = postJSON(t, client, ts.URL+"/execute", PlanRequest{SQL: sql}, nil)

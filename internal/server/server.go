@@ -520,6 +520,24 @@ func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
 		wr := st.DriftWorstRatio
 		resp.WorstRatio = &wr
 	}
+	// The per-fingerprint view, bounded so a hot store cannot balloon the
+	// response: the store orders entries most recently executed first, so
+	// the cap keeps the fingerprints an operator is acting on.
+	const maxDriftEntries = 256
+	for _, e := range tenant.svc.DriftEntries(maxDriftEntries) {
+		info := DriftEntryInfo{
+			Fingerprint: fmt.Sprintf("%016x", e.Fingerprint),
+			Learned:     e.LearnedN,
+			Expert:      e.ExpertN,
+			Streak:      e.Streak,
+			LastSource:  e.LastSource,
+		}
+		if !math.IsNaN(e.Ratio) {
+			ratio := e.Ratio
+			info.Ratio = &ratio
+		}
+		resp.Entries = append(resp.Entries, info)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

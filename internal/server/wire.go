@@ -195,6 +195,28 @@ type DriftResponse struct {
 	Retrains    uint64          `json:"retrains"`
 	WorstRatio  *float64        `json:"worst_ratio,omitempty"`
 	History     ExecHistoryInfo `json:"history"`
+	// Entries is the per-fingerprint view behind the aggregate counters,
+	// most recently executed first (absent when nothing has executed). The
+	// aggregate fields above keep their shape regardless.
+	Entries []DriftEntryInfo `json:"entries,omitempty"`
+}
+
+// DriftEntryInfo is one fingerprint's execution-feedback state.
+type DriftEntryInfo struct {
+	// Fingerprint is the query's canonical fingerprint, in %016x hex.
+	Fingerprint string `json:"fingerprint"`
+	// Ratio is the rolling learned/expert observed-latency ratio (absent
+	// until both windows hold their configured minimum samples).
+	Ratio *float64 `json:"ratio,omitempty"`
+	// Learned / Expert are the current latency-window sizes.
+	Learned int `json:"learned"`
+	Expert  int `json:"expert"`
+	// Streak is the drift detector's consecutive-degradation count.
+	Streak int `json:"streak"`
+	// LastSource is the serving decision that last touched the fingerprint:
+	// "learned", "expert", "fallback", "latency-guard", or "demonstration"
+	// (absent when only sourceless shadow probes have recorded).
+	LastSource string `json:"last_source,omitempty"`
 }
 
 // ExecHistoryInfo snapshots the bounded per-fingerprint execution history.

@@ -47,10 +47,11 @@ const DefaultFallbackRatio = 1.2
 
 // serviceOptions is the state assembled by functional options.
 type serviceOptions struct {
-	cfg           Config
-	fallbackRatio float64
-	workload      *workloadSpec
-	exec          ExecutionConfig
+	cfg             Config
+	fallbackRatio   float64
+	workload        *workloadSpec
+	exec            ExecutionConfig
+	noSharedPacking bool
 }
 
 type workloadSpec struct {
@@ -125,15 +126,28 @@ func WithFallbackRatio(ratio float64) Option {
 	return func(o *serviceOptions) { o.fallbackRatio = ratio }
 }
 
+// WithSharedInference toggles shared-packing inference for served rollouts
+// (default on). When on, each published policy snapshot packs its layers'
+// weight panels once (lazily, on first Plan against that snapshot) and every
+// concurrent Plan evaluation reads the shared pack; when off, rollout
+// decisions evaluate the unpacked network per call. Both paths are bitwise
+// identical — the packed gemv kernels round exactly like the reference
+// kernels — so the knob trades only packing-at-publish versus per-call
+// weight traffic, never plans.
+func WithSharedInference(on bool) Option {
+	return func(o *serviceOptions) { o.noSharedPacking = !on }
+}
+
 // Service is the hands-free optimizer as a long-lived, concurrency-safe
 // service. Plan/PlanSQL may be called from any number of goroutines, during
 // training included: policy snapshots are immutable and swapped atomically
 // (versions are monotone), and the regression guard keeps every served plan
 // within the configured ratio of the expert's.
 type Service struct {
-	sys           *System
-	queries       []*Query
-	fallbackRatio float64
+	sys             *System
+	queries         []*Query
+	fallbackRatio   float64
+	sharedInference bool
 
 	// policies holds the published policy snapshots (version 0 = no learned
 	// policy yet). The lifecycle's learner publishes, Plan reads lock-free.
@@ -182,10 +196,11 @@ func New(opts ...Option) (*Service, error) {
 	}
 	o.exec.fill()
 	svc := &Service{
-		sys:           sys,
-		fallbackRatio: o.fallbackRatio,
-		policies:      paramserver.New(nil),
-		execCfg:       o.exec,
+		sys:             sys,
+		fallbackRatio:   o.fallbackRatio,
+		sharedInference: !o.noSharedPacking,
+		policies:        paramserver.New(nil),
+		execCfg:         o.exec,
 		history: exechistory.New(exechistory.Config{
 			Window:          o.exec.Window,
 			MaxFingerprints: o.exec.MaxFingerprints,
@@ -334,9 +349,15 @@ func (s *Service) Plan(ctx context.Context, q *Query) (PlanResult, error) {
 	}
 	res.PolicyVersion = snap.Version
 	env := sp.get()
-	out, rerr := env.GreedyRollout(ctx, q, func(st rl.State) int {
-		return greedyAction(snap.Net, st)
-	})
+	choose := func(st rl.State) int { return greedyAction(snap.Net, st) }
+	if s.sharedInference {
+		if packed := snap.Packed(); packed != nil {
+			logits := logitsPool.Get().(*nn.Mat)
+			defer logitsPool.Put(logits)
+			choose = func(st rl.State) int { return greedyActionPacked(packed, st, logits) }
+		}
+	}
+	out, rerr := env.GreedyRollout(ctx, q, choose)
 	sp.put(env)
 	if rerr != nil {
 		return PlanResult{}, rerr
@@ -393,10 +414,25 @@ func (s *Service) ExpertPlan(ctx context.Context, q *Query) (Planned, error) {
 // predicate on every state.
 func greedyAction(net *nn.Network, st rl.State) int {
 	logits := net.Infer(nn.FromVec(st.Features))
+	return argmaxMasked(logits.Data, st.Mask)
+}
+
+// greedyActionPacked is greedyAction against a snapshot's shared packed form
+// (see paramserver.Snapshot.Packed): bitwise-identical logits — the packed
+// gemv rounds exactly like the reference kernels — with the per-call weight
+// re-reads and output allocation replaced by the shared panels and a pooled
+// logits buffer. One buffer serves one Plan call's whole rollout; concurrent
+// Plan calls each hold their own.
+func greedyActionPacked(p *nn.PackedNetwork, st rl.State, logits *nn.Mat) int {
+	p.InferVec(st.Features, logits)
+	return argmaxMasked(logits.Data, st.Mask)
+}
+
+func argmaxMasked(logits []float64, mask []bool) int {
 	best := -1
 	var bestV float64
-	for i, v := range logits.Data {
-		if i >= len(st.Mask) || !st.Mask[i] || math.IsNaN(v) {
+	for i, v := range logits {
+		if i >= len(mask) || !mask[i] || math.IsNaN(v) {
 			continue
 		}
 		if best < 0 || v > bestV {
@@ -405,6 +441,9 @@ func greedyAction(net *nn.Network, st rl.State) int {
 	}
 	return best
 }
+
+// logitsPool recycles rollout logits buffers across Plan calls.
+var logitsPool = sync.Pool{New: func() any { return &nn.Mat{} }}
 
 // servePool is the serving-side layout and environment pool for learned
 // rollouts. Envs are stateful (one rollout at a time each), so concurrent

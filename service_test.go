@@ -99,7 +99,14 @@ func TestServicePlanHonorsContext(t *testing.T) {
 // publishRandomPolicy installs a serving layout and publishes an untrained
 // (deliberately regressed) policy with matching dimensions — the safeguard's
 // worst case, injected without depending on training stochasticity.
-func publishRandomPolicy(t *testing.T, svc *Service, seed int64) *rl.Reinforce {
+func publishRandomPolicy(t testing.TB, svc *Service, seed int64) *rl.Reinforce {
+	return publishPolicySized(t, svc, seed, []int{16})
+}
+
+// publishPolicySized is publishRandomPolicy with the hidden layout exposed:
+// the serving benchmarks publish production-sized policies so the inference
+// path carries a realistic share of each Plan call.
+func publishPolicySized(t testing.TB, svc *Service, seed int64, hidden []int) *rl.Reinforce {
 	t.Helper()
 	maxRels := 0
 	for _, q := range svc.Queries() {
@@ -111,7 +118,7 @@ func publishRandomPolicy(t *testing.T, svc *Service, seed int64) *rl.Reinforce {
 	sp := newServePool(svc, space, Stages{}, maxRels)
 	svc.serve.Store(sp)
 	learner := rl.NewReinforce(sp.obsDim, sp.actionDim, rl.ReinforceConfig{
-		Hidden: []int{16}, Precision: F64, Seed: seed,
+		Hidden: hidden, Precision: F64, Seed: seed,
 	})
 	svc.publish(learner)
 	return learner
@@ -443,4 +450,44 @@ func planspaceFirstValid(st rl.State) int {
 		}
 	}
 	return -1
+}
+
+// TestServiceSharedInferenceParity pins the shared-packing serving contract:
+// Plan decisions with the per-publish packed policy are bitwise identical to
+// the per-call unpacked path, so WithSharedInference can never change what
+// the service serves — only how fast it serves it.
+func TestServiceSharedInferenceParity(t *testing.T) {
+	shared := testService(t, WithFallbackRatio(0))
+	unshared := testService(t, WithFallbackRatio(0), WithSharedInference(false))
+	publishRandomPolicy(t, shared, 71)
+	publishRandomPolicy(t, unshared, 71)
+
+	ctx := context.Background()
+	learned := 0
+	for i, q := range shared.Queries() {
+		resA, err := shared.Plan(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resB, err := unshared.Plan(ctx, unshared.Queries()[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resA.Source != resB.Source ||
+			math.Float64bits(resA.Cost) != math.Float64bits(resB.Cost) ||
+			math.Float64bits(resA.LearnedCost) != math.Float64bits(resB.LearnedCost) {
+			t.Fatalf("query %d: shared (%v, %x) != unshared (%v, %x)",
+				i, resA.Source, math.Float64bits(resA.Cost), resB.Source, math.Float64bits(resB.Cost))
+		}
+		if ExplainPlan(resA.Plan) != ExplainPlan(resB.Plan) {
+			t.Fatalf("query %d: shared and unshared plans differ:\n%s\nvs\n%s",
+				i, ExplainPlan(resA.Plan), ExplainPlan(resB.Plan))
+		}
+		if resA.Source == SourceLearned {
+			learned++
+		}
+	}
+	if learned == 0 {
+		t.Fatal("parity check never exercised the learned-rollout path")
+	}
 }
