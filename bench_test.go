@@ -22,6 +22,7 @@ import (
 	"handsfree/internal/query"
 	"handsfree/internal/rejoin"
 	"handsfree/internal/rl"
+	"handsfree/internal/sketch"
 )
 
 var (
@@ -840,4 +841,126 @@ func BenchmarkServicePlanConcurrent(b *testing.B) {
 	b.ReportMetric(work/elapsedOn.Seconds(), "plans/sec")
 	b.ReportMetric(work/elapsedOff.Seconds(), "unpacked-plans/sec")
 	b.ReportMetric(elapsedOff.Seconds()/elapsedOn.Seconds(), "packed-speedup")
+}
+
+// --- sketch statistics & approximate execution benchmarks ---
+
+// BenchmarkSketchAnalyze measures the one-pass sketch analysis of the whole
+// synthetic database — per column an HLL distinct counter, a Count-Min
+// frequency sketch, and a value reservoir, plus one whole-row sample per
+// table. Metric: analyzed rows/sec.
+func BenchmarkSketchAnalyze(b *testing.B) {
+	sys, err := Open(Config{Scale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rows float64
+	for _, tab := range sys.DB.Store.Tables {
+		rows += float64(tab.N)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := sketch.NewAnalyzer(sketch.Config{Seed: uint64(i + 1)})
+		if st := a.Analyze(sys.DB.Store); len(st.Tables) == 0 {
+			b.Fatal("empty sketch store")
+		}
+	}
+	b.ReportMetric(rows*float64(b.N)/b.Elapsed().Seconds(), "rows/sec")
+}
+
+// BenchmarkApproxCount compares exact and approximate execution of the same
+// single-table aggregate at the default 5% error budget. The headline metric
+// is exact/approx-work — the scan reduction bought by sample-and-scale
+// answering (the acceptance floor is 5x; see TestExecuteApproxWorkReduction
+// for the hard assertion). Wall-clock on the approx side includes the
+// periodic exact audit the service runs against its own estimates, exactly
+// as in production serving.
+func BenchmarkApproxCount(b *testing.B) {
+	// Full scale (25k-row title table), not the 0.05 bench scale: the scan
+	// reduction is governed by table rows vs the fixed sample cap, and at
+	// tiny scales the sample covers the whole table.
+	svc, err := New(WithWorkload(4, 4, 5, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := approxQuery()
+	ctx := context.Background()
+	exactRes, err := svc.Execute(ctx, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	approxRes, err := svc.ExecuteApprox(ctx, q, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if approxRes.ApproxFellBack || approxRes.WorkUnits == 0 {
+		b.Fatalf("approx path fell back on the bench query: %+v", approxRes)
+	}
+	reduction := float64(exactRes.WorkUnits) / float64(approxRes.WorkUnits)
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.Execute(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(exactRes.WorkUnits), "work-units")
+	})
+	b.Run("approx", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.ExecuteApprox(ctx, q, 0.05); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(approxRes.WorkUnits), "work-units")
+		b.ReportMetric(reduction, "exact/approx-work")
+	})
+}
+
+// BenchmarkSketchEstimatorQError sweeps the seed workload and scores both
+// cardinality estimators' full-query subset estimates against the truth
+// oracle. Metrics: geometric-mean q-error (max(est/true, true/est), 1.0 is
+// perfect) for the sketch-backed estimator and the histogram estimator —
+// the planning-quality basis behind the sketch-parity acceptance test.
+func BenchmarkSketchEstimatorQError(b *testing.B) {
+	sys, err := Open(Config{Scale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs, err := sys.Workload.Training(16, 2, 5, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	skEst := sys.SketchEstimator()
+	qerr := func(est, truth float64) float64 {
+		if est < 1 {
+			est = 1
+		}
+		if r := est / truth; r >= 1 {
+			return r
+		}
+		return truth / est
+	}
+	var sketchGeo, exactGeo float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var logSk, logEx float64
+		n := 0
+		for _, q := range qs {
+			aliases := make(map[string]bool, len(q.Relations))
+			for _, r := range q.Relations {
+				aliases[r.Alias] = true
+			}
+			truth := sys.Oracle.TrueSubsetCard(q, aliases)
+			if truth <= 0 {
+				continue
+			}
+			logSk += math.Log(qerr(skEst.SubsetCard(q, aliases), truth))
+			logEx += math.Log(qerr(sys.Est.SubsetCard(q, aliases), truth))
+			n++
+		}
+		sketchGeo = math.Exp(logSk / float64(n))
+		exactGeo = math.Exp(logEx / float64(n))
+	}
+	b.ReportMetric(sketchGeo, "sketch-qerr-geomean")
+	b.ReportMetric(exactGeo, "exact-qerr-geomean")
 }

@@ -3,12 +3,14 @@ package handsfree
 import (
 	"context"
 	"fmt"
+	"io"
 	"math"
 
 	"handsfree/internal/engine"
 	"handsfree/internal/exechistory"
 	"handsfree/internal/plan"
 	"handsfree/internal/query"
+	"handsfree/internal/sketch"
 )
 
 // This file closes the paper's feedback loop: Service.Execute runs the served
@@ -33,7 +35,20 @@ type (
 	FaultStats = engine.FaultStats
 	// ExecHistoryStats snapshots the execution-history store's counters.
 	ExecHistoryStats = exechistory.Stats
+	// ApproxEstimate is one approximate aggregate with its bootstrap
+	// confidence interval (see ExecuteApprox).
+	ApproxEstimate = engine.ApproxEstimate
 )
+
+// ErrApproxBudget reports that an approximate execution could not meet its
+// error budget on the sample; ExecuteApprox reacts by falling back to exact
+// execution, so callers only see it through ExecResult.ApproxFellBack.
+var ErrApproxBudget = engine.ErrApproxBudget
+
+// DefaultMaxRelError is the approximate-execution error budget used when the
+// caller passes none: every estimate's confidence-interval half-width must
+// stay within 5% of the point estimate.
+const DefaultMaxRelError = engine.DefaultMaxRelError
 
 // Defaults for ExecutionConfig.
 const (
@@ -86,6 +101,14 @@ type ExecutionConfig struct {
 	// by re-entering CostTraining.
 	DriftRatio   float64
 	DriftSustain int
+	// Approx routes Execute through the approximate path by default
+	// (sample-and-scale aggregates with bootstrap confidence intervals;
+	// exact fallback when MaxRelError cannot be met). ExecuteApprox is the
+	// per-call form; this is the service-wide default.
+	Approx bool
+	// MaxRelError is the default error budget for approximate execution
+	// (≤ 0 means DefaultMaxRelError).
+	MaxRelError float64
 }
 
 func (c *ExecutionConfig) fill() {
@@ -126,6 +149,16 @@ type ExecResult struct {
 	// deterministic effort accounting for it.
 	Rows      int
 	WorkUnits int64
+	// Approx marks an approximately executed decision: Estimates carries the
+	// sample-scaled aggregates with their 99% bootstrap confidence intervals,
+	// and SampleFraction is the fraction of the table actually scanned.
+	Approx         bool
+	Estimates      []ApproxEstimate
+	SampleFraction float64
+	// ApproxFellBack reports that approximate execution was requested but
+	// the query was ineligible or the error budget unsatisfiable on the
+	// sample, so the result above is an exact execution.
+	ApproxFellBack bool
 }
 
 // execBudget resolves the per-execution censoring budget (0 = none).
@@ -159,10 +192,21 @@ func (s *Service) execBudget() float64 {
 // Execute is safe for any number of concurrent callers, during training and
 // drift re-training included.
 func (s *Service) Execute(ctx context.Context, q *Query) (ExecResult, error) {
+	if s.execCfg.Approx {
+		return s.ExecuteApprox(ctx, q, s.execCfg.MaxRelError)
+	}
 	pr, err := s.Plan(ctx, q)
 	if err != nil {
 		return ExecResult{}, err
 	}
+	return s.executePlanned(q, pr)
+}
+
+// executePlanned is Execute's back half: run an already-served decision
+// exactly, with the execution-level safeguard, history recording, expert
+// probing, and drift observation. ExecuteApprox shares it as the exact
+// fallback path.
+func (s *Service) executePlanned(q *Query, pr PlanResult) (ExecResult, error) {
 	res := ExecResult{PlanResult: pr}
 	s.executions.Add(1)
 	kind := exechistory.Expert
@@ -237,6 +281,167 @@ func (s *Service) ExecuteSQL(ctx context.Context, sql string) (ExecResult, error
 	return s.Execute(ctx, q)
 }
 
+// approxAuditEvery schedules the accuracy audit: every Nth approximately
+// served answer is also executed exactly (off the books — the audit run is
+// not recorded in the latency history) and the observed estimate error and
+// CI coverage feed ApproxStats.
+const approxAuditEvery = 8
+
+// ExecuteApprox serves a plan for q through the same safeguarded decision
+// path as Execute, then executes it approximately: the query's COUNT/SUM
+// (and derived AVG) aggregates are estimated from the table's reservoir row
+// sample, scaled to the full table, and reported with 99% bootstrap
+// confidence intervals. The work accounting — and therefore the observed
+// latency recorded in the execution history — reflects the reduced sample
+// scan, which is the point: an approximate answer with a quantified error
+// at a fraction of the cost.
+//
+// maxRelError is the error budget (≤ 0 means DefaultMaxRelError): every
+// estimate's CI half-width must stay within maxRelError × |estimate|.
+// When the budget cannot be met (too few matching sample rows, or the
+// interval is too wide), when the query is ineligible (joins, GROUP BY,
+// MIN/MAX), or when no sample exists, ExecuteApprox transparently falls
+// back to exact execution and marks the result ApproxFellBack — the
+// approximate path is an optimization, never a new failure mode.
+func (s *Service) ExecuteApprox(ctx context.Context, q *Query, maxRelError float64) (ExecResult, error) {
+	opt := engine.ApproxOptions{MaxRelError: maxRelError}
+	// Resolve eligibility and the sample before planning; either miss means
+	// the decision executes exactly.
+	var sample *sketch.RowSample
+	if engine.ApproxEligible(q) == nil {
+		if ts := s.sys.Sketches().Table(q.Relations[0].Table); ts != nil {
+			sample = ts.Sample
+		}
+	}
+	pr, err := s.Plan(ctx, q)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	if sample == nil {
+		s.approxFallbacks.Add(1)
+		res, eerr := s.executePlanned(q, pr)
+		res.ApproxFellBack = true
+		return res, eerr
+	}
+	budget := s.execBudget()
+	ares, w, lat, timedOut, rerr := s.observed.RunApprox(q, pr.Plan, sample, opt, budget)
+	if rerr != nil {
+		// Budget unsatisfiable on the sample (or an injected failure): fall
+		// back to the exact path, which carries its own safeguards.
+		s.approxFallbacks.Add(1)
+		res, eerr := s.executePlanned(q, pr)
+		res.ApproxFellBack = true
+		return res, eerr
+	}
+	out := ExecResult{
+		PlanResult:     pr,
+		LatencyMs:      lat,
+		TimedOut:       timedOut,
+		Rows:           1,
+		WorkUnits:      w.Total(),
+		Approx:         true,
+		Estimates:      ares.Estimates,
+		SampleFraction: ares.SampleFraction,
+	}
+	s.executions.Add(1)
+	s.approxServed.Add(1)
+	if timedOut {
+		s.execTimeouts.Add(1)
+	}
+	kind := exechistory.Expert
+	if pr.Source == SourceLearned {
+		kind = exechistory.Learned
+	}
+	source := pr.Source.String()
+	if pr.LatencyGuarded {
+		source = "latency-guard"
+	}
+	s.history.Record(pr.Fingerprint, exechistory.Record{
+		Kind:          kind,
+		LatencyMs:     lat,
+		PolicyVersion: pr.PolicyVersion,
+		TimedOut:      timedOut,
+		Source:        source,
+	})
+	if s.approxServed.Load()%approxAuditEvery == 1 {
+		s.auditApprox(q, out)
+	}
+	return out, nil
+}
+
+// auditApprox executes the served plan exactly and scores the approximate
+// answer against it: per-estimate relative error and whether each reported
+// confidence interval covered the exact value. Audit runs are off the
+// latency books (not recorded in the history) — they measure accuracy, not
+// performance.
+func (s *Service) auditApprox(q *Query, out ExecResult) {
+	run, _, _, _, err := s.observed.Run(q, out.Plan, 0)
+	if err != nil || run == nil || run.N == 0 {
+		return
+	}
+	var compared, covered uint64
+	var errSum float64
+	for _, est := range out.Estimates {
+		col, ok := run.Cols[est.Name]
+		if !ok || len(col) == 0 {
+			continue // derived AVG has no exact output column
+		}
+		exact := float64(col[0])
+		compared++
+		if est.Lo <= exact && exact <= est.Hi {
+			covered++
+		}
+		if exact != 0 {
+			errSum += math.Abs(est.Value-exact) / math.Abs(exact)
+		} else if est.Value != 0 {
+			errSum += 1
+		}
+	}
+	if compared == 0 {
+		return
+	}
+	s.approxMu.Lock()
+	s.approxAudits++
+	s.approxCompared += compared
+	s.approxCovered += covered
+	s.approxErrSum += errSum
+	s.approxMu.Unlock()
+}
+
+// ApproxStats is a point-in-time snapshot of the approximate-execution
+// accuracy counters.
+type ApproxStats struct {
+	// Served counts approximately served answers; Fallbacks counts
+	// ExecuteApprox calls that executed exactly instead (ineligible query,
+	// missing sample, or unsatisfiable error budget).
+	Served, Fallbacks uint64
+	// Audits counts exact audit runs; AuditEstimates individual estimates
+	// compared against their exact value; AuditCovered those whose reported
+	// confidence interval contained it.
+	Audits, AuditEstimates, AuditCovered uint64
+	// AuditMeanRelError is the mean |approx − exact| / |exact| over all
+	// audited estimates (NaN until the first audit).
+	AuditMeanRelError float64
+}
+
+// ApproxStats snapshots the approximate-execution counters (O(1)).
+func (s *Service) ApproxStats() ApproxStats {
+	s.approxMu.Lock()
+	defer s.approxMu.Unlock()
+	st := ApproxStats{
+		Served:            s.approxServed.Load(),
+		Fallbacks:         s.approxFallbacks.Load(),
+		Audits:            s.approxAudits,
+		AuditEstimates:    s.approxCompared,
+		AuditCovered:      s.approxCovered,
+		AuditMeanRelError: math.NaN(),
+	}
+	if s.approxCompared > 0 {
+		st.AuditMeanRelError = s.approxErrSum / float64(s.approxCompared)
+	}
+	return st
+}
+
 // probeExpert shadow-executes the expert plan to refresh a fingerprint's
 // expert latency baseline. Probe failures are counted, never surfaced: the
 // caller's own execution already succeeded.
@@ -264,6 +469,25 @@ func (s *Service) signalDrift(reason string) {
 	case s.driftCh <- reason:
 	default:
 	}
+}
+
+// SaveExecHistory serializes the execution-history store — every tracked
+// fingerprint's learned and expert latency windows, probe clocks, and last
+// serving sources — so a restarted service can resume its latency guard and
+// drift detector from the baselines this process observed (the counterpart
+// of System.SavePlanCache for the feedback loop). The dump is tagged with
+// the system's configuration fingerprint; LoadExecHistory refuses a dump
+// from a differently configured system.
+func (s *Service) SaveExecHistory(w io.Writer) error {
+	return s.history.Save(w, s.sys.cacheTag)
+}
+
+// LoadExecHistory replays a dump written by SaveExecHistory into the
+// service's execution history, returning how many latency records it
+// restored. The receiving store's bounds apply, and loading into a
+// non-empty history merges.
+func (s *Service) LoadExecHistory(r io.Reader) (int, error) {
+	return s.history.Load(r, s.sys.cacheTag)
 }
 
 // ObservedRatio returns a query's current rolling learned/expert

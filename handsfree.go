@@ -35,6 +35,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"strings"
+	"sync"
 
 	"handsfree/internal/cost"
 	"handsfree/internal/datagen"
@@ -47,6 +50,7 @@ import (
 	"handsfree/internal/query"
 	"handsfree/internal/rejoin"
 	"handsfree/internal/rl"
+	"handsfree/internal/sketch"
 	"handsfree/internal/sqlparse"
 	"handsfree/internal/stats"
 	"handsfree/internal/workload"
@@ -118,6 +122,49 @@ const (
 	EngineBlocked = nn.EngineBlocked
 )
 
+// StatsMode selects the statistics source the planning stack — cost model,
+// optimizer DP, and learned featurization — reads its cardinality estimates
+// from; see Config.Stats.
+type StatsMode int
+
+// Statistics modes for Config.Stats.
+const (
+	// StatsAuto resolves through the HANDSFREE_STATS environment variable
+	// ("exact" | "sketch") and defaults to StatsExact.
+	StatsAuto StatsMode = iota
+	// StatsExact runs planning on the exact per-column statistics
+	// (equi-depth histograms + MCV lists) — the historical behavior.
+	StatsExact
+	// StatsSketch runs planning on probabilistic sketches alone:
+	// HyperLogLog distinct counts, Count-Min equality frequencies, and
+	// reservoir-sample CDFs, built in one pass per column. Same System-R
+	// estimation formulas, noisy-but-cheap inputs — the scalable mode.
+	StatsSketch
+)
+
+// Resolve maps StatsAuto through HANDSFREE_STATS to a concrete mode.
+func (m StatsMode) Resolve() StatsMode {
+	if m != StatsAuto {
+		return m
+	}
+	if strings.EqualFold(os.Getenv("HANDSFREE_STATS"), "sketch") {
+		return StatsSketch
+	}
+	return StatsExact
+}
+
+// String names the mode ("exact", "sketch", or "auto").
+func (m StatsMode) String() string {
+	switch m {
+	case StatsExact:
+		return "exact"
+	case StatsSketch:
+		return "sketch"
+	default:
+		return "auto"
+	}
+}
+
 // CacheConfig controls the optional plan cache service.
 type CacheConfig struct {
 	// Enabled turns on fingerprint → plan memoization: the optimizer's
@@ -164,6 +211,14 @@ type Config struct {
 	// variable and falls back to the build's compiled-in engine —
 	// EngineReference unless built with -tags handsfree_blocked.
 	Engine ComputeEngine
+	// Stats selects the statistics source planning runs on. The default,
+	// StatsAuto, resolves through the HANDSFREE_STATS environment variable
+	// and falls back to StatsExact. StatsSketch replaces the histogram
+	// estimator with the sketch-backed one everywhere the planner stack
+	// reads cardinalities; the truth oracle and latency simulator keep
+	// their exact basis either way (they model the world, not the
+	// planner's beliefs).
+	Stats StatsMode
 }
 
 func (c *Config) fill() {
@@ -203,14 +258,59 @@ type System struct {
 	// Compute is the system-wide default dense-kernel backend for learned
 	// agents (resolved from Config.Engine; Engine is the query executor).
 	Compute ComputeEngine
+	// StatsSource is the resolved statistics mode planning runs on
+	// (Config.Stats through HANDSFREE_STATS).
+	StatsSource StatsMode
+
+	// sketchOnce guards the lazily built sketch store: exact-stats systems
+	// only pay the one-pass analysis when something asks for sketches
+	// (approximate execution, or an explicit Sketches call); sketch-stats
+	// systems build them at Open because the cost model reads them.
+	sketchOnce sync.Once
+	sketches   *sketch.Store
+	sketchEst  *sketch.Estimator
+	sketchSeed uint64
 
 	// cacheTag fingerprints the configuration that determines plan
-	// identity (database seed, scale, oracle seed); plan-cache dumps carry
-	// it so a dump can never warm a differently built system.
+	// identity (database seed, scale, oracle seed, statistics mode);
+	// plan-cache dumps carry it so a dump can never warm a differently
+	// built system.
 	cacheTag uint64
 	// svc is the owning Service: every System is built through New, and the
 	// deprecated System entry points delegate to it.
 	svc *Service
+}
+
+// buildSketches analyzes the stored tables into the sketch store, once.
+func (s *System) buildSketches() {
+	s.sketchOnce.Do(func() {
+		a := sketch.NewAnalyzer(sketch.Config{Seed: s.sketchSeed})
+		s.sketches = a.Analyze(s.DB.Store)
+		s.sketchEst = sketch.NewEstimator(s.DB.Catalog, s.sketches)
+	})
+}
+
+// Sketches returns the sketch store (building it on first use).
+func (s *System) Sketches() *sketch.Store {
+	s.buildSketches()
+	return s.sketches
+}
+
+// SketchEstimator returns the sketch-backed cardinality estimator
+// (building the store on first use).
+func (s *System) SketchEstimator() *sketch.Estimator {
+	s.buildSketches()
+	return s.sketchEst
+}
+
+// cardEstimator returns the estimator the planning stack runs on in the
+// resolved statistics mode — the featurization side of the same choice the
+// cost model made at Open.
+func (s *System) cardEstimator() featurize.Estimator {
+	if s.StatsSource == StatsSketch {
+		return s.SketchEstimator()
+	}
+	return s.Est
 }
 
 // systemTag hashes the configuration fields that determine what plans and
@@ -227,6 +327,12 @@ func systemTag(cfg Config) uint64 {
 	mix(uint64(cfg.Seed))
 	mix(math.Float64bits(cfg.Scale))
 	mix(uint64(cfg.OracleSeed))
+	// Sketch-driven planning produces different plans for the same query,
+	// so the mode is part of plan identity. Exact mode mixes nothing,
+	// keeping historical tags (and saved dumps) valid.
+	if cfg.Stats.Resolve() == StatsSketch {
+		mix(0x5ce7c4)
+	}
 	return h
 }
 
@@ -254,32 +360,38 @@ func openSystem(cfg Config) (*System, error) {
 	}
 	est := stats.NewEstimator(db.Catalog, db.Stats)
 	oracle := stats.NewOracle(est, cfg.OracleSeed)
-	model := cost.New(cost.DefaultParams(), est)
-	planner := optimizer.New(db.Catalog, model)
-	var cache *PlanCache
+	sys := &System{
+		DB:          db,
+		Stats:       db.Stats,
+		Est:         est,
+		Oracle:      oracle,
+		Latency:     engine.NewLatencyModel(oracle, cfg.LatencySeed),
+		Engine:      engine.New(db.Store),
+		Workload:    workload.New(db),
+		Precision:   cfg.Precision.Resolve(),
+		Compute:     cfg.Engine.Resolve(),
+		StatsSource: cfg.Stats.Resolve(),
+		sketchSeed:  uint64(cfg.Seed),
+		cacheTag:    systemTag(cfg),
+	}
+	// The cost model reads cardinalities from the mode's estimator; the
+	// oracle and latency model above stay exact-based — they are the
+	// simulated world, not the planner's beliefs about it.
+	var cards cost.CardSource = est
+	if sys.StatsSource == StatsSketch {
+		cards = sys.SketchEstimator()
+	}
+	sys.Cost = cost.New(cost.DefaultParams(), cards)
+	sys.Planner = optimizer.New(db.Catalog, sys.Cost)
 	if cfg.Cache.Enabled {
-		cache = plancache.New(plancache.Config{
+		sys.PlanCache = plancache.New(plancache.Config{
 			Capacity:     cfg.Cache.Capacity,
 			Shards:       cfg.Cache.Shards,
 			MinAdmitCost: cfg.Cache.MinAdmitCost,
 		})
-		planner = planner.WithCache(cache)
+		sys.Planner = sys.Planner.WithCache(sys.PlanCache)
 	}
-	return &System{
-		DB:        db,
-		Stats:     db.Stats,
-		Est:       est,
-		Oracle:    oracle,
-		Cost:      model,
-		Planner:   planner,
-		Latency:   engine.NewLatencyModel(oracle, cfg.LatencySeed),
-		Engine:    engine.New(db.Store),
-		Workload:  workload.New(db),
-		PlanCache: cache,
-		Precision: cfg.Precision.Resolve(),
-		Compute:   cfg.Engine.Resolve(),
-		cacheTag:  systemTag(cfg),
-	}, nil
+	return sys, nil
 }
 
 // SavePlanCache serializes the plan cache's pure (policy-independent)
@@ -436,7 +548,7 @@ func newReJOINAgent(sys *System, queries []*Query, cfg ReJOINConfig) (*ReJOINAge
 	if eng == EngineAuto {
 		eng = sys.Compute
 	}
-	space := featurize.NewSpace(cfg.MaxRelations, sys.Est)
+	space := featurize.NewSpace(cfg.MaxRelations, sys.cardEstimator())
 	env := rejoin.NewEnv(space, sys.Planner, queries, cfg.Seed)
 	agent := rejoin.NewAgent(env, rl.ReinforceConfig{
 		Hidden: cfg.Hidden, LR: cfg.LR, BatchSize: 16, Precision: prec, Engine: eng, Seed: cfg.Seed,

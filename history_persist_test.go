@@ -1,0 +1,50 @@
+package handsfree
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestServiceExecHistoryPersistence: a restarted (identically configured)
+// service resumes with the previous process's latency baselines; a
+// differently configured one refuses the dump.
+func TestServiceExecHistoryPersistence(t *testing.T) {
+	svc := testService(t)
+	ctx := context.Background()
+	q := svc.Queries()[0]
+	for i := 0; i < 3; i++ {
+		if _, err := svc.Execute(ctx, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := svc.SaveExecHistory(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := testService(t)
+	restored, err := fresh.LoadExecHistory(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 3 {
+		t.Fatalf("restored %d records, want 3", restored)
+	}
+	want := svc.ExecStats().History
+	got := fresh.ExecStats().History
+	if got.Fingerprints != want.Fingerprints || got.ExpertHeld != want.ExpertHeld {
+		t.Fatalf("restored history %+v, want %+v", got, want)
+	}
+	_, _, expertN := fresh.ObservedRatio(q)
+	if expertN != 3 {
+		t.Fatalf("restored expert window holds %d samples, want 3", expertN)
+	}
+
+	other := testService(t, WithSeed(99))
+	if _, err := other.LoadExecHistory(bytes.NewReader(buf.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "different system configuration") {
+		t.Fatalf("differently seeded system accepted the dump: %v", err)
+	}
+}

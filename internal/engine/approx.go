@@ -1,0 +1,304 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"handsfree/internal/query"
+	"handsfree/internal/sketch"
+)
+
+// Approximate execution: sample-and-scale COUNT/SUM (and derived AVG) over
+// a table's reservoir row sample, with bootstrap confidence intervals.
+// This is where the reduced-scan payoff lives — the work accounting charges
+// the sample scan, not the table scan — at the price of a quantified error.
+// When the requested error budget cannot be met on the sample, execution
+// reports ErrApproxBudget and the caller falls back to the exact path.
+
+// ErrApproxBudget reports that the bootstrap confidence interval is wider
+// than the requested error budget (or the matching sample is too small to
+// bound the error at all); the caller should fall back to exact execution.
+var ErrApproxBudget = errors.New("engine: error budget unsatisfiable on the sample")
+
+// Default approximate-execution parameters.
+const (
+	// DefaultMaxRelError is the error budget when the caller passes none:
+	// the CI half-width must stay within 5% of the point estimate.
+	DefaultMaxRelError = 0.05
+	// approxMinMatches is the minimum matching sample rows below which no
+	// CLT-flavored interval is trustworthy — fall back to exact.
+	approxMinMatches = 30
+	// approxBootstrapB is the bootstrap resample count.
+	approxBootstrapB = 200
+	// approxConfidence is the two-sided CI level the bootstrap quantiles
+	// target (99%: quantiles at 0.5% and 99.5%).
+	approxConfidence = 0.99
+)
+
+// ApproxOptions controls one approximate execution.
+type ApproxOptions struct {
+	// MaxRelError is the error budget: every estimate's CI half-width must
+	// be ≤ MaxRelError × |estimate| or execution falls back (≤ 0 means
+	// DefaultMaxRelError).
+	MaxRelError float64
+}
+
+func (o *ApproxOptions) fill() {
+	if o.MaxRelError <= 0 {
+		o.MaxRelError = DefaultMaxRelError
+	}
+}
+
+// ApproxEstimate is one approximate aggregate with its bootstrap CI.
+type ApproxEstimate struct {
+	// Name matches the exact executor's output column naming
+	// ("agg<i>_<KIND>"); derived averages are named "avg<i>_<column>".
+	Name string
+	// Kind is the aggregate function name (COUNT, SUM, or the derived AVG).
+	Kind string
+	// Value is the sample-scaled point estimate.
+	Value float64
+	// Lo and Hi bound the 99% bootstrap confidence interval.
+	Lo, Hi float64
+	// RelError is the CI half-width relative to |Value|.
+	RelError float64
+}
+
+// ApproxResult carries the approximate answer.
+type ApproxResult struct {
+	Estimates []ApproxEstimate
+	// SampleRows is how many sampled rows were scanned; MatchingRows how
+	// many passed the filters.
+	SampleRows   int
+	MatchingRows int
+	// SampleFraction is the fraction of the table actually scanned
+	// (SampleRows / table rows) — the reduced-scan factor.
+	SampleFraction float64
+}
+
+// ApproxEligible reports whether a query fits the approximate path:
+// a single relation (no joins to sample through), no grouping, and at
+// least one aggregate, all COUNT or SUM (MIN/MAX extremes cannot be
+// bounded from a uniform sample). A nil return means eligible.
+func ApproxEligible(q *query.Query) error {
+	if len(q.Relations) != 1 {
+		return fmt.Errorf("engine: approximate execution needs exactly one relation, query has %d", len(q.Relations))
+	}
+	if len(q.GroupBys) > 0 {
+		return errors.New("engine: approximate execution does not support GROUP BY")
+	}
+	if len(q.Aggregates) == 0 {
+		return errors.New("engine: approximate execution needs an aggregate (COUNT or SUM)")
+	}
+	for _, a := range q.Aggregates {
+		switch a.Kind {
+		case query.AggCount, query.AggSum:
+		default:
+			return fmt.Errorf("engine: approximate execution supports COUNT and SUM, not %s", a.Kind)
+		}
+	}
+	return nil
+}
+
+// ExecuteApprox runs the query approximately over the table's row sample:
+// filters are evaluated on the sampled rows, COUNT/SUM estimates are
+// scaled by the sampled fraction, and every estimate carries a 99%
+// bootstrap confidence interval. Work is charged for the sample scan only.
+// Returns ErrApproxBudget when the budget cannot be met; the partial work
+// (the sample scan that was performed) is still returned.
+func (e *Engine) ExecuteApprox(q *query.Query, sample *sketch.RowSample, opt ApproxOptions) (*ApproxResult, *Work, error) {
+	opt.fill()
+	w := &Work{}
+	if err := ApproxEligible(q); err != nil {
+		return nil, w, err
+	}
+	if sample == nil || sample.Len() == 0 || sample.Seen <= 0 {
+		return nil, w, errors.New("engine: no row sample for approximate execution")
+	}
+	rel := q.Relations[0]
+	filters := q.FiltersOn(rel.Alias)
+	filterCols := make([][]int64, len(filters))
+	for i, f := range filters {
+		col := sample.Column(f.Column)
+		if col == nil {
+			return nil, w, fmt.Errorf("engine: sample has no column %s.%s", rel.Table, f.Column)
+		}
+		filterCols[i] = col
+	}
+	aggCols := make([][]int64, len(q.Aggregates))
+	for i, a := range q.Aggregates {
+		if a.Column == "" {
+			continue // COUNT(*)
+		}
+		col := sample.Column(a.Column)
+		if col == nil {
+			return nil, w, fmt.Errorf("engine: sample has no column %s.%s", rel.Table, a.Column)
+		}
+		aggCols[i] = col
+	}
+
+	// Scan the sample: the reduced scan the work accounting reflects.
+	k := sample.Len()
+	w.TuplesRead += int64(k)
+	match := make([]int32, 0, k)
+	for i := 0; i < k; i++ {
+		ok := true
+		for fi, f := range filters {
+			w.Comparisons++
+			if !matches(f.Op, filterCols[fi][i], f.Value) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			match = append(match, int32(i))
+		}
+	}
+
+	res := &ApproxResult{
+		SampleRows:     k,
+		MatchingRows:   len(match),
+		SampleFraction: float64(k) / float64(sample.Seen),
+	}
+	if len(match) < approxMinMatches {
+		return res, w, ErrApproxBudget
+	}
+
+	// Point estimates scale the sample aggregates by rows/sampleRows. The
+	// bootstrap resamples the *full* sample (not just the matches): the
+	// dominant uncertainty for COUNT/SUM is which table rows a sample of
+	// this size would have caught, so the match indicator must vary
+	// across resamples. All aggregates share the same resamples, keeping
+	// a result row internally consistent (and letting the AVG ratio's
+	// scale factors cancel).
+	scale := float64(sample.Seen) / float64(k)
+	isMatch := make([]bool, k)
+	for _, r := range match {
+		isMatch[r] = true
+	}
+	// Deterministic per query: the same query over the same sample always
+	// reports the same interval (tests and replayed workloads depend on
+	// reproducibility the same way the latency model's noise field does).
+	h := fnv.New64a()
+	h.Write([]byte(q.Key()))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+
+	// One pass per resample accumulates the match count and every SUM
+	// column at once.
+	sumIdx := make([]int, 0, len(q.Aggregates))
+	for i, a := range q.Aggregates {
+		if a.Kind == query.AggSum {
+			sumIdx = append(sumIdx, i)
+		}
+	}
+	bootCount := make([]float64, approxBootstrapB)
+	bootSums := make([][]float64, len(sumIdx))
+	for i := range bootSums {
+		bootSums[i] = make([]float64, approxBootstrapB)
+	}
+	for b := 0; b < approxBootstrapB; b++ {
+		var cnt int64
+		sums := make([]int64, len(sumIdx))
+		for j := 0; j < k; j++ {
+			r := rng.Intn(k)
+			if !isMatch[r] {
+				continue
+			}
+			cnt++
+			for si, ai := range sumIdx {
+				sums[si] += aggCols[ai][r]
+			}
+		}
+		bootCount[b] = float64(cnt)
+		for si := range sumIdx {
+			bootSums[si][b] = float64(sums[si])
+		}
+	}
+
+	var exactSums []int64
+	if len(sumIdx) > 0 {
+		exactSums = make([]int64, len(sumIdx))
+		for si, ai := range sumIdx {
+			for _, r := range match {
+				exactSums[si] += aggCols[ai][r]
+			}
+		}
+	}
+	si := 0
+	for i, a := range q.Aggregates {
+		name := fmt.Sprintf("agg%d_%s", i, a.Kind)
+		switch a.Kind {
+		case query.AggCount:
+			vals := make([]float64, approxBootstrapB)
+			for b, c := range bootCount {
+				vals[b] = scale * c
+			}
+			lo, hi := quantiles(vals, approxConfidence)
+			res.Estimates = append(res.Estimates,
+				finishEstimate(name, "COUNT", scale*float64(len(match)), lo, hi))
+		case query.AggSum:
+			vals := make([]float64, approxBootstrapB)
+			for b, s := range bootSums[si] {
+				vals[b] = scale * s
+			}
+			lo, hi := quantiles(vals, approxConfidence)
+			res.Estimates = append(res.Estimates,
+				finishEstimate(name, "SUM", scale*float64(exactSums[si]), lo, hi))
+			// Derived AVG = SUM/COUNT over the same resamples: the scale
+			// factors cancel in the ratio, which is why AVG is often far
+			// tighter than SUM itself.
+			avgVals := make([]float64, 0, approxBootstrapB)
+			for b := range bootSums[si] {
+				if bootCount[b] > 0 {
+					avgVals = append(avgVals, bootSums[si][b]/bootCount[b])
+				}
+			}
+			avgPoint := float64(exactSums[si]) / float64(len(match))
+			alo, ahi := quantiles(avgVals, approxConfidence)
+			res.Estimates = append(res.Estimates,
+				finishEstimate(fmt.Sprintf("avg%d_%s", i, a.Column), "AVG", avgPoint, alo, ahi))
+			si++
+		}
+	}
+	w.TuplesEmitted++
+	w.RowsMaterialized++
+
+	for _, est := range res.Estimates {
+		if est.RelError > opt.MaxRelError {
+			return res, w, ErrApproxBudget
+		}
+	}
+	return res, w, nil
+}
+
+func finishEstimate(name, kind string, point, lo, hi float64) ApproxEstimate {
+	half := (hi - lo) / 2
+	rel := 0.0
+	if point != 0 {
+		rel = half / abs(point)
+	} else if half > 0 {
+		rel = 1
+	}
+	return ApproxEstimate{Name: name, Kind: kind, Value: point, Lo: lo, Hi: hi, RelError: rel}
+}
+
+func quantiles(vals []float64, confidence float64) (lo, hi float64) {
+	sorted := append(make([]float64, 0, len(vals)), vals...)
+	sort.Float64s(sorted)
+	alpha := (1 - confidence) / 2
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return at(alpha), at(1 - alpha)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

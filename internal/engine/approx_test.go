@@ -1,0 +1,231 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"handsfree/internal/plan"
+	"handsfree/internal/query"
+	"handsfree/internal/sketch"
+	"handsfree/internal/storage"
+)
+
+// approxFixture builds a one-table database, its row sample, and an
+// aggregate query with an optional filter.
+func approxFixture(t *testing.T, rows int, filter *query.Filter) (*Engine, *storage.Table, *sketch.RowSample, *query.Query) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(101))
+	tab := &storage.Table{Name: "t", N: rows, Cols: map[string][]int64{}}
+	v := make([]int64, rows)
+	for i := range v {
+		v[i] = rng.Int63n(1000)
+	}
+	tab.Cols["v"] = v
+	db := &storage.DB{Tables: map[string]*storage.Table{"t": tab}}
+	sample := sketch.NewAnalyzer(sketch.Config{Seed: 9}).AnalyzeTable(tab).Sample
+	q := &query.Query{
+		Relations: []query.Relation{{Table: "t", Alias: "t"}},
+		Aggregates: []query.Aggregate{
+			{Kind: query.AggCount},
+			{Kind: query.AggSum, Alias: "t", Column: "v"},
+		},
+	}
+	if filter != nil {
+		q.Filters = []query.Filter{*filter}
+	}
+	return New(db), tab, sample, q
+}
+
+// exactAnswers computes the true COUNT, SUM, AVG under the query's filters.
+func exactAnswers(tab *storage.Table, q *query.Query) (count, sum float64) {
+	v := tab.Cols["v"]
+	for i := 0; i < tab.N; i++ {
+		ok := true
+		for _, f := range q.Filters {
+			if !matches(f.Op, tab.Cols[f.Column][i], f.Value) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			count++
+			sum += float64(v[i])
+		}
+	}
+	return count, sum
+}
+
+// TestExecuteApproxCIsCoverExact is the acceptance property: every
+// reported confidence interval covers the exact answer, and the point
+// estimates land within the budget of the truth.
+func TestExecuteApproxCIsCoverExact(t *testing.T) {
+	// A mildly selective filter (~70% pass) keeps the CI within the 5%
+	// budget at the default sample size.
+	f := &query.Filter{Alias: "t", Column: "v", Op: query.Lt, Value: 700}
+	eng, tab, sample, q := approxFixture(t, 200000, f)
+	res, w, err := eng.ExecuteApprox(q, sample, ApproxOptions{MaxRelError: 0.05})
+	if err != nil {
+		t.Fatalf("ExecuteApprox: %v", err)
+	}
+	count, sum := exactAnswers(tab, q)
+	want := map[string]float64{
+		"agg0_COUNT": count,
+		"agg1_SUM":   sum,
+		"avg1_v":     sum / count,
+	}
+	if len(res.Estimates) != len(want) {
+		t.Fatalf("got %d estimates, want %d", len(res.Estimates), len(want))
+	}
+	for _, est := range res.Estimates {
+		exact, ok := want[est.Name]
+		if !ok {
+			t.Fatalf("unexpected estimate %q", est.Name)
+		}
+		if est.Lo > exact || est.Hi < exact {
+			t.Errorf("%s: CI [%.1f, %.1f] does not cover exact %.1f", est.Name, est.Lo, est.Hi, exact)
+		}
+		if rel := math.Abs(est.Value-exact) / exact; rel > 0.05 {
+			t.Errorf("%s: point estimate %.1f is %.1f%% off exact %.1f", est.Name, est.Value, 100*rel, exact)
+		}
+		if est.RelError > 0.05 {
+			t.Errorf("%s: reported rel error %.3f exceeds the met budget", est.Name, est.RelError)
+		}
+	}
+	if res.SampleRows != sample.Len() {
+		t.Errorf("SampleRows = %d, want %d", res.SampleRows, sample.Len())
+	}
+	if w.TuplesRead != int64(sample.Len()) {
+		t.Errorf("approx TuplesRead = %d, want the sample scan %d", w.TuplesRead, sample.Len())
+	}
+}
+
+// TestExecuteApproxWorkReduction is the ≥5× acceptance criterion: the
+// approximate path must charge at least 5× fewer work units than exact
+// execution of the same aggregate at the 5% budget.
+func TestExecuteApproxWorkReduction(t *testing.T) {
+	eng, _, sample, q := approxFixture(t, 200000, nil)
+	_, aw, err := eng.ExecuteApprox(q, sample, ApproxOptions{MaxRelError: 0.05})
+	if err != nil {
+		t.Fatalf("ExecuteApprox: %v", err)
+	}
+	root := plan.FinishAgg(q, plan.HashAgg, plan.BuildScan(q, "t", plan.SeqScan, ""))
+	_, ew, err := eng.Execute(q, root)
+	if err != nil {
+		t.Fatalf("exact Execute: %v", err)
+	}
+	if ew.Total() < 5*aw.Total() {
+		t.Errorf("approx work %d not ≥5× under exact work %d", aw.Total(), ew.Total())
+	}
+}
+
+// TestExecuteApproxFallsBack pins both fallback triggers: too few
+// matching sample rows, and a budget tighter than the CI.
+func TestExecuteApproxFallsBack(t *testing.T) {
+	// Equality on one of 1000 uniform values matches ~0.1% of rows —
+	// a handful of sample rows, below the minimum.
+	f := &query.Filter{Alias: "t", Column: "v", Op: query.Eq, Value: 3}
+	eng, _, sample, q := approxFixture(t, 200000, f)
+	_, _, err := eng.ExecuteApprox(q, sample, ApproxOptions{MaxRelError: 0.05})
+	if !errors.Is(err, ErrApproxBudget) {
+		t.Fatalf("tiny match set: err = %v, want ErrApproxBudget", err)
+	}
+	// A ~30%-selective filter meets a 25% budget but not 0.1%.
+	f2 := &query.Filter{Alias: "t", Column: "v", Op: query.Lt, Value: 300}
+	eng2, _, sample2, q2 := approxFixture(t, 200000, f2)
+	if _, _, err := eng2.ExecuteApprox(q2, sample2, ApproxOptions{MaxRelError: 0.25}); err != nil {
+		t.Fatalf("25%% budget should be satisfiable: %v", err)
+	}
+	res, _, err := eng2.ExecuteApprox(q2, sample2, ApproxOptions{MaxRelError: 0.001})
+	if !errors.Is(err, ErrApproxBudget) {
+		t.Fatalf("0.1%% budget: err = %v, want ErrApproxBudget", err)
+	}
+	if res == nil || len(res.Estimates) == 0 {
+		t.Fatal("budget failure should still return the estimates it computed")
+	}
+}
+
+// TestApproxEligible pins the eligibility rules.
+func TestApproxEligible(t *testing.T) {
+	base := func() *query.Query {
+		return &query.Query{
+			Relations:  []query.Relation{{Table: "t", Alias: "t"}},
+			Aggregates: []query.Aggregate{{Kind: query.AggCount}},
+		}
+	}
+	if err := ApproxEligible(base()); err != nil {
+		t.Errorf("COUNT over one relation should be eligible: %v", err)
+	}
+	q := base()
+	q.Relations = append(q.Relations, query.Relation{Table: "u", Alias: "u"})
+	if ApproxEligible(q) == nil {
+		t.Error("two relations should be ineligible")
+	}
+	q = base()
+	q.GroupBys = []query.GroupBy{{Alias: "t", Column: "v"}}
+	if ApproxEligible(q) == nil {
+		t.Error("GROUP BY should be ineligible")
+	}
+	q = base()
+	q.Aggregates = []query.Aggregate{{Kind: query.AggMin, Alias: "t", Column: "v"}}
+	if ApproxEligible(q) == nil {
+		t.Error("MIN should be ineligible")
+	}
+	q = base()
+	q.Aggregates = nil
+	if ApproxEligible(q) == nil {
+		t.Error("no aggregates should be ineligible")
+	}
+}
+
+// TestExecuteApproxDeterministic pins reproducibility: the same query over
+// the same sample reports identical estimates and intervals.
+func TestExecuteApproxDeterministic(t *testing.T) {
+	f := &query.Filter{Alias: "t", Column: "v", Op: query.Ge, Value: 200}
+	eng, _, sample, q := approxFixture(t, 100000, f)
+	a, _, err := eng.ExecuteApprox(q, sample, ApproxOptions{})
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, _, err := eng.ExecuteApprox(q, sample, ApproxOptions{})
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	for i := range a.Estimates {
+		if a.Estimates[i] != b.Estimates[i] {
+			t.Fatalf("estimate %d differs across identical runs: %+v vs %+v", i, a.Estimates[i], b.Estimates[i])
+		}
+	}
+}
+
+// TestRunApproxFaultsAndBudget checks the Observed wrapper applies the
+// fault seam's inflation to approximate latencies and censors at the
+// budget, mirroring the exact path's semantics.
+func TestRunApproxFaultsAndBudget(t *testing.T) {
+	eng, _, sample, q := approxFixture(t, 100000, nil)
+	o := NewObserved(eng)
+	root := plan.FinishAgg(q, plan.HashAgg, plan.BuildScan(q, "t", plan.SeqScan, ""))
+	_, w, lat, timedOut, err := o.RunApprox(q, root, sample, ApproxOptions{}, 0)
+	if err != nil || timedOut {
+		t.Fatalf("baseline RunApprox: err=%v timedOut=%v", err, timedOut)
+	}
+	if want := float64(w.Total()) * o.MsPerWork; lat != want {
+		t.Errorf("latency %v != work-derived %v", lat, want)
+	}
+	o.Faults.InflateTable("t", 10)
+	_, _, inflated, _, err := o.RunApprox(q, root, sample, ApproxOptions{}, 0)
+	if err != nil {
+		t.Fatalf("inflated RunApprox: %v", err)
+	}
+	if inflated <= lat*9 {
+		t.Errorf("fault inflation not applied: %v vs baseline %v", inflated, lat)
+	}
+	_, _, censored, timedOut, err := o.RunApprox(q, root, sample, ApproxOptions{}, lat)
+	if err != nil {
+		t.Fatalf("budgeted RunApprox: %v", err)
+	}
+	if !timedOut || censored != lat {
+		t.Errorf("budget censoring: timedOut=%v latency=%v, want true/%v", timedOut, censored, lat)
+	}
+}

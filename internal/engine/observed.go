@@ -6,6 +6,7 @@ import (
 
 	"handsfree/internal/plan"
 	"handsfree/internal/query"
+	"handsfree/internal/sketch"
 )
 
 // ErrInjected is returned when the fault seam fails an execution.
@@ -75,6 +76,33 @@ func (o *Observed) Run(q *query.Query, root plan.Node, budgetMs float64) (res *R
 		return nil, w, math.NaN(), false, err
 	}
 	return res, w, float64(w.Total()) * o.MsPerWork * factor, false, nil
+}
+
+// RunApprox is Run's approximate sibling: it executes the query's
+// aggregates over the table's row sample via ExecuteApprox and derives the
+// observed latency from the (much smaller) sample-scan work — under the
+// same fault seam and the same budget censoring, so approximate latencies
+// live in the same regime as exact ones and feed the same history. root is
+// the served plan; it participates only in fault-seam matching, not in
+// execution. ErrApproxBudget propagates so the caller can fall back.
+func (o *Observed) RunApprox(q *query.Query, root plan.Node, sample *sketch.RowSample, opt ApproxOptions, budgetMs float64) (res *ApproxResult, w *Work, latencyMs float64, timedOut bool, err error) {
+	factor := 1.0
+	fail := false
+	if o.Faults != nil {
+		factor, fail = o.Faults.apply(q, root)
+	}
+	if fail {
+		return nil, nil, math.NaN(), false, ErrInjected
+	}
+	res, w, err = o.Eng.ExecuteApprox(q, sample, opt)
+	if err != nil {
+		return res, w, math.NaN(), false, err
+	}
+	lat := float64(w.Total()) * o.MsPerWork * factor
+	if budgetMs > 0 && lat > budgetMs {
+		return res, w, budgetMs, true, nil
+	}
+	return res, w, lat, false, nil
 }
 
 // Execute satisfies the planspace executor contract (latency and timeout

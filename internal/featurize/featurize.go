@@ -19,8 +19,17 @@ import (
 
 	"handsfree/internal/plan"
 	"handsfree/internal/query"
-	"handsfree/internal/stats"
 )
+
+// Estimator is the slice of cardinality estimation featurization needs:
+// the predicate-selectivity block and the per-subtree cardinality block.
+// Both the exact histogram estimator (*stats.Estimator) and the
+// sketch-backed one (*sketch.Estimator) satisfy it, so the same learned
+// featurization runs on either statistics source.
+type Estimator interface {
+	BaseSelectivity(q *query.Query, alias string) float64
+	SubsetCard(q *query.Query, aliases map[string]bool) float64
+}
 
 // Space is a fixed-size featurization context: it pins the maximum relation
 // count so every query in a workload maps into vectors of identical length
@@ -30,7 +39,7 @@ type Space struct {
 	// MaxRels bounds the number of relations per query.
 	MaxRels int
 	// Est supplies filter selectivities for the predicate block.
-	Est *stats.Estimator
+	Est Estimator
 
 	// maskOnce guards the lazily built PairMask cache: masks[k] is the
 	// (immutable, shared) mask for a forest of k subtrees.
@@ -39,7 +48,7 @@ type Space struct {
 }
 
 // NewSpace builds a featurization space.
-func NewSpace(maxRels int, est *stats.Estimator) *Space {
+func NewSpace(maxRels int, est Estimator) *Space {
 	return &Space{MaxRels: maxRels, Est: est}
 }
 
@@ -67,28 +76,36 @@ func AliasIndex(q *query.Query) []string {
 }
 
 // Scratch holds the reusable working state of featurization: the alias→index
-// map of the current query, the depth-weight accumulator, and a memo of
-// subtree alias sets keyed by plan node. One Scratch belongs to one
-// environment (it is not concurrency-safe); call Reset at each episode start
-// so the alias-set memo does not retain the previous episode's plan nodes.
-// The zero value is ready to use.
+// map and cached base selectivities of the current query, the depth-weight
+// accumulator, and memos of subtree alias sets and cardinalities keyed by
+// plan node. One Scratch belongs to one environment (it is not
+// concurrency-safe); call Reset at each episode start so the per-node memos
+// do not retain the previous episode's plan nodes. The zero value is ready
+// to use.
 type Scratch struct {
 	q       *query.Query
 	names   []string
 	idx     map[string]int
+	sels    []float64
 	weights map[string]float64
 	aliases map[plan.Node]map[string]bool
+	cards   map[plan.Node]float64
 }
 
-// Reset drops per-episode state (the subtree alias-set memo). The per-query
-// alias index survives: it is keyed by query pointer and revalidated on use.
+// Reset drops per-episode state (the subtree alias-set and cardinality
+// memos). The per-query alias index and selectivity cache survive: they are
+// keyed by query pointer and revalidated on use.
 func (sc *Scratch) Reset() {
 	clear(sc.aliases)
+	clear(sc.cards)
 }
 
-// posFor returns the alias→feature-index map for q, rebuilding it only when
-// the query changes.
-func (sc *Scratch) posFor(q *query.Query) map[string]int {
+// prepare returns the alias→feature-index map for q, rebuilding it — and the
+// base-selectivity cache aligned with it — only when the query changes. The
+// selectivity block of the encoding is constant per query, so caching it here
+// removes the per-state estimator walk (and its filter-slice allocations)
+// from the rollout hot path.
+func (sc *Scratch) prepare(q *query.Query, est Estimator) map[string]int {
 	if sc.q == q && sc.idx != nil {
 		return sc.idx
 	}
@@ -105,8 +122,28 @@ func (sc *Scratch) posFor(q *query.Query) map[string]int {
 	for i, a := range sc.names {
 		sc.idx[a] = i
 	}
+	sc.sels = sc.sels[:0]
+	for _, a := range sc.names {
+		sc.sels = append(sc.sels, est.BaseSelectivity(q, a))
+	}
 	sc.q = q
 	return sc.idx
+}
+
+// cardOf returns the estimated cardinality of a subtree, memoized per node.
+// Nodes are immutable and the memo is cleared per episode, so within an
+// episode only newly joined subtrees pay the estimator walk; re-encoding an
+// unchanged forest (every state revisits all current roots) is lookup-only.
+func (sc *Scratch) cardOf(q *query.Query, est Estimator, n plan.Node) float64 {
+	if c, ok := sc.cards[n]; ok {
+		return c
+	}
+	c := est.SubsetCard(q, sc.aliasesOf(n))
+	if sc.cards == nil {
+		sc.cards = make(map[plan.Node]float64, 16)
+	}
+	sc.cards[n] = c
+	return c
 }
 
 // aliasesOf returns the alias set of a subtree, memoized per node. Join trees
@@ -161,7 +198,7 @@ func (s *Space) JoinStateInto(dst []float64, q *query.Query, forest []plan.Node,
 	for i := range features {
 		features[i] = 0
 	}
-	idx := sc.posFor(q)
+	idx := sc.prepare(q, s.Est)
 
 	// Subtree block.
 	if sc.weights == nil {
@@ -189,11 +226,11 @@ func (s *Space) JoinStateInto(dst []float64, q *query.Query, forest []plan.Node,
 			features[off+b*n+a] = 1
 		}
 	}
-	// Selectivity block.
+	// Selectivity block (constant per query; served from the scratch cache).
 	off = 2 * n * n
-	for alias, i := range idx {
+	for i, sel := range sc.sels {
 		if i < n {
-			features[off+i] = s.Est.BaseSelectivity(q, alias)
+			features[off+i] = sel
 		}
 	}
 	// Cardinality block: log-scaled estimated output size of each current
@@ -204,7 +241,7 @@ func (s *Space) JoinStateInto(dst []float64, q *query.Query, forest []plan.Node,
 		if row >= n {
 			break
 		}
-		card := s.Est.SubsetCard(q, sc.aliasesOf(tree))
+		card := sc.cardOf(q, s.Est, tree)
 		features[off+row] = math.Log10(card+1) / 10
 	}
 	return features

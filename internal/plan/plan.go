@@ -8,9 +8,30 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"handsfree/internal/query"
 )
+
+// sigCache memoizes a node's Signature. Plan nodes are immutable once built
+// (the optimizer, the learned agents, and the cache all construct-then-share),
+// so the canonical string is computed at most once per node; the atomic
+// pointer makes the memo safe on plans shared across concurrent planners,
+// and gob persistence skips it (unexported). Signature is on every serving
+// hot path — fingerprint matching, fault matching, featurization — where the
+// repeated recursive fmt.Sprintf otherwise dominates allocation.
+type sigCache struct {
+	p atomic.Pointer[string]
+}
+
+func (c *sigCache) get(compute func() string) string {
+	if s := c.p.Load(); s != nil {
+		return *s
+	}
+	s := compute()
+	c.p.Store(&s)
+	return s
+}
 
 // AccessPath enumerates how a scan reads its relation.
 type AccessPath int
@@ -104,6 +125,8 @@ type Scan struct {
 	IndexColumn string
 	// Filters are the pushed-down predicates on this relation.
 	Filters []query.Filter
+
+	sig sigCache
 }
 
 // Aliases returns the single-alias set for the scan.
@@ -112,14 +135,16 @@ func (s *Scan) Aliases() map[string]bool { return map[string]bool{s.Alias: true}
 // Children returns nil; scans are leaves.
 func (s *Scan) Children() []Node { return nil }
 
-// Signature returns a canonical encoding of the scan.
+// Signature returns a canonical encoding of the scan (memoized).
 func (s *Scan) Signature() string {
-	parts := make([]string, 0, len(s.Filters))
-	for _, f := range s.Filters {
-		parts = append(parts, f.String())
-	}
-	sort.Strings(parts)
-	return fmt.Sprintf("%s(%s/%s ix=%s [%s])", s.Access, s.Table, s.Alias, s.IndexColumn, strings.Join(parts, ","))
+	return s.sig.get(func() string {
+		parts := make([]string, 0, len(s.Filters))
+		for _, f := range s.Filters {
+			parts = append(parts, f.String())
+		}
+		sort.Strings(parts)
+		return fmt.Sprintf("%s(%s/%s ix=%s [%s])", s.Access, s.Table, s.Alias, s.IndexColumn, strings.Join(parts, ","))
+	})
 }
 
 // Join is an inner equality join of two subtrees.
@@ -129,6 +154,8 @@ type Join struct {
 	// Preds are the equality predicates applied at this join. Empty means a
 	// cross product.
 	Preds []query.Join
+
+	sig sigCache
 }
 
 // Aliases returns the union of both inputs' alias sets.
@@ -146,14 +173,16 @@ func (j *Join) Aliases() map[string]bool {
 // Children returns the left and right inputs.
 func (j *Join) Children() []Node { return []Node{j.Left, j.Right} }
 
-// Signature returns a canonical encoding of the join subtree.
+// Signature returns a canonical encoding of the join subtree (memoized).
 func (j *Join) Signature() string {
-	preds := make([]string, 0, len(j.Preds))
-	for _, p := range j.Preds {
-		preds = append(preds, p.String())
-	}
-	sort.Strings(preds)
-	return fmt.Sprintf("%s(%s, %s on %s)", j.Algo, j.Left.Signature(), j.Right.Signature(), strings.Join(preds, ","))
+	return j.sig.get(func() string {
+		preds := make([]string, 0, len(j.Preds))
+		for _, p := range j.Preds {
+			preds = append(preds, p.String())
+		}
+		sort.Strings(preds)
+		return fmt.Sprintf("%s(%s, %s on %s)", j.Algo, j.Left.Signature(), j.Right.Signature(), strings.Join(preds, ","))
+	})
 }
 
 // Agg applies grouped aggregation on top of a subtree.
@@ -162,6 +191,8 @@ type Agg struct {
 	Child      Node
 	GroupBys   []query.GroupBy
 	Aggregates []query.Aggregate
+
+	sig sigCache
 }
 
 // Aliases returns the child's alias set.
@@ -170,9 +201,11 @@ func (a *Agg) Aliases() map[string]bool { return a.Child.Aliases() }
 // Children returns the single input.
 func (a *Agg) Children() []Node { return []Node{a.Child} }
 
-// Signature returns a canonical encoding of the aggregation.
+// Signature returns a canonical encoding of the aggregation (memoized).
 func (a *Agg) Signature() string {
-	return fmt.Sprintf("%s(%s groups=%d)", a.Algo, a.Child.Signature(), len(a.GroupBys))
+	return a.sig.get(func() string {
+		return fmt.Sprintf("%s(%s groups=%d)", a.Algo, a.Child.Signature(), len(a.GroupBys))
+	})
 }
 
 // CrossProduct reports whether the subtree contains any join with no

@@ -82,7 +82,14 @@ type Config struct {
 	// planner, and Replica copies inherit the attachment, so all parallel
 	// collection workers share one sharded cache.
 	Cache *plancache.Cache
-	Seed  int64
+	// ReuseStateBuffers makes the env reuse one features vector and one mask
+	// across states instead of allocating fresh slices per step. Safe only
+	// when the caller consumes each state before the next Step/ResetTo — the
+	// serving GreedyRollout path, where states are decoded into an action and
+	// dropped. Training collection retains whole trajectories until the
+	// policy update and must leave this off.
+	ReuseStateBuffers bool
+	Seed              int64
 }
 
 // phase enumerates the episode's decision phases.
@@ -116,6 +123,10 @@ type Env struct {
 	// scratch carries the reusable featurization maps (alias index, depth
 	// weights, subtree alias sets); Reset per episode.
 	scratch featurize.Scratch
+	// featBuf/maskBuf are the reused state storage under
+	// Cfg.ReuseStateBuffers; nil otherwise.
+	featBuf []float64
+	maskBuf []bool
 
 	// Executions counts how many episodes were actually executed (latency
 	// measured); TimedOutCount counts executions that hit the budget.
@@ -208,11 +219,21 @@ func (e *Env) cursor() int {
 
 func (e *Env) state() rl.State {
 	n := e.Cfg.Space.MaxRels
-	// One fresh vector per state (trajectories retain it); the join-state
-	// prefix and the phase/cursor/access one-hot blocks are written directly
-	// at their offsets instead of composed from temporary slices, and the
-	// episode scratch carries the featurization working maps.
-	features := make([]float64, e.ObsDim())
+	// One fresh vector per state (trajectories retain it) unless the caller
+	// opted into buffer reuse; the join-state prefix and the
+	// phase/cursor/access one-hot blocks are written directly at their
+	// offsets instead of composed from temporary slices, and the episode
+	// scratch carries the featurization working maps.
+	var features []float64
+	if e.Cfg.ReuseStateBuffers {
+		if cap(e.featBuf) < e.ObsDim() {
+			e.featBuf = make([]float64, e.ObsDim())
+		}
+		features = e.featBuf[:e.ObsDim()]
+		clear(features)
+	} else {
+		features = make([]float64, e.ObsDim())
+	}
 	e.Cfg.Space.JoinStateInto(features[:e.Cfg.Space.ObsDim()], e.cur, e.forest, &e.scratch)
 
 	phaseOff := e.Cfg.Space.ObsDim()
@@ -243,7 +264,16 @@ func (e *Env) state() rl.State {
 }
 
 func (e *Env) mask() []bool {
-	mask := make([]bool, e.ActionDim())
+	var mask []bool
+	if e.Cfg.ReuseStateBuffers {
+		if cap(e.maskBuf) < e.ActionDim() {
+			e.maskBuf = make([]bool, e.ActionDim())
+		}
+		mask = e.maskBuf[:e.ActionDim()]
+		clear(mask)
+	} else {
+		mask = make([]bool, e.ActionDim())
+	}
 	switch e.ph {
 	case phaseAccess:
 		c := e.cursor()
@@ -301,7 +331,10 @@ func (e *Env) Step(action int) (rl.State, float64, bool) {
 			algo = plan.JoinAlgos[algoIdx]
 		}
 		joined := plan.JoinNodes(e.cur, algo, e.forest[x], e.forest[y])
-		var next []plan.Node
+		// Filter in place: the write index never overtakes the read index,
+		// so reusing the forest's backing array is safe and avoids a fresh
+		// slice per join step.
+		next := e.forest[:0]
 		for i, node := range e.forest {
 			if i != x && i != y {
 				next = append(next, node)

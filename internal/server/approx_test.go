@@ -1,0 +1,152 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"handsfree"
+)
+
+// approxSQL is a sketch-eligible single-relation aggregate over the
+// generated schema.
+const approxSQL = `SELECT COUNT(*), SUM(t.production_year) FROM title t`
+
+// TestExecuteApproxEndpoint drives mode "approx" on POST /executesql end to
+// end: the answer carries sample-scaled estimates with confidence intervals,
+// and GET /stats reflects the approximate serve and its exact audit.
+func TestExecuteApproxEndpoint(t *testing.T) {
+	svc := newTestTenant(t, 3)
+	_, ts := newTestServer(t, Config{}, map[string]*handsfree.Service{"solo": svc})
+	client := ts.Client()
+
+	var er ExecuteResponse
+	resp := postJSON(t, client, ts.URL+"/executesql",
+		PlanRequest{SQL: approxSQL, Mode: "approx", MaxError: 0.05}, &er)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %+v", resp.StatusCode, er)
+	}
+	if !er.Approx || er.ApproxFellBack {
+		t.Fatalf("expected an approximate answer: %+v", er)
+	}
+	if len(er.Estimates) != 3 { // COUNT, SUM, derived AVG
+		t.Fatalf("got %d estimates, want 3: %+v", len(er.Estimates), er.Estimates)
+	}
+	for _, est := range er.Estimates {
+		if est.Name == "" || est.Kind == "" {
+			t.Fatalf("unnamed estimate: %+v", est)
+		}
+		if est.Lo > est.Value || est.Value > est.Hi {
+			t.Fatalf("%s: point %v outside its own CI [%v, %v]", est.Name, est.Value, est.Lo, est.Hi)
+		}
+		if est.RelError > 0.05 {
+			t.Fatalf("%s: rel_error %v exceeds the met budget", est.Name, est.RelError)
+		}
+	}
+	if !(er.SampleFraction > 0 && er.SampleFraction <= 1) {
+		t.Fatalf("sample_fraction %v out of range", er.SampleFraction)
+	}
+	if er.LatencyMs <= 0 || er.WorkUnits <= 0 {
+		t.Fatalf("execution observables missing: %+v", er)
+	}
+
+	// Exact mode on the same query: a plain result, no estimates.
+	var exact ExecuteResponse
+	resp = postJSON(t, client, ts.URL+"/executesql",
+		PlanRequest{SQL: approxSQL, Mode: "exact"}, &exact)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exact mode status %d", resp.StatusCode)
+	}
+	if exact.Approx || len(exact.Estimates) != 0 {
+		t.Fatalf("exact mode returned approximate fields: %+v", exact)
+	}
+
+	var sr StatsResponse
+	getJSON(t, client, ts.URL+"/stats", &sr)
+	if len(sr.Tenants) != 1 {
+		t.Fatalf("tenants: %+v", sr.Tenants)
+	}
+	tn := sr.Tenants[0]
+	// The wire value mirrors whatever the tenant resolved to (the default is
+	// exact, but the sketch CI leg runs with HANDSFREE_STATS=sketch).
+	if want := svc.StatsMode().String(); tn.StatsMode != want {
+		t.Fatalf("stats_mode %q, want %q", tn.StatsMode, want)
+	}
+	if tn.ApproxServed != 1 || tn.ApproxFallbacks != 0 {
+		t.Fatalf("approx counters: %+v", tn)
+	}
+	// The first approximate serve is audited against exact execution; every
+	// audited CI must have covered the truth.
+	if tn.ApproxAudits != 1 || tn.AuditEstimates == 0 || tn.AuditCovered != tn.AuditEstimates {
+		t.Fatalf("audit counters: %+v", tn)
+	}
+	if tn.AuditMeanRelError == nil || *tn.AuditMeanRelError > 0.05 {
+		t.Fatalf("audit mean rel error: %+v", tn.AuditMeanRelError)
+	}
+}
+
+// TestExecuteApproxFallsBackOnWire: an unsatisfiable budget and an
+// ineligible (join) query both serve the exact answer, flagged as a
+// fallback; the accuracy counters tally the misses.
+func TestExecuteApproxFallsBackOnWire(t *testing.T) {
+	svc := newTestTenant(t, 3)
+	_, ts := newTestServer(t, Config{}, map[string]*handsfree.Service{"solo": svc})
+	client := ts.Client()
+
+	var er ExecuteResponse
+	resp := postJSON(t, client, ts.URL+"/executesql",
+		PlanRequest{SQL: approxSQL, Mode: "approx", MaxError: 1e-9}, &er)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if er.Approx || !er.ApproxFellBack || len(er.Estimates) != 0 {
+		t.Fatalf("unsatisfiable budget should fall back to exact: %+v", er)
+	}
+	if er.LatencyMs <= 0 || er.Rows <= 0 {
+		t.Fatalf("fallback execution observables missing: %+v", er)
+	}
+
+	resp = postJSON(t, client, ts.URL+"/executesql",
+		PlanRequest{SQL: oneJoinSQL(t, svc), Mode: "approx"}, &er)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join approx status %d", resp.StatusCode)
+	}
+	if er.Approx || !er.ApproxFellBack {
+		t.Fatalf("join query should fall back to exact: %+v", er)
+	}
+
+	var sr StatsResponse
+	getJSON(t, client, ts.URL+"/stats", &sr)
+	if tn := sr.Tenants[0]; tn.ApproxServed != 0 || tn.ApproxFallbacks != 2 {
+		t.Fatalf("fallback counters: %+v", tn)
+	}
+}
+
+// TestExecuteApproxValidation pins the wire contract: mode and max_error are
+// execute-only fields with strict values.
+func TestExecuteApproxValidation(t *testing.T) {
+	svc := newTestTenant(t, 3)
+	_, ts := newTestServer(t, Config{}, map[string]*handsfree.Service{"solo": svc})
+	client := ts.Client()
+
+	var er ErrorResponse
+	resp := postJSON(t, client, ts.URL+"/executesql",
+		PlanRequest{SQL: approxSQL, Mode: "fast"}, &er)
+	if resp.StatusCode != http.StatusBadRequest || er.Error.Code != "bad_request" {
+		t.Fatalf("unknown mode: status %d code %q", resp.StatusCode, er.Error.Code)
+	}
+	resp = postJSON(t, client, ts.URL+"/executesql",
+		PlanRequest{SQL: approxSQL, Mode: "approx", MaxError: -0.1}, &er)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative max_error: status %d", resp.StatusCode)
+	}
+	resp = postJSON(t, client, ts.URL+"/plansql",
+		PlanRequest{SQL: approxSQL, Mode: "approx"}, &er)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mode on a planning endpoint: status %d", resp.StatusCode)
+	}
+	resp = postJSON(t, client, ts.URL+"/plansql",
+		PlanRequest{SQL: approxSQL, MaxError: 0.05}, &er)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("max_error on a planning endpoint: status %d", resp.StatusCode)
+	}
+}

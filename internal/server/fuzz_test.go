@@ -44,7 +44,7 @@ func FuzzPlanRequestDecode(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, body string) {
 		for _, wantSQL := range []bool{true, false} {
-			req, apiErr := decodePlanRequest(strings.NewReader(body), wantSQL)
+			req, apiErr := decodePlanRequest(strings.NewReader(body), wantSQL, wantSQL)
 			if apiErr != nil {
 				if apiErr.status != 400 || apiErr.code == "" || apiErr.message == "" {
 					t.Fatalf("unstructured decode error for %q: %+v", body, apiErr)

@@ -315,12 +315,12 @@ func validateAgainstCatalog(tenant *Tenant, q *handsfree.Query) *apiError {
 // resolvePlanShaped resolves the tenant, decodes the body, and validates the
 // query for a planning-shaped request — the front half shared by /plan,
 // /plansql, /execute, and /executesql.
-func (s *Server) resolvePlanShaped(r *http.Request, wantSQL bool) (*Tenant, *PlanRequest, *handsfree.Query, string, *apiError) {
+func (s *Server) resolvePlanShaped(r *http.Request, wantSQL, allowExec bool) (*Tenant, *PlanRequest, *handsfree.Query, string, *apiError) {
 	tenant, apiErr := s.tenantFor(r)
 	if apiErr != nil {
 		return nil, nil, nil, "", apiErr
 	}
-	req, apiErr := decodePlanRequest(r.Body, wantSQL)
+	req, apiErr := decodePlanRequest(r.Body, wantSQL, allowExec)
 	if apiErr != nil {
 		return nil, nil, nil, "", apiErr
 	}
@@ -374,7 +374,7 @@ func (s *Server) planError(w http.ResponseWriter, err error, deadline time.Durat
 // safeguarded Plan under the per-request deadline.
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request, wantSQL bool) {
 	s.requests.Add(1)
-	tenant, req, q, label, apiErr := s.resolvePlanShaped(r, wantSQL)
+	tenant, req, q, label, apiErr := s.resolvePlanShaped(r, wantSQL, false)
 	if apiErr != nil {
 		writeError(w, apiErr)
 		return
@@ -424,7 +424,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request, wantSQL bool
 // detector. The per-request deadline covers planning and execution together.
 func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request, wantSQL bool) {
 	s.requests.Add(1)
-	tenant, req, q, label, apiErr := s.resolvePlanShaped(r, wantSQL)
+	tenant, req, q, label, apiErr := s.resolvePlanShaped(r, wantSQL, true)
 	if apiErr != nil {
 		writeError(w, apiErr)
 		return
@@ -440,7 +440,13 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request, wantSQL b
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req))
 	defer cancel()
 	start := time.Now()
-	res, err := tenant.svc.Execute(ctx, q)
+	var res handsfree.ExecResult
+	var err error
+	if req.Mode == "approx" {
+		res, err = tenant.svc.ExecuteApprox(ctx, q, req.MaxError)
+	} else {
+		res, err = tenant.svc.Execute(ctx, q)
+	}
 	total := time.Since(start)
 	if err != nil {
 		s.planError(w, err, s.timeoutFor(req), "execute_error")
@@ -471,6 +477,15 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request, wantSQL b
 	if !math.IsNaN(res.LatencyRatio) {
 		lr := res.LatencyRatio
 		resp.LatencyRatio = &lr
+	}
+	resp.Approx = res.Approx
+	resp.ApproxFellBack = res.ApproxFellBack
+	resp.SampleFraction = res.SampleFraction
+	for _, est := range res.Estimates {
+		resp.Estimates = append(resp.Estimates, EstimateInfo{
+			Name: est.Name, Kind: est.Kind,
+			Value: est.Value, Lo: est.Lo, Hi: est.Hi, RelError: est.RelError,
+		})
 	}
 	if req.Explain {
 		resp.Plan = handsfree.ExplainPlan(res.Plan)
@@ -609,6 +624,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		if !math.IsInf(st.CostRatio, 0) && st.CostRatio > 0 {
 			ts.CostRatio = st.CostRatio
+		}
+		ts.StatsMode = t.svc.StatsMode().String()
+		ap := t.svc.ApproxStats()
+		ts.ApproxServed = ap.Served
+		ts.ApproxFallbacks = ap.Fallbacks
+		ts.ApproxAudits = ap.Audits
+		ts.AuditEstimates = ap.AuditEstimates
+		ts.AuditCovered = ap.AuditCovered
+		if !math.IsNaN(ap.AuditMeanRelError) {
+			mre := ap.AuditMeanRelError
+			ts.AuditMeanRelError = &mre
 		}
 		resp.Tenants = append(resp.Tenants, ts)
 	}

@@ -52,6 +52,16 @@ type PlanRequest struct {
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 	// Explain asks for the served plan tree in EXPLAIN format.
 	Explain bool `json:"explain,omitempty"`
+	// Mode selects how /execute and /executesql run the served plan:
+	// "exact" (or empty — the default) runs it in full; "approx" answers
+	// eligible aggregate queries from the table's row sample with bootstrap
+	// confidence intervals, falling back to exact execution when the error
+	// budget cannot be met. Planning endpoints reject the field.
+	Mode string `json:"mode,omitempty"`
+	// MaxError is the approximate-execution error budget: every estimate's
+	// confidence-interval half-width must stay within max_error × |estimate|
+	// (0 uses the service default; only meaningful with mode "approx").
+	MaxError float64 `json:"max_error,omitempty"`
 }
 
 // WireQuery is the JSON form of the logical query IR.
@@ -163,11 +173,37 @@ type ExecuteResponse struct {
 	// latency ratio at decision time (absent until both windows hold their
 	// minimum samples).
 	LatencyRatio *float64 `json:"latency_ratio,omitempty"`
+	// Approx marks an approximately executed answer: Estimates carries the
+	// sample-scaled aggregates with their confidence intervals and
+	// SampleFraction the fraction of the table actually scanned.
+	// ApproxFellBack reports that mode "approx" was requested but the query
+	// was ineligible or the error budget unsatisfiable, so the answer above
+	// is an exact execution.
+	Approx         bool           `json:"approx,omitempty"`
+	ApproxFellBack bool           `json:"approx_fell_back,omitempty"`
+	Estimates      []EstimateInfo `json:"estimates,omitempty"`
+	SampleFraction float64        `json:"sample_fraction,omitempty"`
 	// Plan is the EXPLAIN rendering (only with "explain": true).
 	Plan string `json:"plan,omitempty"`
 	// QueueMs is admission-queue wait; TotalMs is planning + execution.
 	QueueMs float64 `json:"queue_ms"`
 	TotalMs float64 `json:"total_ms"`
+}
+
+// EstimateInfo is one approximate aggregate on the wire: the point estimate
+// with its 99% bootstrap confidence interval.
+type EstimateInfo struct {
+	// Name matches the exact executor's output column naming
+	// ("agg<i>_<KIND>"; derived averages are "avg<i>_<column>").
+	Name string `json:"name"`
+	// Kind is the aggregate function: COUNT, SUM, or the derived AVG.
+	Kind string `json:"kind"`
+	// Value is the sample-scaled point estimate; Lo and Hi bound its
+	// confidence interval; RelError is the half-width relative to |Value|.
+	Value    float64 `json:"value"`
+	Lo       float64 `json:"lo"`
+	Hi       float64 `json:"hi"`
+	RelError float64 `json:"rel_error"`
 }
 
 // DriftResponse is the body of GET /drift: one tenant's execution feedback
@@ -290,6 +326,19 @@ type TenantStats struct {
 	CostEpisodes  int     `json:"cost_episodes"`
 	LatencyEps    int     `json:"latency_episodes"`
 	CostRatio     float64 `json:"cost_ratio,omitempty"`
+	// StatsMode says which statistics source the tenant's planner runs on:
+	// "exact" (histograms) or "sketch" (HLL/Count-Min/sample).
+	StatsMode string `json:"stats_mode"`
+	// ApproxServed / ApproxFallbacks count approximate executions served vs
+	// fallen back to exact; the audit fields score served answers against
+	// periodic exact re-executions (mean relative error absent until the
+	// first audit).
+	ApproxServed      uint64   `json:"approx_served,omitempty"`
+	ApproxFallbacks   uint64   `json:"approx_fallbacks,omitempty"`
+	ApproxAudits      uint64   `json:"approx_audits,omitempty"`
+	AuditEstimates    uint64   `json:"approx_audit_estimates,omitempty"`
+	AuditCovered      uint64   `json:"approx_audit_covered,omitempty"`
+	AuditMeanRelError *float64 `json:"approx_audit_mean_rel_error,omitempty"`
 }
 
 // CacheResponse is the body of GET /cache: one tenant's plan cache counters.
@@ -343,8 +392,10 @@ func badRequest(format string, args ...any) *apiError {
 
 // decodePlanRequest strictly decodes a planning request body. It never
 // panics on arbitrary input (fuzz-tested); every malformed body yields a
-// *apiError with status 400 and a structured code/message.
-func decodePlanRequest(body io.Reader, wantSQL bool) (*PlanRequest, *apiError) {
+// *apiError with status 400 and a structured code/message. allowExec admits
+// the execution-only fields (mode, max_error); planning endpoints reject
+// them.
+func decodePlanRequest(body io.Reader, wantSQL, allowExec bool) (*PlanRequest, *apiError) {
 	data, err := io.ReadAll(io.LimitReader(body, maxBodyBytes+1))
 	if err != nil {
 		return nil, badRequest("reading request body: %v", err)
@@ -364,6 +415,22 @@ func decodePlanRequest(body io.Reader, wantSQL bool) (*PlanRequest, *apiError) {
 	}
 	if req.TimeoutMs < 0 {
 		return nil, badRequest("timeout_ms must be non-negative, got %d", req.TimeoutMs)
+	}
+	switch req.Mode {
+	case "", "exact", "approx":
+	default:
+		return nil, badRequest(`mode must be "exact" or "approx", got %q`, req.Mode)
+	}
+	if req.MaxError < 0 {
+		return nil, badRequest("max_error must be non-negative, got %v", req.MaxError)
+	}
+	if !allowExec {
+		if req.Mode != "" {
+			return nil, badRequest("mode applies to /execute and /executesql only")
+		}
+		if req.MaxError != 0 {
+			return nil, badRequest("max_error applies to /execute and /executesql only")
+		}
 	}
 	if wantSQL {
 		if req.SQL == "" {

@@ -1,0 +1,90 @@
+package sketch
+
+import "fmt"
+
+// Default Count-Min dimensions: depth 4 bounds the failure probability at
+// e^-4 ≈ 1.8%, width 2048 bounds the overestimate at (e/2048)·N ≈ 0.13% of
+// the stream length — small against the equality selectivities it feeds.
+const (
+	DefaultCMDepth = 4
+	DefaultCMWidth = 2048
+)
+
+// CountMin is a Count-Min frequency sketch (Cormode & Muthukrishnan 2005):
+// Depth independent hash rows of Width counters each; an item's estimate is
+// the minimum of its counters, which can only overestimate the true count
+// (every counter the item touches holds its count plus whatever collided).
+// Merging equal-dimension sketches is the element-wise counter sum and is
+// exact in the same sense as HLL merge: merge(A,B) equals the sketch of the
+// concatenated streams, because the row hash for row i depends only on i.
+type CountMin struct {
+	Width int
+	// Counts holds Depth rows of Width counters.
+	Counts [][]uint64
+	// Items is the total weight added (the stream length N in the error
+	// bound εN).
+	Items uint64
+}
+
+// NewCountMin builds an empty sketch; non-positive dimensions fall back to
+// the defaults.
+func NewCountMin(depth, width int) *CountMin {
+	if depth <= 0 {
+		depth = DefaultCMDepth
+	}
+	if width <= 0 {
+		width = DefaultCMWidth
+	}
+	c := &CountMin{Width: width, Counts: make([][]uint64, depth)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]uint64, width)
+	}
+	return c
+}
+
+// rowIndex hashes v for row i. The seed is derived from the row index
+// alone, so any two sketches with equal dimensions hash identically and
+// are therefore mergeable.
+func (c *CountMin) rowIndex(i int, v int64) int {
+	h := mix64(uint64(v) ^ mix64(uint64(i)+0xc0117e57))
+	return int(h % uint64(c.Width))
+}
+
+// Add observes v with weight n.
+func (c *CountMin) Add(v int64, n uint64) {
+	for i := range c.Counts {
+		c.Counts[i][c.rowIndex(i, v)] += n
+	}
+	c.Items += n
+}
+
+// Count estimates how many times v was added: min over rows, an
+// overestimate-only bound (never below the true count).
+func (c *CountMin) Count(v int64) uint64 {
+	var est uint64
+	for i := range c.Counts {
+		n := c.Counts[i][c.rowIndex(i, v)]
+		if i == 0 || n < est {
+			est = n
+		}
+	}
+	return est
+}
+
+// Merge folds other into c (element-wise counter sum). Dimensions must
+// match.
+func (c *CountMin) Merge(other *CountMin) error {
+	if other == nil {
+		return nil
+	}
+	if c.Width != other.Width || len(c.Counts) != len(other.Counts) {
+		return fmt.Errorf("sketch: cannot merge CountMin %dx%d with %dx%d", len(c.Counts), c.Width, len(other.Counts), other.Width)
+	}
+	for i := range c.Counts {
+		for j := range c.Counts[i] {
+			c.Counts[i][j] += other.Counts[i][j]
+		}
+	}
+	c.Items += other.Items
+	return nil
+}

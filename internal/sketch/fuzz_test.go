@@ -1,0 +1,140 @@
+package sketch
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// valuesFrom decodes a fuzz payload into two int64 streams split at a
+// pivot byte, so the fuzzer controls both shard contents and the split.
+func valuesFrom(data []byte) (a, b []int64) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	split := int(data[0]) % (len(data) + 1)
+	decode := func(p []byte) []int64 {
+		var out []int64
+		for len(p) >= 8 {
+			out = append(out, int64(binary.LittleEndian.Uint64(p)))
+			p = p[8:]
+		}
+		if len(p) > 0 {
+			var last [8]byte
+			copy(last[:], p)
+			out = append(out, int64(binary.LittleEndian.Uint64(last[:])))
+		}
+		return out
+	}
+	rest := data[1:]
+	if split > len(rest) {
+		split = len(rest)
+	}
+	return decode(rest[:split]), decode(rest[split:])
+}
+
+// FuzzHLLMerge checks, on arbitrary streams: no panics, merge equals the
+// whole-stream sketch (union semantics), and merge is commutative.
+func FuzzHLLMerge(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add([]byte{0})
+	f.Add(bytes.Repeat([]byte{0xff}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		va, vb := valuesFrom(data)
+		const p = 8
+		whole, a, b := NewHLL(p), NewHLL(p), NewHLL(p)
+		ba, bb := NewHLL(p), NewHLL(p) // second copies for commutativity
+		for _, v := range va {
+			whole.Add(v)
+			a.Add(v)
+			ba.Add(v)
+		}
+		for _, v := range vb {
+			whole.Add(v)
+			b.Add(v)
+			bb.Add(v)
+		}
+		if err := a.Merge(b); err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+		if !bytes.Equal(a.Registers, whole.Registers) {
+			t.Fatal("merge(a,b) != sketch of concatenated stream")
+		}
+		if err := bb.Merge(ba); err != nil {
+			t.Fatalf("reverse merge: %v", err)
+		}
+		if !bytes.Equal(bb.Registers, a.Registers) {
+			t.Fatal("HLL merge is not commutative")
+		}
+		// Distinct never exceeds stream length by more than the error
+		// bound allows at tiny precision; just assert non-negative and
+		// finite behavior.
+		if whole.Distinct() < 0 {
+			t.Fatal("negative distinct estimate")
+		}
+	})
+}
+
+// FuzzCountMinMerge checks, on arbitrary streams: no panics, merged
+// counters equal the whole-stream sketch, commutativity, and the
+// overestimate-only invariant for every fuzzed value.
+func FuzzCountMinMerge(f *testing.F) {
+	f.Add([]byte{5, 9, 9, 9, 9, 9, 9, 9, 9, 1, 2, 3})
+	f.Add([]byte{0})
+	f.Add(bytes.Repeat([]byte{7}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		va, vb := valuesFrom(data)
+		const depth, width = 3, 64
+		whole, a, b := NewCountMin(depth, width), NewCountMin(depth, width), NewCountMin(depth, width)
+		ba, bb := NewCountMin(depth, width), NewCountMin(depth, width)
+		exact := make(map[int64]uint64)
+		for _, v := range va {
+			whole.Add(v, 1)
+			a.Add(v, 1)
+			ba.Add(v, 1)
+			exact[v]++
+		}
+		for _, v := range vb {
+			whole.Add(v, 1)
+			b.Add(v, 1)
+			bb.Add(v, 1)
+			exact[v]++
+		}
+		if err := a.Merge(b); err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+		if a.Items != whole.Items {
+			t.Fatalf("merged Items %d != whole %d", a.Items, whole.Items)
+		}
+		for i := range whole.Counts {
+			if !equalU64(a.Counts[i], whole.Counts[i]) {
+				t.Fatal("merge(a,b) != sketch of concatenated stream")
+			}
+		}
+		if err := bb.Merge(ba); err != nil {
+			t.Fatalf("reverse merge: %v", err)
+		}
+		for i := range a.Counts {
+			if !equalU64(bb.Counts[i], a.Counts[i]) {
+				t.Fatal("CountMin merge is not commutative")
+			}
+		}
+		for v, want := range exact {
+			if got := a.Count(v); got < want {
+				t.Fatalf("value %d: merged estimate %d < true count %d (underestimate)", v, got, want)
+			}
+		}
+	})
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -100,6 +100,14 @@ func WithEngine(e ComputeEngine) Option {
 	return func(o *serviceOptions) { o.cfg.Engine = e }
 }
 
+// WithStats selects the statistics source the planning stack runs on:
+// StatsExact (histograms + MCVs, the historical behavior), StatsSketch
+// (HyperLogLog / Count-Min / reservoir sketches alone), or StatsAuto
+// (resolve through HANDSFREE_STATS, defaulting to exact).
+func WithStats(m StatsMode) Option {
+	return func(o *serviceOptions) { o.cfg.Stats = m }
+}
+
 // WithCache enables and sizes the plan cache service.
 func WithCache(cc CacheConfig) Option {
 	return func(o *serviceOptions) {
@@ -182,6 +190,15 @@ type Service struct {
 
 	executions, execFailures, execTimeouts atomic.Uint64
 	latencyGuarded, driftEvents, retrains  atomic.Uint64
+
+	// Approximate-execution counters (see ExecuteApprox): served vs
+	// fell-back decisions, plus the exact-audit accuracy tallies guarded by
+	// approxMu.
+	approxServed, approxFallbacks atomic.Uint64
+	approxMu                      sync.Mutex
+	approxAudits                  uint64
+	approxCompared, approxCovered uint64
+	approxErrSum                  float64
 }
 
 // New assembles the synthetic substrate and wraps it in a Service.
@@ -229,6 +246,10 @@ func New(opts ...Option) (*Service, error) {
 // System exposes the underlying substrate (database, planner, engine,
 // latency simulator, workload generators) for code that needs direct access.
 func (s *Service) System() *System { return s.sys }
+
+// StatsMode reports which statistics source the planner runs on: exact
+// histograms (StatsExact) or one-pass sketches (StatsSketch).
+func (s *Service) StatsMode() StatsMode { return s.sys.StatsSource }
 
 // Queries returns the workload configured with WithWorkload (nil otherwise).
 func (s *Service) Queries() []*Query { return s.queries }
@@ -474,6 +495,9 @@ func newServePool(svc *Service, space *featurize.Space, stages Stages, maxRels i
 			Planner: sp.svc.sys.Planner,
 			Reward:  planspace.CostReward,
 			Cache:   sp.svc.sys.PlanCache,
+			// Serving rollouts decode each state into an action and drop it,
+			// so the pooled envs can reuse their feature/mask buffers.
+			ReuseStateBuffers: true,
 		})
 	}
 	return sp
@@ -761,7 +785,7 @@ func (s *Service) StartTraining(ctx context.Context, cfg LifecycleConfig) error 
 			maxRels = len(q.Relations)
 		}
 	}
-	space := featurize.NewSpace(maxRels, s.sys.Est)
+	space := featurize.NewSpace(maxRels, s.sys.cardEstimator())
 	s.serve.Store(newServePool(s, space, cfg.Stages, maxRels))
 
 	done, exited := s.done, s.exited
